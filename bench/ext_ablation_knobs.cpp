@@ -1,0 +1,118 @@
+// Ablation bench for the two calibrated design knobs DESIGN.md §5 calls
+// out. Each ablation re-runs a Part Two-style OpenACC experiment with the
+// knob moved and prints the rows it governs, demonstrating *which* paper
+// numbers each mechanism is responsible for:
+//
+//   1. the compiler persona's strictness quirk (paper: "inconsistent
+//      feature support") — owns the valid-file pipeline loss;
+//   2. the issue-4 function-tail share (the two readings of "removed last
+//      bracketed section") — owns the OpenACC/OpenMP issue-4 asymmetry.
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace llm4vv;
+
+struct RunOutcome {
+  metrics::EvalReport pipeline;
+};
+
+RunOutcome run(frontend::Flavor flavor, double strictness,
+               double fn_tail_share) {
+  corpus::GeneratorConfig gen;
+  gen.flavor = flavor;
+  gen.count = 560;
+  gen.seed = 0xAB1A7E;
+  const auto suite = corpus::generate_suite(gen);
+
+  probing::ProbingConfig probe;
+  probe.issue_counts = {80, 40, 40, 40, 80, 240};
+  probe.seed = 0xAB;
+  probe.mutation.issue4_function_tail_share = fn_tail_share;
+  const auto probed = probing::probe_suite(suite, probe);
+
+  toolchain::CompilerConfig persona = flavor == frontend::Flavor::kOpenACC
+                                          ? toolchain::nvc_persona()
+                                          : toolchain::clang_persona();
+  persona.strictness_reject_rate = strictness;
+
+  auto client = core::make_simulated_client(2);
+  auto llmj = std::make_shared<const judge::Llmj>(
+      client, llm::PromptStyle::kAgentDirect);
+  pipeline::PipelineConfig config;
+  config.mode = pipeline::PipelineMode::kRecordAll;
+  config.compile_workers = 2;
+  config.execute_workers = 2;
+  config.judge_workers = 2;
+  const pipeline::ValidationPipeline pipe(toolchain::CompilerDriver(persona),
+                                          toolchain::Executor(), llmj,
+                                          config);
+
+  std::vector<frontend::SourceFile> files;
+  for (const auto& pf : probed.files) files.push_back(pf.file);
+  const auto result = pipe.run(files);
+
+  std::vector<metrics::JudgmentRecord> judgments;
+  for (std::size_t i = 0; i < probed.files.size(); ++i) {
+    judgments.push_back(metrics::JudgmentRecord{
+        probed.files[i].issue, result.records[i].pipeline_says_valid});
+  }
+  return RunOutcome{metrics::evaluate(judgments)};
+}
+
+}  // namespace
+
+int main() {
+  std::puts("\n== Ablation 1: compiler-persona strictness quirk ==");
+  std::puts("(calibrated value 0.14; owns the Table IV 'No issue' row)");
+  {
+    support::TextTable table({"strictness", "valid-file acc", "issue-4 acc",
+                              "overall acc", "bias"});
+    for (const double strictness : {0.0, 0.07, 0.14, 0.28}) {
+      const auto outcome = run(frontend::Flavor::kOpenACC, strictness, 0.15);
+      table.add_row({
+          support::format_fixed(strictness, 2),
+          support::format_percent(outcome.pipeline.per_issue[5].accuracy()),
+          support::format_percent(outcome.pipeline.per_issue[4].accuracy()),
+          support::format_fixed(outcome.pipeline.overall_accuracy * 100, 1) +
+              "%",
+          support::format_fixed(outcome.pipeline.bias, 3),
+      });
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts(
+        "Reading: without the quirk the valid row sits near the judge's "
+        "~91%, far above the paper's 79%; the calibrated 0.14 lands it, at "
+        "the cost the paper also paid (valid tests lost to the compiler).");
+  }
+
+  std::puts("\n== Ablation 2: issue-4 function-tail share (OpenMP) ==");
+  std::puts("(OMP default 0.80; owns the Table IV vs Table V issue-4 "
+            "asymmetry)");
+  {
+    support::TextTable table({"fn-tail share", "issue-4 acc", "overall acc"});
+    for (const double share : {0.0, 0.25, 0.5, 0.8, 1.0}) {
+      const auto outcome = run(frontend::Flavor::kOpenMP, 0.015, share);
+      table.add_row({
+          support::format_fixed(share, 2),
+          support::format_percent(outcome.pipeline.per_issue[4].accuracy()),
+          support::format_fixed(outcome.pipeline.overall_accuracy * 100, 1) +
+              "%",
+      });
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::puts(
+        "Reading: on SOLLVE-structured OpenMP files the share interpolates "
+        "between the silent regime (~35-60% caught, judge-only) and the "
+        "paper's observed ~92% (the removal takes the test function's "
+        "return, so the execute stage sees a garbage exit status). On "
+        "single-main OpenACC files the knob is inert — both readings are "
+        "silent there, which is exactly why Table IV's issue-4 row stays "
+        "at 22-30% however the mutation script is read.");
+  }
+  return 0;
+}

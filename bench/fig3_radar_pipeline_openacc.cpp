@@ -1,0 +1,23 @@
+// Reproduces Figure 3: radar plot of the two validation pipelines'
+// per-category accuracy on OpenACC (ASCII rendering; the legend carries
+// the exact axis values).
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+
+int main() {
+  using namespace llm4vv;
+  const auto outcome = core::run_part_two(frontend::Flavor::kOpenACC);
+  std::puts("\n== Figure 3: Validation Pipeline Results for OpenACC ==");
+  std::fputs(metrics::render_radar(
+                 {metrics::radar_axes(outcome.pipeline1_report),
+                  metrics::radar_axes(outcome.pipeline2_report)},
+                 {"Pipeline 1 (agent-direct)", "Pipeline 2 (agent-indirect)"},
+                 metrics::radar_axis_labels(frontend::Flavor::kOpenACC))
+                 .c_str(),
+             stdout);
+  std::puts(
+      "Paper shape: the two pipelines nearly coincide, compile-catchable "
+      "axes saturate at 100%, and the Test-logic axis collapses (22-30%).");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Reproduces Figure 5: radar plot of all three LLMJs on OpenACC — the
+// Part One non-agent judge vs the two agent-based judges of Part Two.
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+
+int main() {
+  using namespace llm4vv;
+  const auto part_one = core::run_part_one(frontend::Flavor::kOpenACC);
+  const auto part_two = core::run_part_two(frontend::Flavor::kOpenACC);
+  std::puts("\n== Figure 5: LLMJ Results for OpenACC ==");
+  std::fputs(metrics::render_radar(
+                 {metrics::radar_axes(part_one.report),
+                  metrics::radar_axes(part_two.llmj1_report),
+                  metrics::radar_axes(part_two.llmj2_report)},
+                 {"non-agent LLMJ", "LLMJ 1 (agent-direct)",
+                  "LLMJ 2 (agent-indirect)"},
+                 metrics::radar_axis_labels(frontend::Flavor::kOpenACC))
+                 .c_str(),
+             stdout);
+  std::puts(
+      "Paper shape: the agent judges dominate the non-agent judge on every "
+      "axis except valid-test recognition (where the non-agent judge beats "
+      "LLMJ 2) and the Test-logic axis stays low for all three.");
+  return 0;
+}

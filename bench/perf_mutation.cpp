@@ -1,0 +1,84 @@
+// Negative-probing microbenchmarks: mutation throughput per issue class
+// and full-suite probing, demonstrating that benchmark construction scales
+// to suites far larger than the paper's.
+#include <benchmark/benchmark.h>
+
+#include "core/llm4vv.hpp"
+
+namespace {
+
+using namespace llm4vv;
+
+corpus::Suite sample_suite(std::size_t count) {
+  corpus::GeneratorConfig gen;
+  gen.flavor = frontend::Flavor::kOpenACC;
+  gen.count = count;
+  gen.seed = 31337;
+  return corpus::generate_suite(gen);
+}
+
+void BM_MutationClass(benchmark::State& state) {
+  const auto issue = static_cast<probing::IssueType>(state.range(0));
+  const auto suite = sample_suite(32);
+  const probing::MutationConfig config;
+  support::Rng rng(5);
+  std::size_t produced = 0;
+  for (auto _ : state) {
+    for (const auto& tc : suite.cases) {
+      const auto mutated = probing::apply_mutation(
+          tc.file.content, tc.file.language, issue, config, rng);
+      if (mutated) ++produced;
+      benchmark::DoNotOptimize(mutated);
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * suite.cases.size()));
+  state.counters["applicable_share"] =
+      static_cast<double>(produced) /
+      static_cast<double>(state.iterations() * suite.cases.size());
+}
+BENCHMARK(BM_MutationClass)
+    ->DenseRange(0, 4, 1)
+    ->Unit(benchmark::kMicrosecond)
+    ->ArgName("issue");
+
+void BM_ProbeSuite(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  const auto suite = sample_suite(size + 64);
+  for (auto _ : state) {
+    probing::ProbingConfig config;
+    const std::size_t share = size / 6;
+    config.issue_counts = {share, share, share, share, share, size - 5 * share};
+    config.seed = 11;
+    const auto probed = probing::probe_suite(suite, config);
+    benchmark::DoNotOptimize(probed.files.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * size));
+}
+BENCHMARK(BM_ProbeSuite)
+    ->Arg(120)
+    ->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GenerateSuite(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    corpus::GeneratorConfig gen;
+    gen.flavor = frontend::Flavor::kOpenMP;
+    gen.count = count;
+    gen.seed = 2;
+    const auto suite = corpus::generate_suite(gen);
+    benchmark::DoNotOptimize(suite.cases.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * count));
+}
+BENCHMARK(BM_GenerateSuite)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Tokenizer microbenchmarks: encode/count throughput on corpus files and
+// judge prompts, plus the compression ratio the fragment vocabulary buys
+// (prompt-token accounting drives the simulated GPU-cost model).
+#include <benchmark/benchmark.h>
+
+#include "core/llm4vv.hpp"
+#include "judge/prompt.hpp"
+#include "llm/tokenizer.hpp"
+
+namespace {
+
+using namespace llm4vv;
+
+std::string sample_text() {
+  corpus::GeneratorConfig gen;
+  gen.flavor = frontend::Flavor::kOpenACC;
+  gen.count = 16;
+  gen.seed = 88;
+  std::string text;
+  for (const auto& tc : corpus::generate_suite(gen).cases) {
+    text += tc.file.content;
+  }
+  return text;
+}
+
+void BM_TokenizerEncode(benchmark::State& state) {
+  const auto& tokenizer = llm::default_tokenizer();
+  const std::string text = sample_text();
+  std::size_t tokens = 0;
+  for (auto _ : state) {
+    const auto ids = tokenizer.encode(text);
+    tokens = ids.size();
+    benchmark::DoNotOptimize(ids.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * text.size()));
+  state.counters["chars_per_token"] =
+      static_cast<double>(text.size()) / static_cast<double>(tokens);
+}
+BENCHMARK(BM_TokenizerEncode)->Unit(benchmark::kMicrosecond);
+
+void BM_TokenizerCount(benchmark::State& state) {
+  const auto& tokenizer = llm::default_tokenizer();
+  const auto tc = corpus::generate_one("saxpy_offload",
+                                       frontend::Flavor::kOpenACC,
+                                       frontend::Language::kC, 3);
+  const std::string prompt = judge::direct_analysis_prompt(tc.file);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.count_tokens(prompt));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * prompt.size()));
+}
+BENCHMARK(BM_TokenizerCount)->Unit(benchmark::kMicrosecond);
+
+void BM_TokenizerRoundTrip(benchmark::State& state) {
+  const auto& tokenizer = llm::default_tokenizer();
+  const std::string text = sample_text().substr(0, 4096);
+  for (auto _ : state) {
+    const auto ids = tokenizer.encode(text);
+    const auto back = tokenizer.decode(ids);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_TokenizerRoundTrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Execute-stage microbenchmarks: VM throughput, and the cost of the
+// device-mirror data movement relative to plain host execution.
+#include <benchmark/benchmark.h>
+
+#include "core/llm4vv.hpp"
+
+namespace {
+
+using namespace llm4vv;
+
+std::shared_ptr<const vm::Module> compile_one(const char* source) {
+  frontend::SourceFile file;
+  file.name = "bench.c";
+  file.flavor = frontend::Flavor::kOpenACC;
+  file.content = source;
+  toolchain::CompilerConfig config = toolchain::nvc_persona();
+  config.strictness_reject_rate = 0.0;
+  const toolchain::CompilerDriver driver(config);
+  auto result = driver.compile(file);
+  if (!result.success) throw std::runtime_error(result.stderr_text);
+  return result.module;
+}
+
+constexpr const char* kHostLoop = R"(
+#include <stdlib.h>
+#define N 4096
+int main() {
+  double *a;
+  a = (double *)malloc(N * sizeof(double));
+  for (int i = 0; i < N; i++) { a[i] = i * 0.5; }
+  double sum = 0.0;
+  for (int i = 0; i < N; i++) { sum = sum + a[i]; }
+  free(a);
+  return sum > 0.0 ? 0 : 1;
+}
+)";
+
+constexpr const char* kDeviceLoop = R"(
+#include <stdlib.h>
+#define N 4096
+int main() {
+  double *a;
+  a = (double *)malloc(N * sizeof(double));
+  for (int i = 0; i < N; i++) { a[i] = i * 0.5; }
+#pragma acc parallel loop copy(a[0:N])
+  for (int i = 0; i < N; i++) { a[i] = a[i] * 2.0; }
+  free(a);
+  return 0;
+}
+)";
+
+void BM_ExecuteHostLoop(benchmark::State& state) {
+  const auto module = compile_one(kHostLoop);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const auto result = vm::execute(*module);
+    steps += result.steps;
+    benchmark::DoNotOptimize(result.return_code);
+  }
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExecuteHostLoop)->Unit(benchmark::kMillisecond);
+
+void BM_ExecuteDeviceLoop(benchmark::State& state) {
+  const auto module = compile_one(kDeviceLoop);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const auto result = vm::execute(*module);
+    steps += result.steps;
+    benchmark::DoNotOptimize(result.return_code);
+  }
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExecuteDeviceLoop)->Unit(benchmark::kMillisecond);
+
+void BM_GeneratedSuiteExecution(benchmark::State& state) {
+  // End-to-end compile+run over a generated suite sample.
+  corpus::GeneratorConfig gen;
+  gen.flavor = frontend::Flavor::kOpenACC;
+  gen.count = 32;
+  gen.seed = 7;
+  const auto suite = corpus::generate_suite(gen);
+  toolchain::CompilerConfig config = toolchain::nvc_persona();
+  config.strictness_reject_rate = 0.0;
+  const toolchain::CompilerDriver driver(config);
+  const toolchain::Executor executor;
+  for (auto _ : state) {
+    for (const auto& tc : suite.cases) {
+      const auto compiled = driver.compile(tc.file);
+      const auto run = executor.run(compiled.module);
+      benchmark::DoNotOptimize(run.return_code);
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * suite.cases.size()));
+}
+BENCHMARK(BM_GeneratedSuiteExecution)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Reproduces Table I: LLMJ Negative Probing Results for OpenACC.
+//
+// Part One of the paper: the non-agent judge (direct-analysis prompt,
+// Listing 3) evaluates the probed OpenACC suite (1335 files with the
+// paper's per-issue counts; C/C++ plus a small Fortran share).
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace llm4vv;
+  const support::CliArgs args(argc, argv);
+  core::ExperimentOptions options;
+  options.corpus_seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(options.corpus_seed)));
+
+  const auto outcome =
+      core::run_part_one(frontend::Flavor::kOpenACC, options);
+  std::fputs(core::render_issue_table(
+                 "Table I: LLMJ Negative Probing Results for OpenACC",
+                 frontend::Flavor::kOpenACC, core::table1_llmj_acc(),
+                 outcome.report)
+                 .c_str(),
+             stdout);
+  std::printf(
+      "judge calls: %llu, prompt tokens: %llu, completion tokens: %llu, "
+      "simulated GPU time: %.1f s\n",
+      static_cast<unsigned long long>(outcome.llm_stats.requests),
+      static_cast<unsigned long long>(outcome.llm_stats.prompt_tokens),
+      static_cast<unsigned long long>(outcome.llm_stats.completion_tokens),
+      outcome.llm_stats.gpu_seconds);
+  return 0;
+}

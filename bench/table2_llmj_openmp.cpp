@@ -1,0 +1,25 @@
+// Reproduces Table II: LLMJ Negative Probing Results for OpenMP.
+//
+// The Part One OpenMP suite (431 files, C only — "due to time constraints"
+// in the paper) judged by the non-agent direct-analysis prompt.
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace llm4vv;
+  const support::CliArgs args(argc, argv);
+  core::ExperimentOptions options;
+  options.corpus_seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(options.corpus_seed)));
+
+  const auto outcome = core::run_part_one(frontend::Flavor::kOpenMP, options);
+  std::fputs(core::render_issue_table(
+                 "Table II: LLMJ Negative Probing Results for OpenMP",
+                 frontend::Flavor::kOpenMP, core::table2_llmj_omp(),
+                 outcome.report)
+                 .c_str(),
+             stdout);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces Table III: LLMJ Overall Negative Probing Results —
+// total counts, mistakes, overall accuracy, and bias for the non-agent
+// judge on both programming models.
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+
+int main() {
+  using namespace llm4vv;
+  for (const auto flavor :
+       {frontend::Flavor::kOpenACC, frontend::Flavor::kOpenMP}) {
+    const auto outcome = core::run_part_one(flavor);
+    std::fputs(
+        core::render_overall_table(
+            std::string("Table III (") + frontend::flavor_name(flavor) +
+                "): LLMJ Overall Negative Probing Results",
+            "LLMJ", core::table3_overall(flavor), outcome.report)
+            .c_str(),
+        stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Reproduces Table IV: Validation Pipeline Results for OpenACC.
+//
+// Part Two: 1782 probed OpenACC files flow through the compile -> execute
+// -> agent-LLMJ pipeline in record-all mode; the pipeline verdict is
+// "compiled && exited 0 && judged valid". Pipeline 1 uses the agent-direct
+// prompt (LLMJ 1), Pipeline 2 the agent-indirect prompt (LLMJ 2).
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+
+int main() {
+  using namespace llm4vv;
+  const auto outcome = core::run_part_two(frontend::Flavor::kOpenACC);
+  std::fputs(core::render_issue_table2(
+                 "Table IV: Validation Pipeline Results for OpenACC",
+                 frontend::Flavor::kOpenACC,
+                 "Pipeline 1", core::table4_pipeline_acc(1),
+                 outcome.pipeline1_report,
+                 "Pipeline 2", core::table4_pipeline_acc(2),
+                 outcome.pipeline2_report)
+                 .c_str(),
+             stdout);
+  std::printf(
+      "compile stage: %zu processed / %zu rejected; execute stage: %zu / "
+      "%zu; judge stage: %zu files, %.1f simulated GPU seconds\n",
+      outcome.pipeline_run1.compile_stage.processed,
+      outcome.pipeline_run1.compile_stage.rejected,
+      outcome.pipeline_run1.execute_stage.processed,
+      outcome.pipeline_run1.execute_stage.rejected,
+      outcome.pipeline_run1.judge_stage.processed,
+      outcome.pipeline_run1.judge_gpu_seconds);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Table V: Validation Pipeline Results for OpenMP (296 probed
+// files, OpenMP capped at 4.5, clang offloading persona).
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+
+int main() {
+  using namespace llm4vv;
+  const auto outcome = core::run_part_two(frontend::Flavor::kOpenMP);
+  std::fputs(core::render_issue_table2(
+                 "Table V: Validation Pipeline Results for OpenMP",
+                 frontend::Flavor::kOpenMP,
+                 "Pipeline 1", core::table5_pipeline_omp(1),
+                 outcome.pipeline1_report,
+                 "Pipeline 2", core::table5_pipeline_omp(2),
+                 outcome.pipeline2_report)
+                 .c_str(),
+             stdout);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Reproduces Table VI: Overall Validation Pipeline Results (accuracy and
+// bias of both pipelines on both programming models).
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+
+int main() {
+  using namespace llm4vv;
+  for (const auto flavor :
+       {frontend::Flavor::kOpenACC, frontend::Flavor::kOpenMP}) {
+    const auto outcome = core::run_part_two(flavor);
+    std::fputs(
+        core::render_overall_table2(
+            std::string("Table VI (") + frontend::flavor_name(flavor) +
+                "): Overall Validation Pipeline Results",
+            "Pipeline 1", core::table6_overall(flavor, 1),
+            outcome.pipeline1_report,
+            "Pipeline 2", core::table6_overall(flavor, 2),
+            outcome.pipeline2_report)
+            .c_str(),
+        stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Reproduces Table VII: Agent-Based LLMJ Results for OpenACC.
+//
+// The same Part Two run as Table IV, but scoring the two agent-based
+// judges *alone* (nothing filtered; every file compiled, executed, and
+// judged, with tool outputs quoted in the prompt).
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+
+int main() {
+  using namespace llm4vv;
+  const auto outcome = core::run_part_two(frontend::Flavor::kOpenACC);
+  std::fputs(core::render_issue_table2(
+                 "Table VII: Agent-Based LLMJ Results for OpenACC",
+                 frontend::Flavor::kOpenACC,
+                 "LLMJ 1", core::table7_agent_acc(1), outcome.llmj1_report,
+                 "LLMJ 2", core::table7_agent_acc(2), outcome.llmj2_report)
+                 .c_str(),
+             stdout);
+  return 0;
+}

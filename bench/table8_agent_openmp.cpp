@@ -1,0 +1,17 @@
+// Reproduces Table VIII: Agent-Based LLMJ Results for OpenMP.
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+
+int main() {
+  using namespace llm4vv;
+  const auto outcome = core::run_part_two(frontend::Flavor::kOpenMP);
+  std::fputs(core::render_issue_table2(
+                 "Table VIII: Agent-Based LLMJ Results for OpenMP",
+                 frontend::Flavor::kOpenMP,
+                 "LLMJ 1", core::table8_agent_omp(1), outcome.llmj1_report,
+                 "LLMJ 2", core::table8_agent_omp(2), outcome.llmj2_report)
+                 .c_str(),
+             stdout);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces Table IX: Overall Agent-Based LLMJ Results (accuracy and bias
+// of LLMJ 1 and LLMJ 2 on both programming models), plus the paper's
+// headline comparison against the non-agent judge of Table III.
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+
+int main() {
+  using namespace llm4vv;
+  for (const auto flavor :
+       {frontend::Flavor::kOpenACC, frontend::Flavor::kOpenMP}) {
+    const auto outcome = core::run_part_two(flavor);
+    std::fputs(
+        core::render_overall_table2(
+            std::string("Table IX (") + frontend::flavor_name(flavor) +
+                "): Overall Agent-Based LLMJ Results",
+            "LLMJ 1", core::table9_overall(flavor, 1), outcome.llmj1_report,
+            "LLMJ 2", core::table9_overall(flavor, 2), outcome.llmj2_report)
+            .c_str(),
+        stdout);
+  }
+  std::printf(
+      "\nHeadline check: both agent-based judges should far exceed the "
+      "non-agent judge's overall accuracy (paper: 79.0/74.4%% vs 56.6%% on "
+      "OpenACC; 76.0/74.7%% vs 40.6%% on OpenMP).\n");
+  return 0;
+}

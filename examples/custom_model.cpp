@@ -1,0 +1,120 @@
+// Extension point demo: plugging a custom LanguageModel behind the same
+// interface the simulated deepseek-coder judge uses. Two toy models — a
+// pass-everything baseline and a compiler-parroting heuristic — are run
+// through the identical negative-probing harness and scored with the
+// paper's metrics, showing how the library doubles as a *benchmark for
+// judges* (its negative-probing suites score any model you can wrap).
+//
+// Build & run:  ./build/examples/custom_model
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+#include "llm/tokenizer.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace llm4vv;
+
+/// Baseline: declares every test valid (what "no judge at all" buys you).
+class AlwaysValidModel final : public llm::LanguageModel {
+ public:
+  std::string name() const override { return "always-valid-baseline"; }
+
+  llm::Completion generate(const std::string& prompt,
+                           const llm::GenerationParams&) const override {
+    llm::Completion completion;
+    completion.text = "Everything is fine.\nFINAL JUDGEMENT: valid\n";
+    completion.prompt_tokens =
+        llm::default_tokenizer().count_tokens(prompt);
+    completion.completion_tokens = 10;
+    return completion;
+  }
+};
+
+/// Heuristic: parrots the tool outputs quoted in the agent prompt —
+/// invalid iff either return code is non-zero. No code understanding.
+class ToolParrotModel final : public llm::LanguageModel {
+ public:
+  std::string name() const override { return "tool-parrot"; }
+
+  llm::Completion generate(const std::string& prompt,
+                           const llm::GenerationParams&) const override {
+    const bool compiler_failed =
+        support::contains(prompt, "Compiler return code: ") &&
+        !support::contains(prompt, "Compiler return code: 0");
+    const bool run_failed = support::contains(prompt, "\nReturn code: ") &&
+                            !support::contains(prompt, "\nReturn code: 0");
+    llm::Completion completion;
+    completion.text =
+        std::string("The tools speak for themselves.\nFINAL JUDGEMENT: ") +
+        (compiler_failed || run_failed ? "invalid" : "valid") + "\n";
+    completion.prompt_tokens =
+        llm::default_tokenizer().count_tokens(prompt);
+    completion.completion_tokens = 12;
+    return completion;
+  }
+};
+
+metrics::EvalReport score(std::shared_ptr<const llm::LanguageModel> model) {
+  // A small Part Two-style harness around the custom model.
+  corpus::GeneratorConfig gen;
+  gen.flavor = frontend::Flavor::kOpenACC;
+  gen.count = 260;
+  gen.seed = 555;
+  const auto suite = corpus::generate_suite(gen);
+  probing::ProbingConfig probe;
+  probe.issue_counts = {30, 30, 30, 30, 30, 90};
+  probe.seed = 5;
+  const auto probed = probing::probe_suite(suite, probe);
+
+  auto client = std::make_shared<llm::ModelClient>(std::move(model), 2);
+  auto judge = std::make_shared<const judge::Llmj>(
+      client, llm::PromptStyle::kAgentDirect);
+  pipeline::PipelineConfig config;
+  config.mode = pipeline::PipelineMode::kRecordAll;
+  config.compile_workers = 2;
+  config.execute_workers = 2;
+  config.judge_workers = 2;
+  const pipeline::ValidationPipeline pipe(
+      toolchain::CompilerDriver(toolchain::nvc_persona()),
+      toolchain::Executor(), judge, config);
+
+  std::vector<frontend::SourceFile> files;
+  for (const auto& pf : probed.files) files.push_back(pf.file);
+  const auto result = pipe.run(files);
+
+  std::vector<metrics::JudgmentRecord> judgments;
+  for (std::size_t i = 0; i < probed.files.size(); ++i) {
+    judgments.push_back(metrics::JudgmentRecord{
+        probed.files[i].issue, result.records[i].judge_says_valid});
+  }
+  return metrics::evaluate(judgments);
+}
+
+}  // namespace
+
+int main() {
+  using namespace llm4vv;
+  struct Entry {
+    const char* label;
+    std::shared_ptr<const llm::LanguageModel> model;
+  };
+  const Entry entries[] = {
+      {"always-valid baseline", std::make_shared<AlwaysValidModel>()},
+      {"tool-parrot heuristic", std::make_shared<ToolParrotModel>()},
+      {"simulated deepseek-coder-33b",
+       std::make_shared<llm::SimulatedCoderModel>()},
+  };
+  std::printf("%-30s %10s %8s\n", "judge model", "accuracy", "bias");
+  for (const auto& entry : entries) {
+    const auto report = score(entry.model);
+    std::printf("%-30s %9.2f%% %+8.3f\n", entry.label,
+                report.overall_accuracy * 100.0, report.bias);
+  }
+  std::printf(
+      "\nThe baseline shows the floor (accuracy == valid share), the "
+      "parrot shows what tool outputs alone buy, and the simulated coder "
+      "model adds code-level perception on top.\n");
+  return 0;
+}

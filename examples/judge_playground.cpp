@@ -1,0 +1,72 @@
+// Judge playground: one file, all three judge configurations, with the
+// full prompt/completion transcripts — the quickest way to see what the
+// LLM-as-a-Judge layer actually does.
+//
+// Build & run:  ./build/examples/judge_playground
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+#include "support/strings.hpp"
+
+int main() {
+  using namespace llm4vv;
+
+  // A valid OpenMP target test, then a mutated (invalid) twin.
+  const auto valid = corpus::generate_one("sum_reduction",
+                                          frontend::Flavor::kOpenMP,
+                                          frontend::Language::kC, 5);
+  support::Rng rng(17);
+  const auto mutated_content = probing::apply_mutation(
+      valid.file.content, valid.file.language,
+      probing::IssueType::kUndeclaredVariable, {}, rng);
+  frontend::SourceFile invalid = valid.file;
+  invalid.content = mutated_content.value_or(valid.file.content);
+
+  const toolchain::CompilerDriver driver(toolchain::clang_persona());
+  const toolchain::Executor executor;
+  // Keep a transcript ring so we can print the conversations afterwards.
+  auto model = std::make_shared<const llm::SimulatedCoderModel>();
+  auto client = std::make_shared<llm::ModelClient>(model, 1,
+                                                   /*transcripts=*/16);
+
+  for (const frontend::SourceFile* file : {&valid.file,
+                                           const_cast<const frontend::SourceFile*>(&invalid)}) {
+    const bool is_valid = file == &valid.file;
+    std::printf("=== %s file: %s ===\n",
+                is_valid ? "VALID" : "MUTATED (undeclared variable)",
+                file->name.c_str());
+    const auto compiled = driver.compile(*file);
+    const auto ran = executor.run(compiled.module);
+    std::printf("tools: compiler rc=%d, program rc=%d\n",
+                compiled.return_code, ran.ran ? ran.return_code : -1);
+    for (const auto style :
+         {llm::PromptStyle::kDirectAnalysis, llm::PromptStyle::kAgentDirect,
+          llm::PromptStyle::kAgentIndirect}) {
+      const judge::Llmj llmj(client, style);
+      const auto decision =
+          style == llm::PromptStyle::kDirectAnalysis
+              ? llmj.evaluate(*file)
+              : llmj.evaluate(*file, &compiled, &ran);
+      std::printf("  %-16s -> %-9s (%zu prompt + %zu completion tokens, "
+                  "%.1f s simulated)\n",
+                  llmj.name(), judge::verdict_name(decision.verdict),
+                  decision.completion.prompt_tokens,
+                  decision.completion.completion_tokens,
+                  decision.completion.latency_seconds);
+    }
+    std::printf("\n");
+  }
+
+  // Show one full conversation: the last agent-indirect exchange.
+  const auto transcripts = client->transcripts();
+  if (!transcripts.empty()) {
+    const auto& last = transcripts.back();
+    std::printf("--- last prompt (first 18 lines) ---\n");
+    const auto lines = support::split_lines(last.prompt);
+    for (std::size_t i = 0; i < lines.size() && i < 18; ++i) {
+      std::printf("| %s\n", lines[i].c_str());
+    }
+    std::printf("--- completion ---\n%s\n", last.completion.text.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Negative-probing tour: applies each of the paper's five mutation classes
+// to one generated test and shows how every layer of the system reacts —
+// the diff-like mutated region, the compiler persona's diagnostics, the
+// execution outcome, and the agent judge's verdict.
+//
+// Build & run:  ./build/examples/negative_probing_tour
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace llm4vv;
+
+/// Prints the first lines where the two sources differ.
+void show_difference(const std::string& before, const std::string& after) {
+  const auto a = support::split_lines(before);
+  const auto b = support::split_lines(after);
+  const std::size_t n = std::max(a.size(), b.size());
+  int shown = 0;
+  for (std::size_t i = 0; i < n && shown < 4; ++i) {
+    const std::string old_line = i < a.size() ? a[i] : "<eof>";
+    const std::string new_line = i < b.size() ? b[i] : "<eof>";
+    if (old_line == new_line) continue;
+    std::printf("    line %3zu  - %s\n", i + 1, old_line.c_str());
+    std::printf("             + %s\n", new_line.c_str());
+    ++shown;
+  }
+  if (shown == 0) std::printf("    (content replaced entirely)\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace llm4vv;
+
+  const auto base = corpus::generate_one("saxpy_offload",
+                                         frontend::Flavor::kOpenACC,
+                                         frontend::Language::kC, 42);
+  std::printf("base test: %s (%zu bytes) -- a valid saxpy offload test\n\n",
+              base.file.name.c_str(), base.file.content.size());
+
+  toolchain::CompilerConfig persona = toolchain::nvc_persona();
+  persona.strictness_reject_rate = 0.0;  // keep the tour deterministic
+  const toolchain::CompilerDriver driver(persona);
+  const toolchain::Executor executor;
+  auto client = core::make_simulated_client(1);
+  const judge::Llmj agent_judge(client, llm::PromptStyle::kAgentDirect);
+
+  support::Rng rng(99);
+  for (int id = 0; id <= 5; ++id) {
+    const auto issue = static_cast<probing::IssueType>(id);
+    std::printf("== issue %d: %s ==\n", id,
+                probing::issue_row_label(issue, base.file.flavor).c_str());
+    const auto mutated = probing::apply_mutation(
+        base.file.content, base.file.language, issue, {}, rng);
+    if (!mutated) {
+      std::printf("    (mutation not applicable to this file)\n\n");
+      continue;
+    }
+    show_difference(base.file.content, *mutated);
+
+    frontend::SourceFile file = base.file;
+    file.content = *mutated;
+    const auto compiled = driver.compile(file);
+    if (!compiled.success) {
+      const auto lines = support::split_lines(compiled.stderr_text);
+      std::printf("  compile: FAILED (rc=%d) %s\n", compiled.return_code,
+                  lines.empty() ? "" : lines.front().c_str());
+    } else {
+      std::printf("  compile: ok\n");
+    }
+    const auto ran = executor.run(compiled.module);
+    if (ran.ran) {
+      std::printf("  execute: rc=%d%s%s\n", ran.return_code,
+                  ran.trap != vm::TrapKind::kNone ? " trap=" : "",
+                  ran.trap != vm::TrapKind::kNone
+                      ? vm::trap_kind_name(ran.trap)
+                      : "");
+    } else {
+      std::printf("  execute: skipped (no binary)\n");
+    }
+    const auto decision = agent_judge.evaluate(file, &compiled, &ran);
+    std::printf("  LLMJ 1:  %s\n\n", verdict_name(decision.verdict));
+  }
+  return 0;
+}

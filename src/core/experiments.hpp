@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "llm/client.hpp"
+#include "metrics/metrics.hpp"
+#include "pipeline/validation_pipeline.hpp"
+#include "probing/prober.hpp"
+
+namespace llm4vv::core {
+
+/// Shared experiment options. Defaults reproduce the paper's setup; seeds
+/// can be changed to re-roll every stochastic component.
+struct ExperimentOptions {
+  std::uint64_t corpus_seed = 0xC0FFEE11ULL;
+  std::uint64_t probe_seed_offset = 0;  ///< mixed into the probing seed
+  std::uint64_t judge_seed = 0;         ///< mixed into the model draw
+  /// Worker counts for Part Two's pipeline run.
+  std::size_t compile_workers = 2;
+  std::size_t execute_workers = 2;
+  std::size_t judge_workers = 2;
+};
+
+/// Part One (Tables I-III): the *non-agent* LLMJ judges every probed file
+/// from the direct-analysis prompt alone.
+struct PartOneOutcome {
+  probing::ProbedSuite suite;
+  std::vector<metrics::JudgmentRecord> judgments;
+  metrics::EvalReport report;
+  llm::ClientStats llm_stats;
+};
+
+PartOneOutcome run_part_one(frontend::Flavor flavor,
+                            const ExperimentOptions& options = {});
+
+/// Part Two (Tables IV-IX): every file is compiled, executed, and judged by
+/// both agent-based LLMJs with nothing filtered (the paper's record-all
+/// protocol); pipeline verdicts are derived retroactively.
+struct PartTwoOutcome {
+  probing::ProbedSuite suite;
+  /// Judgments per method, aligned with suite.files.
+  std::vector<metrics::JudgmentRecord> llmj1, llmj2, pipeline1, pipeline2;
+  metrics::EvalReport llmj1_report, llmj2_report;
+  metrics::EvalReport pipeline1_report, pipeline2_report;
+  /// Stage statistics from the LLMJ-1 pipeline pass.
+  pipeline::PipelineResult pipeline_run1, pipeline_run2;
+  llm::ClientStats llm_stats;
+};
+
+PartTwoOutcome run_part_two(frontend::Flavor flavor,
+                            const ExperimentOptions& options = {});
+
+/// The corpus/probing configurations the two experiments use (exposed so
+/// benches and tests can build matching suites directly).
+probing::ProbedSuite build_part_one_suite(frontend::Flavor flavor,
+                                          const ExperimentOptions& options);
+probing::ProbedSuite build_part_two_suite(frontend::Flavor flavor,
+                                          const ExperimentOptions& options);
+
+/// Fresh simulated-judge client (one A100-node replica per judge worker).
+std::shared_ptr<llm::ModelClient> make_simulated_client(
+    std::size_t max_concurrency = 4);
+
+}  // namespace llm4vv::core

@@ -1,0 +1,85 @@
+#include "core/export.hpp"
+
+#include "support/csv.hpp"
+#include "support/jsonl.hpp"
+
+namespace llm4vv::core {
+
+std::string export_part_two_csv(const PartTwoOutcome& outcome) {
+  support::CsvWriter csv({"file", "language", "issue_id", "issue",
+                          "truth_valid", "compiled", "compile_rc",
+                          "executed", "exec_rc", "llmj1_valid",
+                          "llmj2_valid", "pipeline1_valid",
+                          "pipeline2_valid"});
+  for (std::size_t i = 0; i < outcome.suite.files.size(); ++i) {
+    const auto& probed = outcome.suite.files[i];
+    const auto& r1 = outcome.pipeline_run1.records[i];
+    const auto& r2 = outcome.pipeline_run2.records[i];
+    csv.add_row({
+        probed.file.name,
+        frontend::language_name(probed.file.language),
+        std::to_string(static_cast<int>(probed.issue)),
+        probing::issue_name(probed.issue),
+        probed.ground_truth_valid() ? "1" : "0",
+        r1.compiled ? "1" : "0",
+        std::to_string(r1.compile_rc),
+        r1.executed ? "1" : "0",
+        std::to_string(r1.exec_rc),
+        r1.judge_says_valid ? "1" : "0",
+        r2.judge_says_valid ? "1" : "0",
+        r1.pipeline_says_valid ? "1" : "0",
+        r2.pipeline_says_valid ? "1" : "0",
+    });
+  }
+  return csv.str();
+}
+
+std::string export_part_two_jsonl(const PartTwoOutcome& outcome) {
+  std::string out;
+  for (std::size_t i = 0; i < outcome.suite.files.size(); ++i) {
+    const auto& probed = outcome.suite.files[i];
+    const auto& r1 = outcome.pipeline_run1.records[i];
+    const auto& r2 = outcome.pipeline_run2.records[i];
+    support::JsonObject obj;
+    obj.field("file", probed.file.name)
+        .field("language",
+               std::string(frontend::language_name(probed.file.language)))
+        .field("issue_id",
+               static_cast<std::int64_t>(static_cast<int>(probed.issue)))
+        .field("issue", std::string(probing::issue_name(probed.issue)))
+        .field("truth_valid", probed.ground_truth_valid())
+        .field("compiled", r1.compiled)
+        .field("compile_rc", static_cast<std::int64_t>(r1.compile_rc))
+        .field("executed", r1.executed)
+        .field("exec_rc", static_cast<std::int64_t>(r1.exec_rc))
+        .field("llmj1_valid", r1.judge_says_valid)
+        .field("llmj2_valid", r2.judge_says_valid)
+        .field("pipeline1_valid", r1.pipeline_says_valid)
+        .field("pipeline2_valid", r2.pipeline_says_valid)
+        .field("judge_gpu_seconds",
+               r1.judge_gpu_seconds + r2.judge_gpu_seconds);
+    out += obj.str();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string export_part_one_csv(const PartOneOutcome& outcome) {
+  support::CsvWriter csv(
+      {"file", "language", "issue_id", "issue", "truth_valid",
+       "judge_valid"});
+  for (std::size_t i = 0; i < outcome.suite.files.size(); ++i) {
+    const auto& probed = outcome.suite.files[i];
+    csv.add_row({
+        probed.file.name,
+        frontend::language_name(probed.file.language),
+        std::to_string(static_cast<int>(probed.issue)),
+        probing::issue_name(probed.issue),
+        probed.ground_truth_valid() ? "1" : "0",
+        outcome.judgments[i].says_valid ? "1" : "0",
+    });
+  }
+  return csv.str();
+}
+
+}  // namespace llm4vv::core

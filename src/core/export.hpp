@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "core/experiments.hpp"
+
+namespace llm4vv::core {
+
+/// Serialize a Part Two run to CSV: one row per file with its issue label,
+/// ground truth, per-stage outcomes, and all four method verdicts — the
+/// artifact you need to re-analyze an experiment offline (confusion slices,
+/// per-template breakdowns) without re-running the judges.
+std::string export_part_two_csv(const PartTwoOutcome& outcome);
+
+/// The same records as JSON Lines (one object per file), for tooling that
+/// prefers jq/pandas over CSV.
+std::string export_part_two_jsonl(const PartTwoOutcome& outcome);
+
+/// Serialize a Part One run (issue label, ground truth, judge verdict).
+std::string export_part_one_csv(const PartOneOutcome& outcome);
+
+}  // namespace llm4vv::core

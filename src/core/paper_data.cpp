@@ -1,0 +1,111 @@
+#include "core/paper_data.hpp"
+
+namespace llm4vv::core {
+
+namespace {
+
+using frontend::Flavor;
+
+// Table I: LLMJ Negative Probing Results for OpenACC.
+const PaperIssueTable kTable1 = {{
+    {203, 0.15}, {125, 0.12}, {108, 0.15}, {117, 0.80}, {114, 0.12},
+    {668, 0.88},
+}};
+
+// Table II: LLMJ Negative Probing Results for OpenMP.
+const PaperIssueTable kTable2 = {{
+    {59, 0.47}, {39, 0.74}, {33, 0.64}, {51, 0.04}, {33, 0.33}, {216, 0.39},
+}};
+
+// Table III: LLMJ Overall Negative Probing Results.
+const PaperOverall kTable3Acc = {1335, 579, 0.5663, 0.717};
+const PaperOverall kTable3Omp = {431, 256, 0.4060, -0.031};
+
+// Table IV: Validation Pipeline Results for OpenACC (Pipelines 1 and 2).
+const PaperIssueTable kTable4P1 = {{
+    {272, 0.92}, {146, 1.00}, {151, 1.00}, {146, 1.00}, {176, 0.22},
+    {891, 0.79},
+}};
+const PaperIssueTable kTable4P2 = {{
+    {272, 0.92}, {146, 1.00}, {151, 1.00}, {146, 1.00}, {176, 0.30},
+    {891, 0.70},
+}};
+
+// Table V: Validation Pipeline Results for OpenMP.
+const PaperIssueTable kTable5P1 = {{
+    {49, 0.96}, {28, 1.00}, {26, 1.00}, {20, 0.70}, {25, 0.92}, {148, 0.92},
+}};
+const PaperIssueTable kTable5P2 = {{
+    {49, 0.94}, {28, 1.00}, {26, 1.00}, {20, 0.85}, {25, 0.92}, {148, 0.93},
+}};
+
+// Table VI: Overall Validation Pipeline Results.
+const PaperOverall kTable6AccP1 = {1782, 347, 0.8053, -0.078};
+const PaperOverall kTable6AccP2 = {1782, 408, 0.7710, -0.294};
+const PaperOverall kTable6OmpP1 = {296, 22, 0.9257, -0.091};
+const PaperOverall kTable6OmpP2 = {296, 18, 0.9392, -0.111};
+
+// Table VII: Agent-Based LLMJ Results for OpenACC (LLMJ 1 and LLMJ 2).
+const PaperIssueTable kTable7L1 = {{
+    {272, 0.67}, {146, 0.76}, {151, 0.85}, {146, 0.97}, {176, 0.15},
+    {891, 0.92},
+}};
+const PaperIssueTable kTable7L2 = {{
+    {272, 0.82}, {146, 0.55}, {151, 0.83}, {146, 1.00}, {176, 0.27},
+    {891, 0.79},
+}};
+
+// Table VIII: Agent-Based LLMJ Results for OpenMP.
+const PaperIssueTable kTable8L1 = {{
+    {49, 0.47}, {28, 0.57}, {26, 0.69}, {20, 0.65}, {25, 0.72}, {148, 0.93},
+}};
+const PaperIssueTable kTable8L2 = {{
+    {49, 0.45}, {28, 0.46}, {26, 0.58}, {20, 0.85}, {25, 0.48}, {148, 0.96},
+}};
+
+// Table IX: Overall Agent-Based LLMJ Results.
+const PaperOverall kTable9AccL1 = {1782, 374, 0.7901, 0.615};
+const PaperOverall kTable9AccL2 = {1782, 457, 0.7435, 0.168};
+const PaperOverall kTable9OmpL1 = {296, 71, 0.7601, 0.690};
+const PaperOverall kTable9OmpL2 = {296, 75, 0.7466, 0.840};
+
+}  // namespace
+
+const PaperIssueTable& table1_llmj_acc() { return kTable1; }
+const PaperIssueTable& table2_llmj_omp() { return kTable2; }
+
+const PaperOverall& table3_overall(Flavor flavor) {
+  return flavor == Flavor::kOpenACC ? kTable3Acc : kTable3Omp;
+}
+
+const PaperIssueTable& table4_pipeline_acc(int pipeline) {
+  return pipeline == 1 ? kTable4P1 : kTable4P2;
+}
+
+const PaperIssueTable& table5_pipeline_omp(int pipeline) {
+  return pipeline == 1 ? kTable5P1 : kTable5P2;
+}
+
+const PaperOverall& table6_overall(Flavor flavor, int pipeline) {
+  if (flavor == Flavor::kOpenACC) {
+    return pipeline == 1 ? kTable6AccP1 : kTable6AccP2;
+  }
+  return pipeline == 1 ? kTable6OmpP1 : kTable6OmpP2;
+}
+
+const PaperIssueTable& table7_agent_acc(int llmj) {
+  return llmj == 1 ? kTable7L1 : kTable7L2;
+}
+
+const PaperIssueTable& table8_agent_omp(int llmj) {
+  return llmj == 1 ? kTable8L1 : kTable8L2;
+}
+
+const PaperOverall& table9_overall(Flavor flavor, int llmj) {
+  if (flavor == Flavor::kOpenACC) {
+    return llmj == 1 ? kTable9AccL1 : kTable9AccL2;
+  }
+  return llmj == 1 ? kTable9OmpL1 : kTable9OmpL2;
+}
+
+}  // namespace llm4vv::core

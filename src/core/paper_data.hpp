@@ -1,0 +1,45 @@
+#pragma once
+
+#include <array>
+
+#include "frontend/source.hpp"
+
+namespace llm4vv::core {
+
+/// Reference numbers transcribed from the paper, used by the bench binaries
+/// to print paper-vs-measured tables and by the calibration tests to pin
+/// the reproduction.
+struct PaperIssueRow {
+  int count;            ///< "Total Count" column
+  double accuracy;      ///< fraction, e.g. 0.15 for "15%"
+};
+
+/// Per-issue reference block: rows indexed by issue id 0-5.
+using PaperIssueTable = std::array<PaperIssueRow, 6>;
+
+/// Overall-metrics reference block (Tables III / VI / IX).
+struct PaperOverall {
+  int total_count;
+  int total_mistakes;
+  double overall_accuracy;  ///< fraction
+  double bias;
+};
+
+// Part One: non-agent LLMJ under negative probing.
+const PaperIssueTable& table1_llmj_acc();     ///< Table I
+const PaperIssueTable& table2_llmj_omp();     ///< Table II
+const PaperOverall& table3_overall(frontend::Flavor flavor);  ///< Table III
+
+// Part Two: validation pipeline.
+const PaperIssueTable& table4_pipeline_acc(int pipeline);  ///< Table IV, 1|2
+const PaperIssueTable& table5_pipeline_omp(int pipeline);  ///< Table V, 1|2
+const PaperOverall& table6_overall(frontend::Flavor flavor,
+                                   int pipeline);          ///< Table VI
+
+// Part Two: agent-based LLMJs.
+const PaperIssueTable& table7_agent_acc(int llmj);  ///< Table VII, 1|2
+const PaperIssueTable& table8_agent_omp(int llmj);  ///< Table VIII, 1|2
+const PaperOverall& table9_overall(frontend::Flavor flavor,
+                                   int llmj);       ///< Table IX
+
+}  // namespace llm4vv::core

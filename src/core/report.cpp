@@ -1,0 +1,110 @@
+#include "core/report.hpp"
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace llm4vv::core {
+
+namespace {
+
+using support::format_fixed;
+using support::format_percent;
+
+}  // namespace
+
+std::string render_issue_table(const std::string& title,
+                               frontend::Flavor flavor,
+                               const PaperIssueTable& paper,
+                               const metrics::EvalReport& measured) {
+  support::TextTable table({"Issue Type", "Count", "Correct", "Incorrect",
+                            "Paper Acc", "Measured Acc"});
+  for (std::size_t id = 0; id < 6; ++id) {
+    const auto& row = measured.per_issue[id];
+    table.add_row({
+        probing::issue_row_label(static_cast<probing::IssueType>(id),
+                                 flavor),
+        std::to_string(row.count),
+        std::to_string(row.correct),
+        std::to_string(row.incorrect),
+        format_percent(paper[id].accuracy),
+        format_percent(row.accuracy()),
+    });
+  }
+  return support::banner(title) + table.render();
+}
+
+std::string render_issue_table2(const std::string& title,
+                                frontend::Flavor flavor,
+                                const std::string& name_a,
+                                const PaperIssueTable& paper_a,
+                                const metrics::EvalReport& measured_a,
+                                const std::string& name_b,
+                                const PaperIssueTable& paper_b,
+                                const metrics::EvalReport& measured_b) {
+  support::TextTable table({"Issue Type", "Count",
+                            name_a + " Paper", name_a + " Measured",
+                            name_b + " Paper", name_b + " Measured"});
+  for (std::size_t id = 0; id < 6; ++id) {
+    table.add_row({
+        probing::issue_row_label(static_cast<probing::IssueType>(id),
+                                 flavor),
+        std::to_string(measured_a.per_issue[id].count),
+        format_percent(paper_a[id].accuracy),
+        format_percent(measured_a.per_issue[id].accuracy()),
+        format_percent(paper_b[id].accuracy),
+        format_percent(measured_b.per_issue[id].accuracy()),
+    });
+  }
+  return support::banner(title) + table.render();
+}
+
+std::string render_overall_table(const std::string& title,
+                                 const std::string& name,
+                                 const PaperOverall& paper,
+                                 const metrics::EvalReport& measured) {
+  support::TextTable table({"Datapoint", "Paper", "Measured"});
+  table.add_row({"Total Count", std::to_string(paper.total_count),
+                 std::to_string(measured.total_count)});
+  table.add_row({"Total " + name + " Mistakes",
+                 std::to_string(paper.total_mistakes),
+                 std::to_string(measured.total_mistakes)});
+  table.add_row({"Overall " + name + " Accuracy",
+                 format_fixed(paper.overall_accuracy * 100.0, 2) + "%",
+                 format_fixed(measured.overall_accuracy * 100.0, 2) + "%"});
+  table.add_row({name + " Bias", format_fixed(paper.bias, 3),
+                 format_fixed(measured.bias, 3)});
+  return support::banner(title) + table.render();
+}
+
+std::string render_overall_table2(const std::string& title,
+                                  const std::string& name_a,
+                                  const PaperOverall& paper_a,
+                                  const metrics::EvalReport& measured_a,
+                                  const std::string& name_b,
+                                  const PaperOverall& paper_b,
+                                  const metrics::EvalReport& measured_b) {
+  support::TextTable table({"Datapoint", "Paper", "Measured"});
+  table.add_row({"Total Count", std::to_string(paper_a.total_count),
+                 std::to_string(measured_a.total_count)});
+  table.add_row({"Total " + name_a + " Mistakes",
+                 std::to_string(paper_a.total_mistakes),
+                 std::to_string(measured_a.total_mistakes)});
+  table.add_row({"Total " + name_b + " Mistakes",
+                 std::to_string(paper_b.total_mistakes),
+                 std::to_string(measured_b.total_mistakes)});
+  table.add_row({"Overall " + name_a + " Accuracy",
+                 format_fixed(paper_a.overall_accuracy * 100.0, 2) + "%",
+                 format_fixed(measured_a.overall_accuracy * 100.0, 2) +
+                     "%"});
+  table.add_row({"Overall " + name_b + " Accuracy",
+                 format_fixed(paper_b.overall_accuracy * 100.0, 2) + "%",
+                 format_fixed(measured_b.overall_accuracy * 100.0, 2) +
+                     "%"});
+  table.add_row({name_a + " Bias", format_fixed(paper_a.bias, 3),
+                 format_fixed(measured_a.bias, 3)});
+  table.add_row({name_b + " Bias", format_fixed(paper_b.bias, 3),
+                 format_fixed(measured_b.bias, 3)});
+  return support::banner(title) + table.render();
+}
+
+}  // namespace llm4vv::core

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "core/paper_data.hpp"
+#include "metrics/metrics.hpp"
+
+namespace llm4vv::core {
+
+/// Render a per-issue table in the paper's layout with paper-reference and
+/// measured columns side by side (one measured method).
+std::string render_issue_table(const std::string& title,
+                               frontend::Flavor flavor,
+                               const PaperIssueTable& paper,
+                               const metrics::EvalReport& measured);
+
+/// Render a per-issue table comparing two measured methods against their
+/// paper references (the two-pipeline / two-LLMJ table shape).
+std::string render_issue_table2(const std::string& title,
+                                frontend::Flavor flavor,
+                                const std::string& name_a,
+                                const PaperIssueTable& paper_a,
+                                const metrics::EvalReport& measured_a,
+                                const std::string& name_b,
+                                const PaperIssueTable& paper_b,
+                                const metrics::EvalReport& measured_b);
+
+/// Render an overall-metrics table (Tables III/VI/IX shape) for one or two
+/// methods.
+std::string render_overall_table(const std::string& title,
+                                 const std::string& name,
+                                 const PaperOverall& paper,
+                                 const metrics::EvalReport& measured);
+
+std::string render_overall_table2(const std::string& title,
+                                  const std::string& name_a,
+                                  const PaperOverall& paper_a,
+                                  const metrics::EvalReport& measured_a,
+                                  const std::string& name_b,
+                                  const PaperOverall& paper_b,
+                                  const metrics::EvalReport& measured_b);
+
+}  // namespace llm4vv::core

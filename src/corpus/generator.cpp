@@ -1,0 +1,106 @@
+#include "corpus/generator.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "corpus/templates.hpp"
+
+namespace llm4vv::corpus {
+
+namespace {
+
+using frontend::Flavor;
+using frontend::Language;
+
+bool template_applies(const TestTemplate& tpl, Flavor flavor,
+                      int max_version) {
+  if (flavor == Flavor::kOpenACC) return tpl.supports_acc;
+  return tpl.supports_omp && tpl.min_version_omp <= max_version;
+}
+
+std::string make_name(Flavor flavor, const std::string& template_name,
+                      std::size_t index, Language language) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s_%s_%04zu%s",
+                flavor == Flavor::kOpenACC ? "acc" : "omp",
+                template_name.c_str(), index,
+                frontend::language_extension(language));
+  return buf;
+}
+
+}  // namespace
+
+Suite generate_suite(const GeneratorConfig& config) {
+  Suite suite;
+  suite.flavor = config.flavor;
+  support::Rng rng(config.seed);
+
+  std::vector<const TestTemplate*> applicable;
+  for (const auto& tpl : test_templates()) {
+    if (template_applies(tpl, config.flavor, config.max_version)) {
+      applicable.push_back(&tpl);
+    }
+  }
+  if (applicable.empty()) {
+    throw std::invalid_argument("generate_suite: no applicable templates");
+  }
+
+  suite.cases.reserve(config.count);
+  for (std::size_t i = 0; i < config.count; ++i) {
+    const TestTemplate* tpl =
+        applicable[static_cast<std::size_t>(rng.next_below(
+            applicable.size()))];
+
+    Language language = Language::kC;
+    if (config.flavor == Flavor::kOpenACC && tpl->supports_fortran &&
+        rng.chance(config.fortran_share)) {
+      language = Language::kFortran;
+    } else if (rng.chance(config.cpp_share)) {
+      language = Language::kCpp;
+    }
+
+    support::Rng case_rng = rng.fork();
+    TemplateContext ctx{case_rng, language, config.flavor};
+    TestCase test;
+    test.file.name = make_name(config.flavor, tpl->name, i, language);
+    test.file.language = language;
+    test.file.flavor = config.flavor;
+    test.file.content = tpl->generate(ctx);
+    test.template_name = tpl->name;
+    test.min_version =
+        config.flavor == Flavor::kOpenMP ? tpl->min_version_omp : 0;
+    suite.cases.push_back(std::move(test));
+  }
+  return suite;
+}
+
+TestCase generate_one(const std::string& template_name, Flavor flavor,
+                      Language language, std::uint64_t seed) {
+  for (const auto& tpl : test_templates()) {
+    if (template_name != tpl.name) continue;
+    support::Rng rng(seed);
+    TemplateContext ctx{rng, language, flavor};
+    TestCase test;
+    test.file.name = make_name(flavor, tpl.name, 0, language);
+    test.file.language = language;
+    test.file.flavor = flavor;
+    test.file.content = tpl.generate(ctx);
+    test.template_name = tpl.name;
+    test.min_version = flavor == Flavor::kOpenMP ? tpl.min_version_omp : 0;
+    return test;
+  }
+  throw std::invalid_argument("generate_one: unknown template '" +
+                              template_name + "'");
+}
+
+std::vector<std::string> template_names(Flavor flavor, int max_version) {
+  std::vector<std::string> names;
+  for (const auto& tpl : test_templates()) {
+    if (template_applies(tpl, flavor, max_version)) {
+      names.emplace_back(tpl.name);
+    }
+  }
+  return names;
+}
+
+}  // namespace llm4vv::corpus

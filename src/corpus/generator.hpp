@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "corpus/testcase.hpp"
+#include "support/rng.hpp"
+
+namespace llm4vv::corpus {
+
+/// Configuration for suite generation. Defaults mirror the paper's Part Two
+/// setup (C/C++ only, OpenMP capped at 4.5 "to ensure that the LLVM OpenMP
+/// offloading compiler would be fully-compliant").
+struct GeneratorConfig {
+  frontend::Flavor flavor = frontend::Flavor::kOpenACC;
+  std::size_t count = 100;
+  std::uint64_t seed = 0x114a4aULL;  // "llm4vv"-ish; overridden by callers
+  /// Templates requiring a newer spec version than this are excluded.
+  int max_version = 45;
+  /// Fraction of files emitted as .cpp translation units.
+  double cpp_share = 0.35;
+  /// Fraction of files emitted in Fortran (OpenACC only; the paper's Part
+  /// One OpenACC suite had "a small set of Fortran files").
+  double fortran_share = 0.0;
+};
+
+/// Deterministically generate a suite of *valid* V&V tests: same config ->
+/// byte-identical suite. Every generated file compiles cleanly under the
+/// matching toolchain persona and exits 0 in the VM (pinned by tests).
+Suite generate_suite(const GeneratorConfig& config);
+
+/// Generate one valid test from a specific template (used by examples and
+/// focused tests). Throws std::invalid_argument for unknown names.
+TestCase generate_one(const std::string& template_name,
+                      frontend::Flavor flavor, frontend::Language language,
+                      std::uint64_t seed);
+
+/// Names of all templates applicable to a flavor at a version cap.
+std::vector<std::string> template_names(frontend::Flavor flavor,
+                                        int max_version);
+
+}  // namespace llm4vv::corpus

@@ -1,0 +1,162 @@
+#include "corpus/templates.hpp"
+
+namespace llm4vv::corpus {
+
+namespace {
+
+using support::Rng;
+
+std::string plain_series_sum(Rng& rng) {
+  const long n = rng.next_in(50, 400);
+  const long k = rng.next_in(2, 9);
+  std::string s;
+  s += "// Computes a weighted series sum iteratively.\n";
+  s += "#include <stdio.h>\n\n";
+  s += "int main() {\n";
+  s += "  long total = 0;\n";
+  s += "  for (int i = 1; i <= " + std::to_string(n) + "; i++) {\n";
+  s += "    total = total + i * " + std::to_string(k) + ";\n";
+  s += "  }\n";
+  s += "  printf(\"series total: %ld\\n\", total);\n";
+  s += "  return 0;\n";
+  s += "}\n";
+  return s;
+}
+
+std::string plain_fibonacci(Rng& rng) {
+  const long n = rng.next_in(10, 40);
+  std::string s;
+  s += "// Iterative Fibonacci sequence up to a fixed index.\n";
+  s += "#include <stdio.h>\n\n";
+  s += "int main() {\n";
+  s += "  long a = 0;\n";
+  s += "  long b = 1;\n";
+  s += "  for (int i = 0; i < " + std::to_string(n) + "; i++) {\n";
+  s += "    long next = a + b;\n";
+  s += "    a = b;\n";
+  s += "    b = next;\n";
+  s += "  }\n";
+  s += "  printf(\"fib: %ld\\n\", a);\n";
+  s += "  return 0;\n";
+  s += "}\n";
+  return s;
+}
+
+std::string plain_prime_count(Rng& rng) {
+  const long n = rng.next_in(80, 300);
+  std::string s;
+  s += "// Counts primes below a bound by trial division.\n";
+  s += "#include <stdio.h>\n\n";
+  s += "int is_prime(long x) {\n";
+  s += "  if (x < 2) {\n";
+  s += "    return 0;\n";
+  s += "  }\n";
+  s += "  for (long d = 2; d * d <= x; d++) {\n";
+  s += "    if (x % d == 0) {\n";
+  s += "      return 0;\n";
+  s += "    }\n";
+  s += "  }\n";
+  s += "  return 1;\n";
+  s += "}\n\n";
+  s += "int main() {\n";
+  s += "  int count = 0;\n";
+  s += "  for (long x = 2; x < " + std::to_string(n) + "; x++) {\n";
+  s += "    if (is_prime(x)) {\n";
+  s += "      count++;\n";
+  s += "    }\n";
+  s += "  }\n";
+  s += "  printf(\"primes below %d: %d\\n\", " + std::to_string(n) +
+       ", count);\n";
+  s += "  return 0;\n";
+  s += "}\n";
+  return s;
+}
+
+std::string plain_array_reverse(Rng& rng) {
+  const long n = rng.next_in(32, 128);
+  std::string s;
+  s += "// Reverses an array in place and verifies the result.\n";
+  s += "#include <stdio.h>\n";
+  s += "#include <stdlib.h>\n\n";
+  s += "int main() {\n";
+  s += "  int n = " + std::to_string(n) + ";\n";
+  s += "  long *v = (long *)malloc(n * sizeof(long));\n";
+  s += "  for (int i = 0; i < n; i++) {\n";
+  s += "    v[i] = i * 2 + 1;\n";
+  s += "  }\n";
+  s += "  for (int i = 0; i < n / 2; i++) {\n";
+  s += "    long tmp = v[i];\n";
+  s += "    v[i] = v[n - 1 - i];\n";
+  s += "    v[n - 1 - i] = tmp;\n";
+  s += "  }\n";
+  s += "  int bad = 0;\n";
+  s += "  for (int i = 0; i < n; i++) {\n";
+  s += "    if (v[i] != (n - 1 - i) * 2 + 1) {\n";
+  s += "      bad++;\n";
+  s += "    }\n";
+  s += "  }\n";
+  s += "  printf(\"reverse check: %d mismatches\\n\", bad);\n";
+  s += "  free(v);\n";
+  s += "  return 0;\n";
+  s += "}\n";
+  return s;
+}
+
+std::string plain_gcd_table(Rng& rng) {
+  const long n = rng.next_in(10, 30);
+  std::string s;
+  s += "// Sums pairwise greatest common divisors over a small grid.\n";
+  s += "#include <stdio.h>\n\n";
+  s += "long gcd(long a, long b) {\n";
+  s += "  while (b != 0) {\n";
+  s += "    long t = a % b;\n";
+  s += "    a = b;\n";
+  s += "    b = t;\n";
+  s += "  }\n";
+  s += "  return a;\n";
+  s += "}\n\n";
+  s += "int main() {\n";
+  s += "  long total = 0;\n";
+  s += "  for (long i = 1; i <= " + std::to_string(n) + "; i++) {\n";
+  s += "    for (long j = 1; j <= " + std::to_string(n) + "; j++) {\n";
+  s += "      total = total + gcd(i, j);\n";
+  s += "    }\n";
+  s += "  }\n";
+  s += "  printf(\"gcd grid total: %ld\\n\", total);\n";
+  s += "  return 0;\n";
+  s += "}\n";
+  return s;
+}
+
+std::string plain_running_average(Rng& rng) {
+  const long n = rng.next_in(64, 256);
+  std::string s;
+  s += "// Running average of a synthetic signal.\n";
+  s += "#include <stdio.h>\n";
+  s += "#include <math.h>\n\n";
+  s += "int main() {\n";
+  s += "  double mean = 0.0;\n";
+  s += "  for (int i = 1; i <= " + std::to_string(n) + "; i++) {\n";
+  s += "    double sample = (i % 23) * 0.5 + 1.0;\n";
+  s += "    mean = mean + (sample - mean) / i;\n";
+  s += "  }\n";
+  s += "  printf(\"running mean: %f\\n\", mean);\n";
+  s += "  return 0;\n";
+  s += "}\n";
+  return s;
+}
+
+}  // namespace
+
+std::string generate_plain_code(support::Rng& rng) {
+  switch (rng.next_below(6)) {
+    case 0: return plain_series_sum(rng);
+    case 1: return plain_fibonacci(rng);
+    case 2: return plain_prime_count(rng);
+    case 3: return plain_array_reverse(rng);
+    case 4: return plain_gcd_table(rng);
+    default: return plain_running_average(rng);
+  }
+}
+
+}  // namespace llm4vv::corpus

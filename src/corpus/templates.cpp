@@ -1,0 +1,1103 @@
+#include "corpus/templates.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "support/strings.hpp"
+
+namespace llm4vv::corpus {
+
+namespace {
+
+using frontend::Flavor;
+using frontend::Language;
+using support::Rng;
+
+/// Random parameters shared by most templates.
+struct Params {
+  int n = 128;
+  std::string k1, k2;  ///< numeric coefficient literals like "2.5"
+  std::string tol = "1e-10";
+};
+
+std::string lit(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+Params draw_params(Rng& rng) {
+  static const std::array<int, 5> sizes = {64, 96, 128, 192, 256};
+  Params p;
+  p.n = sizes[static_cast<std::size_t>(rng.next_below(sizes.size()))];
+  p.k1 = lit(0.25 * static_cast<double>(rng.next_in(2, 14)));
+  p.k2 = lit(0.25 * static_cast<double>(rng.next_in(1, 9)));
+  return p;
+}
+
+/// Standard file prologue: description comment, includes, problem size.
+std::string prologue(const TemplateContext& ctx, const Params& p,
+                     const std::string& description) {
+  std::string s;
+  s += "// " + description + "\n";
+  s += "// Generated V&V-style functional test for " +
+       std::string(frontend::flavor_name(ctx.flavor)) + ".\n";
+  s += "#include <stdio.h>\n";
+  s += "#include <stdlib.h>\n";
+  s += "#include <math.h>\n";
+  s += ctx.flavor == Flavor::kOpenACC ? "#include <openacc.h>\n"
+                                      : "#include <omp.h>\n";
+  s += "#define N " + std::to_string(p.n) + "\n\n";
+  return s;
+}
+
+/// Declaration + separate heap allocation for a list of double* arrays.
+/// Allocation statements are separate from the declarations on purpose:
+/// negative probing's issue 0 ("removed memory allocation") deletes one of
+/// these lines, which must leave a compilable file that fails at run time.
+std::string alloc_arrays(const std::vector<std::string>& names) {
+  std::string s;
+  for (const auto& name : names) {
+    s += "  double *" + name + ";\n";
+  }
+  for (const auto& name : names) {
+    s += "  " + name + " = (double *)malloc(N * sizeof(double));\n";
+  }
+  return s;
+}
+
+/// Optionally adds a defensive workspace buffer the test never reads
+/// (real V&V files carry this kind of slack). NULL-initialized so deleting
+/// its allocation is *silent* — the observable share of issue-0 misses.
+std::string maybe_scratch_alloc(Rng& rng) {
+  if (!rng.chance(0.5)) return "";
+  return "  double *workspace = NULL;\n"
+         "  workspace = (double *)malloc(N * sizeof(double));\n";
+}
+
+std::string maybe_scratch_free(const std::string& alloc_text) {
+  if (alloc_text.empty()) return "";
+  return "  free(workspace);\n";
+}
+
+std::string free_arrays(const std::vector<std::string>& names) {
+  std::string s;
+  for (const auto& name : names) {
+    s += "  free(" + name + ");\n";
+  }
+  return s;
+}
+
+/// The canonical check/report/exit epilogue of V&V tests.
+std::string check_epilogue() {
+  return
+      "  if (err != 0) {\n"
+      "    printf(\"Test FAILED with %d errors\\n\", err);\n"
+      "  } else {\n"
+      "    printf(\"Test PASSED\\n\");\n"
+      "  }\n";
+}
+
+// ---------------------------------------------------------------------------
+// Fortran bodies (OpenACC only; used when ctx.language == kFortran).
+// ---------------------------------------------------------------------------
+
+std::string fortran_saxpy(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  std::string s;
+  s += "! Combined parallel loop construct computing y = a*x + y\n";
+  s += "! Generated V&V-style functional test for OpenACC (Fortran).\n";
+  s += "program acc_saxpy_test\n";
+  s += "  implicit none\n";
+  s += "  integer, parameter :: n = " + std::to_string(p.n) + "\n";
+  s += "  integer :: i, errs\n";
+  s += "  real(8), allocatable :: x(:), y(:), expected(:)\n";
+  s += "  real(8) :: a\n";
+  s += "  allocate(x(n))\n";
+  s += "  allocate(y(n))\n";
+  s += "  allocate(expected(n))\n";
+  s += "  a = " + p.k1 + "\n";
+  s += "  errs = 0\n";
+  s += "  do i = 1, n\n";
+  s += "    x(i) = i * " + p.k2 + "\n";
+  s += "    y(i) = i * 0.5\n";
+  s += "    expected(i) = a * x(i) + y(i)\n";
+  s += "  end do\n";
+  s += "  !$acc parallel loop copyin(x(1:n)) copy(y(1:n))\n";
+  s += "  do i = 1, n\n";
+  s += "    y(i) = a * x(i) + y(i)\n";
+  s += "  end do\n";
+  s += "  do i = 1, n\n";
+  s += "    if (abs(y(i) - expected(i)) > 1e-10) then\n";
+  s += "      errs = errs + 1\n";
+  s += "    end if\n";
+  s += "  end do\n";
+  s += "  if (errs /= 0) then\n";
+  s += "    print *, 'Test FAILED with', errs, 'errors'\n";
+  s += "  else\n";
+  s += "    print *, 'Test PASSED'\n";
+  s += "  end if\n";
+  s += "  deallocate(x)\n";
+  s += "  deallocate(y)\n";
+  s += "  deallocate(expected)\n";
+  s += "  call exit(errs)\n";
+  s += "end program acc_saxpy_test\n";
+  return s;
+}
+
+std::string fortran_reduction(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  std::string s;
+  s += "! Gang-level sum reduction on the device, checked on the host\n";
+  s += "! Generated V&V-style functional test for OpenACC (Fortran).\n";
+  s += "program acc_reduction_test\n";
+  s += "  implicit none\n";
+  s += "  integer, parameter :: n = " + std::to_string(p.n) + "\n";
+  s += "  integer :: i, errs\n";
+  s += "  real(8), allocatable :: a(:)\n";
+  s += "  real(8) :: total, expected\n";
+  s += "  allocate(a(n))\n";
+  s += "  errs = 0\n";
+  s += "  expected = 0.0\n";
+  s += "  do i = 1, n\n";
+  s += "    a(i) = i * " + p.k1 + "\n";
+  s += "    expected = expected + a(i)\n";
+  s += "  end do\n";
+  s += "  total = 0.0\n";
+  s += "  !$acc parallel loop reduction(+:total) copyin(a(1:n))\n";
+  s += "  do i = 1, n\n";
+  s += "    total = total + a(i)\n";
+  s += "  end do\n";
+  s += "  if (abs(total - expected) > 1e-6) then\n";
+  s += "    errs = errs + 1\n";
+  s += "  end if\n";
+  s += "  if (errs /= 0) then\n";
+  s += "    print *, 'Test FAILED'\n";
+  s += "  else\n";
+  s += "    print *, 'Test PASSED'\n";
+  s += "  end if\n";
+  s += "  deallocate(a)\n";
+  s += "  call exit(errs)\n";
+  s += "end program acc_reduction_test\n";
+  return s;
+}
+
+std::string fortran_dot_product(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  std::string s;
+  s += "! Dot product via reduction with two input vectors\n";
+  s += "! Generated V&V-style functional test for OpenACC (Fortran).\n";
+  s += "program acc_dot_test\n";
+  s += "  implicit none\n";
+  s += "  integer, parameter :: n = " + std::to_string(p.n) + "\n";
+  s += "  integer :: i, errs\n";
+  s += "  real(8), allocatable :: x(:), y(:)\n";
+  s += "  real(8) :: dot, expected\n";
+  s += "  allocate(x(n))\n";
+  s += "  allocate(y(n))\n";
+  s += "  errs = 0\n";
+  s += "  dot = 0.0\n";
+  s += "  expected = 0.0\n";
+  s += "  do i = 1, n\n";
+  s += "    x(i) = mod(i, 11) * " + p.k1 + "\n";
+  s += "    y(i) = mod(i, 7) * " + p.k2 + "\n";
+  s += "    expected = expected + x(i) * y(i)\n";
+  s += "  end do\n";
+  s += "  !$acc parallel loop reduction(+:dot) copyin(x(1:n), y(1:n))\n";
+  s += "  do i = 1, n\n";
+  s += "    dot = dot + x(i) * y(i)\n";
+  s += "  end do\n";
+  s += "  if (abs(dot - expected) > 1e-6) then\n";
+  s += "    errs = errs + 1\n";
+  s += "  end if\n";
+  s += "  if (errs /= 0) then\n";
+  s += "    print *, 'Test FAILED'\n";
+  s += "  else\n";
+  s += "    print *, 'Test PASSED'\n";
+  s += "  end if\n";
+  s += "  deallocate(x)\n";
+  s += "  deallocate(y)\n";
+  s += "  call exit(errs)\n";
+  s += "end program acc_dot_test\n";
+  return s;
+}
+
+std::string fortran_stencil(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  std::string s;
+  s += "! Three-point 1-D stencil with distinct in/out arrays\n";
+  s += "! Generated V&V-style functional test for OpenACC (Fortran).\n";
+  s += "program acc_stencil_test\n";
+  s += "  implicit none\n";
+  s += "  integer, parameter :: n = " + std::to_string(p.n) + "\n";
+  s += "  integer :: i, errs\n";
+  s += "  real(8), allocatable :: u(:), v(:)\n";
+  s += "  real(8) :: want\n";
+  s += "  allocate(u(n))\n";
+  s += "  allocate(v(n))\n";
+  s += "  errs = 0\n";
+  s += "  do i = 1, n\n";
+  s += "    u(i) = mod(i, 13) * " + p.k1 + "\n";
+  s += "    v(i) = 0.0\n";
+  s += "  end do\n";
+  s += "  !$acc parallel loop copyin(u(1:n)) copy(v(1:n))\n";
+  s += "  do i = 2, n - 1\n";
+  s += "    v(i) = (u(i - 1) + u(i) + u(i + 1)) / 3.0\n";
+  s += "  end do\n";
+  s += "  do i = 2, n - 1\n";
+  s += "    want = (u(i - 1) + u(i) + u(i + 1)) / 3.0\n";
+  s += "    if (abs(v(i) - want) > 1e-10) then\n";
+  s += "      errs = errs + 1\n";
+  s += "    end if\n";
+  s += "  end do\n";
+  s += "  if (errs /= 0) then\n";
+  s += "    print *, 'Test FAILED with', errs, 'errors'\n";
+  s += "  else\n";
+  s += "    print *, 'Test PASSED'\n";
+  s += "  end if\n";
+  s += "  deallocate(u)\n";
+  s += "  deallocate(v)\n";
+  s += "  call exit(errs)\n";
+  s += "end program acc_stencil_test\n";
+  return s;
+}
+
+std::string fortran_enter_exit(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  std::string s;
+  s += "! Unstructured enter/exit data with a host update in between\n";
+  s += "! Generated V&V-style functional test for OpenACC (Fortran).\n";
+  s += "program acc_enter_exit_test\n";
+  s += "  implicit none\n";
+  s += "  integer, parameter :: n = " + std::to_string(p.n) + "\n";
+  s += "  integer :: i, errs\n";
+  s += "  real(8), allocatable :: a(:)\n";
+  s += "  real(8) :: want\n";
+  s += "  allocate(a(n))\n";
+  s += "  errs = 0\n";
+  s += "  do i = 1, n\n";
+  s += "    a(i) = i * " + p.k1 + "\n";
+  s += "  end do\n";
+  s += "  !$acc enter data copyin(a(1:n))\n";
+  s += "  !$acc parallel loop present(a(1:n))\n";
+  s += "  do i = 1, n\n";
+  s += "    a(i) = a(i) + " + p.k2 + "\n";
+  s += "  end do\n";
+  s += "  !$acc update host(a(1:n))\n";
+  s += "  do i = 1, n\n";
+  s += "    want = i * " + p.k1 + " + " + p.k2 + "\n";
+  s += "    if (abs(a(i) - want) > 1e-10) then\n";
+  s += "      errs = errs + 1\n";
+  s += "    end if\n";
+  s += "  end do\n";
+  s += "  !$acc exit data delete(a(1:n))\n";
+  s += "  if (errs /= 0) then\n";
+  s += "    print *, 'Test FAILED with', errs, 'errors'\n";
+  s += "  else\n";
+  s += "    print *, 'Test PASSED'\n";
+  s += "  end if\n";
+  s += "  deallocate(a)\n";
+  s += "  call exit(errs)\n";
+  s += "end program acc_enter_exit_test\n";
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// C/C++ template bodies.
+// ---------------------------------------------------------------------------
+
+/// OpenMP test files follow the SOLLVE V&V structure: the computation lives
+/// in a `test_*` function and `main` reports. OpenACC files follow the
+/// OpenACC V&V structure: a single main. This structural difference is real
+/// (see the two upstream suites) and matters to negative probing's issue 4.
+std::string omp_wrap_test_fn(const std::string& fn_name,
+                             const std::string& fn_body,
+                             const std::string& prologue_text) {
+  std::string s = prologue_text;
+  s += "int " + fn_name + "() {\n";
+  s += fn_body;
+  s += "}\n\n";
+  s += "int main() {\n";
+  s += "  int errors = " + fn_name + "();\n";
+  s += "  if (errors != 0) {\n";
+  s += "    printf(\"Test FAILED with %d errors\\n\", errors);\n";
+  s += "    return 1;\n";
+  s += "  }\n";
+  s += "  printf(\"Test PASSED\\n\");\n";
+  s += "  return 0;\n";
+  s += "}\n";
+  return s;
+}
+
+std::string tpl_saxpy(TemplateContext& ctx) {
+  if (ctx.language == Language::kFortran) return fortran_saxpy(ctx);
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro = prologue(
+      ctx, p, acc ? "Combined parallel loop construct computing y = a*x + y"
+                  : "target teams distribute parallel for computing "
+                    "y = a*x + y");
+  std::string body;
+  body += alloc_arrays({"x", "y", "expected"});
+  body += "  double a = " + p.k1 + ";\n";
+  body += "  int err = 0;\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    x[i] = i * " + p.k2 + " + 1.0;\n";
+  body += "    y[i] = i * 0.5;\n";
+  body += "    expected[i] = a * x[i] + y[i];\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc parallel loop copyin(x[0:N]) copy(y[0:N])\n";
+  } else {
+    body +=
+        "#pragma omp target teams distribute parallel for "
+        "map(to: x[0:N]) map(tofrom: y[0:N])\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    y[i] = a * x[i] + y[i];\n";
+  body += "  }\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    if (fabs(y[i] - expected[i]) > " + p.tol + ") {\n";
+  body += "      err = err + 1;\n";
+  body += "    }\n";
+  body += "  }\n";
+  if (acc) {
+    std::string s = pro;
+    s += "int main() {\n";
+    s += body;
+    s += check_epilogue();
+    s += free_arrays({"x", "y", "expected"});
+    s += "  return err;\n";
+    s += "}\n";
+    return s;
+  }
+  body += free_arrays({"x", "y", "expected"});
+  body += "  return err;\n";
+  return omp_wrap_test_fn("test_target_saxpy", body, pro);
+}
+
+std::string tpl_vec_scale(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro = prologue(
+      ctx, p, acc ? "kernels loop construct scaling a vector element-wise"
+                  : "target parallel for scaling a vector element-wise");
+  std::string body;
+  body += alloc_arrays({"a", "b"});
+  const std::string scratch = maybe_scratch_alloc(ctx.rng);
+  body += scratch;
+  body += "  int err = 0;\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = i * " + p.k2 + ";\n";
+  body += "    b[i] = 0.0;\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc kernels loop copyin(a[0:N]) copyout(b[0:N])\n";
+  } else {
+    body += "#pragma omp target parallel for map(to: a[0:N]) "
+            "map(from: b[0:N])\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    b[i] = a[i] * " + p.k1 + " + " + p.k2 + ";\n";
+  body += "  }\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    double want = a[i] * " + p.k1 + " + " + p.k2 + ";\n";
+  body += "    if (fabs(b[i] - want) > " + p.tol + ") {\n";
+  body += "      err++;\n";
+  body += "    }\n";
+  body += "  }\n";
+  body += maybe_scratch_free(scratch);
+  if (acc) {
+    std::string s = pro;
+    s += "int main() {\n";
+    s += body;
+    s += check_epilogue();
+    s += free_arrays({"a", "b"});
+    s += "  return err;\n";
+    s += "}\n";
+    return s;
+  }
+  body += free_arrays({"a", "b"});
+  body += "  return err;\n";
+  return omp_wrap_test_fn("test_target_parallel_for", body, pro);
+}
+
+std::string reduction_body(TemplateContext& ctx, const Params& p,
+                           const char* op, const char* c_init,
+                           const char* update_fmt, const char* host_fmt) {
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  std::string body;
+  body += alloc_arrays({"a"});
+  body += "  int err = 0;\n";
+  body += "  double result = " + std::string(c_init) + ";\n";
+  body += "  double expected = " + std::string(c_init) + ";\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = (i % 17) * " + p.k1 + " + " + p.k2 + ";\n";
+  body += "    " + support::replace_all(host_fmt, "{V}", "expected") + "\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc parallel loop reduction(" + std::string(op) +
+            ":result) copyin(a[0:N])\n";
+  } else {
+    body += "#pragma omp target teams distribute parallel for reduction(" +
+            std::string(op) + ":result) map(to: a[0:N])\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    " + support::replace_all(update_fmt, "{V}", "result") + "\n";
+  body += "  }\n";
+  body += "  if (fabs(result - expected) > 1e-6) {\n";
+  body += "    err = 1;\n";
+  body += "  }\n";
+  return body;
+}
+
+std::string finish(TemplateContext& ctx, const std::string& pro,
+                   std::string body, const std::vector<std::string>& arrays,
+                   const char* omp_fn) {
+  if (ctx.flavor == Flavor::kOpenACC) {
+    std::string s = pro;
+    s += "int main() {\n";
+    s += body;
+    s += check_epilogue();
+    s += free_arrays(arrays);
+    s += "  return err;\n";
+    s += "}\n";
+    return s;
+  }
+  body += free_arrays(arrays);
+  body += "  return err;\n";
+  return omp_wrap_test_fn(omp_fn, body, pro);
+}
+
+std::string tpl_sum_reduction(TemplateContext& ctx) {
+  if (ctx.language == Language::kFortran) return fortran_reduction(ctx);
+  const Params p = draw_params(ctx.rng);
+  const std::string pro =
+      prologue(ctx, p, "Sum reduction over a device loop, host-checked");
+  std::string body = reduction_body(ctx, p, "+", "0.0",
+                                    "{V} = {V} + a[i];", "{V} = {V} + a[i];");
+  return finish(ctx, pro, std::move(body), {"a"}, "test_sum_reduction");
+}
+
+std::string tpl_max_reduction(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  const std::string pro =
+      prologue(ctx, p, "Max reduction over a device loop, host-checked");
+  std::string body = reduction_body(
+      ctx, p, "max", "-1.0",
+      "if (a[i] > {V}) { {V} = a[i]; }",
+      "if (a[i] > {V}) { {V} = a[i]; }");
+  return finish(ctx, pro, std::move(body), {"a"}, "test_max_reduction");
+}
+
+std::string tpl_min_reduction(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  const std::string pro =
+      prologue(ctx, p, "Min reduction over a device loop, host-checked");
+  std::string body = reduction_body(
+      ctx, p, "min", "1e30",
+      "if (a[i] < {V}) { {V} = a[i]; }",
+      "if (a[i] < {V}) { {V} = a[i]; }");
+  return finish(ctx, pro, std::move(body), {"a"}, "test_min_reduction");
+}
+
+std::string tpl_dot_product(TemplateContext& ctx) {
+  if (ctx.language == Language::kFortran) return fortran_dot_product(ctx);
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro =
+      prologue(ctx, p, "Dot product via reduction with two input vectors");
+  std::string body;
+  body += alloc_arrays({"x", "y"});
+  const std::string scratch = maybe_scratch_alloc(ctx.rng);
+  body += scratch;
+  body += "  int err = 0;\n";
+  body += "  double dot = 0.0;\n";
+  body += "  double expected = 0.0;\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    x[i] = (i % 11) * " + p.k1 + ";\n";
+  body += "    y[i] = (i % 7) * " + p.k2 + ";\n";
+  body += "    expected = expected + x[i] * y[i];\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc parallel loop reduction(+:dot) "
+            "copyin(x[0:N], y[0:N])\n";
+  } else {
+    body += "#pragma omp target teams distribute parallel for "
+            "reduction(+:dot) map(to: x[0:N], y[0:N])\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    dot = dot + x[i] * y[i];\n";
+  body += "  }\n";
+  body += "  if (fabs(dot - expected) > 1e-6) {\n";
+  body += "    err = 1;\n";
+  body += "  }\n";
+  body += maybe_scratch_free(scratch);
+  return finish(ctx, pro, std::move(body), {"x", "y"}, "test_dot_product");
+}
+
+std::string tpl_data_region(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro = prologue(
+      ctx, p, acc ? "Structured data region spanning two compute constructs"
+                  : "target data region spanning two target constructs");
+  std::string body;
+  body += alloc_arrays({"a", "b"});
+  body += "  int err = 0;\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = i * " + p.k1 + ";\n";
+  body += "    b[i] = 0.0;\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc data copyin(a[0:N]) copy(b[0:N])\n";
+    body += "  {\n";
+    body += "#pragma acc parallel loop present(a[0:N], b[0:N])\n";
+    body += "    for (int i = 0; i < N; i++) {\n";
+    body += "      b[i] = a[i] + 1.0;\n";
+    body += "    }\n";
+    body += "#pragma acc parallel loop present(b[0:N])\n";
+    body += "    for (int i = 0; i < N; i++) {\n";
+    body += "      b[i] = b[i] * " + p.k2 + ";\n";
+    body += "    }\n";
+    body += "  }\n";
+  } else {
+    body += "#pragma omp target data map(to: a[0:N]) map(tofrom: b[0:N])\n";
+    body += "  {\n";
+    body += "#pragma omp target teams distribute parallel for "
+            "map(to: a[0:N]) map(tofrom: b[0:N])\n";
+    body += "    for (int i = 0; i < N; i++) {\n";
+    body += "      b[i] = a[i] + 1.0;\n";
+    body += "    }\n";
+    body += "#pragma omp target teams distribute parallel for "
+            "map(tofrom: b[0:N])\n";
+    body += "    for (int i = 0; i < N; i++) {\n";
+    body += "      b[i] = b[i] * " + p.k2 + ";\n";
+    body += "    }\n";
+    body += "  }\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    double want = (a[i] + 1.0) * " + p.k2 + ";\n";
+  body += "    if (fabs(b[i] - want) > " + p.tol + ") {\n";
+  body += "      err++;\n";
+  body += "    }\n";
+  body += "  }\n";
+  return finish(ctx, pro, std::move(body), {"a", "b"}, "test_target_data");
+}
+
+std::string tpl_enter_exit_update(TemplateContext& ctx) {
+  if (ctx.language == Language::kFortran) return fortran_enter_exit(ctx);
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro = prologue(
+      ctx, p,
+      acc ? "Unstructured enter/exit data with a host update in between"
+          : "target enter/exit data with a target update in between");
+  std::string body;
+  body += alloc_arrays({"a"});
+  body += "  int err = 0;\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = i * " + p.k1 + ";\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc enter data copyin(a[0:N])\n";
+    body += "#pragma acc parallel loop present(a[0:N])\n";
+  } else {
+    body += "#pragma omp target enter data map(to: a[0:N])\n";
+    body += "#pragma omp target teams distribute parallel for\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = a[i] + " + p.k2 + ";\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc update host(a[0:N])\n";
+  } else {
+    body += "#pragma omp target update from(a[0:N])\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    double want = i * " + p.k1 + " + " + p.k2 + ";\n";
+  body += "    if (fabs(a[i] - want) > " + p.tol + ") {\n";
+  body += "      err++;\n";
+  body += "    }\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc exit data delete(a[0:N])\n";
+  } else {
+    body += "#pragma omp target exit data map(release: a[0:N])\n";
+  }
+  return finish(ctx, pro, std::move(body), {"a"}, "test_enter_exit_data");
+}
+
+std::string tpl_global_static(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  std::string s = prologue(
+      ctx, p, "Statically-sized global arrays offloaded with implicit "
+              "data movement");
+  s += "double input[N];\n";
+  s += "double output[N];\n\n";
+  std::string body;
+  body += "  int err = 0;\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    input[i] = i * " + p.k1 + ";\n";
+  body += "    output[i] = 0.0;\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc parallel loop\n";
+  } else {
+    body += "#pragma omp target teams distribute parallel for "
+            "map(to: input) map(from: output)\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    output[i] = input[i] * 2.0 + " + p.k2 + ";\n";
+  body += "  }\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    double want = input[i] * 2.0 + " + p.k2 + ";\n";
+  body += "    if (fabs(output[i] - want) > " + p.tol + ") {\n";
+  body += "      err++;\n";
+  body += "    }\n";
+  body += "  }\n";
+  if (acc) {
+    s += "int main() {\n" + body + check_epilogue() + "  return err;\n}\n";
+    return s;
+  }
+  body += "  return err;\n";
+  return omp_wrap_test_fn("test_static_arrays", body, s);
+}
+
+std::string tpl_stencil(TemplateContext& ctx) {
+  if (ctx.language == Language::kFortran) return fortran_stencil(ctx);
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro =
+      prologue(ctx, p, "Three-point 1-D stencil with distinct in/out arrays");
+  std::string body;
+  body += alloc_arrays({"in", "out"});
+  const std::string scratch = maybe_scratch_alloc(ctx.rng);
+  body += scratch;
+  body += "  int err = 0;\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    in[i] = (i % 13) * " + p.k1 + ";\n";
+  body += "    out[i] = 0.0;\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc parallel loop copyin(in[0:N]) copyout(out[0:N])\n";
+  } else {
+    body += "#pragma omp target teams distribute parallel for "
+            "map(to: in[0:N]) map(tofrom: out[0:N])\n";
+  }
+  body += "  for (int i = 1; i < N - 1; i++) {\n";
+  body += "    out[i] = (in[i - 1] + in[i] + in[i + 1]) / 3.0;\n";
+  body += "  }\n";
+  body += "  for (int i = 1; i < N - 1; i++) {\n";
+  body += "    double want = (in[i - 1] + in[i] + in[i + 1]) / 3.0;\n";
+  body += "    if (fabs(out[i] - want) > " + p.tol + ") {\n";
+  body += "      err++;\n";
+  body += "    }\n";
+  body += "  }\n";
+  body += maybe_scratch_free(scratch);
+  return finish(ctx, pro, std::move(body), {"in", "out"}, "test_stencil");
+}
+
+std::string tpl_private_clause(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro = prologue(
+      ctx, p, "private() clause: per-iteration scratch scalar on the device");
+  std::string body;
+  body += alloc_arrays({"a", "b"});
+  body += "  int err = 0;\n";
+  body += "  double scratch = 0.0;\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = i * " + p.k1 + ";\n";
+  body += "    b[i] = 0.0;\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc parallel loop private(scratch) copyin(a[0:N]) "
+            "copyout(b[0:N])\n";
+  } else {
+    body += "#pragma omp target teams distribute parallel for "
+            "private(scratch) map(to: a[0:N]) map(from: b[0:N])\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    scratch = a[i] * " + p.k2 + ";\n";
+  body += "    b[i] = scratch + 1.0;\n";
+  body += "  }\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    double want = a[i] * " + p.k2 + " + 1.0;\n";
+  body += "    if (fabs(b[i] - want) > " + p.tol + ") {\n";
+  body += "      err++;\n";
+  body += "    }\n";
+  body += "  }\n";
+  return finish(ctx, pro, std::move(body), {"a", "b"}, "test_private");
+}
+
+std::string tpl_firstprivate(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro = prologue(
+      ctx, p, "firstprivate() clause: initialized per-gang scalar copy");
+  std::string body;
+  body += alloc_arrays({"a"});
+  body += "  int err = 0;\n";
+  body += "  double offset = " + p.k2 + ";\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = 0.0;\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc parallel loop firstprivate(offset) copy(a[0:N])\n";
+  } else {
+    body += "#pragma omp target teams distribute parallel for "
+            "firstprivate(offset) map(tofrom: a[0:N])\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = i * " + p.k1 + " + offset;\n";
+  body += "  }\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    double want = i * " + p.k1 + " + " + p.k2 + ";\n";
+  body += "    if (fabs(a[i] - want) > " + p.tol + ") {\n";
+  body += "      err++;\n";
+  body += "    }\n";
+  body += "  }\n";
+  return finish(ctx, pro, std::move(body), {"a"}, "test_firstprivate");
+}
+
+std::string tpl_collapse(TemplateContext& ctx) {
+  Params p = draw_params(ctx.rng);
+  p.n = 32;  // N*N cells
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro = prologue(
+      ctx, p, "collapse(2) on a linearized 2-D update");
+  std::string body;
+  body += "  double *grid;\n";
+  body += "  grid = (double *)malloc(N * N * sizeof(double));\n";
+  body += "  int err = 0;\n";
+  body += "  for (int i = 0; i < N * N; i++) {\n";
+  body += "    grid[i] = 0.0;\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc parallel loop collapse(2) copy(grid[0:N*N])\n";
+  } else {
+    body += "#pragma omp target teams distribute parallel for collapse(2) "
+            "map(tofrom: grid[0:N*N])\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    for (int j = 0; j < N; j++) {\n";
+  body += "      grid[i * N + j] = i * " + p.k1 + " + j * " + p.k2 + ";\n";
+  body += "    }\n";
+  body += "  }\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    for (int j = 0; j < N; j++) {\n";
+  body += "      double want = i * " + p.k1 + " + j * " + p.k2 + ";\n";
+  body += "      if (fabs(grid[i * N + j] - want) > " + p.tol + ") {\n";
+  body += "        err++;\n";
+  body += "      }\n";
+  body += "    }\n";
+  body += "  }\n";
+  return finish(ctx, pro, std::move(body), {"grid"}, "test_collapse");
+}
+
+std::string tpl_atomic(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro = prologue(
+      ctx, p, "atomic update counting elements above a threshold");
+  std::string body;
+  body += alloc_arrays({"data"});
+  body += "  int err = 0;\n";
+  body += "  int count = 0;\n";
+  body += "  int expected = 0;\n";
+  body += "  double threshold = " + p.k1 + ";\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    data[i] = (i % 19) * 0.25;\n";
+  body += "    if (data[i] > threshold) {\n";
+  body += "      expected++;\n";
+  body += "    }\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc parallel loop copyin(data[0:N])\n";
+  } else {
+    body += "#pragma omp parallel for\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    if (data[i] > threshold) {\n";
+  body += acc ? "#pragma acc atomic update\n" : "#pragma omp atomic\n";
+  body += "      count = count + 1;\n";
+  body += "    }\n";
+  body += "  }\n";
+  body += "  if (count != expected) {\n";
+  body += "    err = 1;\n";
+  body += "  }\n";
+  return finish(ctx, pro, std::move(body), {"data"}, "test_atomic");
+}
+
+std::string tpl_host_parallel(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro = prologue(
+      ctx, p, acc ? "serial construct as a single-gang reference"
+                  : "host parallel for with a schedule clause");
+  std::string body;
+  body += alloc_arrays({"a"});
+  body += "  int err = 0;\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = 0.0;\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc serial loop copy(a[0:N])\n";
+  } else {
+    body += "#pragma omp parallel for schedule(static)\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = i * " + p.k1 + ";\n";
+  body += "  }\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    if (fabs(a[i] - i * " + p.k1 + ") > " + p.tol + ") {\n";
+  body += "      err++;\n";
+  body += "    }\n";
+  body += "  }\n";
+  return finish(ctx, pro, std::move(body), {"a"}, "test_host_parallel");
+}
+
+std::string tpl_gang_vector(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro = prologue(
+      ctx, p, acc ? "Explicit gang/vector mapping on a parallel loop"
+                  : "teams/thread_limit control on a distributed loop");
+  std::string body;
+  body += alloc_arrays({"a", "b"});
+  body += "  int err = 0;\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = i * " + p.k2 + ";\n";
+  body += "    b[i] = 0.0;\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc parallel num_gangs(4) vector_length(32) "
+            "copyin(a[0:N]) copyout(b[0:N])\n";
+    body += "  {\n";
+    body += "#pragma acc loop gang vector\n";
+    body += "    for (int i = 0; i < N; i++) {\n";
+    body += "      b[i] = a[i] + " + p.k1 + ";\n";
+    body += "    }\n";
+    body += "  }\n";
+  } else {
+    body += "#pragma omp target teams distribute parallel for "
+            "num_teams(4) thread_limit(32) map(to: a[0:N]) "
+            "map(from: b[0:N])\n";
+    body += "  for (int i = 0; i < N; i++) {\n";
+    body += "    b[i] = a[i] + " + p.k1 + ";\n";
+    body += "  }\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    if (fabs(b[i] - (a[i] + " + p.k1 + ")) > " + p.tol + ") {\n";
+  body += "      err++;\n";
+  body += "    }\n";
+  body += "  }\n";
+  return finish(ctx, pro, std::move(body), {"a", "b"}, "test_teams_config");
+}
+
+std::string tpl_async_wait(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro = prologue(
+      ctx, p, acc ? "async compute with an explicit wait directive"
+                  : "untied task-adjacent pattern: nowait + taskwait");
+  std::string body;
+  body += alloc_arrays({"a"});
+  body += "  int err = 0;\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = i * 1.0;\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc parallel loop async(1) copy(a[0:N])\n";
+  } else {
+    body += "#pragma omp target teams distribute parallel for nowait "
+            "map(tofrom: a[0:N])\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = a[i] * " + p.k1 + ";\n";
+  body += "  }\n";
+  body += acc ? "#pragma acc wait\n" : "#pragma omp taskwait\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    if (fabs(a[i] - i * " + p.k1 + ") > " + p.tol + ") {\n";
+  body += "      err++;\n";
+  body += "    }\n";
+  body += "  }\n";
+  return finish(ctx, pro, std::move(body), {"a"}, "test_async_wait");
+}
+
+std::string tpl_if_clause(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro = prologue(
+      ctx, p, "if() clause forcing the offload decision at run time");
+  std::string body;
+  body += alloc_arrays({"a"});
+  body += "  int err = 0;\n";
+  body += "  int use_device = 1;\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = 0.0;\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc parallel loop if(use_device) copy(a[0:N])\n";
+  } else {
+    body += "#pragma omp target teams distribute parallel for "
+            "if(use_device) map(tofrom: a[0:N])\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = i * " + p.k2 + " + " + p.k1 + ";\n";
+  body += "  }\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    double want = i * " + p.k2 + " + " + p.k1 + ";\n";
+  body += "    if (fabs(a[i] - want) > " + p.tol + ") {\n";
+  body += "      err++;\n";
+  body += "    }\n";
+  body += "  }\n";
+  return finish(ctx, pro, std::move(body), {"a"}, "test_if_clause");
+}
+
+std::string tpl_multi_kernel(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro = prologue(
+      ctx, p, "Two dependent compute regions with persistent device data");
+  std::string body;
+  body += alloc_arrays({"a"});
+  body += "  int err = 0;\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = 1.0;\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc enter data copyin(a[0:N])\n";
+    body += "#pragma acc parallel loop present(a[0:N])\n";
+  } else {
+    body += "#pragma omp target enter data map(to: a[0:N])\n";
+    body += "#pragma omp target teams distribute parallel for\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = a[i] + " + p.k1 + ";\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc parallel loop present(a[0:N])\n";
+  } else {
+    body += "#pragma omp target teams distribute parallel for\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = a[i] * " + p.k2 + ";\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc exit data copyout(a[0:N])\n";
+  } else {
+    body += "#pragma omp target exit data map(from: a[0:N])\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    double want = (1.0 + " + p.k1 + ") * " + p.k2 + ";\n";
+  body += "    if (fabs(a[i] - want) > " + p.tol + ") {\n";
+  body += "      err++;\n";
+  body += "    }\n";
+  body += "  }\n";
+  return finish(ctx, pro, std::move(body), {"a"}, "test_multi_kernel");
+}
+
+std::string tpl_int_arrays(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro = prologue(
+      ctx, p, "Integer array transform with exact host verification");
+  std::string body;
+  body += "  long *v;\n";
+  body += "  v = (long *)malloc(N * sizeof(long));\n";
+  body += "  int err = 0;\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    v[i] = i * 3 + 1;\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc parallel loop copy(v[0:N])\n";
+  } else {
+    body += "#pragma omp target teams distribute parallel for "
+            "map(tofrom: v[0:N])\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    v[i] = v[i] * 2 - i;\n";
+  body += "  }\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    long want = (i * 3 + 1) * 2 - i;\n";
+  body += "    if (v[i] != want) {\n";
+  body += "      err++;\n";
+  body += "    }\n";
+  body += "  }\n";
+  return finish(ctx, pro, std::move(body), {"v"}, "test_int_transform");
+}
+
+std::string tpl_simd_like(TemplateContext& ctx) {
+  const Params p = draw_params(ctx.rng);
+  const bool acc = ctx.flavor == Flavor::kOpenACC;
+  const std::string pro = prologue(
+      ctx, p, acc ? "Vector-level loop parallelism (worker/vector clauses)"
+                  : "simd loop with host verification");
+  std::string body;
+  body += alloc_arrays({"a", "b"});
+  body += "  int err = 0;\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    a[i] = (i % 9) * " + p.k1 + ";\n";
+  body += "    b[i] = 0.0;\n";
+  body += "  }\n";
+  if (acc) {
+    body += "#pragma acc parallel loop worker vector copyin(a[0:N]) "
+            "copyout(b[0:N])\n";
+  } else {
+    body += "#pragma omp simd\n";
+  }
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    b[i] = a[i] * a[i];\n";
+  body += "  }\n";
+  body += "  for (int i = 0; i < N; i++) {\n";
+  body += "    if (fabs(b[i] - a[i] * a[i]) > " + p.tol + ") {\n";
+  body += "      err++;\n";
+  body += "    }\n";
+  body += "  }\n";
+  return finish(ctx, pro, std::move(body), {"a", "b"}, "test_simd");
+}
+
+constexpr std::array<TestTemplate, 18> kTemplates = {{
+    {"saxpy_offload", true, true, true, 40, tpl_saxpy},
+    {"vec_scale", true, true, false, 45, tpl_vec_scale},
+    {"sum_reduction", true, true, true, 40, tpl_sum_reduction},
+    {"max_reduction", true, true, false, 40, tpl_max_reduction},
+    {"min_reduction", true, true, false, 40, tpl_min_reduction},
+    {"dot_product", true, true, true, 40, tpl_dot_product},
+    {"data_region", true, true, false, 40, tpl_data_region},
+    {"enter_exit_update", true, true, true, 45, tpl_enter_exit_update},
+    {"global_static", true, true, false, 40, tpl_global_static},
+    {"stencil", true, true, true, 40, tpl_stencil},
+    {"private_clause", true, true, false, 45, tpl_private_clause},
+    {"firstprivate", true, true, false, 45, tpl_firstprivate},
+    {"collapse2", true, true, false, 40, tpl_collapse},
+    {"atomic_update", true, true, false, 10, tpl_atomic},
+    {"host_parallel", true, true, false, 10, tpl_host_parallel},
+    {"gang_vector", true, true, false, 40, tpl_gang_vector},
+    {"async_wait", true, true, false, 45, tpl_async_wait},
+    {"if_clause", true, true, false, 45, tpl_if_clause},
+}};
+
+constexpr std::array<TestTemplate, 3> kExtraTemplates = {{
+    {"multi_kernel", true, true, false, 45, tpl_multi_kernel},
+    {"int_transform", true, true, false, 40, tpl_int_arrays},
+    {"simd_vector", true, true, false, 40, tpl_simd_like},
+}};
+
+std::vector<TestTemplate> build_all() {
+  std::vector<TestTemplate> all(kTemplates.begin(), kTemplates.end());
+  all.insert(all.end(), kExtraTemplates.begin(), kExtraTemplates.end());
+  return all;
+}
+
+}  // namespace
+
+std::span<const TestTemplate> test_templates() {
+  static const std::vector<TestTemplate> all = build_all();
+  return {all.data(), all.size()};
+}
+
+}  // namespace llm4vv::corpus

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "frontend/source.hpp"
+#include "support/rng.hpp"
+
+namespace llm4vv::corpus {
+
+/// Inputs available to a test template.
+struct TemplateContext {
+  support::Rng& rng;
+  frontend::Language language = frontend::Language::kC;
+  frontend::Flavor flavor = frontend::Flavor::kOpenACC;
+};
+
+/// One test-shape family (e.g. "saxpy under a combined compute+loop
+/// construct"). Templates draw sizes, coefficients, and clause variations
+/// from the context RNG, so one template yields many distinct files.
+struct TestTemplate {
+  const char* name;
+  bool supports_acc;
+  bool supports_omp;
+  bool supports_fortran;
+  /// Minimum OpenMP version (tenths) the OpenMP variant requires; 0 for
+  /// host-only constructs available since 1.0. The OpenACC variants all fit
+  /// OpenACC 2.0+ and are not gated.
+  int min_version_omp;
+  std::string (*generate)(TemplateContext&);
+};
+
+/// The full template catalogue (C/C++ bodies; Fortran where flagged).
+std::span<const TestTemplate> test_templates();
+
+/// Generate a file that contains *no* directives at all: plausible plain C
+/// that compiles and runs cleanly. Negative probing's issue 3 replaces a
+/// test with this ("randomly-generated non-OpenACC/OpenMP code").
+std::string generate_plain_code(support::Rng& rng);
+
+}  // namespace llm4vv::corpus

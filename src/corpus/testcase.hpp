@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/source.hpp"
+
+namespace llm4vv::corpus {
+
+/// One generated V&V test plus its provenance.
+struct TestCase {
+  frontend::SourceFile file;
+  std::string template_name;  ///< which generator template produced it
+  int min_version = 0;        ///< spec version the test requires (tenths)
+};
+
+/// A generated test suite for one programming model.
+struct Suite {
+  frontend::Flavor flavor = frontend::Flavor::kOpenACC;
+  std::vector<TestCase> cases;
+
+  std::size_t size() const noexcept { return cases.size(); }
+};
+
+}  // namespace llm4vv::corpus

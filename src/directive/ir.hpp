@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/source.hpp"
+
+namespace llm4vv::directive {
+
+/// One clause as spelled in the source, e.g. name="copyin",
+/// argument="a[0:n], b[0:n]" (text between the parentheses, untrimmed of
+/// inner structure; empty when the clause has no parenthesized argument).
+struct ClauseIR {
+  std::string name;
+  std::string argument;
+  bool has_argument = false;
+};
+
+/// A parsed directive line, flavor-tagged, with its (possibly composite)
+/// name split into words, e.g. {"target","teams","distribute","parallel",
+/// "for"} and its clause list in source order.
+struct DirectiveIR {
+  frontend::Flavor flavor = frontend::Flavor::kOpenACC;
+  std::vector<std::string> name_words;
+  std::vector<ClauseIR> clauses;
+  std::string raw;      ///< the original pragma line
+  bool parse_ok = false;
+  std::string parse_error;  ///< set when parse_ok is false
+};
+
+/// Parse one pragma line (`#pragma acc ...`, `#pragma omp ...`,
+/// `!$acc ...`, `!$omp ...`). `parse_ok` is false when the sentinel is
+/// malformed, the flavor word is missing, or clause parentheses do not
+/// balance; name/clause *validity* is the validator's job, not the
+/// parser's.
+DirectiveIR parse_directive(const std::string& pragma_text);
+
+/// Join the name words with spaces ("target teams distribute").
+std::string directive_name(const DirectiveIR& dir);
+
+/// Extract the variable names referenced by a clause argument. Handles
+/// var-lists with C array sections (`a[0:n]`), Fortran sections (`a(1:n)`),
+/// and reduction/map prefixes (`+:sum`, `to: x, y`). Returns base variable
+/// identifiers only.
+std::vector<std::string> clause_variables(const ClauseIR& clause);
+
+}  // namespace llm4vv::directive

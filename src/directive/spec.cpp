@@ -1,0 +1,63 @@
+#include "directive/spec.hpp"
+
+#include <algorithm>
+
+namespace llm4vv::directive {
+
+SpecRegistry::SpecRegistry(std::vector<DirectiveSpec> specs)
+    : specs_(std::move(specs)) {
+  // Longest names first so prefix matching is a simple first-hit scan.
+  std::stable_sort(specs_.begin(), specs_.end(),
+                   [](const DirectiveSpec& a, const DirectiveSpec& b) {
+                     return a.name_words.size() > b.name_words.size();
+                   });
+}
+
+const DirectiveSpec* SpecRegistry::match(
+    const std::vector<std::string>& words, std::size_t& words_consumed) const {
+  for (const auto& spec : specs_) {
+    if (spec.name_words.size() > words.size()) continue;
+    bool ok = true;
+    for (std::size_t i = 0; i < spec.name_words.size(); ++i) {
+      if (spec.name_words[i] != words[i]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      words_consumed = spec.name_words.size();
+      return &spec;
+    }
+  }
+  words_consumed = 0;
+  return nullptr;
+}
+
+const ClauseSpec* SpecRegistry::find_clause(const DirectiveSpec& spec,
+                                            const std::string& name) {
+  for (const auto& clause : spec.clauses) {
+    if (name == clause.name) return &clause;
+  }
+  return nullptr;
+}
+
+const SpecRegistry& registry_for(frontend::Flavor flavor) {
+  return flavor == frontend::Flavor::kOpenACC ? openacc_registry()
+                                              : openmp_registry();
+}
+
+bool is_valid_reduction_op(frontend::Flavor flavor, const std::string& op) {
+  if (op == "+" || op == "*" || op == "max" || op == "min" || op == "&" ||
+      op == "|" || op == "^" || op == "&&" || op == "||") {
+    return true;
+  }
+  // OpenMP (pre-5.2) also allows '-'.
+  return flavor == frontend::Flavor::kOpenMP && op == "-";
+}
+
+bool is_valid_map_type(const std::string& map_type) {
+  return map_type == "to" || map_type == "from" || map_type == "tofrom" ||
+         map_type == "alloc" || map_type == "release" || map_type == "delete";
+}
+
+}  // namespace llm4vv::directive

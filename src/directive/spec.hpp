@@ -1,0 +1,77 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "directive/ir.hpp"
+
+namespace llm4vv::directive {
+
+/// Whether a clause must / may / must-not carry a parenthesized argument.
+enum class ArgPolicy { kRequired, kOptional, kNone };
+
+/// Spec entry for one clause on one directive.
+struct ClauseSpec {
+  const char* name;
+  ArgPolicy arg = ArgPolicy::kRequired;
+  /// Minimum spec version carrying this clause on this directive, in tenths
+  /// (OpenMP 4.5 -> 45; OpenACC 2.7 -> 27). 0 = always available.
+  int min_version = 0;
+};
+
+/// Spec entry for one directive (possibly a composite like
+/// "target teams distribute parallel for").
+struct DirectiveSpec {
+  std::vector<std::string> name_words;
+  /// True when the directive is a construct that owns the statement that
+  /// follows (`parallel`, `loop`, ...); false for standalone directives
+  /// (`update`, `barrier`, ...).
+  bool is_construct = false;
+  /// True when the owned statement must be a for/do loop.
+  bool wants_loop = false;
+  int min_version = 0;  ///< tenths; see ClauseSpec::min_version
+  std::vector<ClauseSpec> clauses;
+};
+
+/// A flavor's directive table with longest-prefix lookup.
+class SpecRegistry {
+ public:
+  explicit SpecRegistry(std::vector<DirectiveSpec> specs);
+
+  /// Longest-prefix match of `words` against known directive names.
+  /// Returns the matched spec and sets `words_consumed`; nullptr when no
+  /// prefix (not even one word) matches.
+  const DirectiveSpec* match(const std::vector<std::string>& words,
+                             std::size_t& words_consumed) const;
+
+  /// Find the clause spec on a directive; nullptr when the clause is not
+  /// allowed there.
+  static const ClauseSpec* find_clause(const DirectiveSpec& spec,
+                                       const std::string& name);
+
+  /// All specs (for tests and for the corpus generator's feature catalog).
+  const std::vector<DirectiveSpec>& specs() const noexcept { return specs_; }
+
+ private:
+  std::vector<DirectiveSpec> specs_;
+};
+
+/// OpenACC 3.x directive/clause table (singleton).
+const SpecRegistry& openacc_registry();
+
+/// OpenMP directive/clause table through 5.x, with min_version annotations
+/// so a 4.5 compiler persona can reject newer features (singleton).
+const SpecRegistry& openmp_registry();
+
+/// Registry for a flavor.
+const SpecRegistry& registry_for(frontend::Flavor flavor);
+
+/// True when `op` is a valid reduction operator for the flavor
+/// (OpenACC: + * max min & | ^ && ||; OpenMP adds -).
+bool is_valid_reduction_op(frontend::Flavor flavor, const std::string& op);
+
+/// True when `map_type` is a valid OpenMP map type
+/// (to/from/tofrom/alloc/release/delete).
+bool is_valid_map_type(const std::string& map_type);
+
+}  // namespace llm4vv::directive

@@ -1,0 +1,149 @@
+#include "directive/spec.hpp"
+
+namespace llm4vv::directive {
+
+namespace {
+
+using A = ArgPolicy;
+
+/// Data clauses shared by compute constructs and `data`.
+std::vector<ClauseSpec> data_clauses() {
+  return {
+      {"copy", A::kRequired},     {"copyin", A::kRequired},
+      {"copyout", A::kRequired},  {"create", A::kRequired},
+      {"no_create", A::kRequired},{"present", A::kRequired},
+      {"deviceptr", A::kRequired},{"attach", A::kRequired},
+      // Legacy pcopy* spellings accepted by nvc.
+      {"pcopy", A::kRequired},    {"pcopyin", A::kRequired},
+      {"pcopyout", A::kRequired}, {"pcreate", A::kRequired},
+  };
+}
+
+void append(std::vector<ClauseSpec>& dst, std::vector<ClauseSpec> src) {
+  for (auto& c : src) dst.push_back(c);
+}
+
+std::vector<ClauseSpec> compute_clauses() {
+  std::vector<ClauseSpec> cs = {
+      {"async", A::kOptional},        {"wait", A::kOptional},
+      {"num_gangs", A::kRequired},    {"num_workers", A::kRequired},
+      {"vector_length", A::kRequired},{"device_type", A::kRequired},
+      {"dtype", A::kRequired},        {"if", A::kRequired},
+      {"self", A::kOptional},         {"reduction", A::kRequired},
+      {"private", A::kRequired},      {"firstprivate", A::kRequired},
+      {"default", A::kRequired},
+  };
+  append(cs, data_clauses());
+  return cs;
+}
+
+std::vector<ClauseSpec> loop_clauses() {
+  return {
+      {"collapse", A::kRequired}, {"gang", A::kOptional},
+      {"worker", A::kOptional},   {"vector", A::kOptional},
+      {"seq", A::kNone},          {"auto", A::kNone},
+      {"independent", A::kNone},  {"private", A::kRequired},
+      {"reduction", A::kRequired},{"tile", A::kRequired},
+      {"device_type", A::kRequired},
+  };
+}
+
+std::vector<ClauseSpec> combined_clauses() {
+  auto cs = compute_clauses();
+  append(cs, loop_clauses());
+  return cs;
+}
+
+std::vector<DirectiveSpec> build_table() {
+  std::vector<DirectiveSpec> t;
+
+  // Compute constructs.
+  t.push_back({{"parallel", "loop"}, true, true, 10, combined_clauses()});
+  t.push_back({{"kernels", "loop"}, true, true, 10, combined_clauses()});
+  t.push_back({{"serial", "loop"}, true, true, 27, combined_clauses()});
+  t.push_back({{"parallel"}, true, false, 10, compute_clauses()});
+  t.push_back({{"kernels"}, true, false, 10, compute_clauses()});
+  t.push_back({{"serial"}, true, false, 27, compute_clauses()});
+  t.push_back({{"loop"}, true, true, 10, loop_clauses()});
+
+  // Data environment.
+  {
+    std::vector<ClauseSpec> cs = {
+        {"if", A::kRequired}, {"async", A::kOptional},
+        {"wait", A::kOptional}, {"default", A::kRequired},
+    };
+    append(cs, data_clauses());
+    t.push_back({{"data"}, true, false, 10, cs});
+  }
+  t.push_back({{"enter", "data"},
+               false, false, 20,
+               {{"if", A::kRequired}, {"async", A::kOptional},
+                {"wait", A::kOptional}, {"copyin", A::kRequired},
+                {"create", A::kRequired}, {"attach", A::kRequired}}});
+  t.push_back({{"exit", "data"},
+               false, false, 20,
+               {{"if", A::kRequired}, {"async", A::kOptional},
+                {"wait", A::kOptional}, {"copyout", A::kRequired},
+                {"delete", A::kRequired}, {"detach", A::kRequired},
+                {"finalize", A::kNone}}});
+  t.push_back({{"host_data"},
+               true, false, 10,
+               {{"use_device", A::kRequired}, {"if", A::kRequired, 27},
+                {"if_present", A::kNone, 27}}});
+
+  // Atomic (subtype folded into the composite name).
+  for (const char* sub : {"read", "write", "update", "capture"}) {
+    t.push_back({{"atomic", sub}, true, false, 10, {}});
+  }
+  t.push_back({{"atomic"}, true, false, 10, {}});
+
+  // Executable standalone directives.
+  t.push_back({{"update"},
+               false, false, 10,
+               {{"async", A::kOptional}, {"wait", A::kOptional},
+                {"device_type", A::kRequired}, {"if", A::kRequired},
+                {"if_present", A::kNone}, {"self", A::kRequired},
+                {"host", A::kRequired}, {"device", A::kRequired}}});
+  t.push_back({{"wait"},
+               false, false, 10,
+               {{"async", A::kOptional}, {"if", A::kRequired, 33}}});
+  t.push_back({{"init"},
+               false, false, 10,
+               {{"device_type", A::kRequired}, {"device_num", A::kRequired},
+                {"if", A::kRequired, 33}}});
+  t.push_back({{"shutdown"},
+               false, false, 10,
+               {{"device_type", A::kRequired}, {"device_num", A::kRequired},
+                {"if", A::kRequired, 33}}});
+  t.push_back({{"set"},
+               false, false, 20,
+               {{"default_async", A::kRequired}, {"device_num", A::kRequired},
+                {"device_type", A::kRequired}, {"if", A::kRequired, 33}}});
+  t.push_back({{"cache"}, false, false, 10, {}});
+
+  // Declarative directives.
+  {
+    std::vector<ClauseSpec> cs = {
+        {"device_resident", A::kRequired}, {"link", A::kRequired},
+    };
+    append(cs, data_clauses());
+    t.push_back({{"declare"}, false, false, 10, cs});
+  }
+  t.push_back({{"routine"},
+               false, false, 10,
+               {{"gang", A::kOptional}, {"worker", A::kNone},
+                {"vector", A::kNone}, {"seq", A::kNone},
+                {"bind", A::kRequired}, {"device_type", A::kRequired},
+                {"nohost", A::kNone}}});
+
+  return t;
+}
+
+}  // namespace
+
+const SpecRegistry& openacc_registry() {
+  static const SpecRegistry registry(build_table());
+  return registry;
+}
+
+}  // namespace llm4vv::directive

@@ -1,0 +1,252 @@
+#include "directive/spec.hpp"
+
+namespace llm4vv::directive {
+
+namespace {
+
+using A = ArgPolicy;
+
+void append(std::vector<ClauseSpec>& dst, std::vector<ClauseSpec> src) {
+  for (auto& c : src) dst.push_back(c);
+}
+
+std::vector<ClauseSpec> parallel_clauses() {
+  return {
+      {"if", A::kRequired, 10},          {"num_threads", A::kRequired, 10},
+      {"default", A::kRequired, 10},     {"private", A::kRequired, 10},
+      {"firstprivate", A::kRequired, 10},{"shared", A::kRequired, 10},
+      {"copyin", A::kRequired, 10},      {"reduction", A::kRequired, 10},
+      {"proc_bind", A::kRequired, 40},
+  };
+}
+
+std::vector<ClauseSpec> for_clauses() {
+  return {
+      {"private", A::kRequired, 10},     {"firstprivate", A::kRequired, 10},
+      {"lastprivate", A::kRequired, 10}, {"linear", A::kRequired, 45},
+      {"reduction", A::kRequired, 10},   {"schedule", A::kRequired, 10},
+      {"collapse", A::kRequired, 30},    {"ordered", A::kOptional, 10},
+      {"nowait", A::kNone, 10},
+  };
+}
+
+std::vector<ClauseSpec> simd_clauses() {
+  return {
+      {"safelen", A::kRequired, 40},   {"simdlen", A::kRequired, 45},
+      {"linear", A::kRequired, 40},    {"aligned", A::kRequired, 40},
+      {"private", A::kRequired, 40},   {"lastprivate", A::kRequired, 40},
+      {"reduction", A::kRequired, 40}, {"collapse", A::kRequired, 40},
+  };
+}
+
+std::vector<ClauseSpec> target_clauses() {
+  return {
+      {"if", A::kRequired, 40},          {"device", A::kRequired, 40},
+      {"map", A::kRequired, 40},         {"private", A::kRequired, 45},
+      {"firstprivate", A::kRequired, 45},{"nowait", A::kNone, 45},
+      {"depend", A::kRequired, 45},      {"defaultmap", A::kRequired, 45},
+      {"is_device_ptr", A::kRequired, 45},
+  };
+}
+
+std::vector<ClauseSpec> teams_clauses() {
+  return {
+      {"num_teams", A::kRequired, 40},   {"thread_limit", A::kRequired, 40},
+      {"default", A::kRequired, 40},     {"private", A::kRequired, 40},
+      {"firstprivate", A::kRequired, 40},{"shared", A::kRequired, 40},
+      {"reduction", A::kRequired, 40},
+  };
+}
+
+std::vector<ClauseSpec> distribute_clauses() {
+  return {
+      {"private", A::kRequired, 40},     {"firstprivate", A::kRequired, 40},
+      {"lastprivate", A::kRequired, 40}, {"collapse", A::kRequired, 40},
+      {"dist_schedule", A::kRequired, 40},
+  };
+}
+
+std::vector<ClauseSpec> task_clauses() {
+  return {
+      {"if", A::kRequired, 30},          {"final", A::kRequired, 31},
+      {"untied", A::kNone, 30},          {"default", A::kRequired, 30},
+      {"mergeable", A::kNone, 31},       {"private", A::kRequired, 30},
+      {"firstprivate", A::kRequired, 30},{"shared", A::kRequired, 30},
+      {"depend", A::kRequired, 40},      {"priority", A::kRequired, 45},
+  };
+}
+
+std::vector<DirectiveSpec> build_table() {
+  std::vector<DirectiveSpec> t;
+
+  const auto combo = [&](std::initializer_list<const char*> words,
+                         int version,
+                         std::initializer_list<std::vector<ClauseSpec>> parts,
+                         bool wants_loop) {
+    DirectiveSpec spec;
+    for (const char* w : words) spec.name_words.emplace_back(w);
+    spec.is_construct = true;
+    spec.wants_loop = wants_loop;
+    spec.min_version = version;
+    for (const auto& part : parts) append(spec.clauses, part);
+    t.push_back(std::move(spec));
+  };
+
+  // Composite constructs first so longest-prefix matching sees them; the
+  // registry sorts internally, but keeping the table organized helps review.
+  combo({"target", "teams", "distribute", "parallel", "for", "simd"}, 40,
+        {target_clauses(), teams_clauses(), distribute_clauses(),
+         parallel_clauses(), for_clauses(), simd_clauses()}, true);
+  combo({"target", "teams", "distribute", "parallel", "for"}, 40,
+        {target_clauses(), teams_clauses(), distribute_clauses(),
+         parallel_clauses(), for_clauses()}, true);
+  combo({"target", "teams", "distribute", "simd"}, 40,
+        {target_clauses(), teams_clauses(), distribute_clauses(),
+         simd_clauses()}, true);
+  combo({"target", "teams", "distribute"}, 40,
+        {target_clauses(), teams_clauses(), distribute_clauses()}, true);
+  combo({"target", "teams", "loop"}, 50,
+        {target_clauses(), teams_clauses()}, true);
+  combo({"target", "teams"}, 40, {target_clauses(), teams_clauses()}, false);
+  combo({"target", "parallel", "for", "simd"}, 45,
+        {target_clauses(), parallel_clauses(), for_clauses(),
+         simd_clauses()}, true);
+  combo({"target", "parallel", "for"}, 45,
+        {target_clauses(), parallel_clauses(), for_clauses()}, true);
+  combo({"target", "parallel"}, 45,
+        {target_clauses(), parallel_clauses()}, false);
+  combo({"target", "simd"}, 45, {target_clauses(), simd_clauses()}, true);
+
+  // target data family.
+  t.push_back({{"target", "data"},
+               true, false, 40,
+               {{"if", A::kRequired, 40}, {"device", A::kRequired, 40},
+                {"map", A::kRequired, 40},
+                {"use_device_ptr", A::kRequired, 45}}});
+  t.push_back({{"target", "enter", "data"},
+               false, false, 45,
+               {{"if", A::kRequired, 45}, {"device", A::kRequired, 45},
+                {"map", A::kRequired, 45}, {"depend", A::kRequired, 45},
+                {"nowait", A::kNone, 45}}});
+  t.push_back({{"target", "exit", "data"},
+               false, false, 45,
+               {{"if", A::kRequired, 45}, {"device", A::kRequired, 45},
+                {"map", A::kRequired, 45}, {"depend", A::kRequired, 45},
+                {"nowait", A::kNone, 45}}});
+  t.push_back({{"target", "update"},
+               false, false, 40,
+               {{"to", A::kRequired, 40}, {"from", A::kRequired, 40},
+                {"if", A::kRequired, 40}, {"device", A::kRequired, 40},
+                {"nowait", A::kNone, 45}, {"depend", A::kRequired, 45}}});
+  combo({"target"}, 40, {target_clauses()}, false);
+
+  combo({"teams", "distribute", "parallel", "for", "simd"}, 40,
+        {teams_clauses(), distribute_clauses(), parallel_clauses(),
+         for_clauses(), simd_clauses()}, true);
+  combo({"teams", "distribute", "parallel", "for"}, 40,
+        {teams_clauses(), distribute_clauses(), parallel_clauses(),
+         for_clauses()}, true);
+  combo({"teams", "distribute"}, 40,
+        {teams_clauses(), distribute_clauses()}, true);
+  combo({"teams", "loop"}, 50, {teams_clauses()}, true);
+  combo({"teams"}, 40, {teams_clauses()}, false);
+  combo({"distribute", "parallel", "for", "simd"}, 40,
+        {distribute_clauses(), parallel_clauses(), for_clauses(),
+         simd_clauses()}, true);
+  combo({"distribute", "parallel", "for"}, 40,
+        {distribute_clauses(), parallel_clauses(), for_clauses()}, true);
+  combo({"distribute", "simd"}, 40,
+        {distribute_clauses(), simd_clauses()}, true);
+  combo({"distribute"}, 40, {distribute_clauses()}, true);
+
+  combo({"parallel", "for", "simd"}, 40,
+        {parallel_clauses(), for_clauses(), simd_clauses()}, true);
+  combo({"parallel", "for"}, 10, {parallel_clauses(), for_clauses()}, true);
+  combo({"parallel", "sections"}, 10, {parallel_clauses()}, false);
+  combo({"parallel"}, 10, {parallel_clauses()}, false);
+  combo({"for", "simd"}, 40, {for_clauses(), simd_clauses()}, true);
+  combo({"for"}, 10, {for_clauses()}, true);
+  combo({"simd"}, 40, {simd_clauses()}, true);
+  combo({"loop"}, 50, {{{"bind", A::kRequired, 50},
+                        {"collapse", A::kRequired, 50},
+                        {"private", A::kRequired, 50},
+                        {"reduction", A::kRequired, 50}}}, true);
+
+  // Tasking.
+  combo({"taskloop", "simd"}, 45, {task_clauses(), simd_clauses()}, true);
+  combo({"taskloop"}, 45, {task_clauses(),
+                           {{"grainsize", A::kRequired, 45},
+                            {"num_tasks", A::kRequired, 45},
+                            {"collapse", A::kRequired, 45},
+                            {"nogroup", A::kNone, 45}}}, true);
+  combo({"task"}, 30, {task_clauses()}, false);
+
+  // Worksharing / synchronization.
+  t.push_back({{"sections"},
+               true, false, 10,
+               {{"private", A::kRequired, 10},
+                {"firstprivate", A::kRequired, 10},
+                {"lastprivate", A::kRequired, 10},
+                {"reduction", A::kRequired, 10}, {"nowait", A::kNone, 10}}});
+  t.push_back({{"section"}, true, false, 10, {}});
+  t.push_back({{"single"},
+               true, false, 10,
+               {{"private", A::kRequired, 10},
+                {"firstprivate", A::kRequired, 10},
+                {"copyprivate", A::kRequired, 10}, {"nowait", A::kNone, 10}}});
+  t.push_back({{"master"}, true, false, 10, {}});
+  t.push_back({{"masked"}, true, false, 51, {{"filter", A::kRequired, 51}}});
+  t.push_back({{"critical"}, true, false, 10, {{"hint", A::kRequired, 45}}});
+  t.push_back({{"barrier"}, false, false, 10, {}});
+  t.push_back({{"taskwait"},
+               false, false, 30,
+               {{"depend", A::kRequired, 50}}});
+  t.push_back({{"taskyield"}, false, false, 31, {}});
+  t.push_back({{"taskgroup"}, true, false, 40, {}});
+  t.push_back({{"flush"}, false, false, 10, {}});
+  t.push_back({{"ordered"},
+               true, false, 10,
+               {{"simd", A::kNone, 45}, {"threads", A::kNone, 45},
+                {"depend", A::kRequired, 45}}});
+
+  // Atomic with subtype names folded in.
+  for (const char* sub : {"read", "write", "update", "capture"}) {
+    t.push_back({{"atomic", sub},
+                 true, false, 31,
+                 {{"seq_cst", A::kNone, 40}, {"hint", A::kRequired, 50}}});
+  }
+  t.push_back({{"atomic", "compare"}, true, false, 51, {}});
+  t.push_back({{"atomic"},
+               true, false, 10,
+               {{"seq_cst", A::kNone, 40}, {"hint", A::kRequired, 50}}});
+
+  // Declarative and 5.x-only directives (present for version gating).
+  t.push_back({{"threadprivate"}, false, false, 10, {}});
+  t.push_back({{"declare", "target"}, false, false, 40, {}});
+  t.push_back({{"end", "declare", "target"}, false, false, 40, {}});
+  t.push_back({{"declare", "simd"}, false, false, 40, {}});
+  t.push_back({{"declare", "reduction"}, false, false, 40, {}});
+  t.push_back({{"requires"}, false, false, 50,
+               {{"unified_shared_memory", A::kNone, 50},
+                {"reverse_offload", A::kNone, 50}}});
+  t.push_back({{"scan"}, true, false, 50,
+               {{"inclusive", A::kRequired, 50},
+                {"exclusive", A::kRequired, 50}}});
+  t.push_back({{"metadirective"}, false, false, 50,
+               {{"when", A::kRequired, 50}, {"default", A::kRequired, 50}}});
+  t.push_back({{"error"}, false, false, 51,
+               {{"severity", A::kRequired, 51},
+                {"message", A::kRequired, 51}}});
+  t.push_back({{"tile"}, true, true, 51, {{"sizes", A::kRequired, 51}}});
+
+  return t;
+}
+
+}  // namespace
+
+const SpecRegistry& openmp_registry() {
+  static const SpecRegistry registry(build_table());
+  return registry;
+}
+
+}  // namespace llm4vv::directive

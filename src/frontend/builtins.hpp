@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+
+#include "frontend/ast.hpp"
+
+namespace llm4vv::frontend {
+
+/// Description of one runtime-library function that is implicitly declared
+/// in every translation unit (matching the headers the V&V corpus includes:
+/// stdio.h, stdlib.h, math.h, openacc.h, omp.h).
+struct BuiltinInfo {
+  const char* name;
+  int arity;            ///< fixed parameter count; ignored when variadic
+  bool variadic;
+  BaseType return_base; ///< return type base
+  int return_pointer;   ///< return type pointer depth
+};
+
+/// Constant identifiers that are implicitly declared (OpenACC device enums).
+struct BuiltinConstant {
+  const char* name;
+  long value;
+};
+
+/// The full builtin function table (sema declares these; the VM implements
+/// them in vm/runtime.cpp — the two are kept in sync by a unit test).
+std::span<const BuiltinInfo> builtin_functions() noexcept;
+
+/// The builtin constant table.
+std::span<const BuiltinConstant> builtin_constants() noexcept;
+
+/// Look up a builtin function by name; nullptr when not a builtin.
+const BuiltinInfo* find_builtin(std::string_view name) noexcept;
+
+/// Look up a builtin constant by name; nullptr when not one.
+const BuiltinConstant* find_builtin_constant(std::string_view name) noexcept;
+
+}  // namespace llm4vv::frontend

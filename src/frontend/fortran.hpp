@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string_view>
+
+#include "frontend/ast.hpp"
+#include "frontend/diagnostics.hpp"
+#include "frontend/parser.hpp"
+
+namespace llm4vv::frontend {
+
+/// Parse a Fortran-lite source file into the same AST the C/C++ front-end
+/// produces, so the rest of the system (sema, directive validation, the VM,
+/// probing, the judge) is language-agnostic.
+///
+/// The dialect covers exactly what the OpenACC V&V Fortran corpus emits:
+/// `program`/`end program`, `implicit none`, integer/real(8) declarations
+/// (including `parameter` constants and `allocatable` arrays), `allocate` /
+/// `deallocate`, `do`/`end do`, block `if`/`else`/`end if`, assignments,
+/// `call`, `print *, ...`, `stop`, and `!$acc` / `!$omp` directive comments
+/// (which become PragmaStmt nodes, exactly like `#pragma` lines in C).
+///
+/// Fortran's 1-based arrays are modelled by allocating extent+1 cells and
+/// indexing directly, so `a(n)` is always in bounds and `a(0)` is never
+/// generated.
+Program parse_fortran(std::string_view source, DiagnosticEngine& diags,
+                      const ParserOptions& options = {});
+
+}  // namespace llm4vv::frontend

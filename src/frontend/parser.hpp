@@ -1,0 +1,31 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "frontend/ast.hpp"
+#include "frontend/diagnostics.hpp"
+#include "frontend/token.hpp"
+
+namespace llm4vv::frontend {
+
+/// Parser configuration.
+struct ParserOptions {
+  /// Decides whether a `#pragma` line introduces a *construct* (and thus
+  /// owns the statement that follows, like `#pragma acc parallel loop`) or
+  /// is *standalone* (like `#pragma acc update host(...)`). The toolchain
+  /// wires this to the directive library; the default treats every pragma
+  /// as standalone.
+  std::function<bool(const std::string& pragma_text)> pragma_takes_statement;
+
+  /// Give up after this many parse errors (error recovery guard).
+  int max_errors = 25;
+};
+
+/// Parse a token stream into a Program. Parse errors are reported to
+/// `diags`; the returned Program is best-effort (callers must check
+/// `diags.has_errors()` before using it for execution).
+Program parse(const std::vector<Token>& tokens, DiagnosticEngine& diags,
+              const ParserOptions& options = {});
+
+}  // namespace llm4vv::frontend

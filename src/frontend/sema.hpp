@@ -1,0 +1,24 @@
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "frontend/diagnostics.hpp"
+
+namespace llm4vv::frontend {
+
+/// Run semantic analysis over a parsed Program:
+///
+///  - builds the program-wide symbol table (globals, functions, params,
+///    locals, builtins and builtin constants) and writes `symbol_id` back
+///    into every identifier, declarator, and parameter;
+///  - reports undeclared identifiers (the paper's issue-2 mutation class),
+///    redefinitions, calls of non-functions, arity mismatches, break /
+///    continue outside loops, deref/index of non-pointers, and a missing
+///    `main`;
+///  - folds constant array extents into `Type::array_extent` where possible
+///    (non-constant extents are left to the VM, which evaluates the extent
+///    expression at declaration time).
+///
+/// Returns true when no *new* errors were reported by this pass.
+bool analyze(Program& program, DiagnosticEngine& diags);
+
+}  // namespace llm4vv::frontend

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+
+namespace llm4vv::frontend {
+
+/// Source language of a V&V test file. The paper's suites contain C, C++,
+/// and (for OpenACC Part One) a small share of Fortran.
+enum class Language { kC, kCpp, kFortran };
+
+/// Directive-based programming model a test targets.
+enum class Flavor { kOpenACC, kOpenMP };
+
+/// Human-readable names, e.g. "C", "C++", "Fortran".
+const char* language_name(Language language) noexcept;
+
+/// Canonical file extension: ".c", ".cpp", ".F90".
+const char* language_extension(Language language) noexcept;
+
+/// Human-readable flavor names: "OpenACC" / "OpenMP".
+const char* flavor_name(Flavor flavor) noexcept;
+
+/// One V&V test source file as it travels through the system: through
+/// negative probing, the compiler front-end, the VM, and the judge prompts.
+struct SourceFile {
+  std::string name;     ///< e.g. "acc_parallel_reduction_017.c"
+  Language language = Language::kC;
+  Flavor flavor = Flavor::kOpenACC;
+  std::string content;  ///< full source text
+};
+
+inline const char* language_name(Language language) noexcept {
+  switch (language) {
+    case Language::kC: return "C";
+    case Language::kCpp: return "C++";
+    case Language::kFortran: return "Fortran";
+  }
+  return "?";
+}
+
+inline const char* language_extension(Language language) noexcept {
+  switch (language) {
+    case Language::kC: return ".c";
+    case Language::kCpp: return ".cpp";
+    case Language::kFortran: return ".F90";
+  }
+  return "";
+}
+
+inline const char* flavor_name(Flavor flavor) noexcept {
+  switch (flavor) {
+    case Flavor::kOpenACC: return "OpenACC";
+    case Flavor::kOpenMP: return "OpenMP";
+  }
+  return "?";
+}
+
+}  // namespace llm4vv::frontend

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace llm4vv::frontend {
+
+/// Token kinds for the C/C++ V&V subset. Punctuators get individual kinds so
+/// the parser can switch on them without string comparisons.
+enum class TokenKind {
+  kEof,
+  kIdentifier,
+  kKeyword,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  kCharLiteral,
+  kPragma,       ///< one whole `#pragma ...` line (continuations folded in)
+  kHashInclude,  ///< an `#include ...` line (ignored by later phases)
+  // Punctuators:
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemicolon, kComma, kColon, kQuestion,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kLess, kGreater, kLessEq, kGreaterEq, kEqEq, kBangEq,
+  kAmpAmp, kPipePipe,
+  kShl, kShr,
+  kAssign, kPlusEq, kMinusEq, kStarEq, kSlashEq,
+  kPlusPlus, kMinusMinus,
+  kArrow, kDot,
+};
+
+/// One lexed token with its 1-based source position.
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;  ///< raw spelling (pragmas: the full directive line)
+  int line = 1;
+  int column = 1;
+
+  /// True for an identifier or keyword spelled exactly `s`.
+  bool is(const char* s) const { return text == s; }
+};
+
+/// Name of a token kind for diagnostics ("identifier", "'{'", ...).
+const char* token_kind_name(TokenKind kind) noexcept;
+
+}  // namespace llm4vv::frontend

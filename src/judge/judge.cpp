@@ -1,0 +1,30 @@
+#include "judge/judge.hpp"
+
+#include <stdexcept>
+
+namespace llm4vv::judge {
+
+Llmj::Llmj(std::shared_ptr<llm::ModelClient> client, llm::PromptStyle style)
+    : client_(std::move(client)), style_(style) {
+  if (client_ == nullptr) {
+    throw std::invalid_argument("Llmj: client must not be null");
+  }
+}
+
+JudgeDecision Llmj::evaluate(const frontend::SourceFile& file,
+                             const toolchain::CompileResult* compile,
+                             const toolchain::ExecutionRecord* exec,
+                             std::uint64_t seed) const {
+  JudgeDecision decision;
+  decision.prompt = build_prompt(style_, file, compile, exec);
+
+  llm::GenerationParams params;
+  params.seed = seed;
+  decision.completion = client_->complete(decision.prompt, params);
+  decision.verdict = parse_verdict(decision.completion.text);
+  decision.says_valid =
+      verdict_says_valid(decision.verdict, /*fallback=*/false);
+  return decision;
+}
+
+}  // namespace llm4vv::judge

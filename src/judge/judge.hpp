@@ -1,0 +1,47 @@
+#pragma once
+
+#include <memory>
+
+#include "judge/prompt.hpp"
+#include "judge/verdict.hpp"
+#include "llm/client.hpp"
+
+namespace llm4vv::judge {
+
+/// One judged file: prompt, completion, parsed verdict.
+struct JudgeDecision {
+  Verdict verdict = Verdict::kUnparseable;
+  bool says_valid = false;      ///< verdict with the invalid fallback
+  std::string prompt;
+  llm::Completion completion;
+};
+
+/// The LLM-as-a-Judge orchestrator. One instance per prompt style:
+///  - kDirectAnalysis  -> the paper's Part One non-agent judge
+///  - kAgentDirect     -> LLMJ 1
+///  - kAgentIndirect   -> LLMJ 2
+///
+/// For agent styles the caller supplies the compile/execute records (the
+/// "tools" of Figure 1); evaluate() assembles the prompt, queries the
+/// model client, and parses the FINAL JUDGEMENT protocol. Thread-safe.
+class Llmj {
+ public:
+  Llmj(std::shared_ptr<llm::ModelClient> client, llm::PromptStyle style);
+
+  /// Judge a file. Agent styles require non-null compile/exec records.
+  JudgeDecision evaluate(const frontend::SourceFile& file,
+                         const toolchain::CompileResult* compile = nullptr,
+                         const toolchain::ExecutionRecord* exec = nullptr,
+                         std::uint64_t seed = 0) const;
+
+  llm::PromptStyle style() const noexcept { return style_; }
+  const char* name() const noexcept {
+    return llm::prompt_style_name(style_);
+  }
+
+ private:
+  std::shared_ptr<llm::ModelClient> client_;
+  llm::PromptStyle style_;
+};
+
+}  // namespace llm4vv::judge

@@ -1,0 +1,151 @@
+#include "judge/prompt.hpp"
+
+#include <stdexcept>
+
+namespace llm4vv::judge {
+
+namespace {
+
+using frontend::Flavor;
+
+std::string tool_info_block(const toolchain::CompileResult& compile,
+                            const toolchain::ExecutionRecord& exec,
+                            Flavor flavor) {
+  const char* flavor_name = frontend::flavor_name(flavor);
+  std::string s;
+  s += "Here is some information about the code to help you.\n";
+  s += "When compiled with a compliant ";
+  s += flavor_name;
+  s += " compiler, the below code causes the following outputs:\n";
+  s += "Compiler return code: " + std::to_string(compile.return_code) + "\n";
+  s += "Compiler STDERR: " + (compile.stderr_text.empty()
+                                  ? std::string("(empty)")
+                                  : compile.stderr_text);
+  if (!compile.stderr_text.empty() && compile.stderr_text.back() != '\n') {
+    s += "\n";
+  }
+  if (s.back() != '\n') s += "\n";
+  s += "Compiler STDOUT: " +
+       (compile.stdout_text.empty() ? std::string("(empty)")
+                                    : compile.stdout_text) +
+       "\n";
+  s += "When the compiled code is run, it gives the following results:\n";
+  if (exec.ran) {
+    s += "Return code: " + std::to_string(exec.return_code) + "\n";
+    s += "STDERR: " + (exec.stderr_text.empty() ? std::string("(empty)")
+                                                : exec.stderr_text);
+    if (s.back() != '\n') s += "\n";
+    s += "STDOUT: " + (exec.stdout_text.empty() ? std::string("(empty)")
+                                                : exec.stdout_text);
+    if (s.back() != '\n') s += "\n";
+  } else {
+    s += "Return code: -1\n";
+    s += "STDERR: (the program could not be run because compilation "
+         "failed)\n";
+    s += "STDOUT: (empty)\n";
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string criteria_block(Flavor flavor) {
+  const std::string f = frontend::flavor_name(flavor);
+  std::string s;
+  s += "Syntax: Ensure all " + f +
+       " directives and pragmas are syntactically correct.\n";
+  s += "Directive Appropriateness: Check if the right directives are used "
+       "for the intended parallel computations.\n";
+  s += "Clause Correctness: Verify that all clauses within the directives "
+       "are correctly used according to " + f + " specifications.\n";
+  s += "Memory Management: Assess the accuracy of data movement between "
+       "CPU and GPU.\n";
+  s += "Compliance: Ensure the code adheres to the latest " + f +
+       " specifications and best practices.\n";
+  s += "Logic: Verify that the logic of the test (e.g. performing the same "
+       "computation in serial and parallel and comparing) is correct.\n";
+  return s;
+}
+
+std::string direct_analysis_prompt(const frontend::SourceFile& file) {
+  const std::string f = frontend::flavor_name(file.flavor);
+  std::string s;
+  s += "Review the following " + f +
+       " code and evaluate it based on the following criteria:\n\n";
+  s += criteria_block(file.flavor);
+  s += "Based on these criteria, evaluate the code in a brief summary, "
+       "then respond with precisely \"FINAL JUDGEMENT: correct\" (or "
+       "incorrect).\n";
+  s += "You MUST include the exact phrase \"FINAL JUDGEMENT: correct\" in "
+       "your evaluation if you believe the code is correct. Otherwise, you "
+       "must include the phrase \"FINAL JUDGEMENT: incorrect\" in your "
+       "evaluation.\n";
+  s += "Here is the code:\n";
+  s += file.content;
+  return s;
+}
+
+std::string agent_direct_prompt(const frontend::SourceFile& file,
+                                const toolchain::CompileResult& compile,
+                                const toolchain::ExecutionRecord& exec) {
+  std::string s;
+  s += criteria_block(file.flavor);
+  s += "Based on these criteria, evaluate the code and determine if it is "
+       "a valid or invalid test. Think step by step.\n";
+  s += "You MUST include the exact phrase, \"FINAL JUDGEMENT: valid\" in "
+       "your response if you deem the test to be valid.\n";
+  s += "If you deem the test to be invalid, include the exact phrase "
+       "\"FINAL JUDGEMENT: invalid\" in your response instead.\n";
+  s += tool_info_block(compile, exec, file.flavor);
+  s += "Here is the code:\n";
+  s += file.content;
+  return s;
+}
+
+std::string agent_indirect_prompt(const frontend::SourceFile& file,
+                                  const toolchain::CompileResult& compile,
+                                  const toolchain::ExecutionRecord& exec) {
+  const std::string f = frontend::flavor_name(file.flavor);
+  std::string s;
+  s += "Describe what the below " + f +
+       " program will do when run. Think step by step.\n";
+  s += "Here is some information about the code to help you; you do not "
+       "have to compile or run the code yourself.\n";
+  s += tool_info_block(compile, exec, file.flavor);
+  s += "Using this information, describe in full detail how the below code "
+       "works, what the below code will do when run, and suggest why the "
+       "below code might have been written this way.\n";
+  s += "Then, based on that description, determine whether the described "
+       "program would be a valid or invalid compiler test for " + f +
+       " compilers.\n";
+  s += "You MUST include the exact phrase \"FINAL JUDGEMENT: valid\" in "
+       "your final response if you believe that your description of the "
+       "below " + f + " code describes a valid compiler test; otherwise, "
+       "your final response MUST include the exact phrase "
+       "\"FINAL JUDGEMENT: invalid\".\n";
+  s += "Here is the code for you to analyze:\n";
+  s += file.content;
+  return s;
+}
+
+std::string build_prompt(llm::PromptStyle style,
+                         const frontend::SourceFile& file,
+                         const toolchain::CompileResult* compile,
+                         const toolchain::ExecutionRecord* exec) {
+  switch (style) {
+    case llm::PromptStyle::kDirectAnalysis:
+      return direct_analysis_prompt(file);
+    case llm::PromptStyle::kAgentDirect:
+    case llm::PromptStyle::kAgentIndirect:
+      if (compile == nullptr || exec == nullptr) {
+        throw std::invalid_argument(
+            "build_prompt: agent prompts need compile and exec records");
+      }
+      return style == llm::PromptStyle::kAgentDirect
+                 ? agent_direct_prompt(file, *compile, *exec)
+                 : agent_indirect_prompt(file, *compile, *exec);
+  }
+  throw std::invalid_argument("build_prompt: unknown style");
+}
+
+}  // namespace llm4vv::judge

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "frontend/source.hpp"
+#include "llm/model.hpp"
+#include "toolchain/compiler.hpp"
+#include "toolchain/executor.hpp"
+
+namespace llm4vv::judge {
+
+/// The paper's evaluation criteria block (Listing 1), instantiated for a
+/// flavor.
+std::string criteria_block(frontend::Flavor flavor);
+
+/// Part One's direct-analysis prompt (Listing 3): criteria + code, with the
+/// `FINAL JUDGEMENT: correct/incorrect` protocol.
+std::string direct_analysis_prompt(const frontend::SourceFile& file);
+
+/// The agent-based direct prompt (Listing 2): criteria + judgement protocol
+/// (`valid`/`invalid`) + compiler and program outputs + code.
+std::string agent_direct_prompt(const frontend::SourceFile& file,
+                                const toolchain::CompileResult& compile,
+                                const toolchain::ExecutionRecord& exec);
+
+/// The agent-based indirect prompt (Listing 4): describe-then-judge.
+std::string agent_indirect_prompt(const frontend::SourceFile& file,
+                                  const toolchain::CompileResult& compile,
+                                  const toolchain::ExecutionRecord& exec);
+
+/// Prompt for a style (dispatches to the three builders above).
+std::string build_prompt(llm::PromptStyle style,
+                         const frontend::SourceFile& file,
+                         const toolchain::CompileResult* compile,
+                         const toolchain::ExecutionRecord* exec);
+
+}  // namespace llm4vv::judge

@@ -1,0 +1,73 @@
+#include "judge/verdict.hpp"
+
+#include "support/strings.hpp"
+
+namespace llm4vv::judge {
+
+const char* verdict_name(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::kValid: return "valid";
+    case Verdict::kInvalid: return "invalid";
+    case Verdict::kUnparseable: return "unparseable";
+  }
+  return "?";
+}
+
+Verdict parse_verdict(const std::string& completion) {
+  const std::string lower = support::to_lower(completion);
+  const std::string marker = "final judgement:";
+
+  // Find the last marker occurrence.
+  std::size_t at = std::string::npos;
+  std::size_t search = 0;
+  for (;;) {
+    const std::size_t hit = lower.find(marker, search);
+    if (hit == std::string::npos) break;
+    at = hit;
+    search = hit + marker.size();
+  }
+  // Some models write the American spelling; `at` marks the phrase start
+  // in either case and the colon is located from there.
+  if (at == std::string::npos) {
+    const std::string alt = "final judgment:";
+    search = 0;
+    for (;;) {
+      const std::size_t hit = lower.find(alt, search);
+      if (hit == std::string::npos) break;
+      at = hit;
+      search = hit + alt.size();
+    }
+  }
+  if (at == std::string::npos) return Verdict::kUnparseable;
+
+  std::size_t i = lower.find(':', at);
+  if (i == std::string::npos) return Verdict::kUnparseable;
+  ++i;
+  while (i < lower.size() &&
+         (lower[i] == ' ' || lower[i] == '\n' || lower[i] == '\t' ||
+          lower[i] == '*' || lower[i] == '"')) {
+    ++i;
+  }
+  const std::string tail = lower.substr(i, 12);
+  // Negative forms first: "invalid" contains "valid".
+  if (support::starts_with(tail, "invalid") ||
+      support::starts_with(tail, "incorrect")) {
+    return Verdict::kInvalid;
+  }
+  if (support::starts_with(tail, "valid") ||
+      support::starts_with(tail, "correct")) {
+    return Verdict::kValid;
+  }
+  return Verdict::kUnparseable;
+}
+
+bool verdict_says_valid(Verdict verdict, bool fallback) noexcept {
+  switch (verdict) {
+    case Verdict::kValid: return true;
+    case Verdict::kInvalid: return false;
+    case Verdict::kUnparseable: return fallback;
+  }
+  return fallback;
+}
+
+}  // namespace llm4vv::judge

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+namespace llm4vv::judge {
+
+/// Outcome of parsing a completion for the FINAL JUDGEMENT protocol.
+enum class Verdict {
+  kValid,        ///< "FINAL JUDGEMENT: valid" / ": correct"
+  kInvalid,      ///< "FINAL JUDGEMENT: invalid" / ": incorrect"
+  kUnparseable,  ///< the model broke the output protocol
+};
+
+const char* verdict_name(Verdict verdict) noexcept;
+
+/// Robustly extract the verdict from a completion. Accepts both protocol
+/// vocabularies (valid/invalid and correct/incorrect), is case-insensitive,
+/// tolerates extra whitespace after the colon, and — because "invalid"
+/// contains "valid" and "incorrect" contains "correct" — matches the
+/// negative forms first. When several FINAL JUDGEMENT phrases appear, the
+/// last one wins (models sometimes restate their verdict).
+Verdict parse_verdict(const std::string& completion);
+
+/// Treat a verdict as a boolean judgment, mapping protocol violations to
+/// `fallback` (the harness counts an unparseable response as a failed
+/// evaluation of the file, i.e. invalid).
+bool verdict_says_valid(Verdict verdict, bool fallback = false) noexcept;
+
+}  // namespace llm4vv::judge

@@ -1,0 +1,56 @@
+#include "llm/client.hpp"
+
+#include <stdexcept>
+
+namespace llm4vv::llm {
+
+ModelClient::ModelClient(std::shared_ptr<const LanguageModel> model,
+                         std::size_t max_concurrency,
+                         std::size_t transcript_capacity)
+    : model_(std::move(model)),
+      max_concurrency_(max_concurrency == 0 ? 1 : max_concurrency),
+      transcript_capacity_(transcript_capacity) {
+  if (model_ == nullptr) {
+    throw std::invalid_argument("ModelClient: model must not be null");
+  }
+}
+
+Completion ModelClient::complete(const std::string& prompt,
+                                 const GenerationParams& params) {
+  {
+    std::unique_lock lock(mutex_);
+    slot_free_.wait(lock, [this] { return in_flight_ < max_concurrency_; });
+    ++in_flight_;
+  }
+
+  Completion completion = model_->generate(prompt, params);
+
+  {
+    std::lock_guard lock(mutex_);
+    --in_flight_;
+    ++stats_.requests;
+    stats_.prompt_tokens += completion.prompt_tokens;
+    stats_.completion_tokens += completion.completion_tokens;
+    stats_.gpu_seconds += completion.latency_seconds;
+    if (transcript_capacity_ > 0) {
+      transcripts_.push_back(Transcript{prompt, completion});
+      while (transcripts_.size() > transcript_capacity_) {
+        transcripts_.pop_front();
+      }
+    }
+  }
+  slot_free_.notify_one();
+  return completion;
+}
+
+ClientStats ModelClient::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::vector<Transcript> ModelClient::transcripts() const {
+  std::lock_guard lock(mutex_);
+  return std::vector<Transcript>(transcripts_.begin(), transcripts_.end());
+}
+
+}  // namespace llm4vv::llm

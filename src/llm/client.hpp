@@ -1,0 +1,69 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "llm/model.hpp"
+
+namespace llm4vv::llm {
+
+/// Aggregate statistics of an inference endpoint.
+struct ClientStats {
+  std::uint64_t requests = 0;
+  std::uint64_t prompt_tokens = 0;
+  std::uint64_t completion_tokens = 0;
+  /// Sum of simulated per-call latencies — "GPU seconds" of the modelled
+  /// A100 node, the currency the validation pipeline saves by filtering
+  /// files before the LLM stage.
+  double gpu_seconds = 0.0;
+};
+
+/// One recorded request/response pair (for the examples and debugging).
+struct Transcript {
+  std::string prompt;
+  Completion completion;
+};
+
+/// Thread-safe inference-server facade over a LanguageModel.
+///
+/// Models the paper's serving setup: one model replica per GPU, so at most
+/// `max_concurrency` generate() calls proceed at once (the pipeline's judge
+/// stage can be parallelized "if there are enough available GPU
+/// resources"); excess callers block. Statistics and an optional bounded
+/// transcript log are kept under a separate lock.
+class ModelClient {
+ public:
+  ModelClient(std::shared_ptr<const LanguageModel> model,
+              std::size_t max_concurrency = 1,
+              std::size_t transcript_capacity = 0);
+
+  /// Blocking completion call (thread-safe).
+  Completion complete(const std::string& prompt,
+                      const GenerationParams& params = {});
+
+  /// Snapshot of the running statistics.
+  ClientStats stats() const;
+
+  /// Recorded transcripts (most recent `transcript_capacity` calls).
+  std::vector<Transcript> transcripts() const;
+
+  /// The wrapped model's name.
+  std::string model_name() const { return model_->name(); }
+
+ private:
+  std::shared_ptr<const LanguageModel> model_;
+  const std::size_t max_concurrency_;
+  const std::size_t transcript_capacity_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable slot_free_;
+  std::size_t in_flight_ = 0;
+  ClientStats stats_;
+  std::deque<Transcript> transcripts_;
+};
+
+}  // namespace llm4vv::llm

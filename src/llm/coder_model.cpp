@@ -1,0 +1,191 @@
+#include "llm/coder_model.hpp"
+
+#include <algorithm>
+
+#include "llm/tokenizer.hpp"
+#include "support/rng.hpp"
+
+namespace llm4vv::llm {
+
+namespace {
+
+/// The strongest fired code-evidence gate (priority order mirrors how
+/// obvious each class is to a code reader: a missing directive namespace
+/// beats a subtle logic cut).
+double code_gate(const PromptPerception& view, const JudgeProfile& profile) {
+  if (view.misspelled_directive) return profile.q_misspelled_directive;
+  if (view.brace_imbalance) return profile.q_brace_imbalance;
+  if (view.undeclared_identifier) return profile.q_undeclared;
+  if (view.uninit_pointer) return profile.q_uninit_pointer;
+  if (view.missing_return) return profile.q_missing_return;
+  if (view.logic_mismatch) return profile.q_logic_mismatch;
+  return 0.0;
+}
+
+/// Renders a few analysis sentences appropriate to the condition so the
+/// completion reads like a code review, not a verdict token. The content
+/// echoes the perceived evidence; wording varies with the RNG.
+std::string render_analysis(const PromptPerception& view, bool invalid,
+                            support::Rng& rng) {
+  const char* flavor = frontend::flavor_name(view.flavor);
+  std::string out;
+
+  if (view.style == PromptStyle::kAgentIndirect) {
+    out += "This program ";
+    out += view.no_directives
+               ? "performs a purely host-side computation"
+               : std::string("initializes its data on the host, offloads "
+                             "the main loop with ") +
+                     flavor + " directives, and validates the results";
+    out += ". ";
+    if (view.has_tool_info) {
+      out += view.compiler_rc == 0
+                 ? "The compiler accepted the code without complaint. "
+                 : "The compiler reported errors while building it. ";
+      if (view.compiler_rc == 0) {
+        out += view.program_rc == 0
+                   ? "When run, it exits cleanly with code 0. "
+                   : "When run, it exits with a non-zero code. ";
+      }
+    }
+  } else {
+    out += "Reviewing the code against the criteria. ";
+  }
+
+  // One observation sentence per criterion, echoing the evidence.
+  out += "Syntax: ";
+  if (view.brace_imbalance) {
+    out += rng.chance(0.5)
+               ? "the block structure does not balance; a brace appears to "
+                 "be missing. "
+               : "there is a structural problem around one of the compound "
+                 "statements. ";
+  } else if (view.misspelled_directive) {
+    out += std::string("one of the ") + flavor +
+           " directives is not a recognized directive name. ";
+  } else {
+    out += "the directives and pragmas look syntactically well-formed. ";
+  }
+
+  out += "Directive appropriateness and clauses: ";
+  if (view.no_directives) {
+    out += std::string("the file contains no ") + flavor +
+           " directives at all, so it cannot exercise the compiler's " +
+           flavor + " support. ";
+  } else {
+    out += "the data and compute clauses match the intended parallel "
+           "pattern. ";
+  }
+
+  out += "Memory management: ";
+  if (view.uninit_pointer) {
+    out += "one buffer appears to be used without a visible allocation. ";
+  } else {
+    out += "host and device data movement looks consistent. ";
+  }
+
+  out += "Logic: ";
+  if (view.missing_return) {
+    out += "the test function does not return its error count, so the "
+           "result of the verification cannot reach the harness. ";
+  } else if (view.logic_mismatch) {
+    out += "the verification/reporting structure looks incomplete compared "
+           "to the usual serial-versus-parallel check. ";
+  } else {
+    out += "the serial reference and the device result are compared "
+           "element-wise with a tolerance, which is the expected shape. ";
+  }
+
+  if (invalid) {
+    out += rng.chance(0.5)
+               ? "Overall, the problems above mean this file would not "
+                 "serve as a trustworthy compiler test. "
+               : "Taken together, these issues make the test unreliable "
+                 "for validating a compiler. ";
+  } else {
+    out += rng.chance(0.5)
+               ? "Overall this looks like a complete, well-formed "
+                 "functional test. "
+               : "I find no disqualifying problem with this test. ";
+  }
+  return out;
+}
+
+}  // namespace
+
+SimulatedCoderModel::SimulatedCoderModel(CoderModelConfig config)
+    : config_(config) {}
+
+std::string SimulatedCoderModel::name() const {
+  return "deepseek-coder-33b-instruct-sim";
+}
+
+double SimulatedCoderModel::invalid_probability(
+    const PromptPerception& view) const {
+  const JudgeProfile& profile = judge_profile(view.flavor, view.style);
+
+  // A file with no directives is judged on that single, dominant
+  // observation (this carries the paper's OpenMP blind spot: the direct
+  // judge almost never flags plain C code as a non-OpenMP test).
+  if (view.no_directives) return profile.q_no_directives;
+
+  const double q_code = code_gate(view, profile);
+
+  double q_tool = 0.0;
+  if (view.style != PromptStyle::kDirectAnalysis && view.has_tool_info) {
+    const bool corroborated = view.any_code_evidence();
+    if (view.compiler_rc != 0) {
+      q_tool = corroborated ? profile.q_compile_failed_corroborated
+                            : profile.q_compile_failed_alone;
+    } else if (view.program_rc != 0) {
+      q_tool = corroborated ? profile.q_run_failed_corroborated
+                            : profile.q_run_failed_alone;
+    }
+  }
+
+  const double p = 1.0 - (1.0 - q_tool) * (1.0 - q_code);
+  if (p > 0.0) return p;
+  return profile.false_invalid_rate;
+}
+
+Completion SimulatedCoderModel::generate(const std::string& prompt,
+                                         const GenerationParams& params)
+    const {
+  const PromptPerception view = perceive(prompt);
+  const JudgeProfile& profile = judge_profile(view.flavor, view.style);
+
+  support::Rng rng(support::fnv1a64(prompt) ^ config_.seed ^ params.seed);
+  const bool invalid = rng.chance(invalid_probability(view));
+  const bool violate_protocol = rng.chance(profile.protocol_violation_rate);
+
+  std::string text = render_analysis(view, invalid, rng);
+  if (!violate_protocol) {
+    // The Part One protocol uses correct/incorrect; the agent protocols use
+    // valid/invalid (Listings 2-4).
+    const bool valid_protocol = view.style != PromptStyle::kDirectAnalysis;
+    text += "\nFINAL JUDGEMENT: ";
+    if (valid_protocol) {
+      text += invalid ? "invalid" : "valid";
+    } else {
+      text += invalid ? "incorrect" : "correct";
+    }
+    text += "\n";
+  } else {
+    text += "\nIn conclusion, the assessment above stands.\n";
+  }
+
+  Completion completion;
+  const Tokenizer& tokenizer = default_tokenizer();
+  completion.prompt_tokens =
+      std::min(tokenizer.count_tokens(prompt), config_.context_window);
+  completion.completion_tokens = tokenizer.count_tokens(text);
+  completion.latency_seconds =
+      static_cast<double>(completion.prompt_tokens) /
+          config_.prefill_tokens_per_second +
+      static_cast<double>(completion.completion_tokens) /
+          config_.decode_tokens_per_second;
+  completion.text = std::move(text);
+  return completion;
+}
+
+}  // namespace llm4vv::llm

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "llm/model.hpp"
+#include "llm/perception.hpp"
+#include "llm/profiles.hpp"
+
+namespace llm4vv::llm {
+
+/// Configuration of the simulated inference stack.
+struct CoderModelConfig {
+  /// Global seed mixed into every judgment draw; changing it re-rolls the
+  /// model's stochastic behaviour while keeping per-file determinism.
+  std::uint64_t seed = 0xD5C0DE2ULL;
+  /// Latency model for one simulated A100 node serving a 33B coder model.
+  double prefill_tokens_per_second = 2500.0;
+  double decode_tokens_per_second = 30.0;
+  /// Context window; longer prompts are (virtually) truncated for the
+  /// latency model, matching how the real harness clipped long files.
+  std::size_t context_window = 16384;
+};
+
+/// Behavioural simulator of deepseek-coder-33b-instruct as a V&V judge.
+///
+/// generate() is pure and thread-safe: it perceives the prompt (style,
+/// flavor, embedded code, quoted tool outputs — see perception.hpp), draws
+/// a verdict from the calibrated JudgeProfile for that condition, renders a
+/// step-by-step analysis ending in the paper's exact
+/// `FINAL JUDGEMENT: ...` protocol (with a small calibrated rate of
+/// protocol violations), and prices the call with the A100 latency model.
+///
+/// Determinism: the judgment RNG is seeded with
+/// hash(prompt) ^ config.seed ^ params.seed, so a given file under a given
+/// prompt style always receives the same verdict within an experiment —
+/// mirroring greedy/low-temperature decoding — while different experiment
+/// seeds give fresh draws for error bars.
+class SimulatedCoderModel final : public LanguageModel {
+ public:
+  explicit SimulatedCoderModel(CoderModelConfig config = {});
+
+  std::string name() const override;
+
+  Completion generate(const std::string& prompt,
+                      const GenerationParams& params) const override;
+
+  /// The probability this model would judge the perceived prompt invalid
+  /// (exposed for calibration tests).
+  double invalid_probability(const PromptPerception& perception) const;
+
+ private:
+  CoderModelConfig config_;
+};
+
+}  // namespace llm4vv::llm

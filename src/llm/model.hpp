@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace llm4vv::llm {
+
+/// Prompting styles studied by the paper (Listings 1-4 and Section V):
+///  - kDirectAnalysis: Part One's "direct analysis" prompt — code only.
+///  - kAgentDirect:    the agent-based direct prompt (LLMJ 1) — criteria +
+///                     compiler/program outputs + code.
+///  - kAgentIndirect:  the agent-based indirect prompt (LLMJ 2) —
+///                     describe-then-judge wording.
+enum class PromptStyle { kDirectAnalysis, kAgentDirect, kAgentIndirect };
+
+/// Human-readable style name as used in the paper ("non-agent LLMJ",
+/// "LLMJ 1", "LLMJ 2").
+const char* prompt_style_name(PromptStyle style) noexcept;
+
+/// Sampling parameters (the subset the simulation honours).
+struct GenerationParams {
+  int max_tokens = 1024;
+  double temperature = 0.2;
+  /// Seed mixed into the judgment draw; equal (prompt, seed) pairs give
+  /// byte-identical completions.
+  std::uint64_t seed = 0;
+};
+
+/// One model completion plus the accounting the pipeline's LLM stage needs.
+struct Completion {
+  std::string text;
+  std::size_t prompt_tokens = 0;
+  std::size_t completion_tokens = 0;
+  /// Simulated wall-clock cost of this call on the modelled A100 node
+  /// (prompt prefill + token-by-token decode). Pipeline statistics use
+  /// this as virtual time; nothing actually sleeps.
+  double latency_seconds = 0.0;
+};
+
+/// Abstract chat/completions endpoint. The reproduction ships
+/// SimulatedCoderModel; a real endpoint can be slotted in behind the same
+/// interface (see examples/custom_model.cpp).
+class LanguageModel {
+ public:
+  virtual ~LanguageModel() = default;
+
+  /// Model identifier, e.g. "deepseek-coder-33b-instruct-sim".
+  virtual std::string name() const = 0;
+
+  /// Complete a prompt. Implementations must be thread-safe: the pipeline's
+  /// LLM stage may call concurrently.
+  virtual Completion generate(const std::string& prompt,
+                              const GenerationParams& params) const = 0;
+};
+
+inline const char* prompt_style_name(PromptStyle style) noexcept {
+  switch (style) {
+    case PromptStyle::kDirectAnalysis: return "non-agent LLMJ";
+    case PromptStyle::kAgentDirect: return "LLMJ 1";
+    case PromptStyle::kAgentIndirect: return "LLMJ 2";
+  }
+  return "?";
+}
+
+}  // namespace llm4vv::llm

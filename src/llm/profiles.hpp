@@ -1,0 +1,44 @@
+#pragma once
+
+#include "frontend/source.hpp"
+#include "llm/model.hpp"
+
+namespace llm4vv::llm {
+
+/// Behavioural profile of the simulated deepseek-coder-33b-instruct judge
+/// for one (flavor, prompt style) condition.
+///
+/// The simulated model *perceives* real evidence in the prompt (it runs a
+/// lexer/parser/sema/directive-validator over the embedded code and reads
+/// the tool outputs the agent prompt carries) and then each piece of
+/// evidence convinces it with the probability given here. The q_* values
+/// are therefore interpretable "how reliably does the model act on this
+/// signal" parameters; they were calibrated offline against the paper's
+/// Tables I/II (direct) and VII/VIII (agent) — see profiles.cpp for the
+/// per-cell provenance.
+struct JudgeProfile {
+  // -- code-level evidence gates -------------------------------------------
+  double q_no_directives = 0.5;    ///< file contains no model directives
+  double q_misspelled_directive = 0.5;  ///< unknown directive name
+  double q_brace_imbalance = 0.5;  ///< parse-level structural break
+  double q_undeclared = 0.5;       ///< undeclared identifier (sema)
+  double q_uninit_pointer = 0.1;   ///< pointer never assigned before use
+  double q_logic_mismatch = 0.15;  ///< report/verify structure looks cut
+  double q_missing_return = 0.15;  ///< value-returning fn without return
+  // -- tool-output gates (agent styles; unused by kDirectAnalysis) ----------
+  double q_compile_failed_corroborated = 0.0;  ///< tool+code agree it broke
+  double q_compile_failed_alone = 0.0;  ///< tool failed, code looks fine
+  double q_run_failed_corroborated = 0.0;
+  double q_run_failed_alone = 0.0;
+  // -- baseline behaviour ----------------------------------------------------
+  /// P(judge says invalid) when no evidence fired at all (restrictiveness).
+  double false_invalid_rate = 0.1;
+  /// P(the completion omits the exact FINAL JUDGEMENT phrase) — real LLMs
+  /// occasionally break the output contract; the verdict parser must cope.
+  double protocol_violation_rate = 0.004;
+};
+
+/// Calibrated profile for a condition.
+const JudgeProfile& judge_profile(frontend::Flavor flavor, PromptStyle style);
+
+}  // namespace llm4vv::llm

@@ -1,0 +1,140 @@
+#include "llm/tokenizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace llm4vv::llm {
+
+namespace {
+
+/// Fragment vocabulary: frequent substrings of V&V test files, directive
+/// text, and judge prompts. Order is irrelevant (matching is by length).
+const char* kFragments[] = {
+    // whitespace & indentation
+    "\n", "  ", "    ", "      ", "\n  ", "\n    ", " = ", " == ", " != ",
+    " <= ", " >= ", " < ", " > ", " + ", " - ", " * ", " / ",
+    // C structure
+    "#include <stdio.h>", "#include <stdlib.h>", "#include <math.h>",
+    "#include <openacc.h>", "#include <omp.h>", "#define N ",
+    "int main() {", "return", "double", "float", "int ", "long ", "void",
+    "for (int i = 0; i < N; i++) {", "for (int i = 0; i < ", "i++) {",
+    "if (", "} else {", "};", "();", ");\n", ";\n", "()", "{\n", "}\n",
+    "printf(", "malloc(", "free(", "fabs(", "sizeof(double)",
+    "sizeof(long)", "(double *)", "(long *)", "err", "expected",
+    "[i]", "[0:N]", "0.0", "1.0", "* 2.0", "1e-10", "1e-6",
+    "Test PASSED", "Test FAILED with %d errors",
+    // directives
+    "#pragma acc ", "#pragma omp ", "!$acc ", "!$omp ",
+    "parallel loop", "kernels loop", "serial loop", "parallel for",
+    "target teams distribute parallel for", "target teams distribute",
+    "target data", "target enter data", "target exit data", "target update",
+    "enter data", "exit data", "update host(", "update device(",
+    "copyin(", "copyout(", "copy(", "create(", "present(", "delete(",
+    "map(to: ", "map(from: ", "map(tofrom: ", "map(alloc: ",
+    "map(release: ", "reduction(+:", "reduction(max:", "reduction(min:",
+    "private(", "firstprivate(", "collapse(", "num_gangs(", "num_teams(",
+    "vector_length(", "thread_limit(", "schedule(static)", "nowait",
+    "async", "wait", "atomic", "simd", "gang", "vector", "worker",
+    // Fortran
+    "program ", "end program", "implicit none", "integer", "real(8)",
+    "allocatable :: ", "allocate(", "deallocate(", "do i = 1, n",
+    "end do", "end if", "then", "call exit(", "print *, ",
+    // prompt scaffolding (Listings 1-4)
+    "Syntax: ", "Directive Appropriateness: ", "Clause Correctness: ",
+    "Memory Management: ", "Compliance: ", "Logic: ",
+    "FINAL JUDGEMENT: ", "valid", "invalid", "correct", "incorrect",
+    "OpenACC", "OpenMP", "directives and pragmas are syntactically",
+    "Compiler return code: ", "Compiler STDERR: ", "Compiler STDOUT: ",
+    "Return code: ", "STDERR: ", "STDOUT: ",
+    "Here is the code", "evaluate the code", "Think step by step.",
+    "compiler test", "the code ", "the test ", " the ", " and ", " that ",
+    " is ", " of ", " to ", " a ", "tion", "ing ", "ed ", "error",
+};
+
+}  // namespace
+
+Tokenizer::Tokenizer() {
+  vocab_.reserve(256 + std::size(kFragments));
+  for (int b = 0; b < 256; ++b) {
+    vocab_.push_back(std::string(1, static_cast<char>(b)));
+  }
+  for (const char* fragment : kFragments) {
+    vocab_.emplace_back(fragment);
+  }
+
+  by_first_byte_.resize(256);
+  for (std::size_t id = 0; id < vocab_.size(); ++id) {
+    const auto first = static_cast<unsigned char>(vocab_[id][0]);
+    by_first_byte_[first].push_back(static_cast<std::int32_t>(id));
+  }
+  for (auto& bucket : by_first_byte_) {
+    std::sort(bucket.begin(), bucket.end(),
+              [this](std::int32_t a, std::int32_t b) {
+                return vocab_[static_cast<std::size_t>(a)].size() >
+                       vocab_[static_cast<std::size_t>(b)].size();
+              });
+  }
+}
+
+std::vector<std::int32_t> Tokenizer::encode(const std::string& text) const {
+  std::vector<std::int32_t> ids;
+  ids.reserve(text.size() / 3 + 8);
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const auto first = static_cast<unsigned char>(text[i]);
+    std::int32_t best = static_cast<std::int32_t>(first);  // byte fallback
+    for (const std::int32_t id : by_first_byte_[first]) {
+      const std::string& tok = vocab_[static_cast<std::size_t>(id)];
+      if (tok.size() <= text.size() - i &&
+          text.compare(i, tok.size(), tok) == 0) {
+        best = id;
+        break;  // buckets are longest-first
+      }
+    }
+    ids.push_back(best);
+    i += vocab_[static_cast<std::size_t>(best)].size();
+  }
+  return ids;
+}
+
+std::string Tokenizer::decode(const std::vector<std::int32_t>& ids) const {
+  std::string out;
+  for (const std::int32_t id : ids) {
+    out += token_text(id);
+  }
+  return out;
+}
+
+std::size_t Tokenizer::count_tokens(const std::string& text) const {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const auto first = static_cast<unsigned char>(text[i]);
+    std::size_t advance = 1;
+    for (const std::int32_t id : by_first_byte_[first]) {
+      const std::string& tok = vocab_[static_cast<std::size_t>(id)];
+      if (tok.size() <= text.size() - i &&
+          text.compare(i, tok.size(), tok) == 0) {
+        advance = tok.size();
+        break;
+      }
+    }
+    ++count;
+    i += advance;
+  }
+  return count;
+}
+
+const std::string& Tokenizer::token_text(std::int32_t id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= vocab_.size()) {
+    throw std::out_of_range("Tokenizer: bad token id");
+  }
+  return vocab_[static_cast<std::size_t>(id)];
+}
+
+const Tokenizer& default_tokenizer() {
+  static const Tokenizer tokenizer;
+  return tokenizer;
+}
+
+}  // namespace llm4vv::llm

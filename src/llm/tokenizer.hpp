@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llm4vv::llm {
+
+/// Greedy longest-match subword tokenizer (BPE-style vocabulary of common
+/// code fragments over a byte-level base).
+///
+/// The simulated inference stack uses it for what the real stack uses its
+/// tokenizer for: accounting. Prompt/completion token counts drive the
+/// latency model and context-window truncation, so they must be stable and
+/// reasonable for C/Fortran/directive text, which the code-fragment
+/// vocabulary ensures (~3.5 chars/token on corpus files, similar to
+/// deepseek-coder's tokenizer on the same text).
+class Tokenizer {
+ public:
+  Tokenizer();
+
+  /// Encode text to token ids (greedy longest match; lossless).
+  std::vector<std::int32_t> encode(const std::string& text) const;
+
+  /// Decode ids back to text. decode(encode(t)) == t for all t.
+  std::string decode(const std::vector<std::int32_t>& ids) const;
+
+  /// encode(text).size() without materializing the id vector.
+  std::size_t count_tokens(const std::string& text) const;
+
+  /// Vocabulary size (256 byte tokens + the fragment merges).
+  std::size_t vocab_size() const noexcept { return vocab_.size(); }
+
+  /// The text of one token id.
+  const std::string& token_text(std::int32_t id) const;
+
+ private:
+  std::vector<std::string> vocab_;
+  /// First-byte index: candidate token ids per leading byte, longest first.
+  std::vector<std::vector<std::int32_t>> by_first_byte_;
+};
+
+/// Process-wide tokenizer instance (construction is cheap but not free).
+const Tokenizer& default_tokenizer();
+
+}  // namespace llm4vv::llm

@@ -1,0 +1,126 @@
+#include "metrics/metrics.hpp"
+
+#include <cmath>
+
+namespace llm4vv::metrics {
+
+EvalReport evaluate(std::span<const JudgmentRecord> records) {
+  EvalReport report;
+  long bias_total = 0;
+  for (const auto& record : records) {
+    const auto id = static_cast<std::size_t>(record.issue);
+    const bool truth_valid = record.issue == probing::IssueType::kNoIssue;
+    const bool correct = record.says_valid == truth_valid;
+    auto& row = report.per_issue[id];
+    ++row.count;
+    ++report.total_count;
+    if (correct) {
+      ++row.correct;
+    } else {
+      ++row.incorrect;
+      ++report.total_mistakes;
+      // Mistake on an invalid file = permissiveness (+1); mistake on a
+      // valid file = restrictiveness (-1).
+      bias_total += truth_valid ? -1 : +1;
+    }
+  }
+  report.overall_accuracy =
+      report.total_count == 0
+          ? 0.0
+          : static_cast<double>(report.total_count - report.total_mistakes) /
+                static_cast<double>(report.total_count);
+  report.bias = report.total_mistakes == 0
+                    ? 0.0
+                    : static_cast<double>(bias_total) /
+                          static_cast<double>(report.total_mistakes);
+  return report;
+}
+
+std::array<double, 6> radar_axes(const EvalReport& report) {
+  std::array<double, 6> axes{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    axes[i] = report.per_issue[i].accuracy();
+  }
+  return axes;
+}
+
+std::array<std::string, 6> radar_axis_labels(frontend::Flavor flavor) {
+  const std::string model = frontend::flavor_name(flavor);
+  return {
+      model + " misuse",   // issue 0
+      "Syntax",            // issue 1
+      "Undeclared var",    // issue 2
+      "Non-" + model,      // issue 3
+      "Test logic",        // issue 4
+      "Valid tests",       // issue 5
+  };
+}
+
+std::string render_radar(const std::vector<std::array<double, 6>>& series,
+                         const std::vector<std::string>& series_names,
+                         const std::array<std::string, 6>& axis_labels) {
+  constexpr int kRows = 27;
+  constexpr int kCols = 61;
+  constexpr double kRadiusRows = 11.0;  // terminal cells are ~2:1
+  constexpr double kRadiusCols = 24.0;
+  const double pi = std::acos(-1.0);
+
+  std::vector<std::string> grid(kRows, std::string(kCols, ' '));
+  const int cy = kRows / 2;
+  const int cx = kCols / 2;
+
+  const auto place = [&](double axis_fraction, std::size_t axis, char mark) {
+    const double angle = -pi / 2.0 + static_cast<double>(axis) * pi / 3.0;
+    const int r =
+        cy + static_cast<int>(std::round(std::sin(angle) * kRadiusRows *
+                                         axis_fraction));
+    const int c =
+        cx + static_cast<int>(std::round(std::cos(angle) * kRadiusCols *
+                                         axis_fraction));
+    if (r >= 0 && r < kRows && c >= 0 && c < kCols) {
+      grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = mark;
+    }
+  };
+
+  // Axis spokes with tick dots at 50% and 100%.
+  for (std::size_t axis = 0; axis < 6; ++axis) {
+    for (int step = 1; step <= 10; ++step) {
+      place(step / 10.0, axis, step == 10 ? '+' : '.');
+    }
+  }
+  grid[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = 'o';
+
+  // Series markers (later series overwrite earlier on exact collisions,
+  // which the legend calls out).
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const char mark = static_cast<char>('1' + s);
+    for (std::size_t axis = 0; axis < 6; ++axis) {
+      place(series[s][axis], axis, mark);
+    }
+  }
+
+  std::string out;
+  for (const auto& row : grid) {
+    out += row;
+    out += '\n';
+  }
+  out += "axes (clockwise from top):";
+  for (std::size_t axis = 0; axis < 6; ++axis) {
+    out += (axis == 0 ? " " : " | ") + axis_labels[axis];
+  }
+  out += "\nlegend:";
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    out += " [" + std::string(1, static_cast<char>('1' + s)) + "] " +
+           (s < series_names.size() ? series_names[s] : "series");
+    out += "  values:";
+    for (std::size_t axis = 0; axis < 6; ++axis) {
+      out += " " + std::to_string(static_cast<int>(
+                       std::lround(series[s][axis] * 100))) + "%";
+    }
+    out += ";";
+  }
+  out += "\n('+' marks 100% on each spoke, 'o' the origin)\n";
+  return out;
+}
+
+}  // namespace llm4vv::metrics

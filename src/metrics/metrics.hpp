@@ -1,0 +1,61 @@
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "probing/mutation.hpp"
+
+namespace llm4vv::metrics {
+
+/// One scored judgment: what the file really was vs what the method said.
+struct JudgmentRecord {
+  probing::IssueType issue = probing::IssueType::kNoIssue;
+  bool says_valid = false;  ///< the judge's / pipeline's verdict
+};
+
+/// Per-issue accuracy row (Section IV "data points recorded").
+struct IssueStats {
+  std::size_t count = 0;
+  std::size_t correct = 0;
+  std::size_t incorrect = 0;
+  /// correct / count; 0 when the row is empty.
+  double accuracy() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(count);
+  }
+};
+
+/// The paper's full metric set for one method under negative probing.
+struct EvalReport {
+  std::array<IssueStats, 6> per_issue;  ///< indexed by issue id 0-5
+  std::size_t total_count = 0;
+  std::size_t total_mistakes = 0;
+  /// Overall evaluation accuracy (Section IV).
+  double overall_accuracy = 0.0;
+  /// Bias in [-1, 1]: +1 per passed-invalid mistake, -1 per failed-valid
+  /// mistake, divided by total mistakes (Section IV). 0 when mistake-free.
+  double bias = 0.0;
+};
+
+/// Score a set of judgments against the paper's system-of-verification
+/// (issues 0-4 invalid, issue 5 valid).
+EvalReport evaluate(std::span<const JudgmentRecord> records);
+
+/// Radar-figure categories (Figures 3-6 plot per-category accuracy).
+/// We map the paper's axes to the issue taxonomy: directive misuse (0),
+/// syntax (1), undeclared variables (2), non-model code (3), test logic
+/// (4), and valid-test recognition (5).
+std::array<double, 6> radar_axes(const EvalReport& report);
+
+/// Axis labels for the radar renderer, flavor-aware.
+std::array<std::string, 6> radar_axis_labels(frontend::Flavor flavor);
+
+/// Render an ASCII radar chart of up to three series on the six axes.
+/// Marker characters identify each series ('1', '2', '3', ...).
+std::string render_radar(const std::vector<std::array<double, 6>>& series,
+                         const std::vector<std::string>& series_names,
+                         const std::array<std::string, 6>& axis_labels);
+
+}  // namespace llm4vv::metrics

@@ -1,0 +1,174 @@
+#include "pipeline/validation_pipeline.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "support/mpmc_queue.hpp"
+#include "support/stopwatch.hpp"
+
+namespace llm4vv::pipeline {
+
+namespace {
+
+/// Work unit flowing between stages. The compile artifacts ride along so
+/// the judge stage can quote them in the agent prompt.
+struct WorkItem {
+  std::size_t index = 0;
+  toolchain::CompileResult compile;
+  toolchain::ExecutionRecord exec;
+};
+
+/// Thread-safe accumulator for one stage's counters.
+class StageCounter {
+ public:
+  void account(bool rejected, double seconds) {
+    std::lock_guard lock(mutex_);
+    ++stats_.processed;
+    if (rejected) ++stats_.rejected;
+    stats_.busy_seconds += seconds;
+  }
+
+  StageStats snapshot() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  StageStats stats_;
+};
+
+}  // namespace
+
+ValidationPipeline::ValidationPipeline(
+    toolchain::CompilerDriver compiler, toolchain::Executor executor,
+    std::shared_ptr<const judge::Llmj> judge, PipelineConfig config)
+    : compiler_(std::move(compiler)),
+      executor_(executor),
+      judge_(std::move(judge)),
+      config_(config) {
+  if (judge_ == nullptr) {
+    throw std::invalid_argument("ValidationPipeline: judge must not be null");
+  }
+  if (config_.compile_workers == 0) config_.compile_workers = 1;
+  if (config_.execute_workers == 0) config_.execute_workers = 1;
+  if (config_.judge_workers == 0) config_.judge_workers = 1;
+}
+
+PipelineResult ValidationPipeline::run(
+    const std::vector<frontend::SourceFile>& files) const {
+  PipelineResult result;
+  result.records.resize(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    result.records[i].index = i;
+  }
+  if (files.empty()) return result;
+
+  const bool filter = config_.mode == PipelineMode::kFilterEarly;
+
+  support::MpmcQueue<std::size_t> compile_queue(config_.queue_capacity);
+  support::MpmcQueue<WorkItem> execute_queue(config_.queue_capacity);
+  support::MpmcQueue<WorkItem> judge_queue(config_.queue_capacity);
+
+  StageCounter compile_counter;
+  StageCounter execute_counter;
+  StageCounter judge_counter;
+  std::mutex gpu_mutex;
+  double judge_gpu_seconds = 0.0;
+
+  std::atomic<std::size_t> compile_live{config_.compile_workers};
+  std::atomic<std::size_t> execute_live{config_.execute_workers};
+
+  support::Stopwatch wall;
+  std::vector<std::thread> workers;
+  workers.reserve(config_.compile_workers + config_.execute_workers +
+                  config_.judge_workers);
+
+  // Stage 1: compile.
+  for (std::size_t w = 0; w < config_.compile_workers; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const auto index = compile_queue.pop();
+        if (!index) break;
+        support::Stopwatch timer;
+        WorkItem item;
+        item.index = *index;
+        item.compile = compiler_.compile(files[*index]);
+        PipelineRecord& record = result.records[*index];
+        record.compiled = item.compile.success;
+        record.compile_rc = item.compile.return_code;
+        compile_counter.account(!item.compile.success, timer.seconds());
+        if (filter && !item.compile.success) continue;
+        execute_queue.push(std::move(item));
+      }
+      if (compile_live.fetch_sub(1) == 1) execute_queue.close();
+    });
+  }
+
+  // Stage 2: execute.
+  for (std::size_t w = 0; w < config_.execute_workers; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        auto item = execute_queue.pop();
+        if (!item) break;
+        support::Stopwatch timer;
+        item->exec = executor_.run(item->compile.module);
+        PipelineRecord& record = result.records[item->index];
+        record.executed = item->exec.passed();
+        record.exec_rc = item->exec.return_code;
+        execute_counter.account(!item->exec.passed(), timer.seconds());
+        if (filter && !item->exec.passed()) continue;
+        judge_queue.push(std::move(*item));
+      }
+      if (execute_live.fetch_sub(1) == 1) judge_queue.close();
+    });
+  }
+
+  // Stage 3: agent-based LLMJ.
+  for (std::size_t w = 0; w < config_.judge_workers; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        auto item = judge_queue.pop();
+        if (!item) break;
+        support::Stopwatch timer;
+        const judge::JudgeDecision decision =
+            judge_->evaluate(files[item->index], &item->compile, &item->exec,
+                             config_.judge_seed);
+        PipelineRecord& record = result.records[item->index];
+        record.judged = true;
+        record.verdict = decision.verdict;
+        record.judge_says_valid = decision.says_valid;
+        record.judge_gpu_seconds = decision.completion.latency_seconds;
+        judge_counter.account(!decision.says_valid, timer.seconds());
+        {
+          std::lock_guard lock(gpu_mutex);
+          judge_gpu_seconds += decision.completion.latency_seconds;
+        }
+      }
+    });
+  }
+
+  // Feed the first stage, then signal end-of-input.
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    compile_queue.push(i);
+  }
+  compile_queue.close();
+
+  for (auto& worker : workers) worker.join();
+
+  for (auto& record : result.records) {
+    record.pipeline_says_valid =
+        record.compiled && record.executed && record.judged &&
+        record.judge_says_valid;
+  }
+  result.compile_stage = compile_counter.snapshot();
+  result.execute_stage = execute_counter.snapshot();
+  result.judge_stage = judge_counter.snapshot();
+  result.wall_seconds = wall.seconds();
+  result.judge_gpu_seconds = judge_gpu_seconds;
+  return result;
+}
+
+}  // namespace llm4vv::pipeline

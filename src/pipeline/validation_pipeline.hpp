@@ -1,0 +1,92 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "judge/judge.hpp"
+#include "toolchain/compiler.hpp"
+#include "toolchain/executor.hpp"
+
+namespace llm4vv::pipeline {
+
+/// Pipeline operating modes (Section III-C):
+///  - kFilterEarly: a file that fails a stage is not passed downstream —
+///    "a file that fails an earlier stage of the pipeline does not need to
+///    be passed to the next stage". This is the production configuration.
+///  - kRecordAll: every file flows through all three stages and every
+///    stage's outcome is recorded — the configuration the paper used for
+///    its experiments, so pipeline verdicts can be computed retroactively
+///    while also measuring the judges on every file.
+enum class PipelineMode { kFilterEarly, kRecordAll };
+
+/// Worker/queue configuration of the three stages.
+struct PipelineConfig {
+  PipelineMode mode = PipelineMode::kRecordAll;
+  std::size_t compile_workers = 1;
+  std::size_t execute_workers = 1;
+  /// Parallelism of the LLM stage ("if there are enough available GPU
+  /// resources"); bounded by the ModelClient's concurrency anyway.
+  std::size_t judge_workers = 1;
+  std::size_t queue_capacity = 128;
+  std::uint64_t judge_seed = 0;
+};
+
+/// Everything recorded about one file's trip through the pipeline.
+struct PipelineRecord {
+  std::size_t index = 0;        ///< position in the input vector
+  bool compiled = false;        ///< compile stage verdict
+  int compile_rc = -1;
+  bool executed = false;        ///< reached the execute stage and exited 0
+  int exec_rc = -1;
+  bool judged = false;          ///< reached the judge stage
+  judge::Verdict verdict = judge::Verdict::kUnparseable;
+  bool judge_says_valid = false;
+  /// The pipeline's final verdict: compiled && exited 0 && judged valid.
+  bool pipeline_says_valid = false;
+  /// Simulated GPU seconds spent judging this file (0 when filtered).
+  double judge_gpu_seconds = 0.0;
+};
+
+/// Per-stage counters.
+struct StageStats {
+  std::size_t processed = 0;  ///< items the stage actually worked on
+  std::size_t rejected = 0;   ///< items the stage failed
+  double busy_seconds = 0.0;  ///< summed worker time in the stage
+};
+
+/// Result of one pipeline run.
+struct PipelineResult {
+  std::vector<PipelineRecord> records;  ///< input order
+  StageStats compile_stage;
+  StageStats execute_stage;
+  StageStats judge_stage;
+  double wall_seconds = 0.0;
+  /// GPU seconds the LLM stage consumed; in kFilterEarly mode this is what
+  /// early filtering saves relative to kRecordAll.
+  double judge_gpu_seconds = 0.0;
+};
+
+/// The staged validation pipeline of Figure 2: bounded queues between a
+/// compile stage, an execute stage, and an agent-based LLMJ stage, each
+/// served by its own worker pool (CP.mess: stages share nothing and
+/// communicate only through the queues).
+class ValidationPipeline {
+ public:
+  ValidationPipeline(toolchain::CompilerDriver compiler,
+                     toolchain::Executor executor,
+                     std::shared_ptr<const judge::Llmj> judge,
+                     PipelineConfig config = {});
+
+  /// Push a batch of files through the pipeline and wait for completion.
+  PipelineResult run(const std::vector<frontend::SourceFile>& files) const;
+
+  const PipelineConfig& config() const noexcept { return config_; }
+
+ private:
+  toolchain::CompilerDriver compiler_;
+  toolchain::Executor executor_;
+  std::shared_ptr<const judge::Llmj> judge_;
+  PipelineConfig config_;
+};
+
+}  // namespace llm4vv::pipeline

@@ -1,0 +1,59 @@
+#include "probing/candidates.hpp"
+
+namespace llm4vv::probing {
+
+std::vector<Candidate> generate_candidates(const CandidateConfig& config) {
+  // Base pool of valid tests; oversized so defect-inapplicable draws can
+  // fall through to another file.
+  corpus::GeneratorConfig gen;
+  gen.flavor = config.flavor;
+  gen.count = config.count + config.count / 4 + 16;
+  gen.seed = config.seed;
+  const corpus::Suite suite = corpus::generate_suite(gen);
+
+  support::Rng rng(config.seed ^ 0xCA9D1DA7E5ULL);
+
+  double total_weight = 0.0;
+  for (const double w : config.defect_weights) total_weight += w;
+  if (total_weight <= 0.0) total_weight = 1.0;
+
+  const auto draw_defect = [&]() {
+    double x = rng.next_double() * total_weight;
+    for (std::size_t id = 0; id < 5; ++id) {
+      x -= config.defect_weights[id];
+      if (x <= 0.0) return static_cast<IssueType>(id);
+    }
+    return IssueType::kRemovedLastBracketedSection;
+  };
+
+  std::vector<Candidate> candidates;
+  candidates.reserve(config.count);
+  std::size_t next = 0;
+  while (candidates.size() < config.count && next < suite.cases.size()) {
+    const corpus::TestCase& base = suite.cases[next++];
+    Candidate candidate;
+    candidate.file = base.file;
+    if (rng.chance(config.defect_rate)) {
+      const IssueType defect = draw_defect();
+      support::Rng file_rng = rng.fork();
+      const auto mutated =
+          apply_mutation(base.file.content, base.file.language, defect,
+                         config.mutation, file_rng);
+      if (!mutated.has_value()) continue;  // defect inapplicable: skip file
+      candidate.file.content = *mutated;
+      candidate.truly_valid = false;
+      candidate.defect = defect;
+      if (defect == IssueType::kReplacedWithPlainCode) {
+        candidate.file.language = frontend::Language::kC;
+      }
+    }
+    candidates.push_back(std::move(candidate));
+  }
+  if (candidates.size() < config.count) {
+    throw std::runtime_error(
+        "generate_candidates: base pool exhausted before reaching count");
+  }
+  return candidates;
+}
+
+}  // namespace llm4vv::probing

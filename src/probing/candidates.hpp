@@ -1,0 +1,42 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "corpus/generator.hpp"
+#include "probing/mutation.hpp"
+
+namespace llm4vv::probing {
+
+/// Synthetic "LLM-generated candidate test" stream — the workload the
+/// paper's validation pipeline exists for ("verifying LLM-generated codes
+/// with a high occurrence of invalidity", Section III-C) and its future
+/// work ("the automation of compiler test generation").
+///
+/// A candidate is a V&V test that is either clean or carries one defect
+/// drawn from the negative-probing taxonomy; the defect rate and class mix
+/// model how raw LLM generations actually fail (dominated by subtle
+/// semantic slips and truncation rather than garbage).
+struct CandidateConfig {
+  frontend::Flavor flavor = frontend::Flavor::kOpenACC;
+  std::size_t count = 100;
+  std::uint64_t seed = 0xCAFEF00DULL;
+  /// Share of candidates carrying a defect.
+  double defect_rate = 0.5;
+  /// Relative weights of defect classes (issue IDs 0-4) among defective
+  /// candidates; normalized internally.
+  std::array<double, 5> defect_weights = {0.30, 0.10, 0.20, 0.05, 0.35};
+  MutationConfig mutation;
+};
+
+/// One candidate with its (hidden) ground truth.
+struct Candidate {
+  frontend::SourceFile file;
+  bool truly_valid = true;
+  IssueType defect = IssueType::kNoIssue;  ///< kNoIssue when clean
+};
+
+/// Generate a deterministic candidate stream.
+std::vector<Candidate> generate_candidates(const CandidateConfig& config);
+
+}  // namespace llm4vv::probing

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace llm4vv::support {
+
+/// Tiny `--flag value` / `--flag=value` command-line parser shared by the
+/// bench and example binaries. Unknown flags raise std::invalid_argument so
+/// typos fail loudly; every binary also runs with no arguments (defaults).
+class CliArgs {
+ public:
+  /// Parse argv. Flags take the forms `--name value`, `--name=value`, and
+  /// bare `--name` (boolean true).
+  CliArgs(int argc, const char* const* argv);
+
+  /// True when the flag appeared at all.
+  bool has(const std::string& name) const;
+
+  /// String value of a flag, or `fallback` when absent.
+  std::string get(const std::string& name, const std::string& fallback) const;
+
+  /// Integer value of a flag, or `fallback` when absent.
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+
+  /// Double value of a flag, or `fallback` when absent.
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace llm4vv::support

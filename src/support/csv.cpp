@@ -1,0 +1,100 @@
+#include "support/csv.hpp"
+
+#include <stdexcept>
+
+namespace llm4vv::support {
+
+std::string csv_quote(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : width_(header.size()) {
+  if (width_ == 0) throw std::invalid_argument("CsvWriter: empty header");
+  rows_.push_back(std::move(header));
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  if (row.size() != width_) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  rows_.push_back(row);
+}
+
+std::string CsvWriter::str() const {
+  std::string out;
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out.push_back(',');
+      out += csv_quote(row[c]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> csv_parse(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_started = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_started = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        row_started = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        if (row_started || !field.empty() || !row.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          row_started = false;
+        }
+        break;
+      default:
+        field.push_back(c);
+        row_started = true;
+        break;
+    }
+  }
+  if (row_started || !field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace llm4vv::support

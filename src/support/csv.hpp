@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace llm4vv::support {
+
+/// Minimal CSV writer with RFC-4180 quoting; experiment runners use it to
+/// persist per-file records for offline inspection.
+class CsvWriter {
+ public:
+  /// Start a document with the given header row.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Append a row (width-checked against the header).
+  void add_row(const std::vector<std::string>& row);
+
+  /// Serialize to a CSV string.
+  std::string str() const;
+
+  /// Number of data rows (header excluded).
+  std::size_t row_count() const noexcept { return rows_.size() - 1; }
+
+ private:
+  std::size_t width_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quote a single CSV field per RFC 4180 (quotes doubled; the field is
+/// wrapped in quotes when it contains a comma, quote, or newline).
+std::string csv_quote(const std::string& field);
+
+/// Parse a CSV document produced by CsvWriter back into rows (used by tests
+/// for a round-trip property).
+std::vector<std::vector<std::string>> csv_parse(const std::string& text);
+
+}  // namespace llm4vv::support

@@ -1,0 +1,71 @@
+#include "support/jsonl.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace llm4vv::support {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonObject& JsonObject::field(const std::string& key,
+                              const std::string& value) {
+  parts_.push_back("\"" + json_escape(key) + "\":\"" + json_escape(value) +
+                   "\"");
+  return *this;
+}
+
+JsonObject& JsonObject::field(const std::string& key, std::int64_t value) {
+  parts_.push_back("\"" + json_escape(key) + "\":" + std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::field(const std::string& key, bool value) {
+  parts_.push_back("\"" + json_escape(key) +
+                   "\":" + (value ? "true" : "false"));
+  return *this;
+}
+
+JsonObject& JsonObject::field(const std::string& key, double value) {
+  if (!std::isfinite(value)) {
+    parts_.push_back("\"" + json_escape(key) + "\":null");
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  parts_.push_back("\"" + json_escape(key) + "\":" + buf);
+  return *this;
+}
+
+std::string JsonObject::str() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i) out.push_back(',');
+    out += parts_[i];
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace llm4vv::support

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace llm4vv::support {
+
+/// Incremental builder for one JSON object, emitted as a single line
+/// (JSON Lines). Experiment runners use it to persist per-file records:
+/// every value is escaped, keys are emitted in insertion order, and the
+/// output is valid standalone JSON.
+class JsonObject {
+ public:
+  /// Add a string field.
+  JsonObject& field(const std::string& key, const std::string& value);
+
+  /// Add an integer field.
+  JsonObject& field(const std::string& key, std::int64_t value);
+
+  /// Add a boolean field.
+  JsonObject& field(const std::string& key, bool value);
+
+  /// Add a floating-point field (formatted with up to 6 significant digits;
+  /// NaN/inf are emitted as null per strict JSON).
+  JsonObject& field(const std::string& key, double value);
+
+  /// Serialize as a single JSON object line (no trailing newline).
+  std::string str() const;
+
+ private:
+  std::vector<std::string> parts_;
+};
+
+/// Escape a string for inclusion in JSON output (quotes not included).
+std::string json_escape(const std::string& text);
+
+}  // namespace llm4vv::support

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+namespace llm4vv::support {
+
+/// Log severities, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global minimum severity (thread-safe; default kInfo).
+void set_log_level(LogLevel level) noexcept;
+
+/// Current global minimum severity.
+LogLevel log_level() noexcept;
+
+/// Emit one log line to stderr as "[LEVEL] message" when `level` passes the
+/// global threshold. Serialized with an internal mutex so concurrent pipeline
+/// workers do not interleave bytes.
+void log(LogLevel level, const std::string& message);
+
+/// Convenience wrappers.
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace llm4vv::support

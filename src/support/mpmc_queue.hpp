@@ -1,0 +1,118 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace llm4vv::support {
+
+/// Bounded multi-producer/multi-consumer blocking queue.
+///
+/// This is the channel that connects validation-pipeline stages (Figure 2 of
+/// the paper): producers block when the queue is full (back-pressure keeps a
+/// fast compile stage from flooding the slow LLM stage) and consumers block
+/// when it is empty. `close()` wakes everyone and drains remaining items;
+/// after the queue is closed and empty, `pop()` returns std::nullopt so
+/// worker loops terminate cleanly (CP.mess: communicate by message passing,
+/// not by shared mutable state).
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Create a queue holding at most `capacity` items (capacity must be > 0).
+  explicit MpmcQueue(std::size_t capacity = 256) : capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("MpmcQueue: capacity must be > 0");
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Block until there is space, then enqueue. Returns false (and drops the
+  /// item) if the queue was closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking enqueue; returns false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the queue is closed-and-drained.
+  /// Returns std::nullopt only in the latter case.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking dequeue; std::nullopt when currently empty.
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Close the queue: producers start failing immediately, consumers drain
+  /// the remaining items and then observe end-of-stream.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// True once close() has been called.
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  /// Number of items currently buffered (a snapshot; for stats only).
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  /// Maximum number of buffered items.
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace llm4vv::support

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace llm4vv::support {
+
+/// Deterministic pseudo-random number generator used throughout LLM4VV.
+///
+/// Every stochastic component (corpus generation, negative probing, the
+/// simulated judge) draws from an `Rng` seeded explicitly by the caller, so
+/// every experiment in the paper reproduction is bit-for-bit reproducible.
+///
+/// The engine is xoshiro256** seeded through SplitMix64, which gives good
+/// statistical quality at a few nanoseconds per draw and - unlike
+/// std::mt19937 - has a tiny state that is cheap to fork per worker thread
+/// (CP.3: forked streams instead of a shared, locked generator).
+class Rng {
+ public:
+  /// Construct a generator from a 64-bit seed. Equal seeds yield equal
+  /// streams on every platform.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit draw from the engine.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [0, bound). `bound` must be non-zero; uses unbiased
+  /// rejection sampling.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli draw: true with probability `p` (clamped to [0, 1]).
+  bool chance(double p) noexcept;
+
+  /// Pick a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    if (items.empty()) throw std::invalid_argument("Rng::pick: empty span");
+    return items[static_cast<std::size_t>(next_below(items.size()))];
+  }
+
+  /// Pick from a vector (convenience overload).
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>(items.data(), items.size()));
+  }
+
+  /// Fisher-Yates shuffle of a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Fork an independent child stream. Children seeded from the same parent
+  /// at the same fork index are identical; distinct fork draws give streams
+  /// that do not correlate with the parent's subsequent output.
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Stateless SplitMix64 step; exposed for hashing/seeding helpers.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// 64-bit FNV-1a hash of a byte string; used to derive per-file judge seeds
+/// so that a given (file, prompt-style) pair always gets the same verdict
+/// within an experiment.
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+}  // namespace llm4vv::support

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <chrono>
+
+namespace llm4vv::support {
+
+/// Monotonic wall-clock stopwatch used by pipeline statistics and the
+/// latency model of the simulated inference server.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  /// Reset the origin to now.
+  void restart() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace llm4vv::support

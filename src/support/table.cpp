@@ -1,0 +1,92 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace llm4vv::support {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("TextTable: header must be non-empty");
+  }
+  alignments_.assign(header_.size(), Align::kRight);
+  alignments_.front() = Align::kLeft;
+}
+
+void TextTable::set_alignments(std::vector<Align> alignments) {
+  if (alignments.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: alignment count mismatch");
+  }
+  alignments_ = std::move(alignments);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{{}, true}); }
+
+std::size_t TextTable::row_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& row : rows_) {
+    if (!row.rule) ++n;
+  }
+  return n;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.rule) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto rule_line = [&] {
+    std::string line = "+";
+    for (const auto w : widths) {
+      line.append(w + 2, '-');
+      line.push_back('+');
+    }
+    line.push_back('\n');
+    return line;
+  }();
+
+  const auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      line.push_back(' ');
+      if (alignments_[c] == Align::kRight) line.append(pad, ' ');
+      line.append(cells[c]);
+      if (alignments_[c] == Align::kLeft) line.append(pad, ' ');
+      line.append(" |");
+    }
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out = rule_line;
+  out += render_cells(header_);
+  out += rule_line;
+  for (const auto& row : rows_) {
+    out += row.rule ? rule_line : render_cells(row.cells);
+  }
+  out += rule_line;
+  return out;
+}
+
+std::string banner(const std::string& title) {
+  std::string out = "\n== " + title + " ==\n";
+  return out;
+}
+
+}  // namespace llm4vv::support

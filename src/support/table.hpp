@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace llm4vv::support {
+
+/// Column alignment for TextTable rendering.
+enum class Align { kLeft, kRight };
+
+/// Plain-text table renderer used by every bench binary to print the paper's
+/// tables (Tables I-IX) side by side with measured values.
+///
+/// Usage:
+///   TextTable t({"Issue", "Count", "Accuracy"});
+///   t.add_row({"Removed bracket", "125", "12%"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  /// Create a table with the given header row.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Set per-column alignment (default: first column left, rest right).
+  void set_alignments(std::vector<Align> alignments);
+
+  /// Append a data row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal rule between row groups.
+  void add_rule();
+
+  /// Render with unicode-free ASCII box drawing.
+  std::string render() const;
+
+  /// Number of data rows added so far (rules excluded).
+  std::size_t row_count() const noexcept;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+};
+
+/// Render a one-line section banner, e.g. "== Table I: ... ==".
+std::string banner(const std::string& title);
+
+}  // namespace llm4vv::support

@@ -1,0 +1,55 @@
+#include "support/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace llm4vv::support {
+
+ThreadPool::ThreadPool(std::size_t workers) : tasks_(4096) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  tasks_.close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard lock(idle_mutex_);
+    ++in_flight_;
+  }
+  if (!tasks_.push(std::move(task))) {
+    {
+      std::lock_guard lock(idle_mutex_);
+      --in_flight_;
+    }
+    idle_cv_.notify_all();
+    throw std::runtime_error("ThreadPool::post: pool is shutting down");
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(idle_mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    auto task = tasks_.pop();
+    if (!task) return;  // closed and drained
+    (*task)();
+    {
+      std::lock_guard lock(idle_mutex_);
+      --in_flight_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace llm4vv::support

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "support/mpmc_queue.hpp"
+
+namespace llm4vv::support {
+
+/// Fixed-size task thread-pool (CP.4: think in terms of tasks, not threads).
+///
+/// Pipeline stages and the parallel experiment runners submit closures and
+/// either fire-and-forget (`post`) or wait on a future (`submit`). Workers
+/// are joined in the destructor after the task queue drains, so a pool used
+/// as a local object gives deterministic shutdown (RAII, C.31).
+class ThreadPool {
+ public:
+  /// Spin up `workers` threads (0 is promoted to 1).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task with no result. Throws std::runtime_error if the pool is
+  /// already shutting down.
+  void post(std::function<void()> task);
+
+  /// Enqueue a task and get a future for its result. Exceptions thrown by
+  /// the task are delivered through the future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    auto fut = task->get_future();
+    post([task]() mutable { (*task)(); });
+    return fut;
+  }
+
+  /// Number of worker threads.
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// Block until every task submitted so far has finished executing.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  MpmcQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  mutable std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;  // queued + executing tasks
+};
+
+}  // namespace llm4vv::support

@@ -1,0 +1,144 @@
+#include "toolchain/compiler.hpp"
+
+#include "directive/validator.hpp"
+#include "frontend/fortran.hpp"
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+#include "support/rng.hpp"
+#include "vm/lower.hpp"
+
+namespace llm4vv::toolchain {
+
+namespace {
+
+using frontend::DiagCode;
+using frontend::Diagnostic;
+using frontend::Severity;
+
+std::string render_nvc(const frontend::SourceFile& file,
+                       const Diagnostic& diag) {
+  // NVHPC style: "NVC++-S-0103-message (file.c: 12)".
+  const char* sev = diag.severity == Severity::kError ? "S" : "W";
+  const int code = 100 + static_cast<int>(diag.code);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "NVC++-%s-%04d-", sev, code);
+  return std::string(buf) + diag.message + " (" + file.name + ": " +
+         std::to_string(diag.line) + ")\n";
+}
+
+std::string render_clang(const frontend::SourceFile& file,
+                         const Diagnostic& diag) {
+  // clang style: "file.c:12:3: error: message".
+  const char* sev =
+      diag.severity == Severity::kError
+          ? "error"
+          : (diag.severity == Severity::kWarning ? "warning" : "note");
+  return file.name + ":" + std::to_string(diag.line) + ":" +
+         std::to_string(diag.column) + ": " + sev + ": " + diag.message +
+         "\n";
+}
+
+/// The strictness quirk only applies to files that actually use directives:
+/// it models spotty *offload feature* support, so a plain C file (e.g. an
+/// issue-3 replacement) never trips it.
+bool uses_quirky_feature(const std::string& content) {
+  return content.find("#pragma acc") != std::string::npos ||
+         content.find("#pragma omp") != std::string::npos ||
+         content.find("!$acc") != std::string::npos ||
+         content.find("!$omp") != std::string::npos;
+}
+
+}  // namespace
+
+CompilerConfig nvc_persona() {
+  CompilerConfig config;
+  config.flavor = frontend::Flavor::kOpenACC;
+  config.supported_version = 33;
+  config.persona = "nvc";
+  // Calibrated to the paper's pipeline-vs-judge gap on valid OpenACC files
+  // (Table IV "No issue" 79% vs Table VII 92% under LLMJ 1): the compile/
+  // exec stages must reject ~13-14% of valid files.
+  config.strictness_reject_rate = 0.14;
+  return config;
+}
+
+CompilerConfig clang_persona() {
+  CompilerConfig config;
+  config.flavor = frontend::Flavor::kOpenMP;
+  config.supported_version = 45;
+  config.persona = "clang";
+  // The OpenMP suite was pre-filtered to <= 4.5 precisely so the compiler
+  // would be fully compliant; only a residual quirk rate remains
+  // (Table V 92% vs Table VIII 93%).
+  config.strictness_reject_rate = 0.015;
+  return config;
+}
+
+CompilerDriver::CompilerDriver(CompilerConfig config)
+    : config_(std::move(config)) {}
+
+CompileResult CompilerDriver::compile(const frontend::SourceFile& file) const {
+  CompileResult result;
+  frontend::DiagnosticEngine diags;
+
+  frontend::ParserOptions popts;
+  popts.pragma_takes_statement = directive::pragma_takes_statement;
+
+  frontend::Program program;
+  if (file.language == frontend::Language::kFortran) {
+    program = frontend::parse_fortran(file.content, diags, popts);
+  } else {
+    const auto lexed = frontend::lex(file.content, diags);
+    program = frontend::parse(lexed.tokens, diags, popts);
+  }
+
+  if (!diags.has_errors()) {
+    frontend::analyze(program, diags);
+  }
+  if (!diags.has_errors()) {
+    directive::ValidatorOptions vopts;
+    vopts.flavor = config_.flavor;
+    vopts.supported_version = config_.supported_version;
+    directive::validate_program(program, vopts, diags);
+  }
+
+  // Persona strictness quirk on otherwise-valid files (deterministic by
+  // content hash, so re-compiling a file gives the same answer).
+  if (!diags.has_errors() && config_.strictness_reject_rate > 0.0 &&
+      uses_quirky_feature(file.content)) {
+    support::Rng quirk(support::fnv1a64(file.content) ^ config_.quirk_seed);
+    // Quirky features appear in most files, so rescale the per-file rate.
+    if (quirk.chance(config_.strictness_reject_rate)) {
+      diags.error(DiagCode::kStrictness, 1, 1,
+                  config_.persona == "nvc"
+                      ? "unsupported feature combination for the selected "
+                        "compute capability"
+                      : "feature is not yet supported by the offloading "
+                        "target");
+    }
+  }
+
+  result.diagnostics = diags.diagnostics();
+  for (const auto& diag : result.diagnostics) {
+    result.stderr_text += config_.persona == "nvc"
+                              ? render_nvc(file, diag)
+                              : render_clang(file, diag);
+  }
+
+  if (diags.has_errors()) {
+    result.success = false;
+    result.return_code = config_.persona == "nvc" ? 2 : 1;
+    return result;
+  }
+
+  vm::LowerOptions lopts;
+  lopts.flavor = config_.flavor;
+  result.module =
+      std::make_shared<const vm::Module>(vm::lower(program, lopts));
+  result.success = true;
+  result.return_code = 0;
+  return result;
+}
+
+}  // namespace llm4vv::toolchain

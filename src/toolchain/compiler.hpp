@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "frontend/diagnostics.hpp"
+#include "frontend/source.hpp"
+#include "vm/bytecode.hpp"
+
+namespace llm4vv::toolchain {
+
+/// Which real compiler's behaviour (diagnostic style, spec version support,
+/// feature quirks) the driver imitates. The paper used NVIDIA HPC SDK `nvc`
+/// for OpenACC and LLVM `clang` for OpenMP offloading.
+struct CompilerConfig {
+  frontend::Flavor flavor = frontend::Flavor::kOpenACC;
+  /// Supported directive spec version in tenths (nvc: OpenACC 3.3 -> 33;
+  /// clang: OpenMP 4.5 -> 45 — the paper capped its corpus at 4.5 because
+  /// "many OpenMP offloading compilers do not support all OpenMP features
+  /// introduced after version 4.5").
+  int supported_version = 33;
+  /// Persona name used in diagnostics ("nvc", "clang").
+  std::string persona = "nvc";
+  /// Probability that a *valid* file trips a feature-support quirk and is
+  /// rejected anyway (deterministic per file content). This models the
+  /// paper's observed "inconsistent feature support" compile losses on
+  /// valid tests; see DESIGN.md §5 and profiles.cpp for the calibration.
+  double strictness_reject_rate = 0.0;
+  /// Seed mixed into the per-file quirk decision.
+  std::uint64_t quirk_seed = 0x9e1ceULL;
+};
+
+/// Everything the rest of the system needs to know about one compilation:
+/// the process-like observables (return code, streams) that feed the agent
+/// prompts, plus the lowered module when compilation succeeded.
+struct CompileResult {
+  bool success = false;
+  int return_code = 1;
+  std::string stderr_text;
+  std::string stdout_text;
+  std::vector<frontend::Diagnostic> diagnostics;
+  /// Lowered bytecode; null when compilation failed.
+  std::shared_ptr<const vm::Module> module;
+};
+
+/// Default personas matching the paper's setup.
+CompilerConfig nvc_persona();
+CompilerConfig clang_persona();
+
+/// The simulated compiler driver: lex -> parse -> sema -> directive
+/// validation -> lowering, with persona-styled diagnostics on stderr.
+class CompilerDriver {
+ public:
+  explicit CompilerDriver(CompilerConfig config);
+
+  /// Compile one source file. Thread-safe (const; no shared mutable state).
+  CompileResult compile(const frontend::SourceFile& file) const;
+
+  const CompilerConfig& config() const noexcept { return config_; }
+
+ private:
+  CompilerConfig config_;
+};
+
+}  // namespace llm4vv::toolchain

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "toolchain/compiler.hpp"
+#include "vm/interp.hpp"
+
+namespace llm4vv::toolchain {
+
+/// Process-like view of one test execution, feeding the pipeline's second
+/// stage and the agent prompts.
+struct ExecutionRecord {
+  bool ran = false;  ///< false when there was no module to run
+  int return_code = -1;
+  std::string stdout_text;
+  std::string stderr_text;
+  vm::TrapKind trap = vm::TrapKind::kNone;
+  std::uint64_t steps = 0;
+
+  bool passed() const noexcept { return ran && return_code == 0; }
+};
+
+/// Runs compiled modules under the VM with execution budgets.
+class Executor {
+ public:
+  explicit Executor(vm::ExecLimits limits = {}) : limits_(limits) {}
+
+  /// Execute a compiled module; a null module yields ran=false.
+  ExecutionRecord run(const std::shared_ptr<const vm::Module>& module) const;
+
+ private:
+  vm::ExecLimits limits_;
+};
+
+}  // namespace llm4vv::toolchain

@@ -1,0 +1,80 @@
+#include "vm/bytecode.hpp"
+
+#include <cstdio>
+
+namespace llm4vv::vm {
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kPushConst: return "push_const";
+    case Op::kLoadSlot: return "load_slot";
+    case Op::kStoreSlot: return "store_slot";
+    case Op::kLoadGlobal: return "load_global";
+    case Op::kStoreGlobal: return "store_global";
+    case Op::kAddrSlot: return "addr_slot";
+    case Op::kAddrGlobal: return "addr_global";
+    case Op::kLoadInd: return "load_ind";
+    case Op::kStoreInd: return "store_ind";
+    case Op::kStoreIndKeep: return "store_ind_keep";
+    case Op::kIndexAddr: return "index_addr";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kMod: return "mod";
+    case Op::kNeg: return "neg";
+    case Op::kNot: return "not";
+    case Op::kBitNot: return "bit_not";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kLt: return "lt";
+    case Op::kLe: return "le";
+    case Op::kGt: return "gt";
+    case Op::kGe: return "ge";
+    case Op::kBitAnd: return "bit_and";
+    case Op::kBitOr: return "bit_or";
+    case Op::kBitXor: return "bit_xor";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kCastInt: return "cast_int";
+    case Op::kCastFloat: return "cast_float";
+    case Op::kJump: return "jump";
+    case Op::kJumpIfFalse: return "jump_if_false";
+    case Op::kJumpIfTrue: return "jump_if_true";
+    case Op::kCall: return "call";
+    case Op::kCallBuiltin: return "call_builtin";
+    case Op::kRet: return "ret";
+    case Op::kPop: return "pop";
+    case Op::kDup: return "dup";
+    case Op::kSwap: return "swap";
+    case Op::kAllocArray: return "alloc_array";
+    case Op::kAllocGlobalArray: return "alloc_global_array";
+    case Op::kDevEnter: return "dev_enter";
+    case Op::kDevExit: return "dev_exit";
+    case Op::kDevAction: return "dev_action";
+  }
+  return "?";
+}
+
+std::string disassemble(const Module& module, const Chunk& chunk) {
+  std::string out = chunk.name + " (params=" +
+                    std::to_string(chunk.param_count) +
+                    ", slots=" + std::to_string(chunk.slot_count) + ")\n";
+  char buf[128];
+  for (std::size_t i = 0; i < chunk.code.size(); ++i) {
+    const Instr& instr = chunk.code[i];
+    std::snprintf(buf, sizeof(buf), "  %4zu  %-18s a=%-6d b=%-4d ; line %d",
+                  i, op_name(instr.op), instr.a, instr.b, instr.line);
+    out += buf;
+    if (instr.op == Op::kPushConst &&
+        static_cast<std::size_t>(instr.a) < module.consts.size()) {
+      out += "  (" + to_string(module.consts[
+                         static_cast<std::size_t>(instr.a)]) + ")";
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace llm4vv::vm

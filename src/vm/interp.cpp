@@ -1,0 +1,507 @@
+#include "vm/interp.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "frontend/builtins.hpp"
+#include "vm/runtime.hpp"
+
+namespace llm4vv::vm {
+
+namespace {
+
+/// Thrown by the exit() builtin to unwind the whole machine.
+struct ExitSignal {
+  int code;
+};
+
+}  // namespace
+
+/// Interpreter state shared with the runtime library (see runtime.hpp).
+class Machine final : public RuntimeHost {
+ public:
+  Machine(const Module& module, const ExecLimits& limits)
+      : module_(module), limits_(limits), memory_(limits.max_cells) {}
+
+  ExecResult run() {
+    ExecResult result;
+    try {
+      if (module_.init_chunk >= 0) {
+        call_chunk(module_.init_chunk, 0);
+        run_loop();
+      }
+      if (module_.main_chunk < 0) {
+        throw Trap{TrapKind::kInternal, "module has no main chunk"};
+      }
+      stack_.clear();
+      call_chunk(module_.main_chunk, 0);
+      run_loop();
+      const Value ret = pop();
+      result.return_code = static_cast<int>(ret.as_int() & 0xff);
+    } catch (const ExitSignal& signal) {
+      result.return_code = signal.code & 0xff;
+    } catch (const Trap& trap) {
+      result.trap = trap.kind;
+      result.stderr_text += render_trap(trap);
+      result.return_code = trap_return_code(trap.kind);
+    }
+    result.stdout_text = std::move(stdout_);
+    result.stderr_text = stderr_ + result.stderr_text;
+    result.steps = steps_;
+    return result;
+  }
+
+  // -- services used by the runtime library --------------------------------
+
+  Memory& memory() override { return memory_; }
+  bool device_mode() const override { return device_depth_ > 0; }
+
+  const std::string& string_at(std::uint64_t index) const override {
+    if (index >= module_.strings.size()) {
+      throw Trap{TrapKind::kInternal, "bad string index"};
+    }
+    return module_.strings[index];
+  }
+
+  void write_stdout(const std::string& text) override {
+    if (stdout_.size() + text.size() > limits_.max_output) {
+      stdout_.append(text, 0, limits_.max_output - stdout_.size());
+      throw Trap{TrapKind::kOutputLimit, "stdout budget exhausted"};
+    }
+    stdout_ += text;
+  }
+
+  void write_stderr(const std::string& text) override { stderr_ += text; }
+
+  [[noreturn]] void exit_now(int code) override { throw ExitSignal{code}; }
+
+  Value pop() override {
+    if (stack_.empty()) {
+      throw Trap{TrapKind::kInternal, "value stack underflow"};
+    }
+    Value v = stack_.back();
+    stack_.pop_back();
+    return v;
+  }
+
+  void push(Value v) override { stack_.push_back(v); }
+
+  std::uint64_t& rand_state() override { return rand_state_; }
+
+ private:
+  struct Frame {
+    std::int32_t chunk = 0;
+    std::int32_t ip = 0;
+    std::vector<Value> slots;
+  };
+
+  void call_chunk(std::int32_t chunk_index, std::int32_t argc) {
+    if (frames_.size() >= limits_.max_frames) {
+      throw Trap{TrapKind::kStackOverflow, "call depth limit exceeded"};
+    }
+    const Chunk& chunk = module_.chunks[static_cast<std::size_t>(chunk_index)];
+    Frame frame;
+    frame.chunk = chunk_index;
+    frame.slots.resize(static_cast<std::size_t>(chunk.slot_count));
+    // Arguments were pushed left-to-right; pop right-to-left.
+    for (std::int32_t i = argc - 1; i >= 0; --i) {
+      if (i < chunk.param_count) {
+        frame.slots[static_cast<std::size_t>(i)] = pop();
+      } else {
+        pop();  // excess argument (variadic user call): dropped
+      }
+    }
+    frames_.push_back(std::move(frame));
+  }
+
+  int trap_return_code(TrapKind kind) const {
+    switch (kind) {
+      case TrapKind::kNotPresent: return 1;    // OpenACC runtime FATAL ERROR
+      case TrapKind::kStepLimit:
+      case TrapKind::kOutputLimit: return 124; // timeout-style
+      case TrapKind::kBadAlloc: return 134;    // abort-style
+      default: return 139;                     // SIGSEGV-style
+    }
+  }
+
+  std::string render_trap(const Trap& trap) const {
+    const int line = current_line();
+    std::string out = "runtime error";
+    if (line > 0) out += " at line " + std::to_string(line);
+    out += ": " + trap.message + " [" + trap_kind_name(trap.kind) + "]\n";
+    return out;
+  }
+
+  int current_line() const {
+    if (frames_.empty()) return 0;
+    const Frame& frame = frames_.back();
+    const auto& code =
+        module_.chunks[static_cast<std::size_t>(frame.chunk)].code;
+    const std::size_t ip = static_cast<std::size_t>(
+        frame.ip > 0 ? frame.ip - 1 : 0);
+    if (ip < code.size()) return code[ip].line;
+    return 0;
+  }
+
+  // -- arithmetic helpers ---------------------------------------------------
+
+  static bool both_int(const Value& a, const Value& b) {
+    return a.tag == ValueTag::kInt && b.tag == ValueTag::kInt;
+  }
+
+  Value add(const Value& a, const Value& b) {
+    if (a.tag == ValueTag::kPointer) {
+      return Value::from_pointer(a.ptr + static_cast<std::uint64_t>(b.as_int()));
+    }
+    if (b.tag == ValueTag::kPointer) {
+      return Value::from_pointer(b.ptr + static_cast<std::uint64_t>(a.as_int()));
+    }
+    if (both_int(a, b)) return Value::from_int(a.i + b.i);
+    return Value::from_float(a.as_float() + b.as_float());
+  }
+
+  Value sub(const Value& a, const Value& b) {
+    if (a.tag == ValueTag::kPointer && b.tag == ValueTag::kPointer) {
+      return Value::from_int(static_cast<std::int64_t>(a.ptr - b.ptr));
+    }
+    if (a.tag == ValueTag::kPointer) {
+      return Value::from_pointer(a.ptr - static_cast<std::uint64_t>(b.as_int()));
+    }
+    if (both_int(a, b)) return Value::from_int(a.i - b.i);
+    return Value::from_float(a.as_float() - b.as_float());
+  }
+
+  Value mul(const Value& a, const Value& b) {
+    if (both_int(a, b)) return Value::from_int(a.i * b.i);
+    return Value::from_float(a.as_float() * b.as_float());
+  }
+
+  Value div(const Value& a, const Value& b) {
+    if (both_int(a, b)) {
+      if (b.i == 0) throw Trap{TrapKind::kDivByZero, "integer division by zero"};
+      return Value::from_int(a.i / b.i);
+    }
+    return Value::from_float(a.as_float() / b.as_float());
+  }
+
+  Value mod(const Value& a, const Value& b) {
+    if (b.as_int() == 0) {
+      throw Trap{TrapKind::kDivByZero, "integer remainder by zero"};
+    }
+    return Value::from_int(a.as_int() % b.as_int());
+  }
+
+  Value compare(Op op, const Value& a, const Value& b) {
+    bool result = false;
+    if (both_int(a, b)) {
+      switch (op) {
+        case Op::kEq: result = a.i == b.i; break;
+        case Op::kNe: result = a.i != b.i; break;
+        case Op::kLt: result = a.i < b.i; break;
+        case Op::kLe: result = a.i <= b.i; break;
+        case Op::kGt: result = a.i > b.i; break;
+        default: result = a.i >= b.i; break;
+      }
+    } else if (a.tag == ValueTag::kPointer || b.tag == ValueTag::kPointer) {
+      const auto pa = a.tag == ValueTag::kPointer
+                          ? a.ptr
+                          : static_cast<std::uint64_t>(a.as_int());
+      const auto pb = b.tag == ValueTag::kPointer
+                          ? b.ptr
+                          : static_cast<std::uint64_t>(b.as_int());
+      switch (op) {
+        case Op::kEq: result = pa == pb; break;
+        case Op::kNe: result = pa != pb; break;
+        case Op::kLt: result = pa < pb; break;
+        case Op::kLe: result = pa <= pb; break;
+        case Op::kGt: result = pa > pb; break;
+        default: result = pa >= pb; break;
+      }
+    } else {
+      const double fa = a.as_float();
+      const double fb = b.as_float();
+      switch (op) {
+        case Op::kEq: result = fa == fb; break;
+        case Op::kNe: result = fa != fb; break;
+        case Op::kLt: result = fa < fb; break;
+        case Op::kLe: result = fa <= fb; break;
+        case Op::kGt: result = fa > fb; break;
+        default: result = fa >= fb; break;
+      }
+    }
+    return Value::from_int(result ? 1 : 0);
+  }
+
+  // -- device regions -------------------------------------------------------
+
+  void process_clause_ops(const std::vector<ClauseOp>& ops) {
+    for (const auto& op : ops) {
+      const Value base_val = op.is_global
+                                 ? globals_[static_cast<std::size_t>(op.slot)]
+                                 : frames_.back()
+                                       .slots[static_cast<std::size_t>(op.slot)];
+      const std::uint64_t base =
+          base_val.tag == ValueTag::kPointer
+              ? base_val.ptr
+              : static_cast<std::uint64_t>(base_val.as_int());
+      switch (op.action) {
+        case ClauseAction::kCopyin:
+          memory_.map_to_device(base, /*copy_to_device=*/true, op.var_name);
+          break;
+        case ClauseAction::kCreate:
+        case ClauseAction::kCopyout:
+          memory_.map_to_device(base, /*copy_to_device=*/false, op.var_name);
+          break;
+        case ClauseAction::kCopy:
+          memory_.map_to_device(base, /*copy_to_device=*/true, op.var_name);
+          break;
+        case ClauseAction::kPresent:
+          if (!memory_.is_present(base)) {
+            throw Trap{TrapKind::kNotPresent,
+                       "data in PRESENT clause was not found on device: " +
+                           op.var_name};
+          }
+          break;
+        case ClauseAction::kDelete:
+          memory_.unmap_from_device(base, /*copy_back=*/false,
+                                    /*force=*/false, op.var_name);
+          break;
+        case ClauseAction::kExitCopyout:
+          memory_.unmap_from_device(base, /*copy_back=*/true,
+                                    /*force=*/false, op.var_name);
+          break;
+        case ClauseAction::kUpdateHost:
+          memory_.copy_mirror(base, /*to_host=*/true, op.var_name);
+          break;
+        case ClauseAction::kUpdateDevice:
+          memory_.copy_mirror(base, /*to_host=*/false, op.var_name);
+          break;
+        case ClauseAction::kNoOp:
+          break;
+      }
+    }
+  }
+
+  // -- the main loop --------------------------------------------------------
+
+  void run_loop() {
+    while (!frames_.empty()) {
+      Frame& frame = frames_.back();
+      const Chunk& chunk =
+          module_.chunks[static_cast<std::size_t>(frame.chunk)];
+      if (frame.ip >= static_cast<std::int32_t>(chunk.code.size())) {
+        throw Trap{TrapKind::kInternal, "fell off the end of a chunk"};
+      }
+      const Instr instr = chunk.code[static_cast<std::size_t>(frame.ip++)];
+      if (++steps_ > limits_.max_steps) {
+        throw Trap{TrapKind::kStepLimit, "instruction budget exhausted"};
+      }
+      switch (instr.op) {
+        case Op::kNop:
+          break;
+        case Op::kPushConst:
+          push(module_.consts[static_cast<std::size_t>(instr.a)]);
+          break;
+        case Op::kLoadSlot:
+          push(frame.slots[static_cast<std::size_t>(instr.a)]);
+          break;
+        case Op::kStoreSlot:
+          frame.slots[static_cast<std::size_t>(instr.a)] = pop();
+          break;
+        case Op::kLoadGlobal:
+          push(globals_[static_cast<std::size_t>(instr.a)]);
+          break;
+        case Op::kStoreGlobal:
+          globals_[static_cast<std::size_t>(instr.a)] = pop();
+          break;
+        case Op::kAddrSlot:
+        case Op::kAddrGlobal:
+          // Address-of scalars is outside the subset; lowering never emits
+          // these (kept for bytecode completeness).
+          push(Value::from_pointer(0));
+          break;
+        case Op::kLoadInd: {
+          const Value addr = pop();
+          push(memory_.load(pointer_of(addr), device_mode()));
+          break;
+        }
+        case Op::kStoreInd: {
+          const Value value = pop();
+          const Value addr = pop();
+          memory_.store(pointer_of(addr), value, device_mode());
+          break;
+        }
+        case Op::kStoreIndKeep: {
+          const Value value = pop();
+          const Value addr = pop();
+          memory_.store(pointer_of(addr), value, device_mode());
+          push(value);
+          break;
+        }
+        case Op::kIndexAddr: {
+          const Value index = pop();
+          const Value base = pop();
+          const std::uint64_t p = pointer_of(base);
+          if (p == 0) {
+            throw Trap{TrapKind::kNullDeref,
+                       "indexing a null or uninitialized pointer"};
+          }
+          push(Value::from_pointer(
+              p + static_cast<std::uint64_t>(index.as_int())));
+          break;
+        }
+        case Op::kAdd: { const Value b = pop(), a = pop(); push(add(a, b)); break; }
+        case Op::kSub: { const Value b = pop(), a = pop(); push(sub(a, b)); break; }
+        case Op::kMul: { const Value b = pop(), a = pop(); push(mul(a, b)); break; }
+        case Op::kDiv: { const Value b = pop(), a = pop(); push(div(a, b)); break; }
+        case Op::kMod: { const Value b = pop(), a = pop(); push(mod(a, b)); break; }
+        case Op::kNeg: {
+          const Value a = pop();
+          if (a.tag == ValueTag::kInt) push(Value::from_int(-a.i));
+          else push(Value::from_float(-a.as_float()));
+          break;
+        }
+        case Op::kNot:
+          push(Value::from_int(pop().truthy() ? 0 : 1));
+          break;
+        case Op::kBitNot:
+          push(Value::from_int(~pop().as_int()));
+          break;
+        case Op::kEq: case Op::kNe: case Op::kLt:
+        case Op::kLe: case Op::kGt: case Op::kGe: {
+          const Value b = pop(), a = pop();
+          push(compare(instr.op, a, b));
+          break;
+        }
+        case Op::kBitAnd: { const Value b = pop(), a = pop(); push(Value::from_int(a.as_int() & b.as_int())); break; }
+        case Op::kBitOr: { const Value b = pop(), a = pop(); push(Value::from_int(a.as_int() | b.as_int())); break; }
+        case Op::kBitXor: { const Value b = pop(), a = pop(); push(Value::from_int(a.as_int() ^ b.as_int())); break; }
+        case Op::kShl: { const Value b = pop(), a = pop(); push(Value::from_int(a.as_int() << (b.as_int() & 63))); break; }
+        case Op::kShr: { const Value b = pop(), a = pop(); push(Value::from_int(a.as_int() >> (b.as_int() & 63))); break; }
+        case Op::kCastInt:
+          push(Value::from_int(pop().as_int()));
+          break;
+        case Op::kCastFloat:
+          push(Value::from_float(pop().as_float()));
+          break;
+        case Op::kJump:
+          frame.ip = instr.a;
+          break;
+        case Op::kJumpIfFalse: {
+          if (!pop().truthy()) frame.ip = instr.a;
+          break;
+        }
+        case Op::kJumpIfTrue: {
+          if (pop().truthy()) frame.ip = instr.a;
+          break;
+        }
+        case Op::kCall:
+          call_chunk(instr.a, instr.b);
+          break;
+        case Op::kCallBuiltin:
+          push(call_builtin(*this, instr.a, instr.b));
+          break;
+        case Op::kRet: {
+          const Value result = pop();
+          frames_.pop_back();
+          if (frames_.empty()) {
+            push(result);
+            return;
+          }
+          push(result);
+          break;
+        }
+        case Op::kPop:
+          pop();
+          break;
+        case Op::kDup: {
+          const Value v = pop();
+          push(v);
+          push(v);
+          break;
+        }
+        case Op::kSwap: {
+          const Value b = pop(), a = pop();
+          push(b);
+          push(a);
+          break;
+        }
+        case Op::kAllocArray: {
+          const std::uint64_t count =
+              instr.b > 0 ? static_cast<std::uint64_t>(instr.b)
+                          : static_cast<std::uint64_t>(pop().as_int());
+          const std::uint64_t base = memory_.allocate(count, /*heap=*/false);
+          frame.slots[static_cast<std::size_t>(instr.a)] =
+              Value::from_pointer(base);
+          break;
+        }
+        case Op::kAllocGlobalArray: {
+          const std::uint64_t count =
+              instr.b > 0 ? static_cast<std::uint64_t>(instr.b)
+                          : static_cast<std::uint64_t>(pop().as_int());
+          const std::uint64_t base = memory_.allocate(count, /*heap=*/false);
+          // Globals zero-initialize.
+          for (std::uint64_t i = 0; i < count; ++i) {
+            memory_.store(base + i, Value::from_int(0), false);
+          }
+          globals_[static_cast<std::size_t>(instr.a)] =
+              Value::from_pointer(base);
+          break;
+        }
+        case Op::kDevEnter: {
+          const Region& region =
+              module_.regions[static_cast<std::size_t>(instr.a)];
+          process_clause_ops(region.enter_ops);
+          if (region.device_mode) ++device_depth_;
+          break;
+        }
+        case Op::kDevExit: {
+          const Region& region =
+              module_.regions[static_cast<std::size_t>(instr.a)];
+          if (region.device_mode) --device_depth_;
+          process_clause_ops(region.exit_ops);
+          break;
+        }
+        case Op::kDevAction: {
+          const Region& region =
+              module_.regions[static_cast<std::size_t>(instr.a)];
+          process_clause_ops(region.enter_ops);
+          break;
+        }
+      }
+    }
+  }
+
+  static std::uint64_t pointer_of(const Value& v) {
+    switch (v.tag) {
+      case ValueTag::kPointer: return v.ptr;
+      case ValueTag::kInt: return static_cast<std::uint64_t>(v.i);
+      case ValueTag::kUninit:
+        throw Trap{TrapKind::kNullDeref,
+                   "dereference of an uninitialized pointer"};
+      default:
+        throw Trap{TrapKind::kOutOfBounds, "dereference of a non-pointer"};
+    }
+  }
+
+  const Module& module_;
+  const ExecLimits& limits_;
+  Memory memory_;
+  std::vector<Frame> frames_;
+  std::vector<Value> stack_;
+  std::vector<Value> globals_ =
+      std::vector<Value>(static_cast<std::size_t>(module_.global_slot_count));
+  std::string stdout_;
+  std::string stderr_;
+  std::uint64_t steps_ = 0;
+  int device_depth_ = 0;
+  std::uint64_t rand_state_ = 0x5eed5eed5eed5eedULL;
+};
+
+ExecResult execute(const Module& module, const ExecLimits& limits) {
+  Machine machine(module, limits);
+  return machine.run();
+}
+
+}  // namespace llm4vv::vm

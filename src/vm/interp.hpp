@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "vm/bytecode.hpp"
+#include "vm/memory.hpp"
+
+namespace llm4vv::vm {
+
+/// Execution budgets — the analogue of ulimits/timeouts on a real cluster.
+struct ExecLimits {
+  std::uint64_t max_steps = 50'000'000;   ///< instruction budget
+  std::size_t max_output = 1u << 16;      ///< stdout bytes
+  std::size_t max_frames = 512;           ///< call depth
+  std::uint64_t max_cells = 1u << 22;     ///< memory cells
+};
+
+/// Result of running a Module.
+struct ExecResult {
+  int return_code = 0;
+  std::string stdout_text;
+  std::string stderr_text;
+  TrapKind trap = TrapKind::kNone;
+  std::uint64_t steps = 0;
+
+  bool trapped() const noexcept { return trap != TrapKind::kNone; }
+  bool ok() const noexcept { return !trapped() && return_code == 0; }
+};
+
+/// Execute a lowered module: run the global-init chunk, then `main`.
+/// Traps are converted into non-zero return codes with a runtime-style
+/// stderr line (segfault-like traps -> 139; device-mapping failures -> 1,
+/// like the OpenACC runtime's FATAL ERROR path; budget exhaustion -> 124,
+/// like `timeout(1)`).
+ExecResult execute(const Module& module, const ExecLimits& limits = {});
+
+}  // namespace llm4vv::vm

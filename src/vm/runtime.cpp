@@ -1,0 +1,245 @@
+#include "vm/runtime.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "frontend/builtins.hpp"
+#include "support/rng.hpp"
+
+namespace llm4vv::vm {
+
+namespace {
+
+/// Renders one %-spec with snprintf after normalizing length modifiers to
+/// the VM's 64-bit model.
+std::string format_one(RuntimeHost& host, const std::string& spec,
+                       char conversion, const Value& value) {
+  char buf[128];
+  // spec is like "%-8.3" (without length modifier or conversion).
+  switch (conversion) {
+    case 'd': case 'i': case 'u': {
+      const std::string fmt = spec + "lld";
+      std::snprintf(buf, sizeof(buf), fmt.c_str(),
+                    static_cast<long long>(value.as_int()));
+      return buf;
+    }
+    case 'x': case 'X': case 'o': {
+      const std::string fmt = spec + (conversion == 'o' ? "llo" : "llx");
+      std::snprintf(buf, sizeof(buf), fmt.c_str(),
+                    static_cast<unsigned long long>(value.as_int()));
+      return buf;
+    }
+    case 'f': case 'F': case 'e': case 'E': case 'g': case 'G': {
+      const std::string fmt = spec + conversion;
+      std::snprintf(buf, sizeof(buf), fmt.c_str(), value.as_float());
+      return buf;
+    }
+    case 'c': {
+      const std::string fmt = spec + 'c';
+      std::snprintf(buf, sizeof(buf), fmt.c_str(),
+                    static_cast<int>(value.as_int() & 0xff));
+      return buf;
+    }
+    case 's': {
+      if (value.tag == ValueTag::kString) {
+        return host.string_at(value.ptr);
+      }
+      return "(non-string)";
+    }
+    case 'p': {
+      std::snprintf(buf, sizeof(buf), "0x%llx",
+                    static_cast<unsigned long long>(value.as_int()));
+      return buf;
+    }
+    default:
+      return std::string("%") + conversion;
+  }
+}
+
+}  // namespace
+
+std::string format_printf(RuntimeHost& host, const std::string& format,
+                          const std::vector<Value>& args) {
+  std::string out;
+  std::size_t next_arg = 0;
+  for (std::size_t i = 0; i < format.size(); ++i) {
+    const char c = format[i];
+    if (c != '%') {
+      out.push_back(c);
+      continue;
+    }
+    if (i + 1 < format.size() && format[i + 1] == '%') {
+      out.push_back('%');
+      ++i;
+      continue;
+    }
+    // Collect flags / width / precision.
+    std::string spec = "%";
+    ++i;
+    while (i < format.size() &&
+           (format[i] == '-' || format[i] == '+' || format[i] == ' ' ||
+            format[i] == '#' || format[i] == '0')) {
+      spec.push_back(format[i++]);
+    }
+    while (i < format.size() && std::isdigit(
+               static_cast<unsigned char>(format[i]))) {
+      spec.push_back(format[i++]);
+    }
+    if (i < format.size() && format[i] == '.') {
+      spec.push_back(format[i++]);
+      while (i < format.size() && std::isdigit(
+                 static_cast<unsigned char>(format[i]))) {
+        spec.push_back(format[i++]);
+      }
+    }
+    // Skip length modifiers (the VM is uniformly 64-bit).
+    while (i < format.size() &&
+           (format[i] == 'l' || format[i] == 'h' || format[i] == 'z' ||
+            format[i] == 'j' || format[i] == 't')) {
+      ++i;
+    }
+    if (i >= format.size()) break;
+    const char conversion = format[i];
+    const Value value =
+        next_arg < args.size() ? args[next_arg++] : Value::from_int(0);
+    out += format_one(host, spec, conversion, value);
+  }
+  return out;
+}
+
+Value call_builtin(RuntimeHost& host, std::int32_t builtin_index,
+                   std::int32_t argc) {
+  const auto builtins = frontend::builtin_functions();
+  if (builtin_index < 0 ||
+      static_cast<std::size_t>(builtin_index) >= builtins.size()) {
+    throw Trap{TrapKind::kInternal, "bad builtin index"};
+  }
+  const std::string_view name = builtins[static_cast<std::size_t>(
+      builtin_index)].name;
+
+  std::vector<Value> args(static_cast<std::size_t>(argc));
+  for (std::int32_t i = argc - 1; i >= 0; --i) {
+    args[static_cast<std::size_t>(i)] = host.pop();
+  }
+
+  const auto f1 = [&](double (*fn)(double)) {
+    return Value::from_float(fn(args.empty() ? 0.0 : args[0].as_float()));
+  };
+
+  if (name == "printf") {
+    if (args.empty() || args[0].tag != ValueTag::kString) {
+      throw Trap{TrapKind::kOutOfBounds, "printf format is not a string"};
+    }
+    const std::string text = format_printf(
+        host, host.string_at(args[0].ptr),
+        std::vector<Value>(args.begin() + 1, args.end()));
+    host.write_stdout(text);
+    return Value::from_int(static_cast<std::int64_t>(text.size()));
+  }
+  if (name == "f90_print") {
+    std::string text;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i) text.push_back(' ');
+      const Value& v = args[i];
+      if (v.tag == ValueTag::kString) {
+        text += host.string_at(v.ptr);
+      } else if (v.tag == ValueTag::kFloat) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%g", v.f);
+        text += buf;
+      } else {
+        text += std::to_string(v.as_int());
+      }
+    }
+    text.push_back('\n');
+    host.write_stdout(text);
+    return Value::from_int(0);
+  }
+  if (name == "fprintf") {
+    // The stream argument is dropped; output goes to stderr, which is what
+    // the corpus uses fprintf for.
+    if (args.size() < 2 || args[1].tag != ValueTag::kString) {
+      return Value::from_int(0);
+    }
+    const std::string text = format_printf(
+        host, host.string_at(args[1].ptr),
+        std::vector<Value>(args.begin() + 2, args.end()));
+    host.write_stderr(text);
+    return Value::from_int(static_cast<std::int64_t>(text.size()));
+  }
+  if (name == "puts") {
+    if (!args.empty() && args[0].tag == ValueTag::kString) {
+      host.write_stdout(host.string_at(args[0].ptr) + "\n");
+    }
+    return Value::from_int(0);
+  }
+  if (name == "malloc") {
+    const auto cells = static_cast<std::uint64_t>(args[0].as_int());
+    return Value::from_pointer(host.memory().allocate(cells, /*heap=*/true));
+  }
+  if (name == "calloc") {
+    const auto count = static_cast<std::uint64_t>(args[0].as_int());
+    const auto size = static_cast<std::uint64_t>(args[1].as_int());
+    const std::uint64_t cells = count * (size == 0 ? 1 : size);
+    const std::uint64_t base = host.memory().allocate(cells, /*heap=*/true);
+    for (std::uint64_t i = 0; i < cells; ++i) {
+      host.memory().store(base + i, Value::from_int(0), false);
+    }
+    return Value::from_pointer(base);
+  }
+  if (name == "free") {
+    const Value& p = args[0];
+    host.memory().free_allocation(
+        p.tag == ValueTag::kPointer ? p.ptr
+                                    : static_cast<std::uint64_t>(p.as_int()));
+    return Value::from_int(0);
+  }
+  if (name == "exit") host.exit_now(static_cast<int>(args[0].as_int()));
+  if (name == "abort") host.exit_now(134);
+  if (name == "abs" || name == "labs") {
+    return Value::from_int(std::llabs(args[0].as_int()));
+  }
+  if (name == "rand") {
+    return Value::from_int(static_cast<std::int64_t>(
+        support::splitmix64(host.rand_state()) & 0x7fffffff));
+  }
+  if (name == "srand") {
+    host.rand_state() = static_cast<std::uint64_t>(args[0].as_int());
+    return Value::from_int(0);
+  }
+  if (name == "fabs" || name == "fabsf") return f1(std::fabs);
+  if (name == "sqrt") return f1(std::sqrt);
+  if (name == "sin") return f1(std::sin);
+  if (name == "cos") return f1(std::cos);
+  if (name == "exp") return f1(std::exp);
+  if (name == "log") return f1(std::log);
+  if (name == "floor") return f1(std::floor);
+  if (name == "ceil") return f1(std::ceil);
+  if (name == "pow") {
+    return Value::from_float(
+        std::pow(args[0].as_float(), args[1].as_float()));
+  }
+  // Simulated OpenACC runtime: one non-host device, device number 0.
+  if (name == "acc_get_num_devices") return Value::from_int(1);
+  if (name == "acc_get_device_num") return Value::from_int(0);
+  if (name == "acc_set_device_num") return Value::from_int(0);
+  if (name == "acc_init" || name == "acc_shutdown") return Value::from_int(0);
+  if (name == "acc_on_device") {
+    return Value::from_int(host.device_mode() ? 1 : 0);
+  }
+  // Simulated OpenMP runtime: sequential execution model.
+  if (name == "omp_get_num_threads") return Value::from_int(1);
+  if (name == "omp_get_thread_num") return Value::from_int(0);
+  if (name == "omp_get_max_threads") return Value::from_int(4);
+  if (name == "omp_get_num_devices") return Value::from_int(1);
+  if (name == "omp_is_initial_device") {
+    return Value::from_int(host.device_mode() ? 0 : 1);
+  }
+  if (name == "omp_get_num_teams") return Value::from_int(1);
+
+  throw Trap{TrapKind::kInternal,
+             "builtin '" + std::string(name) + "' has no implementation"};
+}
+
+}  // namespace llm4vv::vm

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "vm/memory.hpp"
+#include "vm/value.hpp"
+
+namespace llm4vv::vm {
+
+/// Services the runtime library needs from the interpreter. The Machine in
+/// interp.cpp implements this; keeping the builtins behind an interface
+/// lets tests drive them with a mock host.
+class RuntimeHost {
+ public:
+  virtual ~RuntimeHost() = default;
+
+  /// VM memory (for malloc/free/calloc).
+  virtual Memory& memory() = 0;
+
+  /// True inside an offloaded compute region (acc_on_device & friends).
+  virtual bool device_mode() const = 0;
+
+  /// Module string table access (printf formats, string arguments).
+  virtual const std::string& string_at(std::uint64_t index) const = 0;
+
+  /// Captured standard streams.
+  virtual void write_stdout(const std::string& text) = 0;
+  virtual void write_stderr(const std::string& text) = 0;
+
+  /// exit()/abort(): unwinds the machine with the given return code.
+  [[noreturn]] virtual void exit_now(int code) = 0;
+
+  /// Value-stack access for argument passing.
+  virtual Value pop() = 0;
+  virtual void push(Value value) = 0;
+
+  /// Deterministic PRNG state for rand()/srand().
+  virtual std::uint64_t& rand_state() = 0;
+};
+
+/// Invoke builtin `builtin_index` (index into
+/// frontend::builtin_functions()) with `argc` arguments on the host's value
+/// stack. Returns the builtin's result value.
+Value call_builtin(RuntimeHost& host, std::int32_t builtin_index,
+                   std::int32_t argc);
+
+/// printf-style formatting against VM values (exposed for unit tests).
+std::string format_printf(RuntimeHost& host, const std::string& format,
+                          const std::vector<Value>& args);
+
+}  // namespace llm4vv::vm

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace llm4vv::vm {
+
+/// Runtime value tag. The VM is dynamically typed at the cell level: the
+/// front-end's static types select opcodes and formatting, but each memory
+/// cell carries its own tag so the interpreter can trap on wild reads
+/// (e.g. using uninitialized device memory).
+enum class ValueTag : std::uint8_t {
+  kUninit,   ///< never written; reading is defined but poisoned (0xDEAD...)
+  kInt,      ///< 64-bit signed integer (int/long/char/bool)
+  kFloat,    ///< binary64 (float/double)
+  kPointer,  ///< address into the VM's memory (0 = null)
+  kString,   ///< index into the module's string table (printf formats)
+};
+
+/// One VM cell. 16 bytes; value semantics.
+struct Value {
+  ValueTag tag = ValueTag::kUninit;
+  union {
+    std::int64_t i;
+    double f;
+    std::uint64_t ptr;
+  };
+
+  Value() : i(0) {}
+
+  static Value from_int(std::int64_t v) {
+    Value val;
+    val.tag = ValueTag::kInt;
+    val.i = v;
+    return val;
+  }
+  static Value from_float(double v) {
+    Value val;
+    val.tag = ValueTag::kFloat;
+    val.f = v;
+    return val;
+  }
+  static Value from_pointer(std::uint64_t address) {
+    Value val;
+    val.tag = ValueTag::kPointer;
+    val.ptr = address;
+    return val;
+  }
+  static Value from_string(std::uint64_t string_index) {
+    Value val;
+    val.tag = ValueTag::kString;
+    val.ptr = string_index;
+    return val;
+  }
+
+  bool is_numeric() const noexcept {
+    return tag == ValueTag::kInt || tag == ValueTag::kFloat;
+  }
+
+  /// Numeric coercion to double (uninit reads as a poison pattern).
+  double as_float() const noexcept {
+    switch (tag) {
+      case ValueTag::kFloat: return f;
+      case ValueTag::kInt: return static_cast<double>(i);
+      case ValueTag::kPointer: return static_cast<double>(ptr);
+      default: return -6.2774385622041925e66;  // poison
+    }
+  }
+
+  /// Numeric coercion to int64.
+  std::int64_t as_int() const noexcept {
+    switch (tag) {
+      case ValueTag::kInt: return i;
+      case ValueTag::kFloat: return static_cast<std::int64_t>(f);
+      case ValueTag::kPointer: return static_cast<std::int64_t>(ptr);
+      default: return static_cast<std::int64_t>(0xDEADBEEFCAFEBABEULL);
+    }
+  }
+
+  /// Truthiness for conditions.
+  bool truthy() const noexcept {
+    switch (tag) {
+      case ValueTag::kInt: return i != 0;
+      case ValueTag::kFloat: return f != 0.0;
+      case ValueTag::kPointer: return ptr != 0;
+      case ValueTag::kString: return true;
+      default: return true;  // poison is truthy; using it goes loudly wrong
+    }
+  }
+};
+
+/// Debug rendering, e.g. "int:42", "ptr:0x10".
+std::string to_string(const Value& value);
+
+}  // namespace llm4vv::vm

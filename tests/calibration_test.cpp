@@ -1,0 +1,248 @@
+// Calibration tests: the reproduction's headline guarantee. Each test runs
+// one of the paper's experiments end to end (generation -> probing ->
+// toolchain -> simulated judge -> metrics) under the default seeds and pins
+// the measured numbers to the paper's tables within tolerance bands:
+// per-issue rows +/- 12 percentage points (judge draws are stochastic and
+// some rows have n as small as 20), overall accuracy +/- 4 points, and
+// qualitative shape criteria exactly (see DESIGN.md §4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/llm4vv.hpp"
+
+namespace llm4vv::core {
+namespace {
+
+using frontend::Flavor;
+
+constexpr double kRowTolerance = 0.12;
+constexpr double kOverallTolerance = 0.04;
+
+/// Per-row tolerance: the judge verdicts are Bernoulli draws, so small rows
+/// (the OpenMP tables go down to n = 20) carry real sampling noise even
+/// when the underlying rate matches the paper exactly. The band is the
+/// fixed reproduction tolerance widened to a 99.5% binomial interval.
+double row_tolerance(double paper_accuracy, std::size_t n) {
+  if (n == 0) return kRowTolerance;
+  const double p = std::min(std::max(paper_accuracy, 0.05), 0.95);
+  const double sigma = std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+  return std::max(kRowTolerance, 2.81 * sigma);
+}
+
+void expect_rows_match(const metrics::EvalReport& measured,
+                       const PaperIssueTable& paper, const char* label) {
+  for (std::size_t id = 0; id < 6; ++id) {
+    EXPECT_EQ(measured.per_issue[id].count,
+              static_cast<std::size_t>(paper[id].count))
+        << label << " issue " << id << " count";
+    EXPECT_NEAR(measured.per_issue[id].accuracy(), paper[id].accuracy,
+                row_tolerance(paper[id].accuracy,
+                              measured.per_issue[id].count))
+        << label << " issue " << id;
+  }
+}
+
+// The Part One / Part Two outcomes are shared across tests in this file to
+// keep the suite fast; each fixture runs its experiment once.
+const PartOneOutcome& part_one(Flavor flavor) {
+  static const PartOneOutcome acc = run_part_one(Flavor::kOpenACC);
+  static const PartOneOutcome omp = run_part_one(Flavor::kOpenMP);
+  return flavor == Flavor::kOpenACC ? acc : omp;
+}
+
+const PartTwoOutcome& part_two(Flavor flavor) {
+  static const PartTwoOutcome acc = run_part_two(Flavor::kOpenACC);
+  static const PartTwoOutcome omp = run_part_two(Flavor::kOpenMP);
+  return flavor == Flavor::kOpenACC ? acc : omp;
+}
+
+// ---------------------------------------------------------------------------
+// Tables I-III: the non-agent judge
+// ---------------------------------------------------------------------------
+
+TEST(CalibrationTableI, PerIssueAccuracyWithinBand) {
+  expect_rows_match(part_one(Flavor::kOpenACC).report, table1_llmj_acc(),
+                    "Table I");
+}
+
+TEST(CalibrationTableII, PerIssueAccuracyWithinBand) {
+  expect_rows_match(part_one(Flavor::kOpenMP).report, table2_llmj_omp(),
+                    "Table II");
+}
+
+TEST(CalibrationTableIII, OverallAccuracyAndBias) {
+  const auto& acc = part_one(Flavor::kOpenACC).report;
+  const auto& omp = part_one(Flavor::kOpenMP).report;
+  EXPECT_NEAR(acc.overall_accuracy,
+              table3_overall(Flavor::kOpenACC).overall_accuracy,
+              kOverallTolerance);
+  EXPECT_NEAR(omp.overall_accuracy,
+              table3_overall(Flavor::kOpenMP).overall_accuracy,
+              kOverallTolerance);
+  // Bias shape: strongly permissive on OpenACC, near-neutral on OpenMP.
+  EXPECT_GT(acc.bias, 0.5);
+  EXPECT_NEAR(omp.bias, 0.0, 0.15);
+}
+
+TEST(CalibrationPartOne, OmpBlindSpotOnPlainCode) {
+  // Table II's famous row: the direct judge almost never notices that a
+  // file contains no OpenMP at all (4%), while it usually notices missing
+  // OpenACC (80%).
+  const auto& omp = part_one(Flavor::kOpenMP).report;
+  const auto& acc = part_one(Flavor::kOpenACC).report;
+  EXPECT_LT(omp.per_issue[3].accuracy(), 0.15);
+  EXPECT_GT(acc.per_issue[3].accuracy(), 0.65);
+}
+
+// ---------------------------------------------------------------------------
+// Tables IV-VI: the validation pipeline
+// ---------------------------------------------------------------------------
+
+TEST(CalibrationTableIV, PerIssueAccuracyWithinBand) {
+  const auto& outcome = part_two(Flavor::kOpenACC);
+  expect_rows_match(outcome.pipeline1_report, table4_pipeline_acc(1),
+                    "Table IV P1");
+  expect_rows_match(outcome.pipeline2_report, table4_pipeline_acc(2),
+                    "Table IV P2");
+}
+
+TEST(CalibrationTableV, PerIssueAccuracyWithinBand) {
+  const auto& outcome = part_two(Flavor::kOpenMP);
+  expect_rows_match(outcome.pipeline1_report, table5_pipeline_omp(1),
+                    "Table V P1");
+  expect_rows_match(outcome.pipeline2_report, table5_pipeline_omp(2),
+                    "Table V P2");
+}
+
+TEST(CalibrationTableVI, OverallPipelineAccuracy) {
+  for (const auto flavor : {Flavor::kOpenACC, Flavor::kOpenMP}) {
+    const auto& outcome = part_two(flavor);
+    EXPECT_NEAR(outcome.pipeline1_report.overall_accuracy,
+                table6_overall(flavor, 1).overall_accuracy,
+                kOverallTolerance)
+        << frontend::flavor_name(flavor);
+    EXPECT_NEAR(outcome.pipeline2_report.overall_accuracy,
+                table6_overall(flavor, 2).overall_accuracy,
+                kOverallTolerance)
+        << frontend::flavor_name(flavor);
+    // Pipelines err toward restrictiveness (negative bias) in the paper.
+    EXPECT_LT(outcome.pipeline1_report.bias, 0.05);
+    EXPECT_LT(outcome.pipeline2_report.bias, 0.05);
+  }
+}
+
+TEST(CalibrationPipeline, CompileCatchableRowsSaturate) {
+  // Issues 1 and 2 (and the garbage-replacement row for OpenMP's
+  // clang persona too) are caught mechanically at 100% (Table IV/V).
+  for (const auto flavor : {Flavor::kOpenACC, Flavor::kOpenMP}) {
+    const auto& p1 = part_two(flavor).pipeline1_report;
+    EXPECT_DOUBLE_EQ(p1.per_issue[1].accuracy(), 1.0)
+        << frontend::flavor_name(flavor);
+    EXPECT_DOUBLE_EQ(p1.per_issue[2].accuracy(), 1.0)
+        << frontend::flavor_name(flavor);
+  }
+}
+
+TEST(CalibrationPipeline, TrailingBlockRemovalStaysHardOnAcc) {
+  // Table IV's standout row: 22-30% on issue 4 for OpenACC, while OpenMP's
+  // pipelines catch it at ~92% (Table V).
+  const auto& acc = part_two(Flavor::kOpenACC);
+  const auto& omp = part_two(Flavor::kOpenMP);
+  EXPECT_LT(acc.pipeline1_report.per_issue[4].accuracy(), 0.45);
+  EXPECT_GT(omp.pipeline1_report.per_issue[4].accuracy(), 0.75);
+}
+
+TEST(CalibrationPipeline, OmpPipelineBeatsAccPipeline) {
+  // "Both pipelines were significantly more accurate for OpenMP than for
+  // OpenACC."
+  EXPECT_GT(part_two(Flavor::kOpenMP).pipeline1_report.overall_accuracy,
+            part_two(Flavor::kOpenACC).pipeline1_report.overall_accuracy +
+                0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Tables VII-IX: the agent-based judges
+// ---------------------------------------------------------------------------
+
+TEST(CalibrationTableVII, PerIssueAccuracyWithinBand) {
+  const auto& outcome = part_two(Flavor::kOpenACC);
+  expect_rows_match(outcome.llmj1_report, table7_agent_acc(1),
+                    "Table VII LLMJ1");
+  expect_rows_match(outcome.llmj2_report, table7_agent_acc(2),
+                    "Table VII LLMJ2");
+}
+
+TEST(CalibrationTableVIII, PerIssueAccuracyWithinBand) {
+  const auto& outcome = part_two(Flavor::kOpenMP);
+  expect_rows_match(outcome.llmj1_report, table8_agent_omp(1),
+                    "Table VIII LLMJ1");
+  expect_rows_match(outcome.llmj2_report, table8_agent_omp(2),
+                    "Table VIII LLMJ2");
+}
+
+TEST(CalibrationTableIX, OverallAgentAccuracyAndBias) {
+  for (const auto flavor : {Flavor::kOpenACC, Flavor::kOpenMP}) {
+    const auto& outcome = part_two(flavor);
+    EXPECT_NEAR(outcome.llmj1_report.overall_accuracy,
+                table9_overall(flavor, 1).overall_accuracy,
+                kOverallTolerance)
+        << frontend::flavor_name(flavor);
+    EXPECT_NEAR(outcome.llmj2_report.overall_accuracy,
+                table9_overall(flavor, 2).overall_accuracy,
+                kOverallTolerance)
+        << frontend::flavor_name(flavor);
+    // "In all cases, the agent-based LLMs exhibited a tendency towards
+    // passing invalid files" — positive bias.
+    EXPECT_GT(outcome.llmj1_report.bias, 0.0);
+    EXPECT_GT(outcome.llmj2_report.bias, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The paper's headline conclusions
+// ---------------------------------------------------------------------------
+
+TEST(CalibrationHeadline, AgentPromptingBeatsDirectPrompting) {
+  // "utilizing an agent-based prompting approach ... drastically increased
+  // the quality of deepseek-coder-33B-instruct evaluation".
+  for (const auto flavor : {Flavor::kOpenACC, Flavor::kOpenMP}) {
+    const double direct = part_one(flavor).report.overall_accuracy;
+    const double agent1 = part_two(flavor).llmj1_report.overall_accuracy;
+    const double agent2 = part_two(flavor).llmj2_report.overall_accuracy;
+    EXPECT_GT(agent1, direct + 0.10) << frontend::flavor_name(flavor);
+    EXPECT_GT(agent2, direct + 0.10) << frontend::flavor_name(flavor);
+  }
+}
+
+TEST(CalibrationHeadline, PipelineIsTheBestConfiguration) {
+  for (const auto flavor : {Flavor::kOpenACC, Flavor::kOpenMP}) {
+    const auto& outcome = part_two(flavor);
+    EXPECT_GE(outcome.pipeline1_report.overall_accuracy,
+              outcome.llmj1_report.overall_accuracy - 0.01)
+        << frontend::flavor_name(flavor);
+  }
+}
+
+TEST(CalibrationHeadline, DeterministicAcrossRuns) {
+  // The experiments are seeded: a second run yields identical reports.
+  const auto again = run_part_one(Flavor::kOpenACC);
+  EXPECT_EQ(again.report.total_mistakes,
+            part_one(Flavor::kOpenACC).report.total_mistakes);
+  EXPECT_DOUBLE_EQ(again.report.overall_accuracy,
+                   part_one(Flavor::kOpenACC).report.overall_accuracy);
+}
+
+TEST(CalibrationHeadline, DifferentSeedsStayWithinBands) {
+  // Robustness: a different corpus seed still lands in the same regime for
+  // the coarse aggregates (the reproduction is not knife-edge tuned).
+  ExperimentOptions options;
+  options.corpus_seed = 0xFEEDFACEULL;
+  options.probe_seed_offset = 3;
+  const auto outcome = run_part_one(Flavor::kOpenACC, options);
+  EXPECT_NEAR(outcome.report.overall_accuracy,
+              table3_overall(Flavor::kOpenACC).overall_accuracy, 0.06);
+}
+
+}  // namespace
+}  // namespace llm4vv::core

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "probing/candidates.hpp"
+#include "tests/test_util.hpp"
+
+namespace llm4vv::probing {
+namespace {
+
+using frontend::Flavor;
+
+TEST(CandidatesTest, ProducesRequestedCount) {
+  CandidateConfig config;
+  config.count = 60;
+  const auto candidates = generate_candidates(config);
+  EXPECT_EQ(candidates.size(), 60u);
+}
+
+TEST(CandidatesTest, DeterministicForEqualSeeds) {
+  CandidateConfig config;
+  config.count = 30;
+  config.seed = 5;
+  const auto a = generate_candidates(config);
+  const auto b = generate_candidates(config);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].file.content, b[i].file.content);
+    EXPECT_EQ(a[i].truly_valid, b[i].truly_valid);
+  }
+}
+
+TEST(CandidatesTest, DefectRateApproximatelyHonoured) {
+  CandidateConfig config;
+  config.count = 400;
+  config.defect_rate = 0.5;
+  const auto candidates = generate_candidates(config);
+  std::size_t defective = 0;
+  for (const auto& c : candidates) {
+    if (!c.truly_valid) ++defective;
+  }
+  EXPECT_NEAR(static_cast<double>(defective) / 400.0, 0.5, 0.08);
+}
+
+TEST(CandidatesTest, ZeroDefectRateGivesAllValid) {
+  CandidateConfig config;
+  config.count = 40;
+  config.defect_rate = 0.0;
+  const auto driver = testutil::clean_driver(Flavor::kOpenACC);
+  const toolchain::Executor executor;
+  for (const auto& c : generate_candidates(config)) {
+    EXPECT_TRUE(c.truly_valid);
+    EXPECT_EQ(c.defect, IssueType::kNoIssue);
+    const auto compiled = driver.compile(c.file);
+    ASSERT_TRUE(compiled.success);
+    EXPECT_TRUE(executor.run(compiled.module).passed());
+  }
+}
+
+TEST(CandidatesTest, DefectLabelsAreConsistent) {
+  CandidateConfig config;
+  config.count = 100;
+  config.defect_rate = 1.0;
+  for (const auto& c : generate_candidates(config)) {
+    EXPECT_FALSE(c.truly_valid);
+    EXPECT_NE(c.defect, IssueType::kNoIssue);
+  }
+}
+
+TEST(CandidatesTest, DefectWeightsSteerTheMix) {
+  CandidateConfig config;
+  config.count = 200;
+  config.defect_rate = 1.0;
+  config.defect_weights = {0.0, 1.0, 0.0, 0.0, 0.0};  // only brackets
+  for (const auto& c : generate_candidates(config)) {
+    EXPECT_EQ(c.defect, IssueType::kRemovedOpeningBracket);
+  }
+}
+
+TEST(CandidatesTest, WorksForOpenMp) {
+  CandidateConfig config;
+  config.flavor = Flavor::kOpenMP;
+  config.count = 50;
+  const auto candidates = generate_candidates(config);
+  for (const auto& c : candidates) {
+    EXPECT_EQ(c.file.flavor, Flavor::kOpenMP);
+  }
+}
+
+}  // namespace
+}  // namespace llm4vv::probing

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "corpus/generator.hpp"
+#include "corpus/templates.hpp"
+#include "tests/test_util.hpp"
+
+namespace llm4vv::corpus {
+namespace {
+
+using frontend::Flavor;
+using frontend::Language;
+
+// ---------------------------------------------------------------------------
+// The central validity property: every generated test compiles and passes.
+// ---------------------------------------------------------------------------
+
+struct ValidityCase {
+  std::string template_name;
+  Flavor flavor;
+  Language language;
+};
+
+class TemplateValidityTest : public ::testing::TestWithParam<ValidityCase> {};
+
+TEST_P(TemplateValidityTest, CompilesAndExitsZero) {
+  const auto& param = GetParam();
+  const auto driver = testutil::clean_driver(param.flavor);
+  const toolchain::Executor executor;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto tc = generate_one(param.template_name, param.flavor,
+                                 param.language, seed);
+    const auto compiled = driver.compile(tc.file);
+    ASSERT_TRUE(compiled.success)
+        << tc.file.name << " seed " << seed << "\n" << compiled.stderr_text;
+    const auto ran = executor.run(compiled.module);
+    EXPECT_TRUE(ran.passed())
+        << tc.file.name << " seed " << seed << " rc=" << ran.return_code
+        << "\nstderr: " << ran.stderr_text << "\nstdout: " << ran.stdout_text;
+    EXPECT_NE(ran.stdout_text.find("PASSED"), std::string::npos)
+        << tc.file.name;
+  }
+}
+
+std::vector<ValidityCase> validity_cases() {
+  std::vector<ValidityCase> cases;
+  for (const auto& tpl : test_templates()) {
+    if (tpl.supports_acc) {
+      cases.push_back({tpl.name, Flavor::kOpenACC, Language::kC});
+      cases.push_back({tpl.name, Flavor::kOpenACC, Language::kCpp});
+      if (tpl.supports_fortran) {
+        cases.push_back({tpl.name, Flavor::kOpenACC, Language::kFortran});
+      }
+    }
+    if (tpl.supports_omp) {
+      cases.push_back({tpl.name, Flavor::kOpenMP, Language::kC});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTemplatesAllLanguages, TemplateValidityTest,
+    ::testing::ValuesIn(validity_cases()),
+    [](const ::testing::TestParamInfo<ValidityCase>& info) {
+      std::string name = info.param.template_name;
+      name += info.param.flavor == Flavor::kOpenACC ? "_acc" : "_omp";
+      name += frontend::language_extension(info.param.language);
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Generator behaviour
+// ---------------------------------------------------------------------------
+
+TEST(GeneratorTest, DeterministicForEqualSeeds) {
+  GeneratorConfig config;
+  config.flavor = Flavor::kOpenACC;
+  config.count = 40;
+  config.seed = 77;
+  const auto a = generate_suite(config);
+  const auto b = generate_suite(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.cases[i].file.content, b.cases[i].file.content);
+    EXPECT_EQ(a.cases[i].file.name, b.cases[i].file.name);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsGiveDifferentSuites) {
+  GeneratorConfig config;
+  config.flavor = Flavor::kOpenACC;
+  config.count = 10;
+  config.seed = 1;
+  const auto a = generate_suite(config);
+  config.seed = 2;
+  const auto b = generate_suite(config);
+  int different = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.cases[i].file.content != b.cases[i].file.content) ++different;
+  }
+  EXPECT_GT(different, 0);
+}
+
+TEST(GeneratorTest, RequestedCountProduced) {
+  GeneratorConfig config;
+  config.flavor = Flavor::kOpenMP;
+  config.count = 123;
+  const auto suite = generate_suite(config);
+  EXPECT_EQ(suite.size(), 123u);
+  EXPECT_EQ(suite.flavor, Flavor::kOpenMP);
+}
+
+TEST(GeneratorTest, LanguageSharesRoughlyHonoured) {
+  GeneratorConfig config;
+  config.flavor = Flavor::kOpenACC;
+  config.count = 400;
+  config.cpp_share = 0.5;
+  config.fortran_share = 0.1;
+  const auto suite = generate_suite(config);
+  std::size_t cpp = 0, fortran = 0;
+  for (const auto& tc : suite.cases) {
+    if (tc.file.language == Language::kCpp) ++cpp;
+    if (tc.file.language == Language::kFortran) ++fortran;
+  }
+  EXPECT_NEAR(static_cast<double>(cpp) / 400.0, 0.5, 0.12);
+  EXPECT_GT(fortran, 0u);
+}
+
+TEST(GeneratorTest, FileNamesCarryFlavorTemplateAndExtension) {
+  GeneratorConfig config;
+  config.flavor = Flavor::kOpenMP;
+  config.count = 5;
+  const auto suite = generate_suite(config);
+  for (const auto& tc : suite.cases) {
+    EXPECT_EQ(tc.file.name.substr(0, 4), "omp_");
+    EXPECT_NE(tc.file.name.find(tc.template_name), std::string::npos);
+  }
+}
+
+TEST(GeneratorTest, VersionCapFiltersTemplates) {
+  // At OpenMP 1.0 only the host templates remain.
+  const auto names_10 = template_names(Flavor::kOpenMP, 10);
+  const auto names_45 = template_names(Flavor::kOpenMP, 45);
+  EXPECT_LT(names_10.size(), names_45.size());
+  for (const auto& name : names_10) {
+    EXPECT_TRUE(name == "atomic_update" || name == "host_parallel")
+        << name;
+  }
+}
+
+TEST(GeneratorTest, UnknownTemplateThrows) {
+  EXPECT_THROW(
+      generate_one("no_such_template", Flavor::kOpenACC, Language::kC, 1),
+      std::invalid_argument);
+}
+
+TEST(GeneratorTest, OmpFilesUseTestFunctionStructure) {
+  // The SOLLVE-style structure matters to issue-4 probing mechanics.
+  const auto tc = generate_one("saxpy_offload", Flavor::kOpenMP,
+                               Language::kC, 9);
+  EXPECT_NE(tc.file.content.find("int test_"), std::string::npos);
+  const auto main_at = tc.file.content.find("int main()");
+  const auto test_at = tc.file.content.find("int test_");
+  EXPECT_LT(test_at, main_at);
+}
+
+TEST(GeneratorTest, AccFilesAreSingleMain) {
+  const auto tc = generate_one("saxpy_offload", Flavor::kOpenACC,
+                               Language::kC, 9);
+  EXPECT_EQ(tc.file.content.find("int test_"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Plain (non-directive) code generator — the issue-3 substrate
+// ---------------------------------------------------------------------------
+
+class PlainCodeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlainCodeTest, CompilesRunsCleanAndHasNoDirectives) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::string code = generate_plain_code(rng);
+  EXPECT_EQ(code.find("#pragma"), std::string::npos);
+  EXPECT_EQ(code.find("!$"), std::string::npos);
+  const auto result = testutil::run_source(code);
+  EXPECT_EQ(result.return_code, 0) << code << result.stderr_text;
+  EXPECT_FALSE(result.stdout_text.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlainCodeTest, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace llm4vv::corpus

@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include "corpus/generator.hpp"
+#include "directive/validator.hpp"
+#include "tests/test_util.hpp"
+
+namespace llm4vv::directive {
+namespace {
+
+using frontend::DiagCode;
+using frontend::DiagnosticEngine;
+using frontend::Flavor;
+
+// ---------------------------------------------------------------------------
+// parse_directive
+// ---------------------------------------------------------------------------
+
+TEST(DirectiveParseTest, SimpleAccDirective) {
+  const auto dir = parse_directive("#pragma acc parallel loop");
+  ASSERT_TRUE(dir.parse_ok);
+  EXPECT_EQ(dir.flavor, Flavor::kOpenACC);
+  ASSERT_EQ(dir.name_words.size(), 2u);
+  EXPECT_EQ(dir.name_words[0], "parallel");
+  EXPECT_EQ(dir.name_words[1], "loop");
+  EXPECT_TRUE(dir.clauses.empty());
+}
+
+TEST(DirectiveParseTest, ClausesWithArguments) {
+  const auto dir = parse_directive(
+      "#pragma acc parallel loop copyin(a[0:n]) reduction(+:sum) "
+      "num_gangs(8)");
+  ASSERT_TRUE(dir.parse_ok);
+  ASSERT_EQ(dir.clauses.size(), 3u);
+  EXPECT_EQ(dir.clauses[0].name, "copyin");
+  EXPECT_EQ(dir.clauses[0].argument, "a[0:n]");
+  EXPECT_EQ(dir.clauses[1].argument, "+:sum");
+  EXPECT_TRUE(dir.clauses[2].has_argument);
+}
+
+TEST(DirectiveParseTest, BareClausesAfterArgumentedClause) {
+  const auto dir =
+      parse_directive("#pragma omp parallel for schedule(static) nowait");
+  ASSERT_TRUE(dir.parse_ok);
+  ASSERT_EQ(dir.clauses.size(), 2u);
+  EXPECT_EQ(dir.clauses[1].name, "nowait");
+  EXPECT_FALSE(dir.clauses[1].has_argument);
+}
+
+TEST(DirectiveParseTest, FortranSentinel) {
+  const auto dir = parse_directive("!$acc parallel loop copy(a(1:n))");
+  ASSERT_TRUE(dir.parse_ok);
+  EXPECT_EQ(dir.flavor, Flavor::kOpenACC);
+  EXPECT_EQ(dir.clauses[0].argument, "a(1:n)");
+}
+
+TEST(DirectiveParseTest, OmpSentinel) {
+  const auto dir = parse_directive("!$omp target teams distribute");
+  ASSERT_TRUE(dir.parse_ok);
+  EXPECT_EQ(dir.flavor, Flavor::kOpenMP);
+  EXPECT_EQ(dir.name_words.size(), 3u);
+}
+
+TEST(DirectiveParseTest, UnknownNamespaceFails) {
+  const auto dir = parse_directive("#pragma ivdep");
+  EXPECT_FALSE(dir.parse_ok);
+}
+
+TEST(DirectiveParseTest, UnbalancedParensFail) {
+  const auto dir = parse_directive("#pragma acc parallel copyin(a[0:n]");
+  EXPECT_FALSE(dir.parse_ok);
+}
+
+TEST(DirectiveParseTest, NestedParensInClause) {
+  const auto dir =
+      parse_directive("#pragma acc parallel loop copy(grid[0:(n*n)])");
+  ASSERT_TRUE(dir.parse_ok);
+  EXPECT_EQ(dir.clauses[0].argument, "grid[0:(n*n)]");
+}
+
+TEST(DirectiveParseTest, DirectiveNameRendering) {
+  const auto dir =
+      parse_directive("#pragma omp target teams distribute parallel for");
+  EXPECT_EQ(directive_name(dir), "target teams distribute parallel for");
+}
+
+// ---------------------------------------------------------------------------
+// clause_variables
+// ---------------------------------------------------------------------------
+
+TEST(ClauseVariablesTest, SimpleList) {
+  ClauseIR clause{"copyin", "a, b, c", true};
+  const auto vars = clause_variables(clause);
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars[0], "a");
+  EXPECT_EQ(vars[2], "c");
+}
+
+TEST(ClauseVariablesTest, ArraySectionsDropSubscripts) {
+  ClauseIR clause{"copyin", "a[0:n], b[2:m]", true};
+  const auto vars = clause_variables(clause);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], "a");
+  EXPECT_EQ(vars[1], "b");
+}
+
+TEST(ClauseVariablesTest, FortranSections) {
+  ClauseIR clause{"copy", "x(1:n)", true};
+  const auto vars = clause_variables(clause);
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(vars[0], "x");
+}
+
+TEST(ClauseVariablesTest, ReductionPrefixStripped) {
+  ClauseIR clause{"reduction", "+:sum", true};
+  const auto vars = clause_variables(clause);
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(vars[0], "sum");
+}
+
+TEST(ClauseVariablesTest, MapTypePrefixStripped) {
+  ClauseIR clause{"map", "tofrom: v[0:4]", true};
+  const auto vars = clause_variables(clause);
+  ASSERT_EQ(vars.size(), 1u);
+  EXPECT_EQ(vars[0], "v");
+}
+
+// ---------------------------------------------------------------------------
+// Spec registries
+// ---------------------------------------------------------------------------
+
+TEST(SpecTest, LongestPrefixWins) {
+  const auto& registry = openmp_registry();
+  std::size_t consumed = 0;
+  const auto* spec = registry.match(
+      {"target", "teams", "distribute", "parallel", "for", "simd"},
+      consumed);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(consumed, 6u);
+}
+
+TEST(SpecTest, PrefixMatchLeavesTrailingWords) {
+  const auto& registry = openacc_registry();
+  std::size_t consumed = 0;
+  const auto* spec = registry.match({"loop", "gang", "vector"}, consumed);
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(consumed, 1u);
+  EXPECT_EQ(spec->name_words[0], "loop");
+}
+
+TEST(SpecTest, UnknownDirectiveReturnsNull) {
+  const auto& registry = openacc_registry();
+  std::size_t consumed = 0;
+  EXPECT_EQ(registry.match({"paralel"}, consumed), nullptr);
+}
+
+TEST(SpecTest, ConstructFlags) {
+  std::size_t consumed = 0;
+  EXPECT_TRUE(openacc_registry().match({"parallel"}, consumed)->is_construct);
+  EXPECT_FALSE(openacc_registry().match({"update"}, consumed)->is_construct);
+  EXPECT_TRUE(openmp_registry().match({"target"}, consumed)->is_construct);
+  EXPECT_FALSE(openmp_registry().match({"barrier"}, consumed)->is_construct);
+}
+
+TEST(SpecTest, ReductionOperators) {
+  EXPECT_TRUE(is_valid_reduction_op(Flavor::kOpenACC, "+"));
+  EXPECT_TRUE(is_valid_reduction_op(Flavor::kOpenACC, "max"));
+  EXPECT_TRUE(is_valid_reduction_op(Flavor::kOpenACC, "&&"));
+  EXPECT_FALSE(is_valid_reduction_op(Flavor::kOpenACC, "-"));
+  EXPECT_TRUE(is_valid_reduction_op(Flavor::kOpenMP, "-"));
+  EXPECT_FALSE(is_valid_reduction_op(Flavor::kOpenMP, "avg"));
+}
+
+TEST(SpecTest, MapTypes) {
+  for (const char* ok : {"to", "from", "tofrom", "alloc", "release",
+                         "delete"}) {
+    EXPECT_TRUE(is_valid_map_type(ok)) << ok;
+  }
+  EXPECT_FALSE(is_valid_map_type("always"));
+  EXPECT_FALSE(is_valid_map_type("tooo"));
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+DirectiveValidation check(const std::string& text, Flavor flavor,
+                          int version, DiagnosticEngine& diags) {
+  ValidatorOptions options;
+  options.flavor = flavor;
+  options.supported_version = version;
+  return validate_directive(parse_directive(text), options, 1, diags);
+}
+
+TEST(ValidatorTest, ValidDirectivePasses) {
+  DiagnosticEngine diags;
+  const auto v = check("#pragma acc parallel loop copyin(a) copyout(b)",
+                       Flavor::kOpenACC, 33, diags);
+  EXPECT_TRUE(v.ok);
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(ValidatorTest, MisspelledDirectiveFails) {
+  DiagnosticEngine diags;
+  check("#pragma acc paralel loop", Flavor::kOpenACC, 33, diags);
+  EXPECT_TRUE(diags.has_code(DiagCode::kBadDirective));
+}
+
+TEST(ValidatorTest, InapplicableClauseFails) {
+  DiagnosticEngine diags;
+  // `num_threads` is an OpenMP clause; not valid on acc parallel.
+  check("#pragma acc parallel num_threads(4)", Flavor::kOpenACC, 33, diags);
+  EXPECT_TRUE(diags.has_code(DiagCode::kBadClause));
+}
+
+TEST(ValidatorTest, MissingRequiredArgumentFails) {
+  DiagnosticEngine diags;
+  check("#pragma acc parallel loop copyin", Flavor::kOpenACC, 33, diags);
+  EXPECT_TRUE(diags.has_code(DiagCode::kBadClauseArg));
+}
+
+TEST(ValidatorTest, ForbiddenArgumentFails) {
+  DiagnosticEngine diags;
+  check("#pragma acc loop seq(2)", Flavor::kOpenACC, 33, diags);
+  EXPECT_TRUE(diags.has_code(DiagCode::kBadClauseArg));
+}
+
+TEST(ValidatorTest, BadReductionOperatorFails) {
+  DiagnosticEngine diags;
+  check("#pragma acc parallel loop reduction(avg:sum)", Flavor::kOpenACC,
+        33, diags);
+  EXPECT_TRUE(diags.has_code(DiagCode::kBadClauseArg));
+}
+
+TEST(ValidatorTest, BadMapTypeFails) {
+  DiagnosticEngine diags;
+  check("#pragma omp target map(sideways: a[0:4])", Flavor::kOpenMP, 45,
+        diags);
+  EXPECT_TRUE(diags.has_code(DiagCode::kBadClauseArg));
+}
+
+TEST(ValidatorTest, MapWithSectionButNoTypeIsFine) {
+  DiagnosticEngine diags;
+  check("#pragma omp target map(a[0:4])", Flavor::kOpenMP, 45, diags);
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(ValidatorTest, VersionGateRejectsNewDirectives) {
+  DiagnosticEngine diags;
+  check("#pragma omp loop bind(teams)", Flavor::kOpenMP, 45, diags);
+  EXPECT_TRUE(diags.has_code(DiagCode::kVersionGate));
+}
+
+TEST(ValidatorTest, VersionGateRejectsNewClauses) {
+  DiagnosticEngine diags;
+  // taskwait exists since 3.0 but its depend clause is 5.0.
+  check("#pragma omp taskwait depend(in: x)", Flavor::kOpenMP, 45, diags);
+  EXPECT_TRUE(diags.has_code(DiagCode::kVersionGate));
+}
+
+TEST(ValidatorTest, Version50AcceptsGatedFeatures) {
+  DiagnosticEngine diags;
+  check("#pragma omp loop bind(teams)", Flavor::kOpenMP, 50, diags);
+  EXPECT_FALSE(diags.has_errors());
+}
+
+TEST(ValidatorTest, WrongFlavorIsWarningOnly) {
+  DiagnosticEngine diags;
+  const auto v =
+      check("#pragma omp parallel for", Flavor::kOpenACC, 33, diags);
+  EXPECT_TRUE(v.ok);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_FALSE(diags.diagnostics().empty());  // but a warning exists
+}
+
+TEST(ValidatorTest, UndeclaredClauseVariableFails) {
+  ValidatorOptions options;
+  options.flavor = Flavor::kOpenACC;
+  options.is_declared = [](const std::string& name) { return name == "a"; };
+  DiagnosticEngine diags;
+  validate_directive(parse_directive("#pragma acc parallel loop copyin(zz)"),
+                     options, 1, diags);
+  EXPECT_TRUE(diags.has_code(DiagCode::kBadClauseArg));
+}
+
+TEST(ValidatorTest, LoopDirectiveWantsLoopStatement) {
+  frontend::DiagnosticEngine diags;
+  testutil::analyze_source(
+      "int main() {\n"
+      "  int x = 0;\n"
+      "#pragma acc parallel loop\n"
+      "  x = 1;\n"
+      "  return x;\n"
+      "}",
+      diags);
+  EXPECT_TRUE(diags.has_code(DiagCode::kBadDirective));
+}
+
+TEST(ValidatorTest, PragmaTakesStatementClassifier) {
+  EXPECT_TRUE(pragma_takes_statement("#pragma acc parallel loop"));
+  EXPECT_TRUE(pragma_takes_statement("#pragma omp target teams distribute"));
+  EXPECT_TRUE(pragma_takes_statement("#pragma omp atomic"));
+  EXPECT_FALSE(pragma_takes_statement("#pragma acc update host(a)"));
+  EXPECT_FALSE(pragma_takes_statement("#pragma acc enter data copyin(a)"));
+  EXPECT_FALSE(pragma_takes_statement("#pragma omp barrier"));
+  EXPECT_FALSE(pragma_takes_statement("#pragma acc wait"));
+  EXPECT_FALSE(pragma_takes_statement("#pragma nonsense here"));
+}
+
+// ---------------------------------------------------------------------------
+// Property: every corpus template emits only spec-valid directives
+// ---------------------------------------------------------------------------
+
+struct TemplateCase {
+  std::string template_name;
+  Flavor flavor;
+};
+
+class TemplateDirectiveTest
+    : public ::testing::TestWithParam<TemplateCase> {};
+
+TEST_P(TemplateDirectiveTest, AllPragmasValidate) {
+  const auto& param = GetParam();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto tc = corpus::generate_one(param.template_name, param.flavor,
+                                         frontend::Language::kC, seed);
+    frontend::DiagnosticEngine diags;
+    testutil::analyze_source(tc.file.content, diags, param.flavor);
+    EXPECT_FALSE(diags.has_errors())
+        << param.template_name << " seed " << seed << ": "
+        << (diags.diagnostics().empty() ? ""
+                                        : diags.diagnostics()[0].message);
+  }
+}
+
+std::vector<TemplateCase> all_template_cases() {
+  std::vector<TemplateCase> cases;
+  for (const auto flavor : {Flavor::kOpenACC, Flavor::kOpenMP}) {
+    for (const auto& name : corpus::template_names(flavor, 45)) {
+      cases.push_back(TemplateCase{name, flavor});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTemplates, TemplateDirectiveTest,
+    ::testing::ValuesIn(all_template_cases()),
+    [](const ::testing::TestParamInfo<TemplateCase>& info) {
+      return info.param.template_name + "_" +
+             (info.param.flavor == Flavor::kOpenACC ? "acc" : "omp");
+    });
+
+}  // namespace
+}  // namespace llm4vv::directive

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "core/export.hpp"
+#include "support/csv.hpp"
+#include "support/strings.hpp"
+
+namespace llm4vv::core {
+namespace {
+
+using frontend::Flavor;
+
+const PartTwoOutcome& outcome() {
+  static const PartTwoOutcome cached = run_part_two(Flavor::kOpenMP);
+  return cached;
+}
+
+TEST(ExportTest, CsvHasHeaderAndOneRowPerFile) {
+  const auto rows = support::csv_parse(export_part_two_csv(outcome()));
+  ASSERT_EQ(rows.size(), 1u + outcome().suite.files.size());
+  EXPECT_EQ(rows[0][0], "file");
+  EXPECT_EQ(rows[0].size(), 13u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].size(), rows[0].size());
+  }
+}
+
+TEST(ExportTest, CsvVerdictsMatchReports) {
+  const auto rows = support::csv_parse(export_part_two_csv(outcome()));
+  // Recompute pipeline-1 mistakes from the CSV and compare to the report.
+  std::size_t mistakes = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const bool truth = rows[i][4] == "1";
+    const bool verdict = rows[i][11] == "1";
+    if (truth != verdict) ++mistakes;
+  }
+  EXPECT_EQ(mistakes, outcome().pipeline1_report.total_mistakes);
+}
+
+TEST(ExportTest, JsonlIsOneValidObjectPerLine) {
+  const auto lines =
+      support::split_lines(export_part_two_jsonl(outcome()));
+  ASSERT_EQ(lines.size(), outcome().suite.files.size());
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"issue\":"), std::string::npos);
+    EXPECT_NE(line.find("\"pipeline1_valid\":"), std::string::npos);
+  }
+}
+
+TEST(ExportTest, PartOneCsvRoundTrips) {
+  const auto part_one = run_part_one(Flavor::kOpenMP);
+  const auto rows = support::csv_parse(export_part_one_csv(part_one));
+  ASSERT_EQ(rows.size(), 1u + part_one.suite.files.size());
+  std::size_t mistakes = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if ((rows[i][4] == "1") != (rows[i][5] == "1")) ++mistakes;
+  }
+  EXPECT_EQ(mistakes, part_one.report.total_mistakes);
+}
+
+}  // namespace
+}  // namespace llm4vv::core

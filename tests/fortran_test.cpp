@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "directive/validator.hpp"
+#include "frontend/fortran.hpp"
+#include "frontend/sema.hpp"
+#include "vm/interp.hpp"
+#include "vm/lower.hpp"
+
+namespace llm4vv::frontend {
+namespace {
+
+vm::ExecResult run_fortran(const std::string& source,
+                           DiagnosticEngine& diags) {
+  ParserOptions popts;
+  popts.pragma_takes_statement = directive::pragma_takes_statement;
+  auto program = parse_fortran(source, diags, popts);
+  if (!diags.has_errors()) analyze(program, diags);
+  if (!diags.has_errors()) {
+    directive::ValidatorOptions vopts;
+    vopts.flavor = Flavor::kOpenACC;
+    directive::validate_program(program, vopts, diags);
+  }
+  if (diags.has_errors()) return {};
+  return vm::execute(vm::lower(program, {}));
+}
+
+vm::ExecResult run_ok(const std::string& source) {
+  DiagnosticEngine diags;
+  auto result = run_fortran(source, diags);
+  EXPECT_FALSE(diags.has_errors())
+      << (diags.diagnostics().empty() ? ""
+                                      : diags.diagnostics()[0].message);
+  return result;
+}
+
+TEST(FortranTest, MinimalProgramExitsZero) {
+  const auto result = run_ok(
+      "program t\n"
+      "  implicit none\n"
+      "end program t\n");
+  EXPECT_EQ(result.return_code, 0);
+}
+
+TEST(FortranTest, DoLoopAccumulates) {
+  const auto result = run_ok(
+      "program t\n"
+      "  implicit none\n"
+      "  integer :: i, s\n"
+      "  s = 0\n"
+      "  do i = 1, 10\n"
+      "    s = s + i\n"
+      "  end do\n"
+      "  call exit(s)\n"
+      "end program t\n");
+  EXPECT_EQ(result.return_code, 55);
+}
+
+TEST(FortranTest, FixedArraysAreOneBased) {
+  const auto result = run_ok(
+      "program t\n"
+      "  implicit none\n"
+      "  integer, parameter :: n = 8\n"
+      "  integer :: i\n"
+      "  real(8) :: a(n)\n"
+      "  do i = 1, n\n"
+      "    a(i) = i * 2.0\n"
+      "  end do\n"
+      "  call exit(int(a(n)))\n"
+      "end program t\n");
+  EXPECT_EQ(result.return_code, 16);
+}
+
+TEST(FortranTest, AllocatableRoundTrip) {
+  const auto result = run_ok(
+      "program t\n"
+      "  implicit none\n"
+      "  integer :: i\n"
+      "  real(8), allocatable :: a(:)\n"
+      "  allocate(a(4))\n"
+      "  do i = 1, 4\n"
+      "    a(i) = 1.5\n"
+      "  end do\n"
+      "  deallocate(a)\n"
+      "  call exit(0)\n"
+      "end program t\n");
+  EXPECT_EQ(result.return_code, 0);
+}
+
+TEST(FortranTest, MissingAllocateTraps) {
+  const auto result = run_ok(
+      "program t\n"
+      "  implicit none\n"
+      "  real(8), allocatable :: a(:)\n"
+      "  a(1) = 1.0\n"
+      "end program t\n");
+  EXPECT_EQ(result.trap, vm::TrapKind::kNullDeref);
+}
+
+TEST(FortranTest, IfElseBlocks) {
+  const auto result = run_ok(
+      "program t\n"
+      "  implicit none\n"
+      "  integer :: x\n"
+      "  x = 3\n"
+      "  if (x > 2) then\n"
+      "    x = 10\n"
+      "  else\n"
+      "    x = 20\n"
+      "  end if\n"
+      "  call exit(x)\n"
+      "end program t\n");
+  EXPECT_EQ(result.return_code, 10);
+}
+
+TEST(FortranTest, OneLineIf) {
+  const auto result = run_ok(
+      "program t\n"
+      "  implicit none\n"
+      "  integer :: x\n"
+      "  x = 1\n"
+      "  if (x == 1) x = 9\n"
+      "  call exit(x)\n"
+      "end program t\n");
+  EXPECT_EQ(result.return_code, 9);
+}
+
+TEST(FortranTest, LogicalOperatorsAndNe) {
+  const auto result = run_ok(
+      "program t\n"
+      "  implicit none\n"
+      "  integer :: a, b, r\n"
+      "  a = 1\n"
+      "  b = 2\n"
+      "  r = 0\n"
+      "  if (a == 1 .and. b /= 3) then\n"
+      "    r = 4\n"
+      "  end if\n"
+      "  if (a > 5 .or. b >= 2) then\n"
+      "    r = r + 1\n"
+      "  end if\n"
+      "  call exit(r)\n"
+      "end program t\n");
+  EXPECT_EQ(result.return_code, 5);
+}
+
+TEST(FortranTest, PrintWritesStdout) {
+  const auto result = run_ok(
+      "program t\n"
+      "  implicit none\n"
+      "  print *, 'Test PASSED'\n"
+      "end program t\n");
+  EXPECT_NE(result.stdout_text.find("Test PASSED"), std::string::npos);
+}
+
+TEST(FortranTest, StopWithCode) {
+  const auto result = run_ok(
+      "program t\n"
+      "  implicit none\n"
+      "  stop 2\n"
+      "end program t\n");
+  EXPECT_EQ(result.return_code, 2);
+}
+
+TEST(FortranTest, AbsMapsToFabs) {
+  const auto result = run_ok(
+      "program t\n"
+      "  implicit none\n"
+      "  real(8) :: x\n"
+      "  x = -3.5\n"
+      "  call exit(int(abs(x)))\n"
+      "end program t\n");
+  EXPECT_EQ(result.return_code, 3);
+}
+
+TEST(FortranTest, AccDirectiveBecomesPragma) {
+  DiagnosticEngine diags;
+  ParserOptions popts;
+  popts.pragma_takes_statement = directive::pragma_takes_statement;
+  const auto program = parse_fortran(
+      "program t\n"
+      "  implicit none\n"
+      "  integer :: i\n"
+      "  real(8) :: a(4)\n"
+      "  !$acc parallel loop copy(a(1:4))\n"
+      "  do i = 1, 4\n"
+      "    a(i) = i\n"
+      "  end do\n"
+      "end program t\n",
+      diags, popts);
+  ASSERT_EQ(program.pragmas.size(), 1u);
+  EXPECT_NE(program.pragmas[0]->then_branch, nullptr);
+  EXPECT_EQ(program.pragmas[0]->pragma_text.substr(0, 5), "!$acc");
+}
+
+TEST(FortranTest, DeviceOffloadWorksEndToEnd) {
+  const auto result = run_ok(
+      "program t\n"
+      "  implicit none\n"
+      "  integer :: i, errs\n"
+      "  real(8), allocatable :: a(:)\n"
+      "  allocate(a(8))\n"
+      "  errs = 0\n"
+      "  do i = 1, 8\n"
+      "    a(i) = 1.0\n"
+      "  end do\n"
+      "  !$acc parallel loop copy(a(1:8))\n"
+      "  do i = 1, 8\n"
+      "    a(i) = a(i) + 1.0\n"
+      "  end do\n"
+      "  do i = 1, 8\n"
+      "    if (abs(a(i) - 2.0) > 1e-9) then\n"
+      "      errs = errs + 1\n"
+      "    end if\n"
+      "  end do\n"
+      "  call exit(errs)\n"
+      "end program t\n");
+  EXPECT_EQ(result.return_code, 0);
+}
+
+TEST(FortranTest, MissingEndDoIsStructuralError) {
+  DiagnosticEngine diags;
+  run_fortran(
+      "program t\n"
+      "  implicit none\n"
+      "  integer :: i, s\n"
+      "  s = 0\n"
+      "  do i = 1, 3\n"
+      "    s = s + i\n"
+      "  call exit(s)\n"
+      "end program t\n",
+      diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(FortranTest, MissingEndIfIsStructuralError) {
+  DiagnosticEngine diags;
+  run_fortran(
+      "program t\n"
+      "  implicit none\n"
+      "  integer :: x\n"
+      "  x = 0\n"
+      "  if (x == 0) then\n"
+      "    x = 1\n"
+      "  call exit(x)\n"
+      "end program t\n",
+      diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(FortranTest, MissingProgramStatementReported) {
+  DiagnosticEngine diags;
+  run_fortran("  integer :: x\n  x = 1\nend\n", diags);
+  EXPECT_TRUE(diags.has_code(DiagCode::kMissingMain));
+}
+
+TEST(FortranTest, ExitAndCycleInsideDo) {
+  const auto result = run_ok(
+      "program t\n"
+      "  implicit none\n"
+      "  integer :: i, c\n"
+      "  c = 0\n"
+      "  do i = 1, 10\n"
+      "    if (i == 6) exit\n"
+      "    if (mod(i, 2) == 0) cycle\n"
+      "    c = c + 1\n"
+      "  end do\n"
+      "  call exit(c)\n"
+      "end program t\n");
+  EXPECT_EQ(result.return_code, 3);  // i = 1, 3, 5
+}
+
+TEST(FortranTest, PowerOperatorViaPow) {
+  const auto result = run_ok(
+      "program t\n"
+      "  implicit none\n"
+      "  real(8) :: x\n"
+      "  x = 2.0 ** 5\n"
+      "  call exit(int(x))\n"
+      "end program t\n");
+  EXPECT_EQ(result.return_code, 32);
+}
+
+}  // namespace
+}  // namespace llm4vv::frontend

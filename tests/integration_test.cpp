@@ -1,0 +1,159 @@
+// End-to-end integration tests across module boundaries that the unit
+// suites do not cross: experiment runners, report rendering, and the
+// library's user-facing flows from the examples.
+#include <gtest/gtest.h>
+
+#include "core/llm4vv.hpp"
+#include "tests/test_util.hpp"
+
+namespace llm4vv {
+namespace {
+
+using frontend::Flavor;
+
+TEST(IntegrationTest, SmallEndToEndFlowBothFlavors) {
+  for (const auto flavor : {Flavor::kOpenACC, Flavor::kOpenMP}) {
+    corpus::GeneratorConfig gen;
+    gen.flavor = flavor;
+    gen.count = 80;
+    gen.seed = 1001;
+    const auto suite = corpus::generate_suite(gen);
+
+    probing::ProbingConfig probe;
+    probe.issue_counts = {6, 6, 6, 6, 6, 30};
+    probe.seed = 5;
+    const auto probed = probing::probe_suite(suite, probe);
+
+    auto client = core::make_simulated_client(2);
+    auto judge = std::make_shared<const judge::Llmj>(
+        client, llm::PromptStyle::kAgentDirect);
+    pipeline::PipelineConfig config;
+    config.compile_workers = 2;
+    config.execute_workers = 2;
+    config.judge_workers = 2;
+    const pipeline::ValidationPipeline pipe(
+        testutil::clean_driver(flavor), toolchain::Executor(), judge,
+        config);
+
+    std::vector<frontend::SourceFile> files;
+    for (const auto& pf : probed.files) files.push_back(pf.file);
+    const auto result = pipe.run(files);
+
+    std::vector<metrics::JudgmentRecord> judgments;
+    for (std::size_t i = 0; i < probed.files.size(); ++i) {
+      judgments.push_back(metrics::JudgmentRecord{
+          probed.files[i].issue, result.records[i].pipeline_says_valid});
+    }
+    const auto report = metrics::evaluate(judgments);
+    // Sanity envelope: the pipeline is far better than chance on an
+    // invalid-majority batch and never perfect on the hard classes.
+    EXPECT_GT(report.overall_accuracy, 0.6)
+        << frontend::flavor_name(flavor);
+    EXPECT_DOUBLE_EQ(report.per_issue[1].accuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(report.per_issue[2].accuracy(), 1.0);
+  }
+}
+
+TEST(IntegrationTest, ExperimentSuitesMatchPaperComposition) {
+  const auto acc_one = core::build_part_one_suite(Flavor::kOpenACC, {});
+  EXPECT_EQ(acc_one.size(), 1335u);
+  bool has_fortran = false;
+  for (const auto& pf : acc_one.files) {
+    if (pf.file.language == frontend::Language::kFortran) {
+      has_fortran = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(has_fortran);  // "a small set of Fortran files"
+
+  const auto omp_one = core::build_part_one_suite(Flavor::kOpenMP, {});
+  EXPECT_EQ(omp_one.size(), 431u);
+  for (const auto& pf : omp_one.files) {
+    EXPECT_NE(pf.file.language, frontend::Language::kFortran);
+    EXPECT_NE(pf.file.language, frontend::Language::kCpp);  // "only C files"
+  }
+
+  const auto acc_two = core::build_part_two_suite(Flavor::kOpenACC, {});
+  EXPECT_EQ(acc_two.size(), 1782u);
+  const auto omp_two = core::build_part_two_suite(Flavor::kOpenMP, {});
+  EXPECT_EQ(omp_two.size(), 296u);
+  for (const auto& pf : omp_two.files) {
+    EXPECT_NE(pf.file.language, frontend::Language::kFortran);
+  }
+}
+
+TEST(IntegrationTest, ReportRenderingRoundTrip) {
+  const auto outcome = core::run_part_one(Flavor::kOpenMP);
+  const auto table = core::render_issue_table(
+      "Table II check", Flavor::kOpenMP, core::table2_llmj_omp(),
+      outcome.report);
+  EXPECT_NE(table.find("Removed an opening bracket"), std::string::npos);
+  EXPECT_NE(table.find("Paper Acc"), std::string::npos);
+  EXPECT_NE(table.find("Measured Acc"), std::string::npos);
+
+  const auto overall = core::render_overall_table(
+      "Table III check", "LLMJ", core::table3_overall(Flavor::kOpenMP),
+      outcome.report);
+  EXPECT_NE(overall.find("Overall LLMJ Accuracy"), std::string::npos);
+  EXPECT_NE(overall.find("LLMJ Bias"), std::string::npos);
+}
+
+TEST(IntegrationTest, TwoMethodReportRendering) {
+  const auto outcome = core::run_part_two(Flavor::kOpenMP);
+  const auto table = core::render_issue_table2(
+      "Table V check", Flavor::kOpenMP, "Pipeline 1",
+      core::table5_pipeline_omp(1), outcome.pipeline1_report, "Pipeline 2",
+      core::table5_pipeline_omp(2), outcome.pipeline2_report);
+  EXPECT_NE(table.find("Pipeline 1 Paper"), std::string::npos);
+  EXPECT_NE(table.find("Pipeline 2 Measured"), std::string::npos);
+
+  const auto overall = core::render_overall_table2(
+      "Table VI check", "Pipeline 1", core::table6_overall(Flavor::kOpenMP, 1),
+      outcome.pipeline1_report, "Pipeline 2",
+      core::table6_overall(Flavor::kOpenMP, 2), outcome.pipeline2_report);
+  EXPECT_NE(overall.find("Total Pipeline 2 Mistakes"), std::string::npos);
+}
+
+TEST(IntegrationTest, LlmStatsAccumulateAcrossPipelinePasses) {
+  const auto outcome = core::run_part_two(Flavor::kOpenMP);
+  // Two record-all passes over 296 files.
+  EXPECT_EQ(outcome.llm_stats.requests, 2u * 296u);
+  EXPECT_GT(outcome.llm_stats.gpu_seconds, 0.0);
+}
+
+TEST(IntegrationTest, RadarFigurePipelineMatchesReports) {
+  const auto outcome = core::run_part_two(Flavor::kOpenMP);
+  const auto axes = metrics::radar_axes(outcome.pipeline1_report);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(axes[i],
+                     outcome.pipeline1_report.per_issue[i].accuracy());
+  }
+  const auto figure = metrics::render_radar(
+      {axes}, {"Pipeline 1"}, metrics::radar_axis_labels(Flavor::kOpenMP));
+  EXPECT_NE(figure.find("Pipeline 1"), std::string::npos);
+}
+
+TEST(IntegrationTest, CustomModelPluggableThroughClient) {
+  // The examples/custom_model.cpp flow, condensed.
+  class EchoModel final : public llm::LanguageModel {
+   public:
+    std::string name() const override { return "echo"; }
+    llm::Completion generate(const std::string&,
+                             const llm::GenerationParams&) const override {
+      llm::Completion completion;
+      completion.text = "FINAL JUDGEMENT: invalid";
+      completion.completion_tokens = 4;
+      return completion;
+    }
+  };
+  auto client = std::make_shared<llm::ModelClient>(
+      std::make_shared<EchoModel>(), 1);
+  const judge::Llmj judge(client, llm::PromptStyle::kDirectAnalysis);
+  const auto tc = corpus::generate_one("saxpy_offload", Flavor::kOpenACC,
+                                       frontend::Language::kC, 1);
+  const auto decision = judge.evaluate(tc.file);
+  EXPECT_EQ(decision.verdict, judge::Verdict::kInvalid);
+}
+
+}  // namespace
+}  // namespace llm4vv

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hpp"
+
+namespace llm4vv::metrics {
+namespace {
+
+using probing::IssueType;
+
+JudgmentRecord record(IssueType issue, bool says_valid) {
+  return JudgmentRecord{issue, says_valid};
+}
+
+TEST(MetricsTest, EmptyInputIsAllZero) {
+  const auto report = evaluate({});
+  EXPECT_EQ(report.total_count, 0u);
+  EXPECT_EQ(report.total_mistakes, 0u);
+  EXPECT_DOUBLE_EQ(report.overall_accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(report.bias, 0.0);
+}
+
+TEST(MetricsTest, PerfectJudgeScoresOne) {
+  std::vector<JudgmentRecord> records = {
+      record(IssueType::kNoIssue, true),
+      record(IssueType::kRemovedOpeningBracket, false),
+      record(IssueType::kReplacedWithPlainCode, false),
+  };
+  const auto report = evaluate(records);
+  EXPECT_DOUBLE_EQ(report.overall_accuracy, 1.0);
+  EXPECT_EQ(report.total_mistakes, 0u);
+  EXPECT_DOUBLE_EQ(report.bias, 0.0);
+}
+
+TEST(MetricsTest, HandComputedAccuracies) {
+  std::vector<JudgmentRecord> records = {
+      // issue 1: 1 correct, 1 wrong
+      record(IssueType::kRemovedOpeningBracket, false),
+      record(IssueType::kRemovedOpeningBracket, true),
+      // valid: 3 correct, 1 wrong
+      record(IssueType::kNoIssue, true),
+      record(IssueType::kNoIssue, true),
+      record(IssueType::kNoIssue, true),
+      record(IssueType::kNoIssue, false),
+  };
+  const auto report = evaluate(records);
+  EXPECT_EQ(report.per_issue[1].count, 2u);
+  EXPECT_EQ(report.per_issue[1].correct, 1u);
+  EXPECT_DOUBLE_EQ(report.per_issue[1].accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(report.per_issue[5].accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(report.overall_accuracy, 4.0 / 6.0);
+  EXPECT_EQ(report.total_mistakes, 2u);
+  // One permissive mistake (+1), one restrictive (-1) -> bias 0.
+  EXPECT_DOUBLE_EQ(report.bias, 0.0);
+}
+
+TEST(MetricsTest, PurePermissivenessGivesBiasPlusOne) {
+  std::vector<JudgmentRecord> records = {
+      record(IssueType::kUndeclaredVariable, true),
+      record(IssueType::kReplacedWithPlainCode, true),
+      record(IssueType::kNoIssue, true),  // correct, no bias contribution
+  };
+  const auto report = evaluate(records);
+  EXPECT_DOUBLE_EQ(report.bias, 1.0);
+}
+
+TEST(MetricsTest, PureRestrictivenessGivesBiasMinusOne) {
+  std::vector<JudgmentRecord> records = {
+      record(IssueType::kNoIssue, false),
+      record(IssueType::kNoIssue, false),
+      record(IssueType::kRemovedOpeningBracket, false),  // correct
+  };
+  const auto report = evaluate(records);
+  EXPECT_DOUBLE_EQ(report.bias, -1.0);
+}
+
+TEST(MetricsTest, BiasAlwaysInRange) {
+  support::Rng rng(5);
+  std::vector<JudgmentRecord> records;
+  for (int i = 0; i < 500; ++i) {
+    records.push_back(record(
+        static_cast<IssueType>(rng.next_below(6)), rng.chance(0.5)));
+  }
+  const auto report = evaluate(records);
+  EXPECT_GE(report.bias, -1.0);
+  EXPECT_LE(report.bias, 1.0);
+  EXPECT_GE(report.overall_accuracy, 0.0);
+  EXPECT_LE(report.overall_accuracy, 1.0);
+}
+
+TEST(MetricsTest, AggregateEqualsPerIssueRecomputation) {
+  support::Rng rng(9);
+  std::vector<JudgmentRecord> records;
+  for (int i = 0; i < 300; ++i) {
+    records.push_back(record(
+        static_cast<IssueType>(rng.next_below(6)), rng.chance(0.6)));
+  }
+  const auto report = evaluate(records);
+  std::size_t total = 0;
+  std::size_t correct = 0;
+  for (const auto& row : report.per_issue) {
+    total += row.count;
+    correct += row.correct;
+    EXPECT_EQ(row.count, row.correct + row.incorrect);
+  }
+  EXPECT_EQ(total, report.total_count);
+  EXPECT_DOUBLE_EQ(report.overall_accuracy,
+                   static_cast<double>(correct) /
+                       static_cast<double>(total));
+}
+
+TEST(RadarTest, AxesMirrorPerIssueAccuracy) {
+  std::vector<JudgmentRecord> records = {
+      record(IssueType::kRemovedOpeningBracket, false),
+      record(IssueType::kNoIssue, true),
+      record(IssueType::kNoIssue, false),
+  };
+  const auto axes = radar_axes(evaluate(records));
+  EXPECT_DOUBLE_EQ(axes[1], 1.0);
+  EXPECT_DOUBLE_EQ(axes[5], 0.5);
+  EXPECT_DOUBLE_EQ(axes[0], 0.0);  // empty rows render as 0
+}
+
+TEST(RadarTest, AxisLabelsAreFlavorAware) {
+  const auto acc = radar_axis_labels(frontend::Flavor::kOpenACC);
+  const auto omp = radar_axis_labels(frontend::Flavor::kOpenMP);
+  EXPECT_NE(acc[0].find("OpenACC"), std::string::npos);
+  EXPECT_NE(omp[3].find("OpenMP"), std::string::npos);
+}
+
+TEST(RadarTest, RenderContainsMarkersLegendAndValues) {
+  const std::array<double, 6> series1 = {0.9, 0.8, 0.7, 0.6, 0.5, 1.0};
+  const std::array<double, 6> series2 = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  const auto text = render_radar(
+      {series1, series2}, {"first", "second"},
+      radar_axis_labels(frontend::Flavor::kOpenACC));
+  EXPECT_NE(text.find('1'), std::string::npos);
+  EXPECT_NE(text.find('2'), std::string::npos);
+  EXPECT_NE(text.find("[1] first"), std::string::npos);
+  EXPECT_NE(text.find("[2] second"), std::string::npos);
+  EXPECT_NE(text.find("90%"), std::string::npos);
+  EXPECT_NE(text.find("Valid tests"), std::string::npos);
+}
+
+TEST(RadarTest, ZeroSeriesStillRenders) {
+  const std::array<double, 6> zeros{};
+  const auto text = render_radar({zeros}, {"flat"},
+                                 radar_axis_labels(frontend::Flavor::kOpenMP));
+  EXPECT_NE(text.find("[1] flat"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace llm4vv::metrics

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.hpp"
+
+namespace llm4vv::frontend {
+namespace {
+
+using testutil::analyze_source;
+
+Program parse_ok(const std::string& source) {
+  DiagnosticEngine diags;
+  auto program = analyze_source(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << source;
+  return program;
+}
+
+DiagnosticEngine parse_expecting_errors(const std::string& source) {
+  DiagnosticEngine diags;
+  analyze_source(source, diags);
+  EXPECT_TRUE(diags.has_errors()) << source;
+  return diags;
+}
+
+// ---------------------------------------------------------------------------
+// Structure
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, MinimalMain) {
+  const auto program = parse_ok("int main() { return 0; }");
+  ASSERT_EQ(program.functions.size(), 1u);
+  EXPECT_EQ(program.main_index, 0);
+  EXPECT_EQ(program.functions[0].name, "main");
+}
+
+TEST(ParserTest, FunctionWithParams) {
+  const auto program = parse_ok(
+      "int add(int a, int b) { return a + b; }\n"
+      "int main() { return add(1, 2) - 3; }");
+  ASSERT_EQ(program.functions.size(), 2u);
+  EXPECT_EQ(program.functions[0].params.size(), 2u);
+}
+
+TEST(ParserTest, ArrayParameterDecaysToPointer) {
+  const auto program = parse_ok(
+      "void fill(double a[], int n) { a[0] = n; }\n"
+      "int main() { double v[4]; fill(v, 4); return 0; }");
+  EXPECT_EQ(program.functions[0].params[0].type.pointer_depth, 1);
+}
+
+TEST(ParserTest, VoidParameterListIsEmpty) {
+  const auto program = parse_ok("int main(void) { return 0; }");
+  EXPECT_TRUE(program.functions[0].params.empty());
+}
+
+TEST(ParserTest, GlobalsAndArrays) {
+  const auto program = parse_ok(
+      "double data[16];\nint counter = 3;\nint main() { return 0; }");
+  ASSERT_EQ(program.globals.size(), 2u);
+  EXPECT_TRUE(program.globals[0].type.is_array);
+  EXPECT_EQ(program.globals[0].type.array_extent, 16);
+}
+
+TEST(ParserTest, MultiDeclaratorWithPointers) {
+  const auto program = parse_ok("int main() { int *p, q, r[3]; return 0; }");
+  // One declaration statement with three declarators.
+  const Stmt* body = program.functions[0].body.get();
+  ASSERT_EQ(body->body[0]->decls.size(), 3u);
+  EXPECT_EQ(body->body[0]->decls[0].type.pointer_depth, 1);
+  EXPECT_EQ(body->body[0]->decls[1].type.pointer_depth, 0);
+  EXPECT_TRUE(body->body[0]->decls[2].type.is_array);
+}
+
+TEST(ParserTest, PragmaAttachesToConstruct) {
+  const auto program = parse_ok(
+      "int main() {\n"
+      "#pragma acc parallel loop\n"
+      "  for (int i = 0; i < 4; i++) { }\n"
+      "  return 0;\n"
+      "}");
+  ASSERT_EQ(program.pragmas.size(), 1u);
+  EXPECT_NE(program.pragmas[0]->then_branch, nullptr);
+  EXPECT_EQ(program.pragmas[0]->then_branch->kind, StmtKind::kFor);
+}
+
+TEST(ParserTest, StandalonePragmaHasNoBody) {
+  const auto program = parse_ok(
+      "int main() {\n"
+      "  double a[4];\n"
+      "#pragma acc enter data copyin(a)\n"
+      "  a[0] = 1.0;\n"
+      "#pragma acc exit data delete(a)\n"
+      "  return 0;\n"
+      "}");
+  ASSERT_EQ(program.pragmas.size(), 2u);
+  EXPECT_EQ(program.pragmas[0]->then_branch, nullptr);
+  EXPECT_EQ(program.pragmas[1]->then_branch, nullptr);
+}
+
+TEST(ParserTest, TopLevelPragmaCollected) {
+  const auto program = parse_ok(
+      "#pragma acc routine seq\n"
+      "int helper(int x) { return x; }\n"
+      "int main() { return helper(0); }");
+  EXPECT_EQ(program.top_level_pragmas.size(), 1u);
+  EXPECT_EQ(program.pragmas.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Error paths (the compile-stage teeth for issues 1 and 2)
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, MissingOpeningBraceOfFunctionFails) {
+  const auto diags = parse_expecting_errors("int main() return 0; }");
+  EXPECT_TRUE(diags.has_code(DiagCode::kMismatchedBrace));
+}
+
+TEST(ParserTest, MissingOpeningBraceMidFunctionFails) {
+  parse_expecting_errors(
+      "int main() {\n"
+      "  int x = 0;\n"
+      "  for (int i = 0; i < 3; i++)\n"  // '{' removed here
+      "    x = x + i;\n"
+      "    x = x * 2;\n"
+      "  }\n"
+      "  return x;\n"
+      "}");
+}
+
+TEST(ParserTest, StrayClosingBraceFails) {
+  const auto diags =
+      parse_expecting_errors("int main() { } } int other() { return 0; }");
+  EXPECT_TRUE(diags.has_code(DiagCode::kUnexpectedToken) ||
+              diags.has_code(DiagCode::kMismatchedBrace));
+}
+
+TEST(ParserTest, UnclosedBlockAtEofFails) {
+  const auto diags = parse_expecting_errors("int main() { int x = 1;");
+  EXPECT_TRUE(diags.has_code(DiagCode::kMismatchedBrace));
+}
+
+TEST(SemaTest, UndeclaredIdentifierFails) {
+  const auto diags =
+      parse_expecting_errors("int main() { return mystery; }");
+  EXPECT_TRUE(diags.has_code(DiagCode::kUndeclaredIdentifier));
+}
+
+TEST(SemaTest, UndeclaredFunctionCallFails) {
+  const auto diags =
+      parse_expecting_errors("int main() { return launch(); }");
+  EXPECT_TRUE(diags.has_code(DiagCode::kUndeclaredIdentifier));
+}
+
+TEST(SemaTest, RedefinitionInSameScopeFails) {
+  const auto diags =
+      parse_expecting_errors("int main() { int x = 1; int x = 2; return x; }");
+  EXPECT_TRUE(diags.has_code(DiagCode::kRedefinition));
+}
+
+TEST(SemaTest, ShadowingInInnerScopeIsFine) {
+  parse_ok("int main() { int x = 1; { int x = 2; x = x; } return x; }");
+}
+
+TEST(SemaTest, CallArityMismatchFails) {
+  const auto diags = parse_expecting_errors(
+      "int add(int a, int b) { return a + b; }\n"
+      "int main() { return add(1); }");
+  EXPECT_TRUE(diags.has_code(DiagCode::kBadArity));
+}
+
+TEST(SemaTest, BuiltinArityChecked) {
+  const auto diags =
+      parse_expecting_errors("int main() { return fabs(1.0, 2.0); }");
+  EXPECT_TRUE(diags.has_code(DiagCode::kBadArity));
+}
+
+TEST(SemaTest, PrintfIsVariadic) {
+  parse_ok("int main() { printf(\"%d %d %d\", 1, 2, 3); return 0; }");
+}
+
+TEST(SemaTest, BreakOutsideLoopFails) {
+  const auto diags = parse_expecting_errors("int main() { break; }");
+  EXPECT_TRUE(diags.has_code(DiagCode::kInvalidBreak));
+}
+
+TEST(SemaTest, ContinueInsideLoopIsFine) {
+  parse_ok("int main() { for (int i = 0; i < 3; i++) { continue; } return 0; }");
+}
+
+TEST(SemaTest, MissingMainFails) {
+  const auto diags = parse_expecting_errors("int helper() { return 1; }");
+  EXPECT_TRUE(diags.has_code(DiagCode::kMissingMain));
+}
+
+TEST(SemaTest, AssignToLiteralFails) {
+  const auto diags = parse_expecting_errors("int main() { 3 = 4; return 0; }");
+  EXPECT_TRUE(diags.has_code(DiagCode::kTypeMismatch));
+}
+
+TEST(SemaTest, DerefOfNonPointerFails) {
+  const auto diags =
+      parse_expecting_errors("int main() { int x = 0; return *x; }");
+  EXPECT_TRUE(diags.has_code(DiagCode::kTypeMismatch));
+}
+
+TEST(SemaTest, IndexOfNonArrayFails) {
+  const auto diags =
+      parse_expecting_errors("int main() { int x = 0; return x[1]; }");
+  EXPECT_TRUE(diags.has_code(DiagCode::kTypeMismatch));
+}
+
+TEST(SemaTest, NegativeArrayExtentFails) {
+  const auto diags =
+      parse_expecting_errors("int main() { int a[-4]; return 0; }");
+  EXPECT_TRUE(diags.has_code(DiagCode::kTypeMismatch));
+}
+
+TEST(SemaTest, ConstantExtentFolded) {
+  const auto program = parse_ok("int main() { int a[4 * 8]; a[0] = 1; return 0; }");
+  const Stmt* body = program.functions[0].body.get();
+  EXPECT_EQ(body->body[0]->decls[0].type.array_extent, 32);
+}
+
+TEST(SemaTest, RuntimeSizedArrayAllowed) {
+  parse_ok("int main() { int n = 5; double a[n]; a[0] = 1.0; return 0; }");
+}
+
+TEST(SemaTest, BuiltinConstantsResolve) {
+  parse_ok("int main() { return acc_get_num_devices(acc_device_default) > 0 "
+           "? 0 : 1; }");
+}
+
+TEST(SemaTest, InitializerSeesOuterNotSelf) {
+  // `int x = x;` must report x undeclared (C-like strictness in the subset).
+  const auto diags =
+      parse_expecting_errors("int main() { int fresh = fresh; return 0; }");
+  EXPECT_TRUE(diags.has_code(DiagCode::kUndeclaredIdentifier));
+}
+
+TEST(SemaTest, ErrorLimitStopsCascade) {
+  // A file of garbage must not produce unbounded diagnostics.
+  std::string garbage = "int main() {\n";
+  for (int i = 0; i < 200; ++i) garbage += "  ] ) } ; @ ;\n";
+  garbage += "}\n";
+  DiagnosticEngine diags;
+  analyze_source(garbage, diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_LE(diags.error_count(), 30u);
+}
+
+}  // namespace
+}  // namespace llm4vv::frontend

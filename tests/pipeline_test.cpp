@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+#include "corpus/generator.hpp"
+#include "pipeline/validation_pipeline.hpp"
+#include "probing/prober.hpp"
+#include "tests/test_util.hpp"
+
+namespace llm4vv::pipeline {
+namespace {
+
+using frontend::Flavor;
+
+probing::ProbedSuite probed_batch(std::size_t per_issue,
+                                  std::size_t valid_count) {
+  corpus::GeneratorConfig gen;
+  gen.flavor = Flavor::kOpenACC;
+  gen.count = per_issue * 5 + valid_count + 32;
+  gen.seed = 808;
+  const auto suite = corpus::generate_suite(gen);
+  probing::ProbingConfig config;
+  config.issue_counts = {per_issue, per_issue, per_issue, per_issue,
+                         per_issue, valid_count};
+  config.seed = 909;
+  return probing::probe_suite(suite, config);
+}
+
+std::vector<frontend::SourceFile> files_of(
+    const probing::ProbedSuite& probed) {
+  std::vector<frontend::SourceFile> files;
+  for (const auto& pf : probed.files) files.push_back(pf.file);
+  return files;
+}
+
+ValidationPipeline make_pipeline(PipelineMode mode, std::size_t workers,
+                                 std::shared_ptr<llm::ModelClient> client) {
+  auto judge = std::make_shared<const judge::Llmj>(
+      client, llm::PromptStyle::kAgentDirect);
+  PipelineConfig config;
+  config.mode = mode;
+  config.compile_workers = workers;
+  config.execute_workers = workers;
+  config.judge_workers = workers;
+  return ValidationPipeline(testutil::clean_driver(Flavor::kOpenACC),
+                            toolchain::Executor(), judge, config);
+}
+
+TEST(PipelineTest, EmptyInputYieldsEmptyResult) {
+  const auto pipe = make_pipeline(PipelineMode::kRecordAll, 2,
+                                  core::make_simulated_client(2));
+  const auto result = pipe.run({});
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(result.compile_stage.processed, 0u);
+}
+
+TEST(PipelineTest, NullJudgeThrows) {
+  PipelineConfig config;
+  EXPECT_THROW(ValidationPipeline(testutil::clean_driver(Flavor::kOpenACC),
+                                  toolchain::Executor(), nullptr, config),
+               std::invalid_argument);
+}
+
+TEST(PipelineTest, RecordAllProcessesEveryFileInEveryStage) {
+  const auto probed = probed_batch(4, 20);
+  const auto files = files_of(probed);
+  const auto pipe = make_pipeline(PipelineMode::kRecordAll, 2,
+                                  core::make_simulated_client(2));
+  const auto result = pipe.run(files);
+  EXPECT_EQ(result.compile_stage.processed, files.size());
+  EXPECT_EQ(result.execute_stage.processed, files.size());
+  EXPECT_EQ(result.judge_stage.processed, files.size());
+  for (const auto& record : result.records) {
+    EXPECT_TRUE(record.judged);
+  }
+}
+
+TEST(PipelineTest, FilterEarlySkipsDownstreamStages) {
+  const auto probed = probed_batch(4, 20);
+  const auto files = files_of(probed);
+  const auto pipe = make_pipeline(PipelineMode::kFilterEarly, 2,
+                                  core::make_simulated_client(2));
+  const auto result = pipe.run(files);
+  EXPECT_EQ(result.compile_stage.processed, files.size());
+  EXPECT_LT(result.execute_stage.processed, files.size());
+  EXPECT_EQ(result.execute_stage.processed,
+            result.compile_stage.processed -
+                result.compile_stage.rejected);
+  for (const auto& record : result.records) {
+    if (!record.compiled) {
+      EXPECT_FALSE(record.judged);
+      EXPECT_FALSE(record.pipeline_says_valid);
+      EXPECT_EQ(record.judge_gpu_seconds, 0.0);
+    }
+    if (record.compiled && !record.executed) {
+      EXPECT_FALSE(record.judged);
+    }
+  }
+}
+
+TEST(PipelineTest, RecordsKeepInputOrder) {
+  const auto probed = probed_batch(3, 12);
+  const auto files = files_of(probed);
+  const auto pipe = make_pipeline(PipelineMode::kRecordAll, 3,
+                                  core::make_simulated_client(3));
+  const auto result = pipe.run(files);
+  ASSERT_EQ(result.records.size(), files.size());
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    EXPECT_EQ(result.records[i].index, i);
+  }
+}
+
+TEST(PipelineTest, PipelineVerdictIsConjunctionOfStages) {
+  const auto probed = probed_batch(4, 16);
+  const auto files = files_of(probed);
+  const auto pipe = make_pipeline(PipelineMode::kRecordAll, 2,
+                                  core::make_simulated_client(2));
+  const auto result = pipe.run(files);
+  for (const auto& record : result.records) {
+    EXPECT_EQ(record.pipeline_says_valid,
+              record.compiled && record.executed && record.judged &&
+                  record.judge_says_valid);
+  }
+}
+
+TEST(PipelineTest, RecordAllMatchesManualStageComposition) {
+  // The pipeline must agree with running the three tools by hand.
+  const auto probed = probed_batch(3, 10);
+  const auto files = files_of(probed);
+  auto client = core::make_simulated_client(1);
+  const auto pipe = make_pipeline(PipelineMode::kRecordAll, 1, client);
+  const auto result = pipe.run(files);
+
+  const auto driver = testutil::clean_driver(Flavor::kOpenACC);
+  const toolchain::Executor executor;
+  const judge::Llmj judge(client, llm::PromptStyle::kAgentDirect);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const auto compiled = driver.compile(files[i]);
+    const auto ran = executor.run(compiled.module);
+    const auto decision = judge.evaluate(files[i], &compiled, &ran, 0);
+    EXPECT_EQ(result.records[i].compiled, compiled.success) << i;
+    EXPECT_EQ(result.records[i].executed, ran.passed()) << i;
+    EXPECT_EQ(result.records[i].judge_says_valid, decision.says_valid) << i;
+  }
+}
+
+TEST(PipelineTest, VerdictsIndependentOfWorkerCount) {
+  const auto probed = probed_batch(3, 12);
+  const auto files = files_of(probed);
+  const auto run_with = [&](std::size_t workers) {
+    const auto pipe = make_pipeline(PipelineMode::kRecordAll, workers,
+                                    core::make_simulated_client(workers));
+    return pipe.run(files);
+  };
+  const auto serial = run_with(1);
+  const auto parallel = run_with(4);
+  ASSERT_EQ(serial.records.size(), parallel.records.size());
+  for (std::size_t i = 0; i < serial.records.size(); ++i) {
+    EXPECT_EQ(serial.records[i].pipeline_says_valid,
+              parallel.records[i].pipeline_says_valid)
+        << i;
+    EXPECT_EQ(serial.records[i].judge_says_valid,
+              parallel.records[i].judge_says_valid)
+        << i;
+  }
+}
+
+TEST(PipelineTest, FilterEarlySavesSimulatedGpuTime) {
+  const auto probed = probed_batch(6, 10);  // invalid-heavy batch
+  const auto files = files_of(probed);
+  const auto all = make_pipeline(PipelineMode::kRecordAll, 2,
+                                 core::make_simulated_client(2))
+                       .run(files);
+  const auto filtered = make_pipeline(PipelineMode::kFilterEarly, 2,
+                                      core::make_simulated_client(2))
+                            .run(files);
+  EXPECT_LT(filtered.judge_gpu_seconds, all.judge_gpu_seconds * 0.8);
+  EXPECT_GT(all.judge_gpu_seconds, 0.0);
+}
+
+TEST(PipelineTest, FilterAndRecordAllAgreeOnFinalVerdicts) {
+  // Early filtering must not change the pipeline's verdict, only its cost.
+  const auto probed = probed_batch(4, 14);
+  const auto files = files_of(probed);
+  const auto all = make_pipeline(PipelineMode::kRecordAll, 2,
+                                 core::make_simulated_client(2))
+                       .run(files);
+  const auto filtered = make_pipeline(PipelineMode::kFilterEarly, 2,
+                                      core::make_simulated_client(2))
+                            .run(files);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    EXPECT_EQ(all.records[i].pipeline_says_valid,
+              filtered.records[i].pipeline_says_valid)
+        << i;
+  }
+}
+
+TEST(PipelineTest, StageStatsAreConsistent) {
+  const auto probed = probed_batch(4, 16);
+  const auto files = files_of(probed);
+  const auto pipe = make_pipeline(PipelineMode::kFilterEarly, 2,
+                                  core::make_simulated_client(2));
+  const auto result = pipe.run(files);
+  EXPECT_LE(result.compile_stage.rejected, result.compile_stage.processed);
+  EXPECT_EQ(result.judge_stage.processed,
+            result.execute_stage.processed - result.execute_stage.rejected);
+  EXPECT_GE(result.wall_seconds, 0.0);
+  EXPECT_GE(result.compile_stage.busy_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace llm4vv::pipeline

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "support/mpmc_queue.hpp"
+#include "support/thread_pool.hpp"
+
+namespace llm4vv::support {
+namespace {
+
+TEST(MpmcQueueTest, FifoOrderSingleThread) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop().value(), i);
+}
+
+TEST(MpmcQueueTest, ZeroCapacityThrows) {
+  EXPECT_THROW(MpmcQueue<int>(0), std::invalid_argument);
+}
+
+TEST(MpmcQueueTest, TryPushFailsWhenFull) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(MpmcQueueTest, TryPopOnEmptyReturnsNullopt) {
+  MpmcQueue<int> q(2);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueueTest, CloseDrainsThenSignalsEnd) {
+  MpmcQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(MpmcQueueTest, PushAfterCloseFails) {
+  MpmcQueue<int> q(4);
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  EXPECT_FALSE(q.try_push(1));
+}
+
+TEST(MpmcQueueTest, BlockedConsumerWakesOnClose) {
+  MpmcQueue<int> q(4);
+  std::thread consumer([&] {
+    const auto item = q.pop();
+    EXPECT_FALSE(item.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(MpmcQueueTest, BlockedProducerWakesOnClose) {
+  MpmcQueue<int> q(1);
+  ASSERT_TRUE(q.push(0));
+  std::thread producer([&] {
+    EXPECT_FALSE(q.push(1));  // blocks on full queue, fails after close
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+}
+
+TEST(MpmcQueueTest, ConcurrentSumPreserved) {
+  // 4 producers push 1000 items each through a small queue to 4 consumers;
+  // the total must survive exactly (no loss, no duplication).
+  MpmcQueue<int> q(16);
+  std::atomic<long> total{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 4; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(q.push(p * 1000 + i));
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        const auto item = q.pop();
+        if (!item) return;
+        total.fetch_add(*item, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  long expected = 0;
+  for (int p = 0; p < 4; ++p) {
+    for (int i = 0; i < 1000; ++i) expected += p * 1000 + i;
+  }
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(MpmcQueueTest, CapacityAccessor) {
+  MpmcQueue<int> q(33);
+  EXPECT_EQ(q.capacity(), 33u);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(3);
+  auto f1 = pool.submit([] { return 6 * 7; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPoolTest, ZeroWorkersPromotedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionsDeliveredThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, WaitIdleWaitsForAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.post([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnFreshPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ManyTasksAcrossThreadsAllRun) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 500; ++i) {
+    futures.push_back(pool.submit([&sum, i] {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 500L * 501 / 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.post([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // join in destructor
+  EXPECT_EQ(done.load(), 64);
+}
+
+}  // namespace
+}  // namespace llm4vv::support

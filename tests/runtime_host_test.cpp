@@ -1,0 +1,222 @@
+// Tests of the VM runtime library through a mock RuntimeHost — exercising
+// printf formatting, stream routing, and the allocator builtins without
+// going through lowering.
+#include <gtest/gtest.h>
+
+#include "frontend/builtins.hpp"
+#include "vm/runtime.hpp"
+
+namespace llm4vv::vm {
+namespace {
+
+class MockHost final : public RuntimeHost {
+ public:
+  Memory& memory() override { return memory_; }
+  bool device_mode() const override { return device_mode_; }
+  const std::string& string_at(std::uint64_t index) const override {
+    return strings_.at(index);
+  }
+  void write_stdout(const std::string& text) override { out_ += text; }
+  void write_stderr(const std::string& text) override { err_ += text; }
+  [[noreturn]] void exit_now(int code) override {
+    exit_code_ = code;
+    throw Trap{TrapKind::kNone, "exit"};
+  }
+  Value pop() override {
+    Value v = stack_.back();
+    stack_.pop_back();
+    return v;
+  }
+  void push(Value value) override { stack_.push_back(value); }
+  std::uint64_t& rand_state() override { return rand_state_; }
+
+  // test plumbing
+  std::uint64_t add_string(std::string text) {
+    strings_.push_back(std::move(text));
+    return strings_.size() - 1;
+  }
+  std::vector<Value> stack_;
+  std::vector<std::string> strings_;
+  std::string out_, err_;
+  bool device_mode_ = false;
+  int exit_code_ = -1;
+  std::uint64_t rand_state_ = 1;
+
+ private:
+  Memory memory_;
+};
+
+std::int32_t builtin_index(std::string_view name) {
+  std::int32_t index = 0;
+  for (const auto& b : frontend::builtin_functions()) {
+    if (name == b.name) return index;
+    ++index;
+  }
+  ADD_FAILURE() << "no builtin " << name;
+  return -1;
+}
+
+TEST(FormatPrintfTest, MixedConversions) {
+  MockHost host;
+  const auto sid = host.add_string("str");
+  const std::string out = format_printf(
+      host, "d=%d f=%.3f g=%g s=%s c=%c x=%x o=%o",
+      {Value::from_int(-5), Value::from_float(2.0), Value::from_float(0.5),
+       Value::from_string(sid), Value::from_int('Z'), Value::from_int(255),
+       Value::from_int(8)});
+  EXPECT_EQ(out, "d=-5 f=2.000 g=0.5 s=str c=Z x=ff o=10");
+}
+
+TEST(FormatPrintfTest, LengthModifiersDropped) {
+  MockHost host;
+  EXPECT_EQ(format_printf(host, "%ld %lld %zu %hd",
+                          {Value::from_int(1), Value::from_int(2),
+                           Value::from_int(3), Value::from_int(4)}),
+            "1 2 3 4");
+}
+
+TEST(FormatPrintfTest, MissingArgumentsFormatAsZero) {
+  MockHost host;
+  EXPECT_EQ(format_printf(host, "%d %d", {Value::from_int(9)}), "9 0");
+}
+
+TEST(FormatPrintfTest, PercentEscape) {
+  MockHost host;
+  EXPECT_EQ(format_printf(host, "100%%", {}), "100%");
+}
+
+TEST(FormatPrintfTest, NonStringForPercentS) {
+  MockHost host;
+  EXPECT_EQ(format_printf(host, "%s", {Value::from_int(7)}),
+            "(non-string)");
+}
+
+TEST(FormatPrintfTest, TruncatedSpecAtEndIsDropped) {
+  MockHost host;
+  EXPECT_EQ(format_printf(host, "x=%", {}), "x=");
+}
+
+TEST(RuntimeBuiltinTest, MallocFreeRoundTrip) {
+  MockHost host;
+  host.push(Value::from_int(16));
+  const Value p = call_builtin(host, builtin_index("malloc"), 1);
+  ASSERT_EQ(p.tag, ValueTag::kPointer);
+  EXPECT_NE(p.ptr, 0u);
+  EXPECT_EQ(host.memory().live_allocations(), 1u);
+  host.push(p);
+  call_builtin(host, builtin_index("free"), 1);
+  EXPECT_EQ(host.memory().live_allocations(), 0u);
+}
+
+TEST(RuntimeBuiltinTest, CallocZeroFills) {
+  MockHost host;
+  host.push(Value::from_int(3));
+  host.push(Value::from_int(1));
+  const Value p = call_builtin(host, builtin_index("calloc"), 2);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const Value cell = host.memory().load(p.ptr + i, false);
+    EXPECT_EQ(cell.tag, ValueTag::kInt);
+    EXPECT_EQ(cell.i, 0);
+  }
+}
+
+TEST(RuntimeBuiltinTest, PrintfWritesStdoutAndReturnsLength) {
+  MockHost host;
+  const auto fmt = host.add_string("n=%d\n");
+  host.push(Value::from_string(fmt));
+  host.push(Value::from_int(12));
+  const Value r = call_builtin(host, builtin_index("printf"), 2);
+  EXPECT_EQ(host.out_, "n=12\n");
+  EXPECT_EQ(r.i, 5);
+}
+
+TEST(RuntimeBuiltinTest, FprintfRoutesToStderr) {
+  MockHost host;
+  const auto fmt = host.add_string("warn %d");
+  host.push(Value::from_int(0));  // stream handle (ignored)
+  host.push(Value::from_string(fmt));
+  host.push(Value::from_int(3));
+  call_builtin(host, builtin_index("fprintf"), 3);
+  EXPECT_EQ(host.err_, "warn 3");
+  EXPECT_TRUE(host.out_.empty());
+}
+
+TEST(RuntimeBuiltinTest, F90PrintJoinsWithSpaces) {
+  MockHost host;
+  const auto text = host.add_string("Test PASSED");
+  host.push(Value::from_string(text));
+  host.push(Value::from_int(3));
+  host.push(Value::from_float(1.5));
+  call_builtin(host, builtin_index("f90_print"), 3);
+  EXPECT_EQ(host.out_, "Test PASSED 3 1.5\n");
+}
+
+TEST(RuntimeBuiltinTest, ExitUnwindsWithCode) {
+  MockHost host;
+  host.push(Value::from_int(3));
+  EXPECT_THROW(call_builtin(host, builtin_index("exit"), 1), Trap);
+  EXPECT_EQ(host.exit_code_, 3);
+}
+
+TEST(RuntimeBuiltinTest, MathFunctions) {
+  MockHost host;
+  host.push(Value::from_float(-4.0));
+  EXPECT_DOUBLE_EQ(call_builtin(host, builtin_index("fabs"), 1).f, 4.0);
+  host.push(Value::from_float(2.0));
+  host.push(Value::from_float(10.0));
+  EXPECT_DOUBLE_EQ(call_builtin(host, builtin_index("pow"), 2).f, 1024.0);
+}
+
+TEST(RuntimeBuiltinTest, AccRuntimeReflectsDeviceMode) {
+  MockHost host;
+  host.push(Value::from_int(0));
+  EXPECT_EQ(call_builtin(host, builtin_index("acc_on_device"), 1).i, 0);
+  host.device_mode_ = true;
+  host.push(Value::from_int(0));
+  EXPECT_EQ(call_builtin(host, builtin_index("acc_on_device"), 1).i, 1);
+  EXPECT_EQ(call_builtin(host, builtin_index("omp_is_initial_device"), 0).i,
+            0);
+}
+
+TEST(RuntimeBuiltinTest, EveryBuiltinHasAnImplementation) {
+  // The sema-side table and the runtime dispatch must stay in sync: calling
+  // each zero-arg-compatible builtin must not hit the "no implementation"
+  // internal trap. For arity>0 builtins we push dummy args.
+  MockHost host;
+  std::int32_t index = 0;
+  for (const auto& b : frontend::builtin_functions()) {
+    // exit/abort unwind by design; skip them here.
+    if (std::string_view(b.name) == "exit" ||
+        std::string_view(b.name) == "abort") {
+      ++index;
+      continue;
+    }
+    const int argc = b.variadic ? std::max(b.arity, 1) : b.arity;
+    for (int i = 0; i < argc; ++i) {
+      // printf-family needs a string first argument.
+      const bool stringy =
+          i == 0 && (std::string_view(b.name) == "printf" ||
+                     std::string_view(b.name) == "puts");
+      const bool stringy2 =
+          i == 1 && std::string_view(b.name) == "fprintf";
+      if (stringy || stringy2) {
+        host.push(Value::from_string(host.add_string("x")));
+      } else if (std::string_view(b.name) == "free") {
+        host.push(Value::from_pointer(0));
+      } else {
+        host.push(Value::from_int(1));
+      }
+    }
+    EXPECT_NO_THROW(call_builtin(host, index, argc)) << b.name;
+    ++index;
+  }
+}
+
+TEST(RuntimeBuiltinTest, BadBuiltinIndexTraps) {
+  MockHost host;
+  EXPECT_THROW(call_builtin(host, -1, 0), Trap);
+  EXPECT_THROW(call_builtin(host, 10000, 0), Trap);
+}
+
+}  // namespace
+}  // namespace llm4vv::vm

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "directive/validator.hpp"
+#include "frontend/fortran.hpp"
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+#include "toolchain/compiler.hpp"
+#include "toolchain/executor.hpp"
+#include "vm/interp.hpp"
+#include "vm/lower.hpp"
+
+namespace llm4vv::testutil {
+
+/// Front-end a C/C++ source string (lex/parse/sema/validate); returns the
+/// program and leaves diagnostics in `diags`.
+inline frontend::Program analyze_source(
+    const std::string& source, frontend::DiagnosticEngine& diags,
+    frontend::Flavor flavor = frontend::Flavor::kOpenACC) {
+  frontend::ParserOptions popts;
+  popts.pragma_takes_statement = directive::pragma_takes_statement;
+  const auto lexed = frontend::lex(source, diags);
+  auto program = frontend::parse(lexed.tokens, diags, popts);
+  if (!diags.has_errors()) {
+    frontend::analyze(program, diags);
+  }
+  if (!diags.has_errors()) {
+    directive::ValidatorOptions vopts;
+    vopts.flavor = flavor;
+    vopts.supported_version = 99;
+    directive::validate_program(program, vopts, diags);
+  }
+  return program;
+}
+
+/// Compile and execute a C source string; throws on compile errors.
+inline vm::ExecResult run_source(
+    const std::string& source,
+    frontend::Flavor flavor = frontend::Flavor::kOpenACC,
+    const vm::ExecLimits& limits = {}) {
+  frontend::DiagnosticEngine diags;
+  auto program = analyze_source(source, diags, flavor);
+  if (diags.has_errors()) {
+    std::string message = "compile failed:";
+    for (const auto& d : diags.diagnostics()) {
+      message += " [line " + std::to_string(d.line) + "] " + d.message + ";";
+    }
+    throw std::runtime_error(message);
+  }
+  vm::LowerOptions lopts;
+  lopts.flavor = flavor;
+  const auto module = vm::lower(program, lopts);
+  return vm::execute(module, limits);
+}
+
+/// A strictness-free compiler driver for validity testing.
+inline toolchain::CompilerDriver clean_driver(frontend::Flavor flavor) {
+  toolchain::CompilerConfig config = flavor == frontend::Flavor::kOpenACC
+                                         ? toolchain::nvc_persona()
+                                         : toolchain::clang_persona();
+  config.strictness_reject_rate = 0.0;
+  return toolchain::CompilerDriver(config);
+}
+
+}  // namespace llm4vv::testutil

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "corpus/generator.hpp"
+#include "tests/test_util.hpp"
+
+namespace llm4vv::toolchain {
+namespace {
+
+using frontend::Flavor;
+
+frontend::SourceFile make_file(const std::string& content,
+                               Flavor flavor = Flavor::kOpenACC,
+                               const std::string& name = "unit.c") {
+  frontend::SourceFile file;
+  file.name = name;
+  file.flavor = flavor;
+  file.content = content;
+  return file;
+}
+
+TEST(CompilerTest, ValidFileSucceedsWithModule) {
+  const auto driver = testutil::clean_driver(Flavor::kOpenACC);
+  const auto result =
+      driver.compile(make_file("int main() { return 0; }"));
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.return_code, 0);
+  ASSERT_NE(result.module, nullptr);
+}
+
+TEST(CompilerTest, NvcPersonaDiagnosticFormat) {
+  const auto driver = testutil::clean_driver(Flavor::kOpenACC);
+  const auto result = driver.compile(
+      make_file("int main() { return ghost; }", Flavor::kOpenACC, "t.c"));
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.return_code, 2);
+  EXPECT_NE(result.stderr_text.find("NVC++-S-"), std::string::npos);
+  EXPECT_NE(result.stderr_text.find("(t.c: "), std::string::npos);
+  EXPECT_EQ(result.module, nullptr);
+}
+
+TEST(CompilerTest, ClangPersonaDiagnosticFormat) {
+  const auto driver = testutil::clean_driver(Flavor::kOpenMP);
+  const auto result = driver.compile(
+      make_file("int main() { return ghost; }", Flavor::kOpenMP, "t.c"));
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.return_code, 1);
+  EXPECT_NE(result.stderr_text.find("t.c:"), std::string::npos);
+  EXPECT_NE(result.stderr_text.find("error:"), std::string::npos);
+}
+
+TEST(CompilerTest, OmpVersionGateAt45) {
+  const auto driver = testutil::clean_driver(Flavor::kOpenMP);
+  const auto result = driver.compile(make_file(
+      "int main() {\n"
+      "#pragma omp loop bind(teams)\n"
+      "  for (int i = 0; i < 4; i++) { }\n"
+      "  return 0;\n"
+      "}",
+      Flavor::kOpenMP));
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.stderr_text.find("requires OpenMP 5.0"),
+            std::string::npos);
+}
+
+TEST(CompilerTest, AccVersionGateAt33) {
+  // nvc persona supports OpenACC 3.3, so 3.3 features pass.
+  const auto driver = testutil::clean_driver(Flavor::kOpenACC);
+  const auto result = driver.compile(make_file(
+      "int main() {\n"
+      "  double a[4];\n"
+      "#pragma acc wait if(1)\n"
+      "  a[0] = 1.0;\n"
+      "  return 0;\n"
+      "}"));
+  EXPECT_TRUE(result.success) << result.stderr_text;
+}
+
+TEST(CompilerTest, StrictnessQuirkIsDeterministicPerFile) {
+  CompilerConfig config = nvc_persona();
+  config.strictness_reject_rate = 0.5;
+  const CompilerDriver driver(config);
+  const auto file = make_file(
+      "int main() {\n"
+      "  double a[4];\n"
+      "#pragma acc parallel loop\n"
+      "  for (int i = 0; i < 4; i++) { a[i] = i; }\n"
+      "  return 0;\n"
+      "}");
+  const bool first = driver.compile(file).success;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(driver.compile(file).success, first);
+  }
+}
+
+TEST(CompilerTest, StrictnessQuirkRateIsApproximatelyHonoured) {
+  CompilerConfig config = nvc_persona();
+  config.strictness_reject_rate = 0.3;
+  const CompilerDriver driver(config);
+  corpus::GeneratorConfig gen;
+  gen.flavor = Flavor::kOpenACC;
+  gen.count = 300;
+  gen.seed = 99;
+  const auto suite = corpus::generate_suite(gen);
+  int rejected = 0;
+  for (const auto& tc : suite.cases) {
+    if (!driver.compile(tc.file).success) ++rejected;
+  }
+  EXPECT_NEAR(static_cast<double>(rejected) / 300.0, 0.3, 0.08);
+}
+
+TEST(CompilerTest, StrictnessQuirkSkipsPlainCode) {
+  CompilerConfig config = nvc_persona();
+  config.strictness_reject_rate = 1.0;  // reject every directive file
+  const CompilerDriver driver(config);
+  const auto plain = make_file("int main() { return 0; }");
+  EXPECT_TRUE(driver.compile(plain).success);
+  const auto directive_file = make_file(
+      "int main() {\n"
+      "  double a[2];\n"
+      "#pragma acc parallel loop\n"
+      "  for (int i = 0; i < 2; i++) { a[i] = i; }\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_FALSE(driver.compile(directive_file).success);
+}
+
+TEST(CompilerTest, PersonaDefaultsMatchPaperSetup) {
+  EXPECT_EQ(nvc_persona().flavor, Flavor::kOpenACC);
+  EXPECT_EQ(nvc_persona().supported_version, 33);
+  EXPECT_EQ(clang_persona().flavor, Flavor::kOpenMP);
+  EXPECT_EQ(clang_persona().supported_version, 45);
+}
+
+TEST(ExecutorTest, NullModuleDoesNotRun) {
+  const Executor executor;
+  const auto record = executor.run(nullptr);
+  EXPECT_FALSE(record.ran);
+  EXPECT_FALSE(record.passed());
+}
+
+TEST(ExecutorTest, PassingProgram) {
+  const auto driver = testutil::clean_driver(Flavor::kOpenACC);
+  const auto compiled = driver.compile(
+      make_file("int main() { printf(\"ok\\n\"); return 0; }"));
+  const Executor executor;
+  const auto record = executor.run(compiled.module);
+  EXPECT_TRUE(record.passed());
+  EXPECT_EQ(record.stdout_text, "ok\n");
+}
+
+TEST(ExecutorTest, FailingReturnCodePropagates) {
+  const auto driver = testutil::clean_driver(Flavor::kOpenACC);
+  const auto compiled =
+      driver.compile(make_file("int main() { return 7; }"));
+  const Executor executor;
+  const auto record = executor.run(compiled.module);
+  EXPECT_TRUE(record.ran);
+  EXPECT_FALSE(record.passed());
+  EXPECT_EQ(record.return_code, 7);
+}
+
+TEST(ExecutorTest, TrapSurfacesInRecord) {
+  const auto driver = testutil::clean_driver(Flavor::kOpenACC);
+  const auto compiled = driver.compile(make_file(
+      "int main() { double *p; return (int)p[0]; }"));
+  const Executor executor;
+  const auto record = executor.run(compiled.module);
+  EXPECT_EQ(record.trap, vm::TrapKind::kNullDeref);
+  EXPECT_EQ(record.return_code, 139);
+  EXPECT_NE(record.stderr_text.find("runtime error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace llm4vv::toolchain

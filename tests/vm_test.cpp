@@ -1,0 +1,499 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.hpp"
+
+namespace llm4vv::vm {
+namespace {
+
+using testutil::run_source;
+
+int rc_of(const std::string& body) {
+  return run_source("int main() {\n" + body + "\n}").return_code;
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic & control flow
+// ---------------------------------------------------------------------------
+
+TEST(VmTest, IntegerArithmetic) {
+  EXPECT_EQ(rc_of("return 2 + 3 * 4 - 20 / 4 + 10 % 3;"), 2 + 12 - 5 + 1);
+}
+
+TEST(VmTest, PrecedenceAndParens) {
+  EXPECT_EQ(rc_of("return (2 + 3) * 4 % 7;"), 20 % 7);
+}
+
+TEST(VmTest, FloatArithmeticAndCast) {
+  EXPECT_EQ(rc_of("double x = 7.9; return (int)x;"), 7);
+  EXPECT_EQ(rc_of("return (int)(1.5 + 2.25 * 2.0);"), 6);
+}
+
+TEST(VmTest, ComparisonsProduceBooleans) {
+  EXPECT_EQ(rc_of("return (3 < 4) + (4 <= 4) + (5 > 4) + (4 >= 5) + "
+                  "(2 == 2) + (2 != 2);"),
+            1 + 1 + 1 + 0 + 1 + 0);
+}
+
+TEST(VmTest, ShortCircuitAndOr) {
+  // The right operand must not run when short-circuited: a trap-div guards.
+  EXPECT_EQ(rc_of("int z = 0; return (0 && (1 / z)) + 10;"), 10);
+  EXPECT_EQ(rc_of("int z = 0; return (1 || (1 / z)) + 10;"), 11);
+}
+
+TEST(VmTest, TernarySelects) {
+  EXPECT_EQ(rc_of("int a = 5; return a > 3 ? 1 : 2;"), 1);
+  EXPECT_EQ(rc_of("int a = 1; return a > 3 ? 1 : 2;"), 2);
+}
+
+TEST(VmTest, BitwiseOps) {
+  EXPECT_EQ(rc_of("return (12 & 10) + (12 | 3) + (5 ^ 1) + (1 << 4) + "
+                  "(64 >> 3);"),
+            8 + 15 + 4 + 16 + 8);
+  EXPECT_EQ(rc_of("return (~0 & 255) == 255 ? 7 : 8;"), 7);
+}
+
+TEST(VmTest, WhileAndDoWhile) {
+  EXPECT_EQ(rc_of("int i = 0; int s = 0; while (i < 5) { s += i; i++; } "
+                  "return s;"),
+            10);
+  EXPECT_EQ(rc_of("int i = 0; do { i++; } while (i < 3); return i;"), 3);
+}
+
+TEST(VmTest, ForWithBreakContinue) {
+  EXPECT_EQ(rc_of("int s = 0;\n"
+                  "for (int i = 0; i < 10; i++) {\n"
+                  "  if (i == 7) { break; }\n"
+                  "  if (i % 2 == 0) { continue; }\n"
+                  "  s += i;\n"
+                  "}\n"
+                  "return s;"),
+            1 + 3 + 5);
+}
+
+TEST(VmTest, NestedLoopsWithBreak) {
+  EXPECT_EQ(rc_of("int c = 0;\n"
+                  "for (int i = 0; i < 3; i++) {\n"
+                  "  for (int j = 0; j < 10; j++) {\n"
+                  "    if (j == 2) { break; }\n"
+                  "    c++;\n"
+                  "  }\n"
+                  "}\n"
+                  "return c;"),
+            6);
+}
+
+TEST(VmTest, PrePostIncrementSemantics) {
+  EXPECT_EQ(rc_of("int x = 5; int a = x++; return a * 10 + x;"), 56);
+  EXPECT_EQ(rc_of("int x = 5; int a = ++x; return a * 10 + x;"), 66);
+  EXPECT_EQ(rc_of("int x = 5; x--; --x; return x;"), 3);
+}
+
+TEST(VmTest, PostIncrementOnArrayElement) {
+  EXPECT_EQ(rc_of("int a[2]; a[0] = 4; int old = a[0]++; "
+                  "return old * 10 + a[0];"),
+            45);
+}
+
+TEST(VmTest, CompoundAssignments) {
+  EXPECT_EQ(rc_of("int x = 10; x += 5; x -= 3; x *= 2; x /= 4; return x;"),
+            6);
+  EXPECT_EQ(rc_of("double d[1]; d[0] = 8.0; d[0] /= 2.0; d[0] += 1.0; "
+                  "return (int)d[0];"),
+            5);
+}
+
+TEST(VmTest, FunctionCallsAndRecursion) {
+  EXPECT_EQ(run_source("long fib(long n) {\n"
+                       "  if (n < 2) { return n; }\n"
+                       "  return fib(n - 1) + fib(n - 2);\n"
+                       "}\n"
+                       "int main() { return fib(10); }")
+                .return_code,
+            55);
+}
+
+TEST(VmTest, GlobalsZeroInitializedAndMutable) {
+  EXPECT_EQ(run_source("int counter;\n"
+                       "void bump() { counter = counter + 2; }\n"
+                       "int main() { bump(); bump(); return counter; }")
+                .return_code,
+            4);
+}
+
+TEST(VmTest, GlobalArrayZeroInitialized) {
+  EXPECT_EQ(run_source("long table[8];\n"
+                       "int main() {\n"
+                       "  long s = 0;\n"
+                       "  for (int i = 0; i < 8; i++) { s += table[i]; }\n"
+                       "  return s == 0 ? 0 : 1;\n"
+                       "}")
+                .return_code,
+            0);
+}
+
+TEST(VmTest, VlaSizedByRuntimeValue) {
+  EXPECT_EQ(rc_of("int n = 6; double a[n];\n"
+                  "for (int i = 0; i < n; i++) { a[i] = i; }\n"
+                  "return (int)a[5];"),
+            5);
+}
+
+TEST(VmTest, NonMainFallOffReturnsPoison) {
+  // C UB modeling: a value-returning function without a return yields a
+  // recognizable nonzero value (DESIGN.md §5, issue-4 mechanics).
+  const auto result = run_source(
+      "int broken() { int x = 1; x = x + 1; }\n"
+      "int main() { return broken() == 0 ? 0 : 1; }");
+  EXPECT_EQ(result.return_code, 1);
+}
+
+TEST(VmTest, MainFallOffReturnsZero) {
+  EXPECT_EQ(rc_of("int x = 3; x = x + 1;"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// printf & runtime library
+// ---------------------------------------------------------------------------
+
+TEST(VmTest, PrintfFormats) {
+  const auto result = run_source(
+      "int main() {\n"
+      "  printf(\"i=%d l=%ld f=%.2f s=%s c=%c pct=%%\\n\", 42, 7, 1.5, "
+      "\"str\", 'x');\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(result.stdout_text, "i=42 l=7 f=1.50 s=str c=x pct=%\n");
+}
+
+TEST(VmTest, PrintfWidthAndPadding) {
+  const auto result = run_source(
+      "int main() { printf(\"[%5d][%-4d]\", 42, 7); return 0; }");
+  EXPECT_EQ(result.stdout_text, "[   42][7   ]");
+}
+
+TEST(VmTest, MathBuiltins) {
+  EXPECT_EQ(rc_of("return (int)(sqrt(49.0) + fabs(-2.5) + floor(1.9) + "
+                  "ceil(0.1) + pow(2.0, 3.0));"),
+            7 + 2 + 1 + 1 + 8);  // fabs(-2.5)=2.5; int conversion truncates sum 19.5 -> 19
+}
+
+TEST(VmTest, AbsAndLabs) {
+  EXPECT_EQ(rc_of("return abs(-3) + labs(-4);"), 7);
+}
+
+TEST(VmTest, ExitBuiltinStopsExecution) {
+  const auto result = run_source(
+      "int main() { printf(\"before\"); exit(3); printf(\"after\"); "
+      "return 0; }");
+  EXPECT_EQ(result.return_code, 3);
+  EXPECT_EQ(result.stdout_text, "before");
+}
+
+TEST(VmTest, RandIsDeterministicWithSrand) {
+  const auto a = run_source(
+      "int main() { srand(7); return rand() % 100; }");
+  const auto b = run_source(
+      "int main() { srand(7); return rand() % 100; }");
+  EXPECT_EQ(a.return_code, b.return_code);
+}
+
+TEST(VmTest, CallocZeroInitializes) {
+  EXPECT_EQ(rc_of("long *p;\n"
+                  "p = (long *)calloc(8, sizeof(long));\n"
+                  "long s = 0;\n"
+                  "for (int i = 0; i < 8; i++) { s += p[i]; }\n"
+                  "free(p);\n"
+                  "return s == 0 ? 0 : 1;"),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// Memory safety traps
+// ---------------------------------------------------------------------------
+
+TEST(VmTest, UninitPointerDerefTraps) {
+  const auto result = run_source(
+      "int main() { double *p; p[0] = 1.0; return 0; }");
+  EXPECT_EQ(result.trap, TrapKind::kNullDeref);
+  EXPECT_EQ(result.return_code, 139);
+  EXPECT_NE(result.stderr_text.find("runtime error"), std::string::npos);
+}
+
+TEST(VmTest, NullPointerDerefTraps) {
+  const auto result = run_source(
+      "int main() { double *p = NULL; return (int)p[0]; }");
+  EXPECT_EQ(result.trap, TrapKind::kNullDeref);
+}
+
+TEST(VmTest, UseAfterFreeTraps) {
+  const auto result = run_source(
+      "#include <stdlib.h>\n"
+      "int main() {\n"
+      "  double *p;\n"
+      "  p = (double *)malloc(4 * sizeof(double));\n"
+      "  free(p);\n"
+      "  p[0] = 1.0;\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(result.trap, TrapKind::kUseAfterFree);
+}
+
+TEST(VmTest, OutOfBoundsTraps) {
+  const auto result = run_source(
+      "#include <stdlib.h>\n"
+      "int main() {\n"
+      "  double *p;\n"
+      "  p = (double *)malloc(4 * sizeof(double));\n"
+      "  double v = p[4000000];\n"
+      "  return (int)v;\n"
+      "}");
+  EXPECT_EQ(result.trap, TrapKind::kOutOfBounds);
+}
+
+TEST(VmTest, DivByZeroTraps) {
+  const auto result =
+      run_source("int main() { int z = 0; return 4 / z; }");
+  EXPECT_EQ(result.trap, TrapKind::kDivByZero);
+}
+
+TEST(VmTest, ModByZeroTraps) {
+  const auto result =
+      run_source("int main() { int z = 0; return 4 % z; }");
+  EXPECT_EQ(result.trap, TrapKind::kDivByZero);
+}
+
+TEST(VmTest, FreeOfNullIsNoop) {
+  EXPECT_EQ(rc_of("free(NULL); return 0;"), 0);
+}
+
+TEST(VmTest, FreeOfMiddlePointerTraps) {
+  const auto result = run_source(
+      "#include <stdlib.h>\n"
+      "int main() {\n"
+      "  double *p;\n"
+      "  p = (double *)malloc(8 * sizeof(double));\n"
+      "  free(p + 2);\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(result.trap, TrapKind::kOutOfBounds);
+}
+
+TEST(VmTest, InfiniteLoopHitsStepLimit) {
+  ExecLimits limits;
+  limits.max_steps = 10000;
+  const auto result = run_source(
+      "int main() { int x = 0; while (1) { x++; } return x; }",
+      frontend::Flavor::kOpenACC, limits);
+  EXPECT_EQ(result.trap, TrapKind::kStepLimit);
+  EXPECT_EQ(result.return_code, 124);
+}
+
+TEST(VmTest, RunawayOutputHitsOutputLimit) {
+  ExecLimits limits;
+  limits.max_output = 256;
+  const auto result = run_source(
+      "int main() { while (1) { printf(\"spam spam spam\\n\"); } return 0; }",
+      frontend::Flavor::kOpenACC, limits);
+  EXPECT_EQ(result.trap, TrapKind::kOutputLimit);
+}
+
+TEST(VmTest, DeepRecursionHitsStackGuard) {
+  const auto result = run_source(
+      "int down(int n) { return down(n + 1); }\n"
+      "int main() { return down(0); }");
+  EXPECT_EQ(result.trap, TrapKind::kStackOverflow);
+}
+
+TEST(VmTest, AbsurdAllocationTraps) {
+  const auto result = run_source(
+      "#include <stdlib.h>\n"
+      "int main() {\n"
+      "  double *p;\n"
+      "  p = (double *)malloc(999999999 * sizeof(double));\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(result.trap, TrapKind::kBadAlloc);
+}
+
+// ---------------------------------------------------------------------------
+// Device data model
+// ---------------------------------------------------------------------------
+
+TEST(VmDeviceTest, CopyinCopyoutRoundTrip) {
+  EXPECT_EQ(rc_of("double a[4];\n"
+                  "double b[4];\n"
+                  "for (int i = 0; i < 4; i++) { a[i] = i; b[i] = 0.0; }\n"
+                  "#pragma acc parallel loop copyin(a[0:4]) copyout(b[0:4])\n"
+                  "for (int i = 0; i < 4; i++) { b[i] = a[i] * 2.0; }\n"
+                  "return (int)(b[3]);"),
+            6);
+}
+
+TEST(VmDeviceTest, MissingCopyoutLeavesHostStale) {
+  // Results written on the device without copy-back never reach the host.
+  EXPECT_EQ(rc_of("#include <stdlib.h>\n"
+                  "double *a;\n"
+                  "a = (double *)malloc(4 * sizeof(double));\n"
+                  "for (int i = 0; i < 4; i++) { a[i] = 1.0; }\n"
+                  "#pragma acc parallel loop copyin(a[0:4])\n"
+                  "for (int i = 0; i < 4; i++) { a[i] = 9.0; }\n"
+                  "return (int)a[0];"),
+            1);
+}
+
+TEST(VmDeviceTest, HeapNotPresentTrapsInDeviceMode) {
+  const auto result = run_source(
+      "#include <stdlib.h>\n"
+      "int main() {\n"
+      "  double *a;\n"
+      "  a = (double *)malloc(4 * sizeof(double));\n"
+      "  for (int i = 0; i < 4; i++) { a[i] = 1.0; }\n"
+      "#pragma acc parallel loop\n"
+      "  for (int i = 0; i < 4; i++) { a[i] = 2.0; }\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(result.trap, TrapKind::kNotPresent);
+  EXPECT_EQ(result.return_code, 1);  // OpenACC runtime FATAL ERROR style
+}
+
+TEST(VmDeviceTest, StaticArrayImplicitlyShared) {
+  EXPECT_EQ(rc_of("double a[4];\n"
+                  "for (int i = 0; i < 4; i++) { a[i] = 1.0; }\n"
+                  "#pragma acc parallel loop\n"
+                  "for (int i = 0; i < 4; i++) { a[i] = a[i] + 1.0; }\n"
+                  "return (int)a[0];"),
+            2);
+}
+
+TEST(VmDeviceTest, PresentFailsWithoutMapping) {
+  const auto result = run_source(
+      "#include <stdlib.h>\n"
+      "int main() {\n"
+      "  double *a;\n"
+      "  a = (double *)malloc(4 * sizeof(double));\n"
+      "#pragma acc parallel loop present(a[0:4])\n"
+      "  for (int i = 0; i < 4; i++) { a[i] = 1.0; }\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_EQ(result.trap, TrapKind::kNotPresent);
+}
+
+TEST(VmDeviceTest, EnterDataUpdateExitData) {
+  EXPECT_EQ(rc_of("#include <stdlib.h>\n"
+                  "double *a;\n"
+                  "a = (double *)malloc(4 * sizeof(double));\n"
+                  "for (int i = 0; i < 4; i++) { a[i] = 1.0; }\n"
+                  "#pragma acc enter data copyin(a[0:4])\n"
+                  "#pragma acc parallel loop present(a[0:4])\n"
+                  "for (int i = 0; i < 4; i++) { a[i] = a[i] + 4.0; }\n"
+                  "#pragma acc update host(a[0:4])\n"
+                  "int v = (int)a[2];\n"
+                  "#pragma acc exit data delete(a[0:4])\n"
+                  "return v;"),
+            5);
+}
+
+TEST(VmDeviceTest, UpdateDevicePushesHostChanges) {
+  EXPECT_EQ(rc_of("#include <stdlib.h>\n"
+                  "double *a;\n"
+                  "a = (double *)malloc(2 * sizeof(double));\n"
+                  "a[0] = 1.0;\n"
+                  "#pragma acc enter data copyin(a[0:2])\n"
+                  "a[0] = 7.0;\n"
+                  "#pragma acc update device(a[0:2])\n"
+                  "#pragma acc parallel loop present(a[0:2])\n"
+                  "for (int i = 0; i < 1; i++) { a[i] = a[i] + 1.0; }\n"
+                  "#pragma acc update host(a[0:2])\n"
+                  "int v = (int)a[0];\n"
+                  "#pragma acc exit data delete(a[0:2])\n"
+                  "return v;"),
+            8);
+}
+
+TEST(VmDeviceTest, NestedDataRegionRefCounts) {
+  // Inner copyin on already-present data must not re-copy (OpenACC
+  // semantics): the device keeps the value written by the first kernel.
+  EXPECT_EQ(rc_of("#include <stdlib.h>\n"
+                  "double *a;\n"
+                  "a = (double *)malloc(2 * sizeof(double));\n"
+                  "a[0] = 1.0;\n"
+                  "#pragma acc data copy(a[0:2])\n"
+                  "{\n"
+                  "#pragma acc parallel loop present(a[0:2])\n"
+                  "  for (int i = 0; i < 1; i++) { a[i] = 5.0; }\n"
+                  "#pragma acc parallel loop copyin(a[0:2])\n"
+                  "  for (int i = 0; i < 1; i++) { a[i] = a[i] + 1.0; }\n"
+                  "}\n"
+                  "return (int)a[0];"),
+            6);
+}
+
+TEST(VmDeviceTest, OmpTargetMapTofrom) {
+  EXPECT_EQ(run_source("#include <stdlib.h>\n"
+                       "int main() {\n"
+                       "  long *v;\n"
+                       "  v = (long *)malloc(4 * sizeof(long));\n"
+                       "  for (int i = 0; i < 4; i++) { v[i] = i; }\n"
+                       "#pragma omp target teams distribute parallel for "
+                       "map(tofrom: v[0:4])\n"
+                       "  for (int i = 0; i < 4; i++) { v[i] = v[i] * 3; }\n"
+                       "  return (int)v[3];\n"
+                       "}",
+                       frontend::Flavor::kOpenMP)
+                .return_code,
+            9);
+}
+
+TEST(VmDeviceTest, AccOnDeviceReflectsRegion) {
+  EXPECT_EQ(rc_of("int host = acc_on_device(acc_device_default);\n"
+                  "int dev = 0;\n"
+                  "double a[1];\n"
+                  "#pragma acc parallel loop\n"
+                  "for (int i = 0; i < 1; i++) { a[i] = 0.0; dev = "
+                  "acc_on_device(acc_device_default); }\n"
+                  "return host * 10 + dev;"),
+            1);
+}
+
+TEST(VmDeviceTest, ReductionScalarSurvivesRegion) {
+  EXPECT_EQ(rc_of("double a[8];\n"
+                  "double sum = 0.0;\n"
+                  "for (int i = 0; i < 8; i++) { a[i] = 1.0; }\n"
+                  "#pragma acc parallel loop reduction(+:sum)\n"
+                  "for (int i = 0; i < 8; i++) { sum = sum + a[i]; }\n"
+                  "return (int)sum;"),
+            8);
+}
+
+// ---------------------------------------------------------------------------
+// Bytecode plumbing
+// ---------------------------------------------------------------------------
+
+TEST(BytecodeTest, DisassemblyMentionsOpsAndConsts) {
+  frontend::DiagnosticEngine diags;
+  auto program = testutil::analyze_source(
+      "int main() { return 40 + 2; }", diags);
+  ASSERT_FALSE(diags.has_errors());
+  const auto module = lower(program, {});
+  const std::string text =
+      disassemble(module, module.chunks[static_cast<std::size_t>(
+                              module.main_chunk)]);
+  EXPECT_NE(text.find("push_const"), std::string::npos);
+  EXPECT_NE(text.find("add"), std::string::npos);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+TEST(BytecodeTest, AllOpNamesDefined) {
+  for (int op = 0; op <= static_cast<int>(Op::kDevAction); ++op) {
+    EXPECT_STRNE(op_name(static_cast<Op>(op)), "?");
+  }
+}
+
+TEST(BytecodeTest, TrapKindNamesDefined) {
+  for (int kind = 0; kind <= static_cast<int>(TrapKind::kInternal); ++kind) {
+    EXPECT_STRNE(trap_kind_name(static_cast<TrapKind>(kind)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace llm4vv::vm
