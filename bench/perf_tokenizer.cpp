@@ -39,6 +39,35 @@ void BM_TokenizerEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_TokenizerEncode)->Unit(benchmark::kMicrosecond);
 
+void BM_TokenizerEncodeNaive(benchmark::State& state) {
+  // The pre-trie reference implementation (per-position longest-first
+  // bucket scan), compiled in-tree so bytes/sec here vs BM_TokenizerEncode
+  // is an apples-to-apples speedup ratio for the trie.
+  const auto& tokenizer = llm::default_tokenizer();
+  const std::string text = sample_text();
+  for (auto _ : state) {
+    const auto ids = tokenizer.encode_reference(text);
+    benchmark::DoNotOptimize(ids.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_TokenizerEncodeNaive)->Unit(benchmark::kMicrosecond);
+
+void BM_TokenizerEncodeInto(benchmark::State& state) {
+  // Zero-allocation path used by the judge stack: one reused id buffer.
+  const auto& tokenizer = llm::default_tokenizer();
+  const std::string text = sample_text();
+  std::vector<std::int32_t> ids;
+  for (auto _ : state) {
+    tokenizer.encode_into(text, ids);
+    benchmark::DoNotOptimize(ids.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_TokenizerEncodeInto)->Unit(benchmark::kMicrosecond);
+
 void BM_TokenizerCount(benchmark::State& state) {
   const auto& tokenizer = llm::default_tokenizer();
   const auto tc = corpus::generate_one("saxpy_offload",

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Runs the perf_* Google Benchmark binaries and records their JSON output
+# next to this script, so every PR leaves a perf trajectory:
+#   bench/BENCH_tokenizer.json  - trie vs naive encode, count, roundtrip
+#   bench/BENCH_pipeline.json   - mode/worker sweeps + judge-cache counters
+#
+# Usage: bench/run_benchmarks.sh [build-dir]
+#   BENCH_MIN_TIME=0.01s bench/run_benchmarks.sh   # quick smoke run
+set -euo pipefail
+
+script_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+repo_root="$(dirname "${script_dir}")"
+build_dir="${1:-${repo_root}/build}"
+# benchmark <1.8 rejects the "0.01s" suffix form; strip it for portability.
+min_time="${BENCH_MIN_TIME:-}"
+min_time="${min_time%s}"
+
+if [[ ! -d "${build_dir}" ]]; then
+  echo "error: build directory '${build_dir}' not found." >&2
+  echo "Run: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+bench_args=(--benchmark_repetitions=1)
+if [[ -n "${min_time}" ]]; then
+  bench_args+=("--benchmark_min_time=${min_time}")
+fi
+
+run_bench() {
+  local name="$1" out="$2"
+  local binary="${build_dir}/${name}"
+  if [[ ! -x "${binary}" ]]; then
+    echo "error: ${binary} missing (benchmarks disabled at configure time?)" >&2
+    exit 1
+  fi
+  echo "== ${name} -> ${out}"
+  "${binary}" "${bench_args[@]}" \
+    --benchmark_format=console \
+    --benchmark_out="${out}" \
+    --benchmark_out_format=json
+}
+
+run_bench perf_tokenizer "${script_dir}/BENCH_tokenizer.json"
+run_bench perf_pipeline "${script_dir}/BENCH_pipeline.json"
+
+# Headline numbers: trie-vs-naive encode speedup and the judge-cache rates.
+if command -v jq >/dev/null 2>&1; then
+  echo
+  jq -r '
+    [.benchmarks[] | select(.name == "BM_TokenizerEncode")][0]
+        .bytes_per_second as $trie |
+    [.benchmarks[] | select(.name == "BM_TokenizerEncodeNaive")][0]
+        .bytes_per_second as $naive |
+    "tokenizer encode: trie \($trie / 1e6 | floor) MB/s, " +
+    "naive \($naive / 1e6 | floor) MB/s, " +
+    "speedup \($trie / $naive * 100 | floor / 100)x"
+  ' "${script_dir}/BENCH_tokenizer.json"
+  jq -r '
+    .benchmarks[]
+    | select(.name | startswith("BM_PipelineJudgeCache"))
+    | "\(.name): \(.items_per_second / 1e3 | floor / 1000) kfiles/s, " +
+      "judge_cache_hit_rate \(.judge_cache_hit_rate * 100 | floor)%"
+  ' "${script_dir}/BENCH_pipeline.json"
+fi

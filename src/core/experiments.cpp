@@ -77,7 +77,12 @@ PartOneOutcome run_part_one(Flavor flavor,
   outcome.suite = build_part_one_suite(flavor, options);
 
   auto client = make_simulated_client(options.judge_workers);
-  const judge::Llmj direct_judge(client, llm::PromptStyle::kDirectAnalysis);
+  // Cache off for the same reason as run_part_two: the paper queried the
+  // model once per file, and llm_stats must keep that accounting.
+  judge::JudgeCacheConfig cache;
+  cache.enabled = false;
+  const judge::Llmj direct_judge(client, llm::PromptStyle::kDirectAnalysis,
+                                 cache);
 
   outcome.judgments.resize(outcome.suite.files.size());
   {
@@ -123,7 +128,12 @@ PartTwoOutcome run_part_two(Flavor flavor,
   pipe_config.judge_seed = options.judge_seed;
 
   const auto run_with = [&](llm::PromptStyle style) {
-    auto judge = std::make_shared<const judge::Llmj>(client, style);
+    // The paper's measurement runs query the model for every file; disable
+    // the judge's memoization cache so llm_stats keeps the paper's
+    // one-request-per-file accounting even when probing left duplicates.
+    judge::JudgeCacheConfig cache;
+    cache.enabled = false;
+    auto judge = std::make_shared<const judge::Llmj>(client, style, cache);
     const pipeline::ValidationPipeline pipe(
         toolchain::CompilerDriver(persona), toolchain::Executor(), judge,
         pipe_config);

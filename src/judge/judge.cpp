@@ -1,20 +1,86 @@
 #include "judge/judge.hpp"
 
 #include <stdexcept>
+#include <string_view>
+
+#include "support/rng.hpp"
 
 namespace llm4vv::judge {
 
-Llmj::Llmj(std::shared_ptr<llm::ModelClient> client, llm::PromptStyle style)
-    : client_(std::move(client)), style_(style) {
+namespace {
+
+/// Round up to the next power of two (minimum 1).
+std::size_t pow2_at_least(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Mix one 64-bit word into a running hash (SplitMix64 finalizer step).
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  std::uint64_t s = h;
+  return support::splitmix64(s);
+}
+
+}  // namespace
+
+Llmj::Llmj(std::shared_ptr<llm::ModelClient> client, llm::PromptStyle style,
+           JudgeCacheConfig cache)
+    : client_(std::move(client)), style_(style), cache_config_(cache) {
   if (client_ == nullptr) {
     throw std::invalid_argument("Llmj: client must not be null");
   }
+  if (cache_config_.capacity == 0) cache_config_.enabled = false;
+  if (cache_config_.enabled) {
+    const std::size_t shard_count =
+        pow2_at_least(cache_config_.shards == 0 ? 1 : cache_config_.shards);
+    shard_mask_ = shard_count - 1;
+    shard_capacity_ =
+        (cache_config_.capacity + shard_count - 1) / shard_count;
+    shards_.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      shards_.push_back(std::make_unique<CacheShard>());
+    }
+  }
 }
 
-JudgeDecision Llmj::evaluate(const frontend::SourceFile& file,
-                             const toolchain::CompileResult* compile,
-                             const toolchain::ExecutionRecord* exec,
-                             std::uint64_t seed) const {
+std::uint64_t Llmj::cache_key(std::uint64_t content_hash,
+                              const frontend::SourceFile& file,
+                              const toolchain::CompileResult* compile,
+                              const toolchain::ExecutionRecord* exec,
+                              std::uint64_t seed) const noexcept {
+  // Everything the prompt and the deterministic model draw depend on:
+  // file content + flavor select the prompt body and criteria block, the
+  // compile/exec observables fill the agent tool-info block, and (style,
+  // seed) select the protocol and the judgment draw.
+  std::uint64_t h = content_hash;
+  h = mix(h, static_cast<std::uint64_t>(file.flavor));
+  h = mix(h, static_cast<std::uint64_t>(style_));
+  h = mix(h, seed);
+  if (compile != nullptr) {
+    h = mix(h, 0xC0117117ULL);
+    h = mix(h, static_cast<std::uint64_t>(compile->success));
+    h = mix(h, static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(compile->return_code)));
+    h = mix(h, support::fnv1a64(compile->stderr_text));
+    h = mix(h, support::fnv1a64(compile->stdout_text));
+  }
+  if (exec != nullptr) {
+    h = mix(h, 0xE8EC0DEULL);
+    h = mix(h, static_cast<std::uint64_t>(exec->ran));
+    h = mix(h, static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(exec->return_code)));
+    h = mix(h, support::fnv1a64(exec->stderr_text));
+    h = mix(h, support::fnv1a64(exec->stdout_text));
+  }
+  return h;
+}
+
+JudgeDecision Llmj::evaluate_uncached(const frontend::SourceFile& file,
+                                      const toolchain::CompileResult* compile,
+                                      const toolchain::ExecutionRecord* exec,
+                                      std::uint64_t seed) const {
   JudgeDecision decision;
   decision.prompt = build_prompt(style_, file, compile, exec);
 
@@ -25,6 +91,61 @@ JudgeDecision Llmj::evaluate(const frontend::SourceFile& file,
   decision.says_valid =
       verdict_says_valid(decision.verdict, /*fallback=*/false);
   return decision;
+}
+
+JudgeDecision Llmj::evaluate(const frontend::SourceFile& file,
+                             const toolchain::CompileResult* compile,
+                             const toolchain::ExecutionRecord* exec,
+                             std::uint64_t seed) const {
+  if (!cache_config_.enabled) {
+    return evaluate_uncached(file, compile, exec, seed);
+  }
+
+  const std::uint64_t content_hash = support::fnv1a64(file.content);
+  const std::uint64_t key = cache_key(content_hash, file, compile, exec, seed);
+  CacheShard& shard = *shards_[key & shard_mask_];
+  {
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end() && it->second.content_hash == content_hash) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      JudgeDecision decision = it->second.decision;
+      decision.cached = true;
+      return decision;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  JudgeDecision decision = evaluate_uncached(file, compile, exec, seed);
+  {
+    std::lock_guard lock(shard.mutex);
+    if (shard.entries.emplace(key, CacheEntry{content_hash, decision})
+            .second) {
+      shard.order.push_back(key);
+      while (shard.entries.size() > shard_capacity_) {
+        shard.entries.erase(shard.order.front());
+        shard.order.pop_front();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  return decision;
+}
+
+JudgeCacheStats Llmj::cache_stats() const noexcept {
+  JudgeCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void Llmj::clear_cache() const {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->entries.clear();
+    shard->order.clear();
+  }
 }
 
 }  // namespace llm4vv::judge

@@ -1,6 +1,12 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
 
 #include "judge/prompt.hpp"
 #include "judge/verdict.hpp"
@@ -14,6 +20,33 @@ struct JudgeDecision {
   bool says_valid = false;      ///< verdict with the invalid fallback
   std::string prompt;
   llm::Completion completion;
+  /// True when this decision was served from the memoization cache (no
+  /// prompt assembly, no model call, no simulated GPU time spent).
+  bool cached = false;
+};
+
+/// Configuration of the judge's decision memoization cache. Probed and
+/// mutated suites frequently contain byte-identical files (a mutation that
+/// does not apply leaves the file unchanged), and decisions are fully
+/// deterministic in (file, outcomes, style, seed), so repeats can skip the
+/// prompt assembly and the model call entirely.
+struct JudgeCacheConfig {
+  bool enabled = true;
+  /// Maximum cached decisions across all shards; oldest-first eviction.
+  /// Entries hold the full decision (prompt + completion text, so cached
+  /// results are byte-identical to uncached ones), typically a few KB
+  /// each — size the capacity with that footprint in mind.
+  std::size_t capacity = 1024;
+  /// Shard count (rounded up to a power of two, minimum 1). Sharding keeps
+  /// concurrent judge workers from serializing on one cache mutex.
+  std::size_t shards = 8;
+};
+
+/// Counters of the memoization cache (monotonic over the Llmj's lifetime).
+struct JudgeCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
 };
 
 /// The LLM-as-a-Judge orchestrator. One instance per prompt style:
@@ -26,7 +59,8 @@ struct JudgeDecision {
 /// model client, and parses the FINAL JUDGEMENT protocol. Thread-safe.
 class Llmj {
  public:
-  Llmj(std::shared_ptr<llm::ModelClient> client, llm::PromptStyle style);
+  Llmj(std::shared_ptr<llm::ModelClient> client, llm::PromptStyle style,
+       JudgeCacheConfig cache = {});
 
   /// Judge a file. Agent styles require non-null compile/exec records.
   JudgeDecision evaluate(const frontend::SourceFile& file,
@@ -39,9 +73,51 @@ class Llmj {
     return llm::prompt_style_name(style_);
   }
 
+  /// Snapshot of the memoization counters.
+  JudgeCacheStats cache_stats() const noexcept;
+
+  /// Drop all cached decisions (counters are kept).
+  void clear_cache() const;
+
  private:
+  /// One cached decision plus the file-content hash it was computed for.
+  /// The content hash is re-checked on every hit: the map key is a 64-bit
+  /// mix of all inputs, and this second independent hash turns an
+  /// astronomically unlikely key collision into a detected miss instead of
+  /// a silently wrong verdict.
+  struct CacheEntry {
+    std::uint64_t content_hash = 0;
+    JudgeDecision decision;
+  };
+
+  /// One cache shard: its own lock, map, and FIFO eviction order.
+  struct CacheShard {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, CacheEntry> entries;
+    std::deque<std::uint64_t> order;
+  };
+
+  std::uint64_t cache_key(std::uint64_t content_hash,
+                          const frontend::SourceFile& file,
+                          const toolchain::CompileResult* compile,
+                          const toolchain::ExecutionRecord* exec,
+                          std::uint64_t seed) const noexcept;
+
+  JudgeDecision evaluate_uncached(const frontend::SourceFile& file,
+                                  const toolchain::CompileResult* compile,
+                                  const toolchain::ExecutionRecord* exec,
+                                  std::uint64_t seed) const;
+
   std::shared_ptr<llm::ModelClient> client_;
   llm::PromptStyle style_;
+
+  JudgeCacheConfig cache_config_;
+  std::size_t shard_mask_ = 0;
+  std::size_t shard_capacity_ = 0;
+  mutable std::vector<std::unique_ptr<CacheShard>> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace llm4vv::judge

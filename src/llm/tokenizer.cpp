@@ -68,15 +68,88 @@ Tokenizer::Tokenizer() {
     by_first_byte_[first].push_back(static_cast<std::int32_t>(id));
   }
   for (auto& bucket : by_first_byte_) {
+    // Longest first; ties broken by id so duplicate vocabulary strings
+    // (e.g. "\n" is both byte token 10 and a fragment) deterministically
+    // resolve to the lowest id, matching the trie's keep-first rule.
     std::sort(bucket.begin(), bucket.end(),
               [this](std::int32_t a, std::int32_t b) {
-                return vocab_[static_cast<std::size_t>(a)].size() >
-                       vocab_[static_cast<std::size_t>(b)].size();
+                const auto& ta = vocab_[static_cast<std::size_t>(a)];
+                const auto& tb = vocab_[static_cast<std::size_t>(b)];
+                if (ta.size() != tb.size()) return ta.size() > tb.size();
+                return a < b;
               });
+  }
+
+  // Compile the trie. Node 0 is the root; the 256 byte tokens guarantee
+  // every depth-1 node exists and is terminal, so matching never fails.
+  const auto new_node = [this] {
+    nodes_.emplace_back();
+    std::fill(std::begin(nodes_.back().next), std::end(nodes_.back().next),
+              -1);
+    nodes_.back().token = -1;
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+  nodes_.reserve(2048);
+  new_node();  // root
+  for (std::size_t id = 0; id < vocab_.size(); ++id) {
+    std::int32_t node = 0;
+    for (const char c : vocab_[id]) {
+      const auto byte = static_cast<unsigned char>(c);
+      if (nodes_[static_cast<std::size_t>(node)].next[byte] < 0) {
+        const std::int32_t child = new_node();
+        nodes_[static_cast<std::size_t>(node)].next[byte] = child;
+      }
+      node = nodes_[static_cast<std::size_t>(node)].next[byte];
+    }
+    // Keep the first id for duplicate vocabulary strings (see the bucket
+    // sort's tie-break above).
+    if (nodes_[static_cast<std::size_t>(node)].token < 0) {
+      nodes_[static_cast<std::size_t>(node)].token =
+          static_cast<std::int32_t>(id);
+    }
   }
 }
 
-std::vector<std::int32_t> Tokenizer::encode(const std::string& text) const {
+std::vector<std::int32_t> Tokenizer::encode(std::string_view text) const {
+  std::vector<std::int32_t> ids;
+  encode_into(text, ids);
+  return ids;
+}
+
+void Tokenizer::encode_into(std::string_view text,
+                            std::vector<std::int32_t>& out) const {
+  out.clear();
+  out.reserve(text.size() / 3 + 8);
+  std::size_t i = 0;
+  while (i < text.size()) {
+    std::size_t length = 0;
+    out.push_back(match_longest(text, i, length));
+    i += length;
+  }
+}
+
+std::string Tokenizer::decode(const std::vector<std::int32_t>& ids) const {
+  std::string out;
+  for (const std::int32_t id : ids) {
+    out += token_text(id);
+  }
+  return out;
+}
+
+std::size_t Tokenizer::count_tokens(std::string_view text) const {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    std::size_t length = 0;
+    match_longest(text, i, length);
+    ++count;
+    i += length;
+  }
+  return count;
+}
+
+std::vector<std::int32_t> Tokenizer::encode_reference(
+    std::string_view text) const {
   std::vector<std::int32_t> ids;
   ids.reserve(text.size() / 3 + 8);
   std::size_t i = 0;
@@ -95,34 +168,6 @@ std::vector<std::int32_t> Tokenizer::encode(const std::string& text) const {
     i += vocab_[static_cast<std::size_t>(best)].size();
   }
   return ids;
-}
-
-std::string Tokenizer::decode(const std::vector<std::int32_t>& ids) const {
-  std::string out;
-  for (const std::int32_t id : ids) {
-    out += token_text(id);
-  }
-  return out;
-}
-
-std::size_t Tokenizer::count_tokens(const std::string& text) const {
-  std::size_t count = 0;
-  std::size_t i = 0;
-  while (i < text.size()) {
-    const auto first = static_cast<unsigned char>(text[i]);
-    std::size_t advance = 1;
-    for (const std::int32_t id : by_first_byte_[first]) {
-      const std::string& tok = vocab_[static_cast<std::size_t>(id)];
-      if (tok.size() <= text.size() - i &&
-          text.compare(i, tok.size(), tok) == 0) {
-        advance = tok.size();
-        break;
-      }
-    }
-    ++count;
-    i += advance;
-  }
-  return count;
 }
 
 const std::string& Tokenizer::token_text(std::int32_t id) const {

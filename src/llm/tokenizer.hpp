@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace llm4vv::llm {
@@ -15,18 +16,33 @@ namespace llm4vv::llm {
 /// reasonable for C/Fortran/directive text, which the code-fragment
 /// vocabulary ensures (~3.5 chars/token on corpus files, similar to
 /// deepseek-coder's tokenizer on the same text).
+///
+/// Matching runs over a precompiled trie with flat 256-way transition
+/// tables, so finding the longest vocabulary fragment at a position is one
+/// table lookup per input byte instead of a string comparison per candidate
+/// token. `encode`, `encode_into`, and `count_tokens` all share this core.
 class Tokenizer {
  public:
   Tokenizer();
 
   /// Encode text to token ids (greedy longest match; lossless).
-  std::vector<std::int32_t> encode(const std::string& text) const;
+  std::vector<std::int32_t> encode(std::string_view text) const;
+
+  /// Encode into a caller-owned buffer (cleared first). Reusing one buffer
+  /// across calls makes the hot judge/accounting path allocation-free once
+  /// the buffer has grown to a steady state.
+  void encode_into(std::string_view text, std::vector<std::int32_t>& out) const;
 
   /// Decode ids back to text. decode(encode(t)) == t for all t.
   std::string decode(const std::vector<std::int32_t>& ids) const;
 
   /// encode(text).size() without materializing the id vector.
-  std::size_t count_tokens(const std::string& text) const;
+  std::size_t count_tokens(std::string_view text) const;
+
+  /// Pre-trie reference implementation (per-position longest-first bucket
+  /// scan). Kept in-tree so tests can cross-check the trie against it and
+  /// benchmarks can report an apples-to-apples speedup ratio.
+  std::vector<std::int32_t> encode_reference(std::string_view text) const;
 
   /// Vocabulary size (256 byte tokens + the fragment merges).
   std::size_t vocab_size() const noexcept { return vocab_.size(); }
@@ -35,8 +51,44 @@ class Tokenizer {
   const std::string& token_text(std::int32_t id) const;
 
  private:
+  /// One trie node: a flat 256-way transition table plus the id of the
+  /// vocabulary entry ending here (-1 when this prefix is not a token).
+  struct TrieNode {
+    std::int32_t next[256];
+    std::int32_t token;
+  };
+
+  /// Longest vocabulary match starting at `pos`; every byte is a token, so
+  /// a match of length >= 1 always exists. Returns the token id; the match
+  /// length is the id's token_text().size() (callers on the hot path get it
+  /// via the second out-parameter instead to avoid the indirection).
+  std::int32_t match_longest(std::string_view text, std::size_t pos,
+                             std::size_t& length) const noexcept {
+    const unsigned char first = static_cast<unsigned char>(text[pos]);
+    std::int32_t node = nodes_[0].next[first];
+    std::int32_t best = nodes_[node].token;  // depth-1 nodes are terminal
+    std::size_t best_length = 1;
+    std::size_t depth = 1;
+    const std::size_t limit = text.size() - pos;
+    while (depth < limit) {
+      node = nodes_[node]
+                 .next[static_cast<unsigned char>(text[pos + depth])];
+      if (node < 0) break;
+      ++depth;
+      if (nodes_[node].token >= 0) {
+        best = nodes_[node].token;
+        best_length = depth;
+      }
+    }
+    length = best_length;
+    return best;
+  }
+
   std::vector<std::string> vocab_;
-  /// First-byte index: candidate token ids per leading byte, longest first.
+  /// Precompiled matching trie; node 0 is the root.
+  std::vector<TrieNode> nodes_;
+  /// First-byte index of the reference implementation: candidate token ids
+  /// per leading byte, longest first.
   std::vector<std::vector<std::int32_t>> by_first_byte_;
 };
 

@@ -1,7 +1,7 @@
 #include "pipeline/validation_pipeline.hpp"
 
+#include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -20,25 +20,24 @@ struct WorkItem {
   toolchain::ExecutionRecord exec;
 };
 
-/// Thread-safe accumulator for one stage's counters.
-class StageCounter {
- public:
-  void account(bool rejected, double seconds) {
-    std::lock_guard lock(mutex_);
-    ++stats_.processed;
-    if (rejected) ++stats_.rejected;
-    stats_.busy_seconds += seconds;
-  }
+/// Items a worker moves per queue round-trip. Batching amortizes the queue
+/// lock over several items; kept small so one worker cannot starve its
+/// siblings of a nearly-empty queue.
+constexpr std::size_t kStageBatch = 16;
 
-  StageStats snapshot() const {
-    std::lock_guard lock(mutex_);
-    return stats_;
-  }
-
- private:
-  mutable std::mutex mutex_;
-  StageStats stats_;
+/// Everything one judge worker accumulates locally and merges at join.
+struct JudgeLocal {
+  StageStats stats;
+  double gpu_seconds = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 };
+
+void merge_into(StageStats& total, const StageStats& part) {
+  total.processed += part.processed;
+  total.rejected += part.rejected;
+  total.busy_seconds += part.busy_seconds;
+}
 
 }  // namespace
 
@@ -72,11 +71,12 @@ PipelineResult ValidationPipeline::run(
   support::MpmcQueue<WorkItem> execute_queue(config_.queue_capacity);
   support::MpmcQueue<WorkItem> judge_queue(config_.queue_capacity);
 
-  StageCounter compile_counter;
-  StageCounter execute_counter;
-  StageCounter judge_counter;
-  std::mutex gpu_mutex;
-  double judge_gpu_seconds = 0.0;
+  // Per-worker accumulators: each worker owns one slot and writes it once
+  // at exit, so the hot loop touches no shared counter and takes no lock
+  // (the old StageCounter mutex and gpu_mutex are gone).
+  std::vector<StageStats> compile_locals(config_.compile_workers);
+  std::vector<StageStats> execute_locals(config_.execute_workers);
+  std::vector<JudgeLocal> judge_locals(config_.judge_workers);
 
   std::atomic<std::size_t> compile_live{config_.compile_workers};
   std::atomic<std::size_t> execute_live{config_.execute_workers};
@@ -88,73 +88,117 @@ PipelineResult ValidationPipeline::run(
 
   // Stage 1: compile.
   for (std::size_t w = 0; w < config_.compile_workers; ++w) {
-    workers.emplace_back([&] {
+    workers.emplace_back([&, w] {
+      StageStats local;
+      std::vector<std::size_t> batch;
+      std::vector<WorkItem> outgoing;
+      batch.reserve(kStageBatch);
+      outgoing.reserve(kStageBatch);
       for (;;) {
-        const auto index = compile_queue.pop();
-        if (!index) break;
-        support::Stopwatch timer;
-        WorkItem item;
-        item.index = *index;
-        item.compile = compiler_.compile(files[*index]);
-        PipelineRecord& record = result.records[*index];
-        record.compiled = item.compile.success;
-        record.compile_rc = item.compile.return_code;
-        compile_counter.account(!item.compile.success, timer.seconds());
-        if (filter && !item.compile.success) continue;
-        execute_queue.push(std::move(item));
+        batch.clear();
+        if (compile_queue.pop_up_to(kStageBatch, batch) == 0) break;
+        outgoing.clear();
+        for (const std::size_t index : batch) {
+          support::Stopwatch timer;
+          WorkItem item;
+          item.index = index;
+          item.compile = compiler_.compile(files[index]);
+          PipelineRecord& record = result.records[index];
+          record.compiled = item.compile.success;
+          record.compile_rc = item.compile.return_code;
+          ++local.processed;
+          if (!item.compile.success) ++local.rejected;
+          local.busy_seconds += timer.seconds();
+          if (filter && !item.compile.success) continue;
+          outgoing.push_back(std::move(item));
+        }
+        const std::size_t pushed = execute_queue.push_all(outgoing);
+        for (std::size_t j = pushed; j < outgoing.size(); ++j) {
+          result.records[outgoing[j].index].dropped = true;
+        }
       }
+      compile_locals[w] = local;
       if (compile_live.fetch_sub(1) == 1) execute_queue.close();
     });
   }
 
   // Stage 2: execute.
   for (std::size_t w = 0; w < config_.execute_workers; ++w) {
-    workers.emplace_back([&] {
+    workers.emplace_back([&, w] {
+      StageStats local;
+      std::vector<WorkItem> batch;
+      std::vector<WorkItem> outgoing;
+      batch.reserve(kStageBatch);
+      outgoing.reserve(kStageBatch);
       for (;;) {
-        auto item = execute_queue.pop();
-        if (!item) break;
-        support::Stopwatch timer;
-        item->exec = executor_.run(item->compile.module);
-        PipelineRecord& record = result.records[item->index];
-        record.executed = item->exec.passed();
-        record.exec_rc = item->exec.return_code;
-        execute_counter.account(!item->exec.passed(), timer.seconds());
-        if (filter && !item->exec.passed()) continue;
-        judge_queue.push(std::move(*item));
+        batch.clear();
+        if (execute_queue.pop_up_to(kStageBatch, batch) == 0) break;
+        outgoing.clear();
+        for (WorkItem& item : batch) {
+          support::Stopwatch timer;
+          item.exec = executor_.run(item.compile.module);
+          PipelineRecord& record = result.records[item.index];
+          record.executed = item.exec.passed();
+          record.exec_rc = item.exec.return_code;
+          ++local.processed;
+          if (!item.exec.passed()) ++local.rejected;
+          local.busy_seconds += timer.seconds();
+          if (filter && !item.exec.passed()) continue;
+          outgoing.push_back(std::move(item));
+        }
+        const std::size_t pushed = judge_queue.push_all(outgoing);
+        for (std::size_t j = pushed; j < outgoing.size(); ++j) {
+          result.records[outgoing[j].index].dropped = true;
+        }
       }
+      execute_locals[w] = local;
       if (execute_live.fetch_sub(1) == 1) judge_queue.close();
     });
   }
 
   // Stage 3: agent-based LLMJ.
   for (std::size_t w = 0; w < config_.judge_workers; ++w) {
-    workers.emplace_back([&] {
+    workers.emplace_back([&, w] {
+      JudgeLocal local;
+      std::vector<WorkItem> batch;
+      batch.reserve(kStageBatch);
       for (;;) {
-        auto item = judge_queue.pop();
-        if (!item) break;
-        support::Stopwatch timer;
-        const judge::JudgeDecision decision =
-            judge_->evaluate(files[item->index], &item->compile, &item->exec,
-                             config_.judge_seed);
-        PipelineRecord& record = result.records[item->index];
-        record.judged = true;
-        record.verdict = decision.verdict;
-        record.judge_says_valid = decision.says_valid;
-        record.judge_gpu_seconds = decision.completion.latency_seconds;
-        judge_counter.account(!decision.says_valid, timer.seconds());
-        {
-          std::lock_guard lock(gpu_mutex);
-          judge_gpu_seconds += decision.completion.latency_seconds;
+        batch.clear();
+        if (judge_queue.pop_up_to(kStageBatch, batch) == 0) break;
+        for (const WorkItem& item : batch) {
+          support::Stopwatch timer;
+          const judge::JudgeDecision decision =
+              judge_->evaluate(files[item.index], &item.compile, &item.exec,
+                               config_.judge_seed);
+          PipelineRecord& record = result.records[item.index];
+          record.judged = true;
+          record.verdict = decision.verdict;
+          record.judge_says_valid = decision.says_valid;
+          record.judge_cached = decision.cached;
+          ++local.stats.processed;
+          if (!decision.says_valid) ++local.stats.rejected;
+          local.stats.busy_seconds += timer.seconds();
+          if (decision.cached) {
+            ++local.cache_hits;
+          } else {
+            ++local.cache_misses;
+            record.judge_gpu_seconds = decision.completion.latency_seconds;
+            local.gpu_seconds += decision.completion.latency_seconds;
+          }
         }
       }
+      judge_locals[w] = local;
     });
   }
 
-  // Feed the first stage, then signal end-of-input.
-  for (std::size_t i = 0; i < files.size(); ++i) {
-    compile_queue.push(i);
+  // Feed the first stage in bulk, then signal end-of-input. push_all blocks
+  // on back-pressure, so arbitrarily large batches are safe here.
+  {
+    std::vector<std::size_t> indices(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) indices[i] = i;
+    compile_queue.push_all(indices);
+    compile_queue.close();
   }
-  compile_queue.close();
 
   for (auto& worker : workers) worker.join();
 
@@ -162,12 +206,21 @@ PipelineResult ValidationPipeline::run(
     record.pipeline_says_valid =
         record.compiled && record.executed && record.judged &&
         record.judge_says_valid;
+    if (record.dropped) ++result.dropped_items;
   }
-  result.compile_stage = compile_counter.snapshot();
-  result.execute_stage = execute_counter.snapshot();
-  result.judge_stage = judge_counter.snapshot();
+  for (const auto& local : compile_locals) {
+    merge_into(result.compile_stage, local);
+  }
+  for (const auto& local : execute_locals) {
+    merge_into(result.execute_stage, local);
+  }
+  for (const auto& local : judge_locals) {
+    merge_into(result.judge_stage, local.stats);
+    result.judge_gpu_seconds += local.gpu_seconds;
+    result.judge_cache_hits += local.cache_hits;
+    result.judge_cache_misses += local.cache_misses;
+  }
   result.wall_seconds = wall.seconds();
-  result.judge_gpu_seconds = judge_gpu_seconds;
   return result;
 }
 

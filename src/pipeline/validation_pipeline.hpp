@@ -43,8 +43,16 @@ struct PipelineRecord {
   bool judge_says_valid = false;
   /// The pipeline's final verdict: compiled && exited 0 && judged valid.
   bool pipeline_says_valid = false;
-  /// Simulated GPU seconds spent judging this file (0 when filtered).
+  /// Simulated GPU seconds spent judging this file (0 when filtered or when
+  /// the judge served the decision from its memoization cache).
   double judge_gpu_seconds = 0.0;
+  /// True when a downstream queue was closed before this item could be
+  /// handed over: the item was processed by earlier stages but never
+  /// reached the later ones. Never set during a normal run; it records
+  /// lost work instead of dropping it silently.
+  bool dropped = false;
+  /// True when the judge stage answered from its memoization cache.
+  bool judge_cached = false;
 };
 
 /// Per-stage counters.
@@ -62,8 +70,14 @@ struct PipelineResult {
   StageStats judge_stage;
   double wall_seconds = 0.0;
   /// GPU seconds the LLM stage consumed; in kFilterEarly mode this is what
-  /// early filtering saves relative to kRecordAll.
+  /// early filtering saves relative to kRecordAll. Cache hits consume none.
   double judge_gpu_seconds = 0.0;
+  /// Judge decisions served from the memoization cache during this run.
+  std::uint64_t judge_cache_hits = 0;
+  /// Judge decisions that actually assembled a prompt and hit the model.
+  std::uint64_t judge_cache_misses = 0;
+  /// Items refused by a closed queue (sum of PipelineRecord::dropped).
+  std::size_t dropped_items = 0;
 };
 
 /// The staged validation pipeline of Figure 2: bounded queues between a

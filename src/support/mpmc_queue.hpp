@@ -7,6 +7,7 @@
 #include <optional>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace llm4vv::support {
 
@@ -45,6 +46,40 @@ class MpmcQueue {
     return true;
   }
 
+  /// Blocking bulk enqueue: moves the elements of `items` into the queue in
+  /// order, waiting for space as needed, taking the lock once per burst of
+  /// free capacity instead of once per element. Returns the number of items
+  /// enqueued; anything less than `items.size()` means the queue was closed
+  /// mid-push and the tail `[returned, size)` was left untouched in `items`
+  /// (elements before that point are moved-from).
+  std::size_t push_all(std::vector<T>& items) {
+    std::size_t pushed = 0;
+    std::unique_lock lock(mutex_);
+    while (pushed < items.size()) {
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) break;
+      std::size_t burst = 0;
+      while (pushed < items.size() && items_.size() < capacity_) {
+        items_.push_back(std::move(items[pushed]));
+        ++pushed;
+        ++burst;
+      }
+      // Notify with the mutex released so woken consumers don't pile up on
+      // it; the burst must be published before the next wait, or consumers
+      // would sleep while this producer sleeps.
+      lock.unlock();
+      if (burst == 1) {
+        not_empty_.notify_one();
+      } else if (burst > 1) {
+        not_empty_.notify_all();
+      }
+      if (pushed == items.size()) return pushed;
+      lock.lock();
+    }
+    return pushed;
+  }
+
   /// Non-blocking enqueue; returns false when full or closed.
   bool try_push(T item) {
     {
@@ -67,6 +102,30 @@ class MpmcQueue {
     lock.unlock();
     not_full_.notify_one();
     return item;
+  }
+
+  /// Blocking bulk dequeue: waits until at least one item is available (or
+  /// the queue is closed-and-drained), then appends up to `max` items to
+  /// `out` under a single lock acquisition. Returns the number of items
+  /// appended; 0 signals end-of-stream, exactly like a nullopt from pop().
+  std::size_t pop_up_to(std::size_t max, std::vector<T>& out) {
+    if (max == 0) return 0;
+    std::size_t popped = 0;
+    {
+      std::unique_lock lock(mutex_);
+      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      while (popped < max && !items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++popped;
+      }
+    }
+    if (popped == 1) {
+      not_full_.notify_one();
+    } else if (popped > 1) {
+      not_full_.notify_all();
+    }
+    return popped;
   }
 
   /// Non-blocking dequeue; std::nullopt when currently empty.

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "corpus/generator.hpp"
+#include "judge/judge.hpp"
+#include "llm/coder_model.hpp"
+#include "tests/test_util.hpp"
+
+namespace llm4vv::judge {
+namespace {
+
+using frontend::Flavor;
+using frontend::Language;
+
+std::shared_ptr<llm::ModelClient> make_client() {
+  return std::make_shared<llm::ModelClient>(
+      std::make_shared<const llm::SimulatedCoderModel>(), 2);
+}
+
+frontend::SourceFile sample_file(std::uint64_t seed = 3) {
+  return corpus::generate_one("saxpy_offload", Flavor::kOpenACC,
+                              Language::kC, seed)
+      .file;
+}
+
+void expect_same_decision(const JudgeDecision& a, const JudgeDecision& b) {
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(a.says_valid, b.says_valid);
+  EXPECT_EQ(a.prompt, b.prompt);
+  EXPECT_EQ(a.completion.text, b.completion.text);
+  EXPECT_EQ(a.completion.prompt_tokens, b.completion.prompt_tokens);
+  EXPECT_EQ(a.completion.completion_tokens, b.completion.completion_tokens);
+  EXPECT_DOUBLE_EQ(a.completion.latency_seconds,
+                   b.completion.latency_seconds);
+}
+
+TEST(JudgeCacheTest, CachedDecisionIdenticalToUncached) {
+  auto client = make_client();
+  const Llmj cached_judge(client, llm::PromptStyle::kAgentDirect);
+  JudgeCacheConfig off;
+  off.enabled = false;
+  const Llmj plain_judge(client, llm::PromptStyle::kAgentDirect, off);
+
+  const auto file = sample_file();
+  const auto driver = testutil::clean_driver(Flavor::kOpenACC);
+  const auto compiled = driver.compile(file);
+  const toolchain::Executor executor;
+  const auto ran = executor.run(compiled.module);
+
+  const auto first = cached_judge.evaluate(file, &compiled, &ran, 5);
+  const auto second = cached_judge.evaluate(file, &compiled, &ran, 5);
+  const auto reference = plain_judge.evaluate(file, &compiled, &ran, 5);
+
+  EXPECT_FALSE(first.cached);
+  EXPECT_TRUE(second.cached);
+  EXPECT_FALSE(reference.cached);
+  expect_same_decision(second, first);
+  expect_same_decision(second, reference);
+
+  const auto stats = cached_judge.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(JudgeCacheTest, SeedAndOutcomeChangesMissTheCache) {
+  auto client = make_client();
+  const Llmj judge(client, llm::PromptStyle::kAgentDirect);
+  const auto file = sample_file();
+  const auto driver = testutil::clean_driver(Flavor::kOpenACC);
+  const auto compiled = driver.compile(file);
+  const toolchain::Executor executor;
+  const auto ran = executor.run(compiled.module);
+
+  (void)judge.evaluate(file, &compiled, &ran, 1);
+  (void)judge.evaluate(file, &compiled, &ran, 2);  // different seed
+  auto failed = compiled;
+  failed.success = false;
+  failed.return_code = 1;
+  failed.stderr_text = "error: synthetic failure";
+  (void)judge.evaluate(file, &failed, &ran, 1);  // different compile outcome
+
+  const auto stats = judge.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 3u);
+}
+
+TEST(JudgeCacheTest, DistinctFilesGetDistinctEntries) {
+  auto client = make_client();
+  const Llmj judge(client, llm::PromptStyle::kDirectAnalysis);
+  const auto a = judge.evaluate(sample_file(1));
+  const auto b = judge.evaluate(sample_file(2));
+  EXPECT_EQ(judge.cache_stats().misses, 2u);
+  // Same file again: a hit with the same decision.
+  const auto a2 = judge.evaluate(sample_file(1));
+  EXPECT_TRUE(a2.cached);
+  expect_same_decision(a2, a);
+  EXPECT_NE(a.prompt, b.prompt);
+}
+
+TEST(JudgeCacheTest, CapacityBoundEvictsOldestFirst) {
+  JudgeCacheConfig config;
+  config.capacity = 2;
+  config.shards = 1;
+  const Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis, config);
+  (void)judge.evaluate(sample_file(1));
+  (void)judge.evaluate(sample_file(2));
+  (void)judge.evaluate(sample_file(3));  // evicts file(1)
+  EXPECT_EQ(judge.cache_stats().evictions, 1u);
+  const auto again = judge.evaluate(sample_file(3));
+  EXPECT_TRUE(again.cached);
+  const auto oldest = judge.evaluate(sample_file(1));  // evicted -> miss
+  EXPECT_FALSE(oldest.cached);
+}
+
+TEST(JudgeCacheTest, DisabledCacheNeverHitsAndCountsNothing) {
+  JudgeCacheConfig off;
+  off.enabled = false;
+  const Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis, off);
+  const auto file = sample_file();
+  EXPECT_FALSE(judge.evaluate(file).cached);
+  EXPECT_FALSE(judge.evaluate(file).cached);
+  const auto stats = judge.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(JudgeCacheTest, ZeroCapacityDisablesCache) {
+  JudgeCacheConfig config;
+  config.capacity = 0;
+  const Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis, config);
+  const auto file = sample_file();
+  EXPECT_FALSE(judge.evaluate(file).cached);
+  EXPECT_FALSE(judge.evaluate(file).cached);
+  EXPECT_EQ(judge.cache_stats().hits, 0u);
+}
+
+TEST(JudgeCacheTest, ClearCacheForcesRecomputeWithSameResult) {
+  const Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis);
+  const auto file = sample_file();
+  const auto first = judge.evaluate(file);
+  judge.clear_cache();
+  const auto second = judge.evaluate(file);
+  EXPECT_FALSE(second.cached);
+  expect_same_decision(second, first);
+}
+
+TEST(JudgeCacheTest, ConcurrentEvaluationsAgreeAndAreCounted) {
+  const Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis);
+  const auto file = sample_file();
+  const auto reference = judge.evaluate(file);
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        const auto decision = judge.evaluate(file);
+        if (decision.verdict != reference.verdict ||
+            decision.completion.text != reference.completion.text) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const auto stats = judge.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, 201u);
+  EXPECT_GE(stats.hits, 200u);  // every post-seed call hits
+}
+
+}  // namespace
+}  // namespace llm4vv::judge

@@ -194,6 +194,65 @@ TEST(PipelineTest, FilterAndRecordAllAgreeOnFinalVerdicts) {
   }
 }
 
+TEST(PipelineTest, DuplicateFilesHitTheJudgeCache) {
+  const auto probed = probed_batch(2, 10);
+  auto files = files_of(probed);
+  const std::size_t unique = files.size();
+  // Duplicate the whole batch: every copy's judge decision is memoizable.
+  // One judge worker keeps the original-before-copy order deterministic
+  // (two workers could race a pair into two concurrent misses).
+  const std::vector<frontend::SourceFile> originals(files);
+  files.insert(files.end(), originals.begin(), originals.end());
+  const auto pipe = make_pipeline(PipelineMode::kRecordAll, 1,
+                                  core::make_simulated_client(1));
+  const auto result = pipe.run(files);
+  EXPECT_EQ(result.judge_cache_hits + result.judge_cache_misses,
+            result.judge_stage.processed);
+  EXPECT_GE(result.judge_cache_hits, unique);  // each copy hits
+  for (std::size_t i = 0; i < unique; ++i) {
+    EXPECT_EQ(result.records[i].judge_says_valid,
+              result.records[i + unique].judge_says_valid)
+        << i;
+    if (result.records[i + unique].judge_cached) {
+      EXPECT_EQ(result.records[i + unique].judge_gpu_seconds, 0.0);
+    }
+  }
+  // GPU seconds are only spent on misses; a fully duplicated batch costs
+  // no more than its unique half plus scheduling jitter.
+  EXPECT_GT(result.judge_gpu_seconds, 0.0);
+}
+
+TEST(PipelineTest, NormalRunsDropNothing) {
+  const auto probed = probed_batch(3, 10);
+  const auto files = files_of(probed);
+  const auto pipe = make_pipeline(PipelineMode::kFilterEarly, 2,
+                                  core::make_simulated_client(2));
+  const auto result = pipe.run(files);
+  EXPECT_EQ(result.dropped_items, 0u);
+  for (const auto& record : result.records) {
+    EXPECT_FALSE(record.dropped);
+  }
+}
+
+TEST(PipelineTest, CacheCountersZeroWhenJudgeCacheDisabled) {
+  const auto probed = probed_batch(2, 8);
+  const auto files = files_of(probed);
+  judge::JudgeCacheConfig off;
+  off.enabled = false;
+  auto judge = std::make_shared<const judge::Llmj>(
+      core::make_simulated_client(2), llm::PromptStyle::kAgentDirect, off);
+  PipelineConfig config;
+  config.mode = PipelineMode::kRecordAll;
+  const ValidationPipeline pipe(testutil::clean_driver(Flavor::kOpenACC),
+                                toolchain::Executor(), judge, config);
+  const auto result = pipe.run(files);
+  EXPECT_EQ(result.judge_cache_hits, 0u);
+  EXPECT_EQ(result.judge_cache_misses, result.judge_stage.processed);
+  for (const auto& record : result.records) {
+    EXPECT_FALSE(record.judge_cached);
+  }
+}
+
 TEST(PipelineTest, StageStatsAreConsistent) {
   const auto probed = probed_batch(4, 16);
   const auto files = files_of(probed);

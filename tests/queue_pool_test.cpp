@@ -111,6 +111,115 @@ TEST(MpmcQueueTest, CapacityAccessor) {
   EXPECT_EQ(q.capacity(), 33u);
 }
 
+TEST(MpmcQueueTest, PushAllThenPopUpToKeepsOrder) {
+  MpmcQueue<int> q(8);
+  std::vector<int> in{1, 2, 3, 4, 5};
+  EXPECT_EQ(q.push_all(in), 5u);
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_up_to(3, out), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.pop_up_to(10, out), 2u);  // appends; returns what's left
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(MpmcQueueTest, PushAllLargerThanCapacityBlocksUntilDrained) {
+  MpmcQueue<int> q(4);
+  std::vector<int> in(64);
+  std::iota(in.begin(), in.end(), 0);
+  std::thread producer([&] { EXPECT_EQ(q.push_all(in), 64u); });
+  std::vector<int> seen;
+  while (seen.size() < 64) {
+    ASSERT_GT(q.pop_up_to(8, seen), 0u);
+  }
+  producer.join();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+}
+
+TEST(MpmcQueueTest, PushAllReportsTailLeftBehindOnClose) {
+  MpmcQueue<int> q(2);
+  std::vector<int> in{1, 2, 3, 4};
+  std::thread producer([&] {
+    // Fills to capacity, blocks, and fails once closed: only the first
+    // burst fits, and the tail is reported as not-pushed.
+    EXPECT_EQ(q.push_all(in), 2u);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+  // The tail [2, 4) was never moved out of `in`.
+  EXPECT_EQ(in[2], 3);
+  EXPECT_EQ(in[3], 4);
+}
+
+TEST(MpmcQueueTest, PopUpToBlockedConsumerWakesOnClose) {
+  MpmcQueue<int> q(4);
+  std::thread consumer([&] {
+    std::vector<int> out;
+    EXPECT_EQ(q.pop_up_to(4, out), 0u);  // end-of-stream
+    EXPECT_TRUE(out.empty());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(MpmcQueueTest, PopUpToDrainsAfterClose) {
+  MpmcQueue<int> q(8);
+  std::vector<int> in{7, 8, 9};
+  EXPECT_EQ(q.push_all(in), 3u);
+  q.close();
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_up_to(16, out), 3u);  // close still drains buffered items
+  EXPECT_EQ(q.pop_up_to(16, out), 0u);
+  EXPECT_EQ(out, (std::vector<int>{7, 8, 9}));
+}
+
+TEST(MpmcQueueTest, PopUpToZeroReturnsImmediately) {
+  MpmcQueue<int> q(4);
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_up_to(0, out), 0u);
+}
+
+TEST(MpmcQueueTest, BatchedConcurrentSumPreserved) {
+  // Batched producers and consumers move 4000 items through a small queue;
+  // nothing may be lost or duplicated.
+  MpmcQueue<int> q(16);
+  std::atomic<long> total{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int chunk = 0; chunk < 10; ++chunk) {
+        std::vector<int> batch;
+        for (int i = 0; i < 100; ++i) batch.push_back(p * 1000 + chunk * 100 + i);
+        ASSERT_EQ(q.push_all(batch), batch.size());
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<int> batch;
+      for (;;) {
+        batch.clear();
+        if (q.pop_up_to(7, batch) == 0) return;
+        for (const int v : batch) {
+          total.fetch_add(v, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  long expected = 0;
+  for (int p = 0; p < 4; ++p) {
+    for (int chunk = 0; chunk < 10; ++chunk) {
+      for (int i = 0; i < 100; ++i) expected += p * 1000 + chunk * 100 + i;
+    }
+  }
+  EXPECT_EQ(total.load(), expected);
+}
+
 // ---------------------------------------------------------------------------
 // ThreadPool
 // ---------------------------------------------------------------------------

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "corpus/generator.hpp"
+#include "llm/tokenizer.hpp"
+#include "support/rng.hpp"
+
+namespace llm4vv::llm {
+namespace {
+
+/// Corpus text of the kind the tokenizer sees in production: generated V&V
+/// test files, which are dense in the fragment vocabulary.
+std::string corpus_text(std::uint64_t seed, std::size_t count = 8) {
+  corpus::GeneratorConfig gen;
+  gen.flavor = frontend::Flavor::kOpenACC;
+  gen.count = count;
+  gen.seed = seed;
+  std::string text;
+  for (const auto& tc : corpus::generate_suite(gen).cases) {
+    text += tc.file.content;
+  }
+  return text;
+}
+
+/// Random bytes (all 256 values possible, including NUL and newlines) to
+/// exercise the byte-fallback and partial-fragment paths.
+std::string random_bytes(std::uint64_t seed, std::size_t length) {
+  support::Rng rng(seed);
+  std::string text;
+  text.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    text.push_back(static_cast<char>(rng.next_below(256)));
+  }
+  return text;
+}
+
+TEST(TokenizerTrieTest, MatchesReferenceOnCorpusText) {
+  const auto& tokenizer = default_tokenizer();
+  for (std::uint64_t seed : {1u, 7u, 42u, 1234u}) {
+    const std::string text = corpus_text(seed);
+    EXPECT_EQ(tokenizer.encode(text), tokenizer.encode_reference(text))
+        << "seed " << seed;
+  }
+}
+
+TEST(TokenizerTrieTest, MatchesReferenceOnRandomBytes) {
+  const auto& tokenizer = default_tokenizer();
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    const std::string text = random_bytes(seed, 2048);
+    EXPECT_EQ(tokenizer.encode(text), tokenizer.encode_reference(text))
+        << "seed " << seed;
+  }
+}
+
+TEST(TokenizerTrieTest, RoundTripOnCorpusAndRandomText) {
+  const auto& tokenizer = default_tokenizer();
+  for (const std::string& text :
+       {corpus_text(99), random_bytes(5, 4096), std::string(),
+        std::string("\0\0mid\0null", 10)}) {
+    EXPECT_EQ(tokenizer.decode(tokenizer.encode(text)), text);
+  }
+}
+
+TEST(TokenizerTrieTest, CountTokensEqualsEncodeSize) {
+  const auto& tokenizer = default_tokenizer();
+  for (std::uint64_t seed : {3u, 17u}) {
+    const std::string corpus = corpus_text(seed);
+    EXPECT_EQ(tokenizer.count_tokens(corpus), tokenizer.encode(corpus).size());
+    const std::string noise = random_bytes(seed, 1024);
+    EXPECT_EQ(tokenizer.count_tokens(noise), tokenizer.encode(noise).size());
+  }
+}
+
+TEST(TokenizerTrieTest, EncodeIntoMatchesEncodeAndReusesCapacity) {
+  const auto& tokenizer = default_tokenizer();
+  std::vector<std::int32_t> buffer;
+  const std::string big = corpus_text(11);
+  tokenizer.encode_into(big, buffer);
+  EXPECT_EQ(buffer, tokenizer.encode(big));
+
+  const std::size_t grown = buffer.capacity();
+  const std::string small = corpus_text(12, 1);
+  tokenizer.encode_into(small, buffer);
+  EXPECT_EQ(buffer, tokenizer.encode(small));
+  EXPECT_EQ(buffer.capacity(), grown);  // clear() + refill, no shrink
+}
+
+TEST(TokenizerTrieTest, LongestMatchWinsOverPrefixes) {
+  const auto& tokenizer = default_tokenizer();
+  // "#pragma acc " is a vocabulary fragment whose prefixes ("#", "#p", ...)
+  // must not be emitted when the full fragment is present.
+  const auto ids = tokenizer.encode("#pragma acc parallel loop");
+  ASSERT_FALSE(ids.empty());
+  EXPECT_EQ(tokenizer.token_text(ids[0]), "#pragma acc ");
+}
+
+TEST(TokenizerTrieTest, SingleByteInputsAreByteTokens) {
+  const auto& tokenizer = default_tokenizer();
+  for (int b = 0; b < 256; ++b) {
+    const std::string text(1, static_cast<char>(b));
+    const auto ids = tokenizer.encode(text);
+    ASSERT_EQ(ids.size(), 1u) << b;
+    EXPECT_EQ(tokenizer.decode(ids), text) << b;
+  }
+}
+
+}  // namespace
+}  // namespace llm4vv::llm
