@@ -37,7 +37,8 @@ std::vector<frontend::SourceFile> make_batch(std::size_t size,
 
 pipeline::ValidationPipeline make_pipeline(pipeline::PipelineMode mode,
                                            std::size_t workers,
-                                           bool judge_cache = true) {
+                                           bool judge_cache = true,
+                                           std::size_t judge_batch = 1) {
   auto client = core::make_simulated_client(workers);
   judge::JudgeCacheConfig cache;
   cache.enabled = judge_cache;
@@ -48,6 +49,7 @@ pipeline::ValidationPipeline make_pipeline(pipeline::PipelineMode mode,
   config.compile_workers = workers;
   config.execute_workers = workers;
   config.judge_workers = workers;
+  config.judge_batch_size = judge_batch;
   return pipeline::ValidationPipeline(
       toolchain::CompilerDriver(toolchain::nvc_persona()),
       toolchain::Executor(), judge, config);
@@ -58,10 +60,14 @@ void BM_PipelineMode(benchmark::State& state) {
                                         : pipeline::PipelineMode::kFilterEarly;
   const int invalid_tenths = static_cast<int>(state.range(1));
   const auto files = make_batch(120, invalid_tenths);
-  // Judge cache off: this bench reproduces the paper's early-filter GPU
-  // ablation, whose per-run cost a warm memo cache would hide (the cache's
-  // own effect is measured by BM_PipelineJudgeCache / BM_PipelineWorkers).
-  const auto pipe = make_pipeline(mode, 2, /*judge_cache=*/false);
+  // Judge cache off and batch size pinned to 1: this bench reproduces the
+  // paper's early-filter GPU ablation with the paper's one-call-per-file
+  // accounting (warm memo cache or batched prefill amortization would hide
+  // the per-run cost; filter:0/invalid_tenths:0 must keep reporting the
+  // seed-exact 1606.13 sim GPU seconds). Batching is measured by
+  // BM_PipelineJudgeBatch; the cache by BM_PipelineJudgeCache.
+  const auto pipe = make_pipeline(mode, 2, /*judge_cache=*/false,
+                                  /*judge_batch=*/1);
   double gpu_seconds = 0.0;
   std::size_t judged = 0;
   for (auto _ : state) {
@@ -84,15 +90,18 @@ BENCHMARK(BM_PipelineMode)
 
 void BM_PipelineWorkers(benchmark::State& state) {
   const auto workers = static_cast<std::size_t>(state.range(0));
+  const auto judge_batch = static_cast<std::size_t>(state.range(1));
   const auto files = make_batch(120, 3);
-  const auto pipe =
-      make_pipeline(pipeline::PipelineMode::kFilterEarly, workers);
+  const auto pipe = make_pipeline(pipeline::PipelineMode::kFilterEarly,
+                                  workers, /*judge_cache=*/true, judge_batch);
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  double gpu_seconds = 0.0;
   for (auto _ : state) {
     const auto result = pipe.run(files);
     hits += result.judge_cache_hits;
     misses += result.judge_cache_misses;
+    gpu_seconds += result.judge_gpu_seconds;
     benchmark::DoNotOptimize(result.records.data());
   }
   state.SetItemsProcessed(
@@ -105,12 +114,64 @@ void BM_PipelineWorkers(benchmark::State& state) {
       hits + misses == 0
           ? 0.0
           : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  state.counters["sim_gpu_s_per_run"] =
+      gpu_seconds / static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_PipelineWorkers)
+    ->ArgsProduct({{1, 2, 4}, {1, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"workers", "judge_batch"});
+
+void BM_PipelineJudgeBatch(benchmark::State& state) {
+  // The batched-submission ablation: cache off so every judged file is a
+  // genuine model submission, many producers feeding one judge worker so
+  // the popped chunks fill their batches. judge_batch:1 is the sequential
+  // baseline; larger batches amortize prefill across each forward pass and
+  // should spend measurably fewer simulated GPU seconds per run.
+  const auto judge_batch = static_cast<std::size_t>(state.range(0));
+  const auto files = make_batch(120, 3);
+  auto client = core::make_simulated_client(4);
+  judge::JudgeCacheConfig cache;
+  cache.enabled = false;
+  auto judge = std::make_shared<const judge::Llmj>(
+      client, llm::PromptStyle::kAgentDirect, cache);
+  pipeline::PipelineConfig config;
+  config.mode = pipeline::PipelineMode::kRecordAll;
+  config.compile_workers = 4;
+  config.execute_workers = 4;
+  config.judge_workers = 1;
+  config.judge_batch_size = judge_batch;
+  const pipeline::ValidationPipeline pipe(
+      toolchain::CompilerDriver(toolchain::nvc_persona()),
+      toolchain::Executor(), judge, config);
+  double gpu_seconds = 0.0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_prompts = 0;
+  for (auto _ : state) {
+    const auto result = pipe.run(files);
+    gpu_seconds += result.judge_gpu_seconds;
+    batches += result.judge_batches;
+    batched_prompts += result.judge_batched_prompts;
+    benchmark::DoNotOptimize(result.records.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * files.size()));
+  state.counters["sim_gpu_s_per_run"] =
+      gpu_seconds / static_cast<double>(state.iterations());
+  state.counters["judge_batches_per_run"] =
+      static_cast<double>(batches) / static_cast<double>(state.iterations());
+  state.counters["judge_batch_occupancy"] =
+      batches == 0 ? 0.0
+                   : static_cast<double>(batched_prompts) /
+                         static_cast<double>(batches);
+}
+BENCHMARK(BM_PipelineJudgeBatch)
     ->Arg(1)
-    ->Arg(2)
     ->Arg(4)
-    ->Unit(benchmark::kMillisecond);
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"judge_batch"});
 
 void BM_PipelineJudgeCache(benchmark::State& state) {
   // Probed/mutated suites repeat files; `dup` controls how many copies of

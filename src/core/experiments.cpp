@@ -126,6 +126,11 @@ PartTwoOutcome run_part_two(Flavor flavor,
   pipe_config.execute_workers = options.execute_workers;
   pipe_config.judge_workers = options.judge_workers;
   pipe_config.judge_seed = options.judge_seed;
+  // The paper submitted one completion per file; keep the judge stage on
+  // the sequential path so llm_stats and the simulated GPU totals stay
+  // seed-exact (batched passes amortize prefill and would price the same
+  // completions cheaper).
+  pipe_config.judge_batch_size = 1;
 
   const auto run_with = [&](llm::PromptStyle style) {
     // The paper's measurement runs query the model for every file; disable

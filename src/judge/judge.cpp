@@ -23,6 +23,18 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
   return support::splitmix64(s);
 }
 
+/// Parse a finished model call into the decision's verdict fields. Both
+/// the sequential and the batched paths go through here, which is what
+/// keeps their verdicts byte-for-byte identical by construction.
+void finish_decision(JudgeDecision& decision, llm::Completion completion,
+                     bool batched) {
+  decision.completion = std::move(completion);
+  decision.verdict = parse_verdict(decision.completion.text);
+  decision.says_valid =
+      verdict_says_valid(decision.verdict, /*fallback=*/false);
+  decision.batched = batched;
+}
+
 }  // namespace
 
 Llmj::Llmj(std::shared_ptr<llm::ModelClient> client, llm::PromptStyle style,
@@ -86,10 +98,92 @@ JudgeDecision Llmj::evaluate_uncached(const frontend::SourceFile& file,
 
   llm::GenerationParams params;
   params.seed = seed;
-  decision.completion = client_->complete(decision.prompt, params);
-  decision.verdict = parse_verdict(decision.completion.text);
-  decision.says_valid =
-      verdict_says_valid(decision.verdict, /*fallback=*/false);
+  finish_decision(decision, client_->complete(decision.prompt, params),
+                  /*batched=*/false);
+  return decision;
+}
+
+Llmj::Probe Llmj::probe_or_claim(std::uint64_t key,
+                                 std::uint64_t content_hash,
+                                 JudgeDecision& out) const {
+  CacheShard& shard = *shards_[key & shard_mask_];
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  if (it != shard.entries.end() && it->second.content_hash == content_hash) {
+    out = it->second.decision;
+    out.cached = true;
+    out.batched = false;  // a copy, not a submission
+    return Probe::kHit;
+  }
+  if (shard.inflight.count(key) != 0) return Probe::kBusy;
+  shard.inflight.insert(key);
+  return Probe::kClaimed;
+}
+
+void Llmj::publish(std::uint64_t key, std::uint64_t content_hash,
+                   const JudgeDecision& decision) const {
+  CacheShard& shard = *shards_[key & shard_mask_];
+  {
+    std::lock_guard lock(shard.mutex);
+    shard.inflight.erase(key);
+    if (shard.entries.emplace(key, CacheEntry{content_hash, decision})
+            .second) {
+      shard.order.push_back(key);
+      while (shard.entries.size() > shard_capacity_) {
+        shard.entries.erase(shard.order.front());
+        shard.order.pop_front();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  shard.done.notify_all();
+}
+
+void Llmj::abandon(std::uint64_t key) const {
+  CacheShard& shard = *shards_[key & shard_mask_];
+  {
+    std::lock_guard lock(shard.mutex);
+    shard.inflight.erase(key);
+  }
+  shard.done.notify_all();
+}
+
+JudgeDecision Llmj::wait_for(std::uint64_t key, std::uint64_t content_hash,
+                             const frontend::SourceFile& file,
+                             const toolchain::CompileResult* compile,
+                             const toolchain::ExecutionRecord* exec,
+                             std::uint64_t seed) const {
+  CacheShard& shard = *shards_[key & shard_mask_];
+  {
+    std::unique_lock lock(shard.mutex);
+    shard.done.wait(lock, [&shard, key] {
+      return shard.entries.count(key) != 0 ||
+             shard.inflight.count(key) == 0;
+    });
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end() &&
+        it->second.content_hash == content_hash) {
+      duplicate_misses_.fetch_add(1, std::memory_order_relaxed);
+      JudgeDecision decision = it->second.decision;
+      decision.cached = true;
+      decision.batched = false;  // a copy, not a submission
+      return decision;
+    }
+    // The computing caller failed (or the entry belongs to a colliding
+    // key): take over as the new owner of this key.
+    shard.inflight.insert(key);
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  JudgeDecision decision;
+  try {
+    decision = evaluate_uncached(file, compile, exec, seed);
+    publish(key, content_hash, decision);
+  } catch (...) {
+    // abandon() after a part-way publish is a harmless no-op erase plus a
+    // spare wakeup; what matters is that the key never stays in flight.
+    abandon(key);
+    throw;
+  }
   return decision;
 }
 
@@ -103,33 +197,151 @@ JudgeDecision Llmj::evaluate(const frontend::SourceFile& file,
 
   const std::uint64_t content_hash = support::fnv1a64(file.content);
   const std::uint64_t key = cache_key(content_hash, file, compile, exec, seed);
-  CacheShard& shard = *shards_[key & shard_mask_];
-  {
-    std::lock_guard lock(shard.mutex);
-    const auto it = shard.entries.find(key);
-    if (it != shard.entries.end() && it->second.content_hash == content_hash) {
+  JudgeDecision decision;
+  switch (probe_or_claim(key, content_hash, decision)) {
+    case Probe::kHit:
       hits_.fetch_add(1, std::memory_order_relaxed);
-      JudgeDecision decision = it->second.decision;
-      decision.cached = true;
       return decision;
-    }
+    case Probe::kBusy:
+      // Another worker is judging this exact key right now; wait for its
+      // result instead of paying a duplicate simulated GPU call.
+      return wait_for(key, content_hash, file, compile, exec, seed);
+    case Probe::kClaimed:
+      break;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
 
-  JudgeDecision decision = evaluate_uncached(file, compile, exec, seed);
-  {
-    std::lock_guard lock(shard.mutex);
-    if (shard.entries.emplace(key, CacheEntry{content_hash, decision})
-            .second) {
-      shard.order.push_back(key);
-      while (shard.entries.size() > shard_capacity_) {
-        shard.entries.erase(shard.order.front());
-        shard.order.pop_front();
-        evictions_.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
+  try {
+    decision = evaluate_uncached(file, compile, exec, seed);
+    publish(key, content_hash, decision);
+  } catch (...) {
+    abandon(key);
+    throw;
   }
   return decision;
+}
+
+std::vector<JudgeDecision> Llmj::evaluate_many(
+    const std::vector<JudgeRequest>& batch, std::uint64_t seed) const {
+  std::vector<JudgeDecision> decisions(batch.size());
+  if (batch.empty()) return decisions;
+
+  llm::GenerationParams params;
+  params.seed = seed;
+
+  if (!cache_config_.enabled) {
+    // Paper accounting: every item — duplicates included — is submitted,
+    // as one batched pass.
+    std::vector<std::string> prompts;
+    prompts.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      decisions[i].prompt =
+          build_prompt(style_, *batch[i].file, batch[i].compile,
+                       batch[i].exec);
+      prompts.push_back(decisions[i].prompt);
+    }
+    auto completions = client_->complete_many(prompts, params);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      finish_decision(decisions[i], std::move(completions[i]),
+                      /*batched=*/true);
+    }
+    return decisions;
+  }
+
+  /// An item that missed the cache: either claimed by this batch (a miss
+  /// to submit) or in flight on another thread (a waiter).
+  struct Pending {
+    std::size_t index;
+    std::uint64_t key;
+    std::uint64_t content_hash;
+  };
+  std::vector<Pending> misses;
+  std::vector<Pending> waiters;
+  std::vector<std::pair<std::size_t, std::size_t>> followers;  // idx, leader
+  // Reserve up front so recording a freshly claimed key cannot itself
+  // throw and lose the claim before the guard below can see it.
+  misses.reserve(batch.size());
+  waiters.reserve(batch.size());
+  followers.reserve(batch.size());
+
+  // Everything between the first claim and the last publish runs under
+  // this guard: if classification, prompt assembly, submission, or
+  // publication throws, every key this batch still holds in flight is
+  // abandoned so other threads cannot wait on it forever (abandoning an
+  // already-published key is a harmless no-op erase).
+  try {
+    // Pass 1: classify every item. Keys this batch claims are recorded in
+    // `batch_leader` so a second copy of the same key becomes an in-batch
+    // follower instead of deadlocking on its own in-flight marker.
+    std::unordered_map<std::uint64_t, std::size_t> batch_leader;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::uint64_t content_hash =
+          support::fnv1a64(batch[i].file->content);
+      const std::uint64_t key =
+          cache_key(content_hash, *batch[i].file, batch[i].compile,
+                    batch[i].exec, seed);
+      const auto leader = batch_leader.find(key);
+      if (leader != batch_leader.end()) {
+        followers.emplace_back(i, leader->second);
+        continue;
+      }
+      switch (probe_or_claim(key, content_hash, decisions[i])) {
+        case Probe::kHit:
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case Probe::kBusy:
+          waiters.push_back(Pending{i, key, content_hash});
+          break;
+        case Probe::kClaimed:
+          misses.push_back(Pending{i, key, content_hash});
+          batch_leader.emplace(key, i);
+          break;
+      }
+    }
+
+    // Pass 2: submit all genuine misses as one batched forward pass.
+    if (!misses.empty()) {
+      std::vector<std::string> prompts;
+      prompts.reserve(misses.size());
+      for (const Pending& miss : misses) {
+        const JudgeRequest& request = batch[miss.index];
+        decisions[miss.index].prompt = build_prompt(
+            style_, *request.file, request.compile, request.exec);
+        prompts.push_back(decisions[miss.index].prompt);
+      }
+      auto completions = client_->complete_many(prompts, params);
+      misses_.fetch_add(misses.size(), std::memory_order_relaxed);
+      for (std::size_t m = 0; m < misses.size(); ++m) {
+        JudgeDecision& decision = decisions[misses[m].index];
+        finish_decision(decision, std::move(completions[m]),
+                        /*batched=*/true);
+        publish(misses[m].key, misses[m].content_hash, decision);
+      }
+    }
+  } catch (...) {
+    for (const Pending& miss : misses) abandon(miss.key);
+    throw;
+  }
+
+  // Pass 3: in-batch followers copy their leader's freshly computed
+  // decision (no extra model call — a deduplicated miss).
+  for (const auto& [index, leader] : followers) {
+    duplicate_misses_.fetch_add(1, std::memory_order_relaxed);
+    decisions[index] = decisions[leader];
+    decisions[index].cached = true;
+    decisions[index].batched = false;
+  }
+
+  // Pass 4: wait for keys other threads were computing. This runs after
+  // our own misses were published, so two batches waiting on each other
+  // cannot cycle.
+  for (const Pending& waiter : waiters) {
+    const JudgeRequest& request = batch[waiter.index];
+    decisions[waiter.index] =
+        wait_for(waiter.key, waiter.content_hash, *request.file,
+                 request.compile, request.exec, seed);
+  }
+  return decisions;
 }
 
 JudgeCacheStats Llmj::cache_stats() const noexcept {
@@ -137,6 +349,8 @@ JudgeCacheStats Llmj::cache_stats() const noexcept {
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.duplicate_misses =
+      duplicate_misses_.load(std::memory_order_relaxed);
   return stats;
 }
 

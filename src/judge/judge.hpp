@@ -1,11 +1,13 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "judge/prompt.hpp"
@@ -23,6 +25,11 @@ struct JudgeDecision {
   /// True when this decision was served from the memoization cache (no
   /// prompt assembly, no model call, no simulated GPU time spent).
   bool cached = false;
+  /// True when this decision's model call rode a batched complete_many
+  /// forward pass (an evaluate_many miss). False for sequential calls and
+  /// for copies served from the cache or in-flight dedup — the pipeline's
+  /// batch-occupancy accounting counts exactly the batched submissions.
+  bool batched = false;
 };
 
 /// Configuration of the judge's decision memoization cache. Probed and
@@ -43,10 +50,27 @@ struct JudgeCacheConfig {
 };
 
 /// Counters of the memoization cache (monotonic over the Llmj's lifetime).
+/// hits + misses + duplicate_misses equals the number of evaluate()/
+/// evaluate_many() items served while the cache was enabled.
 struct JudgeCacheStats {
   std::uint64_t hits = 0;
+  /// Items that actually assembled a prompt and queried the model.
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  /// Items that missed the cache but were served by piggybacking on a
+  /// computation already in flight — a concurrent worker judging the same
+  /// key, or an earlier copy of the key inside the same evaluate_many
+  /// batch. Before in-flight dedup these were thundering-herd misses that
+  /// each paid a full simulated GPU call.
+  std::uint64_t duplicate_misses = 0;
+};
+
+/// One item of a batched evaluate_many() call. Agent styles require
+/// non-null compile/exec records, exactly like evaluate().
+struct JudgeRequest {
+  const frontend::SourceFile* file = nullptr;
+  const toolchain::CompileResult* compile = nullptr;
+  const toolchain::ExecutionRecord* exec = nullptr;
 };
 
 /// The LLM-as-a-Judge orchestrator. One instance per prompt style:
@@ -67,6 +91,18 @@ class Llmj {
                          const toolchain::CompileResult* compile = nullptr,
                          const toolchain::ExecutionRecord* exec = nullptr,
                          std::uint64_t seed = 0) const;
+
+  /// Judge a batch of files in one submission. The batch is partitioned
+  /// into cache hits, duplicates of in-flight work, and genuine misses;
+  /// the misses are submitted to the model as a single
+  /// ModelClient::complete_many() pass and the results inserted into the
+  /// memo cache. Decisions come back in request order and are byte-for-byte
+  /// what evaluate() would have produced per item (only the latency
+  /// accounting differs, via the batched pass pricing). With the cache
+  /// disabled every item is submitted — including duplicates — preserving
+  /// the paper's one-request-per-file accounting.
+  std::vector<JudgeDecision> evaluate_many(
+      const std::vector<JudgeRequest>& batch, std::uint64_t seed = 0) const;
 
   llm::PromptStyle style() const noexcept { return style_; }
   const char* name() const noexcept {
@@ -90,18 +126,38 @@ class Llmj {
     JudgeDecision decision;
   };
 
-  /// One cache shard: its own lock, map, and FIFO eviction order.
+  /// One cache shard: its own lock, map, FIFO eviction order, and the set
+  /// of keys currently being computed (in-flight dedup). `done` is
+  /// signalled whenever an in-flight key is published or abandoned.
   struct CacheShard {
     std::mutex mutex;
+    std::condition_variable done;
     std::unordered_map<std::uint64_t, CacheEntry> entries;
     std::deque<std::uint64_t> order;
+    std::unordered_set<std::uint64_t> inflight;
   };
+
+  /// Outcome of probing a key: served from the cache, claimed by this
+  /// caller (it must compute and then publish/abandon), or busy because
+  /// another caller is already computing it.
+  enum class Probe { kHit, kClaimed, kBusy };
 
   std::uint64_t cache_key(std::uint64_t content_hash,
                           const frontend::SourceFile& file,
                           const toolchain::CompileResult* compile,
                           const toolchain::ExecutionRecord* exec,
                           std::uint64_t seed) const noexcept;
+
+  Probe probe_or_claim(std::uint64_t key, std::uint64_t content_hash,
+                       JudgeDecision& out) const;
+  void publish(std::uint64_t key, std::uint64_t content_hash,
+               const JudgeDecision& decision) const;
+  void abandon(std::uint64_t key) const;
+  JudgeDecision wait_for(std::uint64_t key, std::uint64_t content_hash,
+                         const frontend::SourceFile& file,
+                         const toolchain::CompileResult* compile,
+                         const toolchain::ExecutionRecord* exec,
+                         std::uint64_t seed) const;
 
   JudgeDecision evaluate_uncached(const frontend::SourceFile& file,
                                   const toolchain::CompileResult* compile,
@@ -118,6 +174,7 @@ class Llmj {
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
   mutable std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> duplicate_misses_{0};
 };
 
 }  // namespace llm4vv::judge

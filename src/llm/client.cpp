@@ -1,5 +1,6 @@
 #include "llm/client.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace llm4vv::llm {
@@ -15,6 +16,18 @@ ModelClient::ModelClient(std::shared_ptr<const LanguageModel> model,
   }
 }
 
+ModelClient::SlotLease::~SlotLease() {
+  {
+    std::lock_guard lock(client.mutex_);
+    client.in_flight_ -= slots;
+  }
+  // notify_all, not notify_one: complete_many() waiters need several slots
+  // free at once, and a single wake delivered to such a waiter whose
+  // predicate is still false would be consumed without releasing anyone —
+  // stranding a single-slot waiter that could have run.
+  client.slot_free_.notify_all();
+}
+
 Completion ModelClient::complete(const std::string& prompt,
                                  const GenerationParams& params) {
   {
@@ -22,12 +35,12 @@ Completion ModelClient::complete(const std::string& prompt,
     slot_free_.wait(lock, [this] { return in_flight_ < max_concurrency_; });
     ++in_flight_;
   }
+  SlotLease lease{*this, 1};
 
   Completion completion = model_->generate(prompt, params);
 
   {
     std::lock_guard lock(mutex_);
-    --in_flight_;
     ++stats_.requests;
     stats_.prompt_tokens += completion.prompt_tokens;
     stats_.completion_tokens += completion.completion_tokens;
@@ -39,8 +52,53 @@ Completion ModelClient::complete(const std::string& prompt,
       }
     }
   }
-  slot_free_.notify_one();
   return completion;
+}
+
+std::vector<Completion> ModelClient::complete_many(
+    const std::vector<std::string>& prompts, const GenerationParams& params) {
+  if (prompts.empty()) return {};
+  // One model replica serves the whole pass, but the pass keeps up to
+  // max_concurrency streams busy; clamping keeps oversized batches from
+  // waiting for more slots than exist.
+  const std::size_t slots = std::min(prompts.size(), max_concurrency_);
+  {
+    std::unique_lock lock(mutex_);
+    slot_free_.wait(lock, [this, slots] {
+      return in_flight_ + slots <= max_concurrency_;
+    });
+    in_flight_ += slots;
+  }
+
+  SlotLease lease{*this, slots};
+
+  std::vector<Completion> completions =
+      model_->generate_batch(prompts, params);
+  if (completions.size() != prompts.size()) {
+    throw std::logic_error(
+        "ModelClient: generate_batch returned a mismatched completion count");
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    stats_.requests += prompts.size();
+    ++stats_.batches;
+    stats_.batched_prompts += prompts.size();
+    stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch,
+                                               prompts.size());
+    for (std::size_t i = 0; i < completions.size(); ++i) {
+      stats_.prompt_tokens += completions[i].prompt_tokens;
+      stats_.completion_tokens += completions[i].completion_tokens;
+      stats_.gpu_seconds += completions[i].latency_seconds;
+      if (transcript_capacity_ > 0) {
+        transcripts_.push_back(Transcript{prompts[i], completions[i]});
+        while (transcripts_.size() > transcript_capacity_) {
+          transcripts_.pop_front();
+        }
+      }
+    }
+  }
+  return completions;
 }
 
 ClientStats ModelClient::stats() const {

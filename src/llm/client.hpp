@@ -20,6 +20,13 @@ struct ClientStats {
   /// A100 node, the currency the validation pipeline saves by filtering
   /// files before the LLM stage.
   double gpu_seconds = 0.0;
+  /// complete_many() submissions (each is one batched forward pass).
+  std::uint64_t batches = 0;
+  /// Prompts that went through those batched submissions (also counted in
+  /// `requests`, which covers both paths).
+  std::uint64_t batched_prompts = 0;
+  /// Largest single batch submitted so far.
+  std::uint64_t max_batch = 0;
 };
 
 /// One recorded request/response pair (for the examples and debugging).
@@ -45,6 +52,17 @@ class ModelClient {
   Completion complete(const std::string& prompt,
                       const GenerationParams& params = {});
 
+  /// Blocking batched completion (thread-safe): submits all prompts as one
+  /// forward pass via LanguageModel::generate_batch. The batch acquires
+  /// min(prompts.size(), max_concurrency) GPU slots atomically — it waits
+  /// until that many are free at once instead of trickling in, so two
+  /// batched callers can never deadlock each other holding partial slot
+  /// sets. Statistics record the pass as one batch plus per-prompt token
+  /// counts; completions come back in prompt order.
+  std::vector<Completion> complete_many(
+      const std::vector<std::string>& prompts,
+      const GenerationParams& params = {});
+
   /// Snapshot of the running statistics.
   ClientStats stats() const;
 
@@ -55,6 +73,16 @@ class ModelClient {
   std::string model_name() const { return model_->name(); }
 
  private:
+  /// RAII lease on acquired concurrency slots: the destructor returns them
+  /// and wakes every waiter (multi-slot complete_many waiters need the
+  /// broadcast), so no exit path — normal, throwing model, failed
+  /// validation — can leak a slot.
+  struct SlotLease {
+    ModelClient& client;
+    std::size_t slots;
+    ~SlotLease();
+  };
+
   std::shared_ptr<const LanguageModel> model_;
   const std::size_t max_concurrency_;
   const std::size_t transcript_capacity_;

@@ -148,9 +148,8 @@ double SimulatedCoderModel::invalid_probability(
   return profile.false_invalid_rate;
 }
 
-Completion SimulatedCoderModel::generate(const std::string& prompt,
-                                         const GenerationParams& params)
-    const {
+Completion SimulatedCoderModel::render(const std::string& prompt,
+                                       const GenerationParams& params) const {
   const PromptPerception view = perceive(prompt);
   const JudgeProfile& profile = judge_profile(view.flavor, view.style);
 
@@ -179,13 +178,69 @@ Completion SimulatedCoderModel::generate(const std::string& prompt,
   completion.prompt_tokens =
       std::min(tokenizer.count_tokens(prompt), config_.context_window);
   completion.completion_tokens = tokenizer.count_tokens(text);
-  completion.latency_seconds =
-      static_cast<double>(completion.prompt_tokens) /
-          config_.prefill_tokens_per_second +
-      static_cast<double>(completion.completion_tokens) /
-          config_.decode_tokens_per_second;
   completion.text = std::move(text);
   return completion;
+}
+
+double SimulatedCoderModel::sequential_latency(
+    const Completion& completion) const {
+  return static_cast<double>(completion.prompt_tokens) /
+             config_.prefill_tokens_per_second +
+         static_cast<double>(completion.completion_tokens) /
+             config_.decode_tokens_per_second;
+}
+
+Completion SimulatedCoderModel::generate(const std::string& prompt,
+                                         const GenerationParams& params)
+    const {
+  Completion completion = render(prompt, params);
+  completion.latency_seconds = sequential_latency(completion);
+  return completion;
+}
+
+std::vector<Completion> SimulatedCoderModel::generate_batch(
+    const std::vector<std::string>& prompts,
+    const GenerationParams& params) const {
+  std::vector<Completion> completions;
+  completions.reserve(prompts.size());
+  for (const std::string& prompt : prompts) {
+    completions.push_back(render(prompt, params));
+  }
+  if (completions.empty()) return completions;
+
+  // Pass latency: the largest prompt's prefill is paid in full (it bounds
+  // the pass), the other prompts ride the already-streamed weights and only
+  // contribute batch_prefill_fraction of their prefill; decode runs the
+  // streams in lockstep, so the pass decodes max(completion_tokens) steps.
+  std::size_t prompt_token_sum = 0;
+  std::size_t prompt_token_max = 0;
+  std::size_t completion_token_max = 0;
+  double sequential_sum = 0.0;
+  for (const Completion& completion : completions) {
+    prompt_token_sum += completion.prompt_tokens;
+    prompt_token_max = std::max(prompt_token_max, completion.prompt_tokens);
+    completion_token_max =
+        std::max(completion_token_max, completion.completion_tokens);
+    sequential_sum += sequential_latency(completion);
+  }
+  const double pass_seconds =
+      (static_cast<double>(prompt_token_max) +
+       config_.batch_prefill_fraction *
+           static_cast<double>(prompt_token_sum - prompt_token_max)) /
+          config_.prefill_tokens_per_second +
+      static_cast<double>(completion_token_max) /
+          config_.decode_tokens_per_second;
+
+  // Attribute the pass cost proportionally to each stream's sequential
+  // cost: per-completion latencies sum to the pass latency, and a batch of
+  // one degenerates to exactly the sequential price.
+  for (Completion& completion : completions) {
+    const double sequential = sequential_latency(completion);
+    completion.latency_seconds =
+        sequential_sum > 0.0 ? pass_seconds * sequential / sequential_sum
+                             : 0.0;
+  }
+  return completions;
 }
 
 }  // namespace llm4vv::llm

@@ -19,6 +19,15 @@ struct CoderModelConfig {
   /// Context window; longer prompts are (virtually) truncated for the
   /// latency model, matching how the real harness clipped long files.
   std::size_t context_window = 16384;
+  /// Batched serving (generate_batch): one forward pass prefills every
+  /// prompt of the batch together, so the weight-streaming cost that
+  /// dominates single-stream prefill is paid once per pass. Only this
+  /// fraction of the non-largest prompts' prefill time still shows up in
+  /// the pass latency (1.0 disables the amortization, 0.0 makes the extra
+  /// prompts' prefill free). Decode proceeds in lockstep across the batch,
+  /// so a pass decodes for max(completion_tokens) steps regardless of
+  /// batch size. A batch of one is priced exactly like generate().
+  double batch_prefill_fraction = 0.35;
 };
 
 /// Behavioural simulator of deepseek-coder-33b-instruct as a V&V judge.
@@ -44,11 +53,27 @@ class SimulatedCoderModel final : public LanguageModel {
   Completion generate(const std::string& prompt,
                       const GenerationParams& params) const override;
 
+  /// Batched completion: per-prompt text and token counts are byte-identical
+  /// to generate(), but the pass is priced with the batched latency model
+  /// (prefill amortized across the batch, lockstep decode) and that pass
+  /// cost is attributed to the completions proportionally to their
+  /// sequential cost, so summing latency_seconds over the batch gives the
+  /// pass latency.
+  std::vector<Completion> generate_batch(
+      const std::vector<std::string>& prompts,
+      const GenerationParams& params) const override;
+
   /// The probability this model would judge the perceived prompt invalid
   /// (exposed for calibration tests).
   double invalid_probability(const PromptPerception& perception) const;
 
  private:
+  /// Deterministic completion text + token counts (latency left at zero).
+  Completion render(const std::string& prompt,
+                    const GenerationParams& params) const;
+  /// Sequential latency of one completion: full prefill + own decode.
+  double sequential_latency(const Completion& completion) const;
+
   CoderModelConfig config_;
 };
 

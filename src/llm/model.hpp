@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace llm4vv::llm {
 
@@ -51,6 +52,23 @@ class LanguageModel {
   /// LLM stage may call concurrently.
   virtual Completion generate(const std::string& prompt,
                               const GenerationParams& params) const = 0;
+
+  /// Complete a batch of prompts in one forward pass. The default loops
+  /// over generate(), so every LanguageModel supports batching; serving
+  /// backends that amortize prefill across a batch (SimulatedCoderModel,
+  /// real continuous-batching stacks) override it. Per-prompt completion
+  /// text and token counts must be identical to the sequential path —
+  /// batching may only change latency accounting.
+  virtual std::vector<Completion> generate_batch(
+      const std::vector<std::string>& prompts,
+      const GenerationParams& params) const {
+    std::vector<Completion> completions;
+    completions.reserve(prompts.size());
+    for (const std::string& prompt : prompts) {
+      completions.push_back(generate(prompt, params));
+    }
+    return completions;
+  }
 };
 
 inline const char* prompt_style_name(PromptStyle style) noexcept {

@@ -31,6 +31,9 @@ struct JudgeLocal {
   double gpu_seconds = 0.0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batched_prompts = 0;
+  std::uint64_t max_batch = 0;
 };
 
 void merge_into(StageStats& total, const StageStats& part) {
@@ -156,34 +159,76 @@ PipelineResult ValidationPipeline::run(
     });
   }
 
-  // Stage 3: agent-based LLMJ.
+  // Stage 3: agent-based LLMJ. With judge_batch_size > 1 the worker hands
+  // each popped chunk to evaluate_many, so cache misses share one batched
+  // forward pass instead of queueing for the model one at a time.
+  const std::size_t judge_batch =
+      config_.judge_batch_size == 0 ? 1 : config_.judge_batch_size;
   for (std::size_t w = 0; w < config_.judge_workers; ++w) {
     workers.emplace_back([&, w] {
       JudgeLocal local;
+      const auto record_decision = [&](const WorkItem& item,
+                                       const judge::JudgeDecision& decision) {
+        PipelineRecord& record = result.records[item.index];
+        record.judged = true;
+        record.verdict = decision.verdict;
+        record.judge_says_valid = decision.says_valid;
+        record.judge_cached = decision.cached;
+        ++local.stats.processed;
+        if (!decision.says_valid) ++local.stats.rejected;
+        if (decision.cached) {
+          ++local.cache_hits;
+        } else {
+          ++local.cache_misses;
+          record.judge_gpu_seconds = decision.completion.latency_seconds;
+          local.gpu_seconds += decision.completion.latency_seconds;
+        }
+      };
       std::vector<WorkItem> batch;
+      std::vector<judge::JudgeRequest> requests;
       batch.reserve(kStageBatch);
+      requests.reserve(judge_batch);
       for (;;) {
         batch.clear();
         if (judge_queue.pop_up_to(kStageBatch, batch) == 0) break;
-        for (const WorkItem& item : batch) {
+        if (judge_batch <= 1) {
+          for (const WorkItem& item : batch) {
+            support::Stopwatch timer;
+            const judge::JudgeDecision decision =
+                judge_->evaluate(files[item.index], &item.compile,
+                                 &item.exec, config_.judge_seed);
+            local.stats.busy_seconds += timer.seconds();
+            record_decision(item, decision);
+          }
+          continue;
+        }
+        for (std::size_t start = 0; start < batch.size();
+             start += judge_batch) {
+          const std::size_t end =
+              std::min(batch.size(), start + judge_batch);
+          requests.clear();
+          for (std::size_t i = start; i < end; ++i) {
+            requests.push_back(judge::JudgeRequest{
+                &files[batch[i].index], &batch[i].compile, &batch[i].exec});
+          }
           support::Stopwatch timer;
-          const judge::JudgeDecision decision =
-              judge_->evaluate(files[item.index], &item.compile, &item.exec,
-                               config_.judge_seed);
-          PipelineRecord& record = result.records[item.index];
-          record.judged = true;
-          record.verdict = decision.verdict;
-          record.judge_says_valid = decision.says_valid;
-          record.judge_cached = decision.cached;
-          ++local.stats.processed;
-          if (!decision.says_valid) ++local.stats.rejected;
+          const auto decisions =
+              judge_->evaluate_many(requests, config_.judge_seed);
           local.stats.busy_seconds += timer.seconds();
-          if (decision.cached) {
-            ++local.cache_hits;
-          } else {
-            ++local.cache_misses;
-            record.judge_gpu_seconds = decision.completion.latency_seconds;
-            local.gpu_seconds += decision.completion.latency_seconds;
+          // Count only decisions whose model call rode the batched pass —
+          // cache hits, dedup copies, and rare sequential fallbacks (a
+          // waiter taking over an abandoned key) are not batched prompts.
+          std::uint64_t submitted = 0;
+          for (const auto& decision : decisions) {
+            if (decision.batched) ++submitted;
+          }
+          if (submitted > 0) {
+            ++local.batches;
+            local.batched_prompts += submitted;
+            local.max_batch = std::max(local.max_batch, submitted);
+          }
+          for (std::size_t i = start; i < end; ++i) {
+            record_decision(batch[i], decisions[i - start]);
           }
         }
       }
@@ -219,6 +264,14 @@ PipelineResult ValidationPipeline::run(
     result.judge_gpu_seconds += local.gpu_seconds;
     result.judge_cache_hits += local.cache_hits;
     result.judge_cache_misses += local.cache_misses;
+    result.judge_batches += local.batches;
+    result.judge_batched_prompts += local.batched_prompts;
+    result.judge_max_batch = std::max(result.judge_max_batch, local.max_batch);
+  }
+  if (result.judge_batches > 0) {
+    result.judge_batch_occupancy =
+        static_cast<double>(result.judge_batched_prompts) /
+        static_cast<double>(result.judge_batches);
   }
   result.wall_seconds = wall.seconds();
   return result;

@@ -29,6 +29,15 @@ struct PipelineConfig {
   std::size_t judge_workers = 1;
   std::size_t queue_capacity = 128;
   std::uint64_t judge_seed = 0;
+  /// Items a judge worker hands to Llmj::evaluate_many per submission:
+  /// cache misses inside such a chunk go to the model as one batched
+  /// forward pass that amortizes prefill. 1 (or 0) selects the sequential
+  /// per-item path — the paper's one-call-per-file accounting, which the
+  /// core/ experiments pin to keep their simulated GPU totals seed-exact.
+  /// Effective batches are also bounded by how many items a queue pop
+  /// returns, so occupancy can come in under this value on a draining
+  /// queue.
+  std::size_t judge_batch_size = 8;
 };
 
 /// Everything recorded about one file's trip through the pipeline.
@@ -78,6 +87,17 @@ struct PipelineResult {
   std::uint64_t judge_cache_misses = 0;
   /// Items refused by a closed queue (sum of PipelineRecord::dropped).
   std::size_t dropped_items = 0;
+  /// Batched judge submissions: evaluate_many() calls that put at least one
+  /// prompt in front of the model (cache-hit-only chunks don't count).
+  std::uint64_t judge_batches = 0;
+  /// Prompts submitted through those batched calls.
+  std::uint64_t judge_batched_prompts = 0;
+  /// Largest single model batch observed during the run.
+  std::uint64_t judge_max_batch = 0;
+  /// Mean prompts per batched submission (0 when nothing was batched).
+  /// The headline occupancy number: how full the batched forward passes
+  /// actually ran.
+  double judge_batch_occupancy = 0.0;
 };
 
 /// The staged validation pipeline of Figure 2: bounded queues between a

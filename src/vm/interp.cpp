@@ -72,7 +72,15 @@ class Machine final : public RuntimeHost {
     stdout_ += text;
   }
 
-  void write_stderr(const std::string& text) override { stderr_ += text; }
+  void write_stderr(const std::string& text) override {
+    // Same budget as stdout: a runaway generated test spamming fprintf must
+    // not grow stderr_ without bound.
+    if (stderr_.size() + text.size() > limits_.max_output) {
+      stderr_.append(text, 0, limits_.max_output - stderr_.size());
+      throw Trap{TrapKind::kOutputLimit, "stderr budget exhausted"};
+    }
+    stderr_ += text;
+  }
 
   [[noreturn]] void exit_now(int code) override { throw ExitSignal{code}; }
 

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -145,6 +148,211 @@ TEST(JudgeCacheTest, ClearCacheForcesRecomputeWithSameResult) {
   const auto second = judge.evaluate(file);
   EXPECT_FALSE(second.cached);
   expect_same_decision(second, first);
+}
+
+// ---------------------------------------------------------------------------
+// evaluate_many: batched submission through the memo cache
+// ---------------------------------------------------------------------------
+
+TEST(EvaluateManyTest, MatchesSequentialEvaluate) {
+  auto client = make_client();
+  JudgeCacheConfig off;
+  off.enabled = false;
+  const Llmj batched(client, llm::PromptStyle::kAgentDirect, off);
+  const Llmj sequential(client, llm::PromptStyle::kAgentDirect, off);
+
+  const auto driver = testutil::clean_driver(Flavor::kOpenACC);
+  const toolchain::Executor executor;
+  std::vector<frontend::SourceFile> files;
+  std::vector<toolchain::CompileResult> compiles;
+  std::vector<toolchain::ExecutionRecord> execs;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    files.push_back(sample_file(seed));
+    compiles.push_back(driver.compile(files.back()));
+    execs.push_back(executor.run(compiles.back().module));
+  }
+  std::vector<JudgeRequest> requests;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    requests.push_back(JudgeRequest{&files[i], &compiles[i], &execs[i]});
+  }
+
+  const auto decisions = batched.evaluate_many(requests, 7);
+  ASSERT_EQ(decisions.size(), files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const auto reference =
+        sequential.evaluate(files[i], &compiles[i], &execs[i], 7);
+    EXPECT_EQ(decisions[i].verdict, reference.verdict) << i;
+    EXPECT_EQ(decisions[i].says_valid, reference.says_valid) << i;
+    EXPECT_EQ(decisions[i].prompt, reference.prompt) << i;
+    EXPECT_EQ(decisions[i].completion.text, reference.completion.text) << i;
+    EXPECT_EQ(decisions[i].completion.prompt_tokens,
+              reference.completion.prompt_tokens)
+        << i;
+    EXPECT_EQ(decisions[i].completion.completion_tokens,
+              reference.completion.completion_tokens)
+        << i;
+  }
+}
+
+TEST(EvaluateManyTest, PartitionsHitsAndMissesAndFillsCache) {
+  auto client = make_client();
+  const Llmj judge(client, llm::PromptStyle::kDirectAnalysis);
+  const auto warm = sample_file(1);
+  const auto cold_a = sample_file(2);
+  const auto cold_b = sample_file(3);
+  (void)judge.evaluate(warm);  // pre-warm one key
+
+  std::vector<JudgeRequest> requests = {JudgeRequest{&warm},
+                                        JudgeRequest{&cold_a},
+                                        JudgeRequest{&cold_b}};
+  const auto decisions = judge.evaluate_many(requests);
+  ASSERT_EQ(decisions.size(), 3u);
+  EXPECT_TRUE(decisions[0].cached);
+  EXPECT_FALSE(decisions[1].cached);
+  EXPECT_FALSE(decisions[2].cached);
+
+  const auto stats = judge.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);  // warm-up + the two cold files
+  // The two cold misses went to the model as one batched pass.
+  EXPECT_EQ(client->stats().batches, 1u);
+  EXPECT_EQ(client->stats().batched_prompts, 2u);
+
+  // Both cold keys are now memoized.
+  EXPECT_TRUE(judge.evaluate(cold_a).cached);
+  EXPECT_TRUE(judge.evaluate(cold_b).cached);
+}
+
+TEST(EvaluateManyTest, InBatchDuplicatesAreDeduplicated) {
+  auto client = make_client();
+  const Llmj judge(client, llm::PromptStyle::kDirectAnalysis);
+  const auto file = sample_file(4);
+  std::vector<JudgeRequest> requests = {JudgeRequest{&file},
+                                        JudgeRequest{&file},
+                                        JudgeRequest{&file}};
+  const auto decisions = judge.evaluate_many(requests);
+  ASSERT_EQ(decisions.size(), 3u);
+  EXPECT_FALSE(decisions[0].cached);
+  EXPECT_TRUE(decisions[1].cached);
+  EXPECT_TRUE(decisions[2].cached);
+  EXPECT_EQ(decisions[1].completion.text, decisions[0].completion.text);
+  EXPECT_EQ(decisions[2].verdict, decisions[0].verdict);
+
+  const auto stats = judge.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.duplicate_misses, 2u);
+  EXPECT_EQ(client->stats().requests, 1u);  // one model call total
+}
+
+TEST(EvaluateManyTest, DisabledCacheSubmitsEveryItemIncludingDuplicates) {
+  auto client = make_client();
+  JudgeCacheConfig off;
+  off.enabled = false;
+  const Llmj judge(client, llm::PromptStyle::kDirectAnalysis, off);
+  const auto file = sample_file(5);
+  std::vector<JudgeRequest> requests = {JudgeRequest{&file},
+                                        JudgeRequest{&file}};
+  const auto decisions = judge.evaluate_many(requests);
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_FALSE(decisions[0].cached);
+  EXPECT_FALSE(decisions[1].cached);
+  EXPECT_EQ(decisions[0].completion.text, decisions[1].completion.text);
+  // Paper accounting: both copies hit the model, in one batched pass.
+  EXPECT_EQ(client->stats().requests, 2u);
+  EXPECT_EQ(client->stats().batches, 1u);
+}
+
+TEST(EvaluateManyTest, EmptyBatchYieldsNoDecisions) {
+  const Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis);
+  EXPECT_TRUE(judge.evaluate_many({}).empty());
+  EXPECT_EQ(judge.cache_stats().misses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// In-flight dedup (thundering herd)
+// ---------------------------------------------------------------------------
+
+/// A model whose generate() blocks until the test releases it, so the test
+/// can deterministically park several workers behind one in-flight miss.
+class GatedModel final : public llm::LanguageModel {
+ public:
+  std::string name() const override { return inner_.name(); }
+  llm::Completion generate(const std::string& prompt,
+                           const llm::GenerationParams& params)
+      const override {
+    {
+      std::unique_lock lock(mutex_);
+      ++entered_;
+      entered_cv_.notify_all();
+      release_cv_.wait(lock, [this] { return released_; });
+    }
+    return inner_.generate(prompt, params);
+  }
+  void wait_for_entry() const {
+    std::unique_lock lock(mutex_);
+    entered_cv_.wait(lock, [this] { return entered_ > 0; });
+  }
+  void release() const {
+    {
+      std::lock_guard lock(mutex_);
+      released_ = true;
+    }
+    release_cv_.notify_all();
+  }
+  int entered() const {
+    std::lock_guard lock(mutex_);
+    return entered_;
+  }
+
+ private:
+  llm::SimulatedCoderModel inner_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable entered_cv_;
+  mutable std::condition_variable release_cv_;
+  mutable int entered_ = 0;
+  mutable bool released_ = false;
+};
+
+TEST(JudgeDedupTest, ConcurrentMissesOnOneKeyPayASingleModelCall) {
+  auto model = std::make_shared<const GatedModel>();
+  auto client = std::make_shared<llm::ModelClient>(model, 4);
+  const Llmj judge(client, llm::PromptStyle::kDirectAnalysis);
+  const auto file = sample_file(6);
+
+  std::vector<std::thread> threads;
+  std::vector<JudgeDecision> decisions(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(
+        [&judge, &file, &decisions, t] { decisions[t] = judge.evaluate(file); });
+  }
+  // Exactly one thread reaches the model (the others find the key in
+  // flight); park the remaining threads, then open the gate.
+  model->wait_for_entry();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  model->release();
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(model->entered(), 1);
+  EXPECT_EQ(client->stats().requests, 1u);
+  for (int t = 1; t < 4; ++t) {
+    EXPECT_EQ(decisions[t].verdict, decisions[0].verdict);
+    EXPECT_EQ(decisions[t].completion.text, decisions[0].completion.text);
+  }
+  const auto stats = judge.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  // Every other caller either piggybacked on the in-flight computation or
+  // (if it arrived after publication) hit the cache outright.
+  EXPECT_EQ(stats.hits + stats.duplicate_misses, 3u);
+}
+
+TEST(JudgeDedupTest, DuplicateMissesStartAtZero) {
+  const Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis);
+  (void)judge.evaluate(sample_file(7));
+  (void)judge.evaluate(sample_file(7));
+  const auto stats = judge.cache_stats();
+  EXPECT_EQ(stats.duplicate_misses, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
 }
 
 TEST(JudgeCacheTest, ConcurrentEvaluationsAgreeAndAreCounted) {

@@ -1,0 +1,244 @@
+// Batched-submission coverage: LanguageModel::generate_batch (default and
+// SimulatedCoderModel's prefill-amortizing override), and
+// ModelClient::complete_many (equivalence, stats, atomic slot acquisition,
+// and the notify_all release regression).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "corpus/generator.hpp"
+#include "judge/prompt.hpp"
+#include "llm/client.hpp"
+#include "llm/coder_model.hpp"
+
+namespace llm4vv::llm {
+namespace {
+
+using frontend::Flavor;
+using frontend::Language;
+
+std::vector<std::string> sample_prompts(std::size_t count) {
+  std::vector<std::string> prompts;
+  prompts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    prompts.push_back(judge::direct_analysis_prompt(
+        corpus::generate_one("saxpy_offload", Flavor::kOpenACC, Language::kC,
+                             100 + i)
+            .file));
+  }
+  return prompts;
+}
+
+// ---------------------------------------------------------------------------
+// LanguageModel::generate_batch
+// ---------------------------------------------------------------------------
+
+/// Minimal model relying on the base-class generate_batch fallback.
+class CountingModel final : public LanguageModel {
+ public:
+  std::string name() const override { return "counting-model"; }
+  Completion generate(const std::string& prompt,
+                      const GenerationParams& params) const override {
+    calls.fetch_add(1);
+    Completion completion;
+    completion.text = "echo: " + prompt;
+    completion.prompt_tokens = prompt.size();
+    completion.completion_tokens = completion.text.size();
+    completion.latency_seconds = 0.25;
+    (void)params;
+    return completion;
+  }
+  mutable std::atomic<int> calls{0};
+};
+
+TEST(GenerateBatchTest, DefaultImplementationLoopsOverGenerate) {
+  const CountingModel model;
+  const std::vector<std::string> prompts = {"a", "bb", "ccc"};
+  const auto batch = model.generate_batch(prompts, {});
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(model.calls.load(), 3);
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    EXPECT_EQ(batch[i].text, "echo: " + prompts[i]);
+    EXPECT_DOUBLE_EQ(batch[i].latency_seconds, 0.25);
+  }
+}
+
+TEST(GenerateBatchTest, SimulatedBatchMatchesSequentialTextAndTokens) {
+  const SimulatedCoderModel model;
+  const auto prompts = sample_prompts(6);
+  GenerationParams params;
+  params.seed = 9;
+  const auto batch = model.generate_batch(prompts, params);
+  ASSERT_EQ(batch.size(), prompts.size());
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    const auto sequential = model.generate(prompts[i], params);
+    EXPECT_EQ(batch[i].text, sequential.text) << i;
+    EXPECT_EQ(batch[i].prompt_tokens, sequential.prompt_tokens) << i;
+    EXPECT_EQ(batch[i].completion_tokens, sequential.completion_tokens) << i;
+  }
+}
+
+TEST(GenerateBatchTest, BatchOfOneIsPricedExactlyLikeGenerate) {
+  const SimulatedCoderModel model;
+  const auto prompts = sample_prompts(1);
+  const auto batch = model.generate_batch(prompts, {});
+  const auto sequential = model.generate(prompts[0], {});
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].text, sequential.text);
+  EXPECT_DOUBLE_EQ(batch[0].latency_seconds, sequential.latency_seconds);
+}
+
+TEST(GenerateBatchTest, BatchingAmortizesPrefillAndLockstepsDecode) {
+  const SimulatedCoderModel model;
+  const auto prompts = sample_prompts(8);
+  const auto batch = model.generate_batch(prompts, {});
+  double batched_sum = 0.0;
+  double sequential_sum = 0.0;
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    batched_sum += batch[i].latency_seconds;
+    sequential_sum += model.generate(prompts[i], {}).latency_seconds;
+    EXPECT_GT(batch[i].latency_seconds, 0.0);
+  }
+  // The batched pass must be meaningfully cheaper than eight sequential
+  // calls (decode dominates, and it runs the streams in lockstep).
+  EXPECT_LT(batched_sum, sequential_sum * 0.5);
+}
+
+TEST(GenerateBatchTest, EmptyBatchYieldsEmptyResult) {
+  const SimulatedCoderModel model;
+  EXPECT_TRUE(model.generate_batch({}, {}).empty());
+}
+
+TEST(GenerateBatchTest, PrefillFractionOneRemovesPrefillAmortization) {
+  CoderModelConfig amortized;
+  CoderModelConfig flat;
+  flat.batch_prefill_fraction = 1.0;
+  const SimulatedCoderModel cheap(amortized);
+  const SimulatedCoderModel full(flat);
+  const auto prompts = sample_prompts(4);
+  double cheap_sum = 0.0;
+  double full_sum = 0.0;
+  for (const auto& completion : cheap.generate_batch(prompts, {})) {
+    cheap_sum += completion.latency_seconds;
+  }
+  for (const auto& completion : full.generate_batch(prompts, {})) {
+    full_sum += completion.latency_seconds;
+  }
+  EXPECT_LT(cheap_sum, full_sum);
+}
+
+// ---------------------------------------------------------------------------
+// ModelClient::complete_many
+// ---------------------------------------------------------------------------
+
+TEST(CompleteManyTest, MatchesSequentialCompletions) {
+  auto model = std::make_shared<const SimulatedCoderModel>();
+  ModelClient batched_client(model, 4);
+  ModelClient sequential_client(model, 4);
+  const auto prompts = sample_prompts(5);
+  GenerationParams params;
+  params.seed = 3;
+
+  const auto batch = batched_client.complete_many(prompts, params);
+  ASSERT_EQ(batch.size(), prompts.size());
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    const auto sequential = sequential_client.complete(prompts[i], params);
+    EXPECT_EQ(batch[i].text, sequential.text) << i;
+    EXPECT_EQ(batch[i].prompt_tokens, sequential.prompt_tokens) << i;
+    EXPECT_EQ(batch[i].completion_tokens, sequential.completion_tokens) << i;
+  }
+}
+
+TEST(CompleteManyTest, RecordsOneBatchAndPerPromptTokens) {
+  auto model = std::make_shared<const SimulatedCoderModel>();
+  ModelClient client(model, 4);
+  const auto prompts = sample_prompts(5);
+  const auto completions = client.complete_many(prompts);
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.requests, 5u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_prompts, 5u);
+  EXPECT_EQ(stats.max_batch, 5u);
+  std::uint64_t prompt_tokens = 0;
+  double gpu = 0.0;
+  for (const auto& completion : completions) {
+    prompt_tokens += completion.prompt_tokens;
+    gpu += completion.latency_seconds;
+  }
+  EXPECT_EQ(stats.prompt_tokens, prompt_tokens);
+  EXPECT_DOUBLE_EQ(stats.gpu_seconds, gpu);
+}
+
+TEST(CompleteManyTest, SequentialCompleteLeavesBatchCountersAtZero) {
+  auto model = std::make_shared<const SimulatedCoderModel>();
+  ModelClient client(model, 2);
+  client.complete(sample_prompts(1)[0]);
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.batches, 0u);
+  EXPECT_EQ(stats.batched_prompts, 0u);
+}
+
+TEST(CompleteManyTest, EmptyBatchIsANoOp) {
+  auto model = std::make_shared<const SimulatedCoderModel>();
+  ModelClient client(model, 1);
+  EXPECT_TRUE(client.complete_many({}).empty());
+  EXPECT_EQ(client.stats().requests, 0u);
+  EXPECT_EQ(client.stats().batches, 0u);
+}
+
+TEST(CompleteManyTest, BatchLargerThanConcurrencyCompletes) {
+  auto model = std::make_shared<const SimulatedCoderModel>();
+  ModelClient client(model, 2);  // slots clamp to 2, batch of 8 still runs
+  const auto prompts = sample_prompts(8);
+  const auto completions = client.complete_many(prompts);
+  EXPECT_EQ(completions.size(), 8u);
+  EXPECT_EQ(client.stats().requests, 8u);
+  EXPECT_EQ(client.stats().max_batch, 8u);
+}
+
+TEST(CompleteManyTest, TranscriptsRecordEachBatchedPrompt) {
+  auto model = std::make_shared<const SimulatedCoderModel>();
+  ModelClient client(model, 2, /*transcript_capacity=*/8);
+  const auto prompts = sample_prompts(3);
+  client.complete_many(prompts);
+  const auto transcripts = client.transcripts();
+  ASSERT_EQ(transcripts.size(), 3u);
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    EXPECT_EQ(transcripts[i].prompt, prompts[i]);
+  }
+}
+
+// Regression for the slot-release wakeup bug: with notify_one a release
+// could be consumed by a multi-slot complete_many waiter whose predicate
+// was still false, leaving a runnable single-slot waiter asleep. Mixing
+// batched and single callers over a small slot pool must always drain.
+TEST(CompleteManyTest, MixedBatchAndSingleCallersAllComplete) {
+  auto model = std::make_shared<const SimulatedCoderModel>();
+  ModelClient client(model, 2);
+  const auto prompts = sample_prompts(4);
+  std::vector<std::thread> threads;
+  std::atomic<int> completed{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&client, &prompts, &completed, t] {
+      for (int i = 0; i < 6; ++i) {
+        if ((t + i) % 2 == 0) {
+          client.complete_many(prompts);
+        } else {
+          client.complete(prompts[0]);
+        }
+        completed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(completed.load(), 24);
+  // 12 batched calls x 4 prompts + 12 singles.
+  EXPECT_EQ(client.stats().requests, 12u * 4u + 12u);
+  EXPECT_EQ(client.stats().batches, 12u);
+}
+
+}  // namespace
+}  // namespace llm4vv::llm

@@ -253,6 +253,71 @@ TEST(PipelineTest, CacheCountersZeroWhenJudgeCacheDisabled) {
   }
 }
 
+ValidationPipeline make_batched_pipeline(std::size_t judge_batch_size,
+                                         std::shared_ptr<llm::ModelClient>
+                                             client) {
+  // Cache off so every judged file is a genuine model submission: the GPU
+  // accounting then isolates the batched pass pricing. Many producer
+  // workers feed one judge worker, so the judge queue accumulates and the
+  // popped chunks actually fill their batches.
+  judge::JudgeCacheConfig off;
+  off.enabled = false;
+  auto judge = std::make_shared<const judge::Llmj>(
+      client, llm::PromptStyle::kAgentDirect, off);
+  PipelineConfig config;
+  config.mode = PipelineMode::kRecordAll;
+  config.compile_workers = 4;
+  config.execute_workers = 4;
+  config.judge_workers = 1;
+  config.judge_batch_size = judge_batch_size;
+  return ValidationPipeline(testutil::clean_driver(Flavor::kOpenACC),
+                            toolchain::Executor(), judge, config);
+}
+
+TEST(PipelineTest, BatchedJudgingMatchesSequentialVerdicts) {
+  const auto probed = probed_batch(4, 20);
+  const auto files = files_of(probed);
+  const auto sequential =
+      make_batched_pipeline(1, core::make_simulated_client(4)).run(files);
+  const auto batched =
+      make_batched_pipeline(8, core::make_simulated_client(4)).run(files);
+  ASSERT_EQ(sequential.records.size(), batched.records.size());
+  for (std::size_t i = 0; i < sequential.records.size(); ++i) {
+    EXPECT_EQ(sequential.records[i].verdict, batched.records[i].verdict)
+        << i;
+    EXPECT_EQ(sequential.records[i].judge_says_valid,
+              batched.records[i].judge_says_valid)
+        << i;
+    EXPECT_EQ(sequential.records[i].pipeline_says_valid,
+              batched.records[i].pipeline_says_valid)
+        << i;
+  }
+}
+
+TEST(PipelineTest, BatchedJudgingFillsBatchesAndSavesGpuSeconds) {
+  const auto probed = probed_batch(8, 60);  // 100 files through one judge
+  const auto files = files_of(probed);
+  const auto sequential =
+      make_batched_pipeline(1, core::make_simulated_client(4)).run(files);
+  const auto batched =
+      make_batched_pipeline(8, core::make_simulated_client(4)).run(files);
+
+  // The sequential path never batches.
+  EXPECT_EQ(sequential.judge_batches, 0u);
+  EXPECT_EQ(sequential.judge_batch_occupancy, 0.0);
+
+  // The batched path actually filled forward passes...
+  EXPECT_GT(batched.judge_batches, 0u);
+  EXPECT_GT(batched.judge_batch_occupancy, 1.0);
+  EXPECT_GE(batched.judge_max_batch, 2u);
+  EXPECT_EQ(batched.judge_batched_prompts,
+            static_cast<std::uint64_t>(batched.judge_stage.processed));
+  // ...and amortizing prefill across them costs measurably fewer simulated
+  // GPU seconds than one call per file.
+  EXPECT_LT(batched.judge_gpu_seconds, sequential.judge_gpu_seconds * 0.8);
+  EXPECT_GT(batched.judge_gpu_seconds, 0.0);
+}
+
 TEST(PipelineTest, StageStatsAreConsistent) {
   const auto probed = probed_batch(4, 16);
   const auto files = files_of(probed);

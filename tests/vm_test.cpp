@@ -297,6 +297,22 @@ TEST(VmTest, RunawayOutputHitsOutputLimit) {
   EXPECT_EQ(result.trap, TrapKind::kOutputLimit);
 }
 
+TEST(VmTest, RunawayStderrHitsOutputLimit) {
+  // stderr shares the output budget: before the fix this loop grew the
+  // stderr buffer without bound while stdout stayed empty.
+  ExecLimits limits;
+  limits.max_output = 256;
+  const auto result = run_source(
+      "int main() { while (1) { fprintf(0, \"err err err\\n\"); } return 0; }",
+      frontend::Flavor::kOpenACC, limits);
+  EXPECT_EQ(result.trap, TrapKind::kOutputLimit);
+  EXPECT_EQ(result.return_code, 124);
+  // The budget clamps the buffer instead of discarding it (the trap's own
+  // render is appended after the clamped program output).
+  EXPECT_LE(result.stderr_text.size(), 256u + 64u);
+  EXPECT_NE(result.stderr_text.find("err err err"), std::string::npos);
+}
+
 TEST(VmTest, DeepRecursionHitsStackGuard) {
   const auto result = run_source(
       "int down(int n) { return down(n + 1); }\n"
