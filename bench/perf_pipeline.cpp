@@ -186,7 +186,9 @@ void BM_PipelineJudgeCache(benchmark::State& state) {
     files.insert(files.end(), base.begin(), base.end());
   }
   auto client = core::make_simulated_client(2);
-  auto judge = std::make_shared<const judge::Llmj>(
+  // Non-const handle: clear_cache() is a genuine mutation now; the pipeline
+  // still sees the judge through its const interface.
+  auto judge = std::make_shared<judge::Llmj>(
       client, llm::PromptStyle::kAgentDirect);
   pipeline::PipelineConfig config;
   config.mode = pipeline::PipelineMode::kRecordAll;

@@ -3,6 +3,9 @@
 # next to this script, so every PR leaves a perf trajectory:
 #   bench/BENCH_tokenizer.json  - trie vs naive encode, count, roundtrip
 #   bench/BENCH_pipeline.json   - mode/worker sweeps + judge-cache counters
+#   bench/BENCH_cache.json      - persistent warm-start collapse (perf_cache
+#                                 runs TWICE against one cache file; the
+#                                 recorded JSON is the second, warm run)
 #
 # Usage: bench/run_benchmarks.sh [build-dir]
 #   BENCH_MIN_TIME=0.01s bench/run_benchmarks.sh   # quick smoke run
@@ -42,6 +45,19 @@ run_bench() {
 
 run_bench perf_tokenizer "${script_dir}/BENCH_tokenizer.json"
 run_bench perf_pipeline "${script_dir}/BENCH_pipeline.json"
+
+# Warm-start persistence check: run perf_cache twice against ONE cache
+# file. The first invocation starts cold (the file is deleted here) and
+# saves its verdicts; the second must report a non-zero cross-run persisted
+# hit rate — if it doesn't, persistence silently stopped working and the
+# script fails. BENCH_cache.json keeps the second (warm) run.
+warm_cache_file="${script_dir}/.warm_start_cache.jsonl"
+rm -f "${warm_cache_file}"
+LLM4VV_BENCH_CACHE_FILE="${warm_cache_file}" \
+  run_bench perf_cache "${script_dir}/BENCH_cache.json"
+LLM4VV_BENCH_CACHE_FILE="${warm_cache_file}" \
+  run_bench perf_cache "${script_dir}/BENCH_cache.json"
+rm -f "${warm_cache_file}"
 
 # Headline numbers: trie-vs-naive encode speedup, the judge-cache rates,
 # and the batch-size sweep (sim GPU seconds per run vs judge_batch).
@@ -88,4 +104,29 @@ if command -v jq >/dev/null 2>&1; then
     exit 1
   }
   echo "batched judge path OK (occupancy > 1, sim GPU below sequential)"
+
+  jq -r '
+    [.benchmarks[] | select(.name == "BM_PipelineWarmStart")][0]
+    | "warm start: persisted hit rate " +
+      "\(.persisted_hit_rate * 100 | floor)%, " +
+      "cross-run \(.cross_run_persisted_hit_rate * 100 | floor)%, " +
+      "sim GPU cold \(.sim_gpu_cold_s * 100 | floor / 100) s -> warm " +
+      "\(.sim_gpu_warm_s_per_run * 100 | floor / 100) s/run"
+  ' "${script_dir}/BENCH_cache.json"
+
+  # The second perf_cache invocation ran against the file the first one
+  # saved: a zero cross-run persisted hit rate means cross-process
+  # persistence is broken. Also enforce the warm-start acceptance bar
+  # (persisted hit rate >= 95%, warm sim GPU <= 10% of cold).
+  jq -e '
+    [.benchmarks[] | select(.name == "BM_PipelineWarmStart")][0]
+    | .cross_run_persisted_hit_rate > 0
+      and .persisted_hit_rate >= 0.95
+      and .warm_gpu_over_cold <= 0.10
+  ' "${script_dir}/BENCH_cache.json" > /dev/null || {
+    echo "error: warm start not persistent (cross-run rate 0, hit rate" \
+         "< 95%, or warm sim GPU > 10% of cold) - see BENCH_cache.json" >&2
+    exit 1
+  }
+  echo "persistent warm start OK (cross-run hits > 0, warm GPU <= 10% cold)"
 fi

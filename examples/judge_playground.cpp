@@ -3,13 +3,27 @@
 // LLM-as-a-Judge layer actually does.
 //
 // Build & run:  ./build/examples/judge_playground
+//
+// Persistent caching (the PR 3 artifact store) is exercisable from here:
+//   --cache-file <path>   back the judges with a content-addressed store
+//                         loaded from <path> (warm hits skip the simulated
+//                         model calls entirely)
+//   --cache-save          persist the judges' memo caches back to the file
+//                         on exit (atomic write-temp-then-rename)
+// Run twice with both flags: the first run computes and saves, the second
+// reports every verdict as a persisted cache hit.
 #include <cstdio>
 
 #include "core/llm4vv.hpp"
+#include "support/cli.hpp"
 #include "support/strings.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace llm4vv;
+
+  const support::CliArgs args(argc, argv);
+  const std::string cache_file = args.get("cache-file", "");
+  const bool cache_save = args.has("cache-save");
 
   // A valid OpenMP target test, then a mutated (invalid) twin.
   const auto valid = corpus::generate_one("sum_reduction",
@@ -29,6 +43,37 @@ int main() {
   auto client = std::make_shared<llm::ModelClient>(model, 1,
                                                    /*transcripts=*/16);
 
+  // One store shared by all three judges; records are keyed by prompt
+  // style, so they never cross-serve. The fingerprint pins the model —
+  // swap the model and the old file cold-starts instead of lying.
+  std::shared_ptr<cache::ArtifactStore> store;
+  if (!cache_file.empty()) {
+    cache::ArtifactStoreConfig store_config;
+    store_config.path = cache_file;
+    store_config.fingerprint =
+        cache::StoreFingerprint{"judge-playground", client->model_name(), 0};
+    store = std::make_shared<cache::ArtifactStore>(store_config);
+    const auto& report = store->load_report();
+    if (report.cold_start) {
+      std::printf("cache: %s cold-started (%s)\n\n", cache_file.c_str(),
+                  report.cold_start_reason.c_str());
+    } else {
+      std::printf("cache: %s loaded %zu records (%zu corrupt lines "
+                  "skipped)\n\n",
+                  cache_file.c_str(), report.loaded, report.corrupt_lines);
+    }
+  }
+
+  judge::JudgeCacheConfig judge_cache;
+  judge_cache.store = store;
+  std::vector<std::shared_ptr<const judge::Llmj>> judges;
+  for (const auto style :
+       {llm::PromptStyle::kDirectAnalysis, llm::PromptStyle::kAgentDirect,
+        llm::PromptStyle::kAgentIndirect}) {
+    judges.push_back(
+        std::make_shared<const judge::Llmj>(client, style, judge_cache));
+  }
+
   for (const frontend::SourceFile* file : {&valid.file,
                                            const_cast<const frontend::SourceFile*>(&invalid)}) {
     const bool is_valid = file == &valid.file;
@@ -39,25 +84,26 @@ int main() {
     const auto ran = executor.run(compiled.module);
     std::printf("tools: compiler rc=%d, program rc=%d\n",
                 compiled.return_code, ran.ran ? ran.return_code : -1);
-    for (const auto style :
-         {llm::PromptStyle::kDirectAnalysis, llm::PromptStyle::kAgentDirect,
-          llm::PromptStyle::kAgentIndirect}) {
-      const judge::Llmj llmj(client, style);
+    for (const auto& llmj : judges) {
       const auto decision =
-          style == llm::PromptStyle::kDirectAnalysis
-              ? llmj.evaluate(*file)
-              : llmj.evaluate(*file, &compiled, &ran);
+          llmj->style() == llm::PromptStyle::kDirectAnalysis
+              ? llmj->evaluate(*file)
+              : llmj->evaluate(*file, &compiled, &ran);
       std::printf("  %-16s -> %-9s (%zu prompt + %zu completion tokens, "
-                  "%.1f s simulated)\n",
-                  llmj.name(), judge::verdict_name(decision.verdict),
+                  "%.1f s simulated%s)\n",
+                  llmj->name(), judge::verdict_name(decision.verdict),
                   decision.completion.prompt_tokens,
                   decision.completion.completion_tokens,
-                  decision.completion.latency_seconds);
+                  decision.completion.latency_seconds,
+                  decision.persisted ? ", persisted cache hit"
+                  : decision.cached ? ", cache hit"
+                                    : "");
     }
     std::printf("\n");
   }
 
-  // Show one full conversation: the last agent-indirect exchange.
+  // Show one full conversation: the last agent-indirect exchange. (On a
+  // fully warm cache no model call happened, so there may be none.)
   const auto transcripts = client->transcripts();
   if (!transcripts.empty()) {
     const auto& last = transcripts.back();
@@ -67,6 +113,21 @@ int main() {
       std::printf("| %s\n", lines[i].c_str());
     }
     std::printf("--- completion ---\n%s\n", last.completion.text.c_str());
+  } else {
+    std::printf("--- no model calls: every verdict came from the "
+                "persistent cache ---\n");
+  }
+
+  if (store != nullptr && cache_save) {
+    std::size_t persisted = 0;
+    for (const auto& llmj : judges) persisted += llmj->persist_cache();
+    if (store->save()) {
+      std::printf("\ncache: persisted %zu records to %s\n", persisted,
+                  cache_file.c_str());
+    } else {
+      std::printf("\ncache: SAVE FAILED: %s\n", store->last_error().c_str());
+      return 1;
+    }
   }
   return 0;
 }

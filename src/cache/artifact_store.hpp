@@ -1,0 +1,157 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace llm4vv::cache {
+
+/// Identity of the world a store's records were computed in. Persisted in
+/// the file header and re-checked on load: any mismatch means the records
+/// could be stale (different model, different judge seed, different corpus
+/// recipe), so the store cold-starts instead of ever serving a wrong
+/// artifact. Content hashes guard per-record identity; the fingerprint
+/// guards everything a content hash cannot see.
+struct StoreFingerprint {
+  std::string corpus;      ///< free-form corpus/config recipe id
+  std::string model;       ///< model name the artifacts were computed with
+  std::uint64_t seed = 0;  ///< e.g. the judge seed
+
+  bool operator==(const StoreFingerprint&) const = default;
+};
+
+struct ArtifactStoreConfig {
+  /// Backing JSONL file. Empty selects a purely in-memory store (save() is
+  /// then a no-op) — useful for tests and for sharing one process-wide
+  /// cache between pipeline runs without touching disk.
+  std::string path;
+  /// Maximum records held (and persisted); oldest-first compaction beyond
+  /// this bound, exactly like the judge memo cache's FIFO eviction.
+  std::size_t max_records = 65536;
+  StoreFingerprint fingerprint;
+};
+
+/// What happened when the store read its backing file at construction.
+struct StoreLoadReport {
+  bool attempted = false;   ///< path was non-empty and the file existed
+  bool cold_start = false;  ///< header missing/mismatched: contents ignored
+  std::string cold_start_reason;
+  std::size_t loaded = 0;         ///< records accepted
+  std::size_t corrupt_lines = 0;  ///< lines skipped (truncated tail etc.)
+};
+
+struct ArtifactStoreStats {
+  std::size_t records = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t compactions = 0;  ///< records dropped by the size bound
+  std::uint64_t saves = 0;
+};
+
+/// Persistent content-addressed artifact store (JSON Lines on disk).
+///
+/// Keys are (namespace, 64-bit key, 64-bit check): the key is whatever mix
+/// of inputs the client computes (e.g. the judge's cache key), the check is
+/// an independent content hash re-verified on every get, so a key collision
+/// degrades to a miss instead of a wrong artifact. Values are flat
+/// string->string field maps; clients own their own field encoding.
+///
+/// File format — line 1 is a versioned header carrying the fingerprint:
+///   {"magic":"llm4vv-artifact-store","format":1,"corpus":...,"model":...,
+///    "seed":"<hex>"}
+/// then one record per line:
+///   {"ns":"judge","key":"<hex16>","check":"<hex16>","f_<name>":"...",...}
+/// A header mismatch cold-starts the store; unparseable record lines (e.g.
+/// a tail truncated by a crash mid-write) are skipped and counted. save()
+/// writes the whole store to `<path>.tmp` and renames it over `path`, so a
+/// reader never observes a half-written file.
+///
+/// Thread-safe: get() takes a shared lock (concurrent readers never
+/// serialize), put()/save() take the exclusive lock.
+class ArtifactStore {
+ public:
+  using Fields = std::map<std::string, std::string>;
+
+  /// Opens the store and loads `config.path` if it exists; see
+  /// load_report() for what happened.
+  explicit ArtifactStore(ArtifactStoreConfig config);
+
+  /// Look up a record; nullopt when absent or when the stored check hash
+  /// does not match (a detected collision counts as a miss).
+  std::optional<Fields> get(std::string_view ns, std::uint64_t key,
+                            std::uint64_t check) const;
+
+  /// Insert or overwrite a record. Overwrites keep the record's original
+  /// age; fresh keys enter at the back of the compaction order.
+  void put(std::string_view ns, std::uint64_t key, std::uint64_t check,
+           Fields fields);
+
+  /// Visit every record of one namespace in oldest-first order (used by
+  /// clients to warm-load their in-memory caches).
+  void for_each(std::string_view ns,
+                const std::function<void(std::uint64_t key,
+                                         std::uint64_t check,
+                                         const Fields& fields)>& visit) const;
+
+  /// Atomically persist to the configured path (write-temp-then-rename).
+  /// Returns false on IO failure (see last_error()); true and a no-op for
+  /// an in-memory store.
+  bool save();
+
+  std::size_t size() const;
+  ArtifactStoreStats stats() const;
+  const StoreLoadReport& load_report() const noexcept { return load_report_; }
+  const ArtifactStoreConfig& config() const noexcept { return config_; }
+  std::string last_error() const;
+
+ private:
+  struct Record {
+    std::string ns;
+    std::uint64_t key = 0;
+    std::uint64_t check = 0;
+    Fields fields;
+  };
+
+  static std::string map_key(std::string_view ns, std::uint64_t key);
+
+  void load_file();
+  /// Unlocked insert shared by load_file() and put().
+  void insert_locked(std::string_view ns, std::uint64_t key,
+                     std::uint64_t check, Fields fields);
+
+  ArtifactStoreConfig config_;
+  StoreLoadReport load_report_;
+
+  mutable std::shared_mutex mutex_;
+  /// Serializes whole save() calls (snapshot + temp write + rename); see
+  /// save() for why this cannot ride on `mutex_`.
+  std::mutex save_mutex_;
+  std::unordered_map<std::string, Record> records_;
+  std::deque<std::string> order_;  ///< insertion order for compaction
+  std::string last_error_;
+
+  mutable std::atomic<std::uint64_t> gets_{0};
+  mutable std::atomic<std::uint64_t> hits_{0};
+  std::uint64_t puts_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t saves_ = 0;
+};
+
+/// Field accessors shared by the store's client codecs (judge verdicts,
+/// compile results), so their validation rules cannot drift apart:
+/// find_field returns null for a missing name; parse_int_field accepts
+/// exactly a full base-10 integer token and rejects overflow.
+const std::string* find_field(const ArtifactStore::Fields& fields,
+                              const char* name);
+bool parse_int_field(const std::string& text, std::int64_t& value);
+
+}  // namespace llm4vv::cache

@@ -1,0 +1,438 @@
+#include "cache/module_codec.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "support/strings.hpp"
+
+namespace llm4vv::cache {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Token writer/reader
+// ---------------------------------------------------------------------------
+
+void put_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llx",
+                static_cast<unsigned long long>(value));
+  out += buf;
+  out.push_back(' ');
+}
+
+void put_i64(std::string& out, std::int64_t value) {
+  out += std::to_string(value);
+  out.push_back(' ');
+}
+
+/// Strings are hex-encoded byte-for-byte; "-" marks the empty string so
+/// every token stays non-empty.
+void put_string(std::string& out, std::string_view text) {
+  if (text.empty()) {
+    out += "- ";
+    return;
+  }
+  static const char* hex = "0123456789abcdef";
+  for (const char c : text) {
+    const auto byte = static_cast<unsigned char>(c);
+    out.push_back(hex[byte >> 4]);
+    out.push_back(hex[byte & 0xF]);
+  }
+  out.push_back(' ');
+}
+
+struct TokenReader {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  std::string_view next() {
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    if (pos >= text.size()) {
+      failed = true;
+      return {};
+    }
+    const std::size_t start = pos;
+    while (pos < text.size() && text[pos] != ' ') ++pos;
+    return text.substr(start, pos - start);
+  }
+
+  // from_chars: no allocation on this hot path (warm-start decodes read
+  // four numeric tokens per instruction), and out-of-range tokens fail
+  // instead of clamping — the header promises corrupt records reject, not
+  // smuggle in a ULLONG_MAX bit pattern as a "valid" constant.
+  std::uint64_t u64() {
+    const auto token = next();
+    if (failed) return 0;
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value, 16);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      failed = true;
+    }
+    return value;
+  }
+
+  std::int64_t i64() {
+    const auto token = next();
+    if (failed) return 0;
+    std::int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value, 10);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      failed = true;
+    }
+    return value;
+  }
+
+  std::int32_t i32() {
+    const std::int64_t value = i64();
+    if (value < std::numeric_limits<std::int32_t>::min() ||
+        value > std::numeric_limits<std::int32_t>::max()) {
+      failed = true;
+      return 0;
+    }
+    return static_cast<std::int32_t>(value);
+  }
+
+  /// A bounded count guards decode loops against absurd allocations from a
+  /// corrupted record.
+  std::size_t count(std::size_t max) {
+    const std::int64_t value = i64();
+    if (value < 0 || static_cast<std::size_t>(value) > max) {
+      failed = true;
+      return 0;
+    }
+    return static_cast<std::size_t>(value);
+  }
+
+  std::string str() {
+    const auto token = next();
+    if (failed) return {};
+    if (token == "-") return {};
+    if (token.size() % 2 != 0) {
+      failed = true;
+      return {};
+    }
+    std::string out;
+    out.reserve(token.size() / 2);
+    for (std::size_t i = 0; i < token.size(); i += 2) {
+      const int hi = support::hex_digit_value(token[i]);
+      const int lo = support::hex_digit_value(token[i + 1]);
+      if (hi < 0 || lo < 0) {
+        failed = true;
+        return {};
+      }
+      out.push_back(static_cast<char>((hi << 4) | lo));
+    }
+    return out;
+  }
+};
+
+constexpr std::size_t kMaxItems = 1u << 22;  // decode-loop sanity bound
+
+constexpr const char* kModuleMagic = "LLM4VV-MOD";
+constexpr const char* kDiagMagic = "LLM4VV-DIAG";
+constexpr int kCodecVersion = 1;
+
+/// Structural validation of a decoded module. Token-level decoding only
+/// proves the record was well-formed text; a flipped digit can still
+/// produce an out-of-range chunk index or a negative slot count that the
+/// interpreter would turn into out-of-bounds UB. The codec's contract is
+/// that corruption degrades to a rejected record (a cache miss), so every
+/// index the interpreter dereferences unchecked is validated here.
+bool module_is_structurally_valid(const vm::Module& module) {
+  const auto nchunks = static_cast<std::int64_t>(module.chunks.size());
+  const auto nconsts = static_cast<std::int64_t>(module.consts.size());
+  const auto nstrings = static_cast<std::int64_t>(module.strings.size());
+  const auto nregions = static_cast<std::int64_t>(module.regions.size());
+  if (module.global_slot_count < 0) return false;
+  const auto chunk_index_ok = [nchunks](std::int32_t index) {
+    return index >= -1 && static_cast<std::int64_t>(index) < nchunks;
+  };
+  if (!chunk_index_ok(module.main_chunk) ||
+      !chunk_index_ok(module.init_chunk)) {
+    return false;
+  }
+  for (const vm::Value& value : module.consts) {
+    if (value.tag == vm::ValueTag::kString &&
+        static_cast<std::int64_t>(value.ptr) >= nstrings) {
+      return false;
+    }
+  }
+  for (const vm::Chunk& chunk : module.chunks) {
+    if (chunk.param_count < 0 || chunk.slot_count < chunk.param_count) {
+      return false;
+    }
+    const auto ncode = static_cast<std::int64_t>(chunk.code.size());
+    for (const vm::Instr& instr : chunk.code) {
+      const std::int64_t a = instr.a;
+      switch (instr.op) {
+        case vm::Op::kPushConst:
+          if (a < 0 || a >= nconsts) return false;
+          break;
+        case vm::Op::kLoadSlot:
+        case vm::Op::kStoreSlot:
+        case vm::Op::kAddrSlot:
+        case vm::Op::kAllocArray:
+          if (a < 0 || a >= chunk.slot_count) return false;
+          break;
+        case vm::Op::kLoadGlobal:
+        case vm::Op::kStoreGlobal:
+        case vm::Op::kAddrGlobal:
+        case vm::Op::kAllocGlobalArray:
+          if (a < 0 || a >= module.global_slot_count) return false;
+          break;
+        case vm::Op::kJump:
+        case vm::Op::kJumpIfFalse:
+        case vm::Op::kJumpIfTrue:
+          if (a < 0 || a > ncode) return false;
+          break;
+        case vm::Op::kCall:
+          if (a < 0 || a >= nchunks || instr.b < 0) return false;
+          break;
+        case vm::Op::kCallBuiltin:
+          if (a < 0 || instr.b < 0) return false;
+          break;
+        case vm::Op::kDevEnter:
+        case vm::Op::kDevExit:
+        case vm::Op::kDevAction:
+          if (a < 0 || a >= nregions) return false;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  for (const vm::Region& region : module.regions) {
+    for (const auto* ops : {&region.enter_ops, &region.exit_ops}) {
+      for (const vm::ClauseOp& op : *ops) {
+        if (op.slot < 0) return false;
+        if (op.is_global && op.slot >= module.global_slot_count) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t value_bits(const vm::Value& value) {
+  // All union members alias the same 8 bytes; memcpy reads them portably
+  // regardless of which member is active.
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value.i, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Module
+// ---------------------------------------------------------------------------
+
+std::string encode_module(const vm::Module& module) {
+  std::string out;
+  out += kModuleMagic;
+  out.push_back(' ');
+  put_i64(out, kCodecVersion);
+  put_i64(out, module.global_slot_count);
+  put_i64(out, module.main_chunk);
+  put_i64(out, module.init_chunk);
+  put_i64(out, static_cast<std::int64_t>(module.chunks.size()));
+  put_i64(out, static_cast<std::int64_t>(module.consts.size()));
+  put_i64(out, static_cast<std::int64_t>(module.strings.size()));
+  put_i64(out, static_cast<std::int64_t>(module.regions.size()));
+  for (const vm::Chunk& chunk : module.chunks) {
+    put_string(out, chunk.name);
+    put_i64(out, chunk.param_count);
+    put_i64(out, chunk.slot_count);
+    put_i64(out, static_cast<std::int64_t>(chunk.code.size()));
+    for (const vm::Instr& instr : chunk.code) {
+      put_i64(out, static_cast<std::int64_t>(instr.op));
+      put_i64(out, instr.a);
+      put_i64(out, instr.b);
+      put_i64(out, instr.line);
+    }
+  }
+  for (const vm::Value& value : module.consts) {
+    put_i64(out, static_cast<std::int64_t>(value.tag));
+    put_u64(out, value_bits(value));
+  }
+  for (const std::string& text : module.strings) put_string(out, text);
+  for (const vm::Region& region : module.regions) {
+    put_i64(out, region.device_mode ? 1 : 0);
+    put_string(out, region.directive);
+    put_i64(out, region.line);
+    put_i64(out, static_cast<std::int64_t>(region.enter_ops.size()));
+    put_i64(out, static_cast<std::int64_t>(region.exit_ops.size()));
+    const auto put_clause = [&out](const vm::ClauseOp& op) {
+      put_i64(out, static_cast<std::int64_t>(op.action));
+      put_i64(out, op.is_global ? 1 : 0);
+      put_i64(out, op.slot);
+      put_string(out, op.var_name);
+    };
+    for (const vm::ClauseOp& op : region.enter_ops) put_clause(op);
+    for (const vm::ClauseOp& op : region.exit_ops) put_clause(op);
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::optional<vm::Module> decode_module(std::string_view text) {
+  TokenReader reader{text};
+  if (reader.next() != kModuleMagic) return std::nullopt;
+  if (reader.i64() != kCodecVersion) return std::nullopt;
+
+  vm::Module module;
+  module.global_slot_count = reader.i32();
+  module.main_chunk = reader.i32();
+  module.init_chunk = reader.i32();
+  const std::size_t chunk_count = reader.count(kMaxItems);
+  const std::size_t const_count = reader.count(kMaxItems);
+  const std::size_t string_count = reader.count(kMaxItems);
+  const std::size_t region_count = reader.count(kMaxItems);
+  if (reader.failed) return std::nullopt;
+
+  module.chunks.reserve(chunk_count);
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    vm::Chunk chunk;
+    chunk.name = reader.str();
+    chunk.param_count = reader.i32();
+    chunk.slot_count = reader.i32();
+    const std::size_t instr_count = reader.count(kMaxItems);
+    if (reader.failed) return std::nullopt;
+    chunk.code.reserve(instr_count);
+    for (std::size_t i = 0; i < instr_count; ++i) {
+      vm::Instr instr;
+      const std::int64_t op = reader.i64();
+      if (op < 0 || op > static_cast<std::int64_t>(vm::Op::kDevAction)) {
+        return std::nullopt;
+      }
+      instr.op = static_cast<vm::Op>(op);
+      instr.a = reader.i32();
+      instr.b = reader.i32();
+      instr.line = reader.i32();
+      if (reader.failed) return std::nullopt;
+      chunk.code.push_back(instr);
+    }
+    module.chunks.push_back(std::move(chunk));
+  }
+
+  module.consts.reserve(const_count);
+  for (std::size_t i = 0; i < const_count; ++i) {
+    const std::int64_t tag = reader.i64();
+    const std::uint64_t bits = reader.u64();
+    if (reader.failed || tag < 0 ||
+        tag > static_cast<std::int64_t>(vm::ValueTag::kString)) {
+      return std::nullopt;
+    }
+    vm::Value value;
+    value.tag = static_cast<vm::ValueTag>(tag);
+    std::memcpy(&value.i, &bits, sizeof(bits));
+    module.consts.push_back(value);
+  }
+
+  module.strings.reserve(string_count);
+  for (std::size_t i = 0; i < string_count; ++i) {
+    module.strings.push_back(reader.str());
+    if (reader.failed) return std::nullopt;
+  }
+
+  module.regions.reserve(region_count);
+  for (std::size_t r = 0; r < region_count; ++r) {
+    vm::Region region;
+    region.device_mode = reader.i64() != 0;
+    region.directive = reader.str();
+    region.line = reader.i32();
+    const std::size_t enter_count = reader.count(kMaxItems);
+    const std::size_t exit_count = reader.count(kMaxItems);
+    if (reader.failed) return std::nullopt;
+    const auto read_clause = [&reader]() -> std::optional<vm::ClauseOp> {
+      vm::ClauseOp op;
+      const std::int64_t action = reader.i64();
+      if (action < 0 ||
+          action > static_cast<std::int64_t>(vm::ClauseAction::kNoOp)) {
+        return std::nullopt;
+      }
+      op.action = static_cast<vm::ClauseAction>(action);
+      op.is_global = reader.i64() != 0;
+      op.slot = reader.i32();
+      op.var_name = reader.str();
+      if (reader.failed) return std::nullopt;
+      return op;
+    };
+    for (std::size_t i = 0; i < enter_count; ++i) {
+      auto op = read_clause();
+      if (!op) return std::nullopt;
+      region.enter_ops.push_back(std::move(*op));
+    }
+    for (std::size_t i = 0; i < exit_count; ++i) {
+      auto op = read_clause();
+      if (!op) return std::nullopt;
+      region.exit_ops.push_back(std::move(*op));
+    }
+    module.regions.push_back(std::move(region));
+  }
+
+  if (reader.failed) return std::nullopt;
+  if (!module_is_structurally_valid(module)) return std::nullopt;
+  return module;
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+std::string encode_diagnostics(
+    const std::vector<frontend::Diagnostic>& diagnostics) {
+  std::string out;
+  out += kDiagMagic;
+  out.push_back(' ');
+  put_i64(out, kCodecVersion);
+  put_i64(out, static_cast<std::int64_t>(diagnostics.size()));
+  for (const frontend::Diagnostic& diag : diagnostics) {
+    put_i64(out, static_cast<std::int64_t>(diag.severity));
+    put_i64(out, static_cast<std::int64_t>(diag.code));
+    put_i64(out, diag.line);
+    put_i64(out, diag.column);
+    put_string(out, diag.message);
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::optional<std::vector<frontend::Diagnostic>> decode_diagnostics(
+    std::string_view text) {
+  TokenReader reader{text};
+  if (reader.next() != kDiagMagic) return std::nullopt;
+  if (reader.i64() != kCodecVersion) return std::nullopt;
+  const std::size_t count = reader.count(kMaxItems);
+  if (reader.failed) return std::nullopt;
+  std::vector<frontend::Diagnostic> diagnostics;
+  diagnostics.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    frontend::Diagnostic diag;
+    const std::int64_t severity = reader.i64();
+    const std::int64_t code = reader.i64();
+    if (severity < 0 ||
+        severity > static_cast<std::int64_t>(frontend::Severity::kError) ||
+        code < 0 ||
+        code > static_cast<std::int64_t>(frontend::DiagCode::kStrictness)) {
+      return std::nullopt;
+    }
+    diag.severity = static_cast<frontend::Severity>(severity);
+    diag.code = static_cast<frontend::DiagCode>(code);
+    diag.line = reader.i32();
+    diag.column = reader.i32();
+    diag.message = reader.str();
+    if (reader.failed) return std::nullopt;
+    diagnostics.push_back(std::move(diag));
+  }
+  return diagnostics;
+}
+
+}  // namespace llm4vv::cache

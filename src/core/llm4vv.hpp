@@ -4,6 +4,7 @@
 ///
 /// Layering (each header can also be included individually):
 ///   support   - RNG, queues, thread pool, tables, CSV/JSONL, CLI
+///   cache     - persistent content-addressed artifact store + clients
 ///   frontend  - C/C++/Fortran-lite lexer, parser, AST, sema, diagnostics
 ///   directive - OpenACC/OpenMP directive parsing, spec tables, validation
 ///   vm        - bytecode, lowering, interpreter, host/device memory model
@@ -16,6 +17,8 @@
 ///   metrics   - accuracy/bias metrics and radar figures
 ///   core      - canonical experiments, paper reference data, reports
 
+#include "cache/artifact_store.hpp"
+#include "cache/compile_cache.hpp"
 #include "core/experiments.hpp"
 #include "core/export.hpp"
 #include "core/paper_data.hpp"

@@ -1,13 +1,17 @@
 #include "judge/judge.hpp"
 
+#include <cstdlib>
 #include <stdexcept>
 #include <string_view>
 
+#include "support/jsonl.hpp"
 #include "support/rng.hpp"
 
 namespace llm4vv::judge {
 
 namespace {
+
+constexpr const char* kStoreNamespace = "judge";
 
 /// Round up to the next power of two (minimum 1).
 std::size_t pow2_at_least(std::size_t n) {
@@ -16,12 +20,7 @@ std::size_t pow2_at_least(std::size_t n) {
   return p;
 }
 
-/// Mix one 64-bit word into a running hash (SplitMix64 finalizer step).
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  std::uint64_t s = h;
-  return support::splitmix64(s);
-}
+using support::hash_mix;
 
 /// Parse a finished model call into the decision's verdict fields. Both
 /// the sequential and the batched paths go through here, which is what
@@ -33,6 +32,77 @@ void finish_decision(JudgeDecision& decision, llm::Completion completion,
   decision.says_valid =
       verdict_says_valid(decision.verdict, /*fallback=*/false);
   decision.batched = batched;
+}
+
+// ---------------------------------------------------------------------------
+// Artifact-store record codec. The persisted fields are exactly what a
+// published cache entry holds, so a warm hit is byte-identical to the cold
+// decision it snapshots — latency included (%.17g round-trips doubles
+// exactly).
+// ---------------------------------------------------------------------------
+
+cache::ArtifactStore::Fields encode_decision(llm::PromptStyle style,
+                                             const JudgeDecision& decision) {
+  cache::ArtifactStore::Fields fields;
+  fields["style"] = std::to_string(static_cast<int>(style));
+  fields["verdict"] = std::to_string(static_cast<int>(decision.verdict));
+  fields["says_valid"] = decision.says_valid ? "1" : "0";
+  fields["prompt"] = decision.prompt;
+  fields["text"] = decision.completion.text;
+  fields["ptok"] = std::to_string(decision.completion.prompt_tokens);
+  fields["ctok"] = std::to_string(decision.completion.completion_tokens);
+  fields["latency"] = support::format_double_roundtrip(
+      decision.completion.latency_seconds);
+  return fields;
+}
+
+bool decode_decision(const cache::ArtifactStore::Fields& fields,
+                     llm::PromptStyle style, JudgeDecision& out) {
+  using cache::find_field;
+  using cache::parse_int_field;
+  const std::string* style_text = find_field(fields, "style");
+  const std::string* verdict_text = find_field(fields, "verdict");
+  const std::string* says_valid = find_field(fields, "says_valid");
+  const std::string* prompt = find_field(fields, "prompt");
+  const std::string* text = find_field(fields, "text");
+  const std::string* ptok = find_field(fields, "ptok");
+  const std::string* ctok = find_field(fields, "ctok");
+  const std::string* latency = find_field(fields, "latency");
+  if (style_text == nullptr || verdict_text == nullptr ||
+      says_valid == nullptr || prompt == nullptr || text == nullptr ||
+      ptok == nullptr || ctok == nullptr || latency == nullptr) {
+    return false;
+  }
+  std::int64_t style_value = 0;
+  std::int64_t verdict_value = 0;
+  std::int64_t prompt_tokens = 0;
+  std::int64_t completion_tokens = 0;
+  if (!parse_int_field(*style_text, style_value) ||
+      !parse_int_field(*verdict_text, verdict_value) ||
+      !parse_int_field(*ptok, prompt_tokens) ||
+      !parse_int_field(*ctok, completion_tokens)) {
+    return false;
+  }
+  if (style_value != static_cast<std::int64_t>(style)) return false;
+  if (verdict_value < 0 ||
+      verdict_value > static_cast<std::int64_t>(Verdict::kUnparseable) ||
+      prompt_tokens < 0 || completion_tokens < 0) {
+    return false;
+  }
+  char* end = nullptr;
+  const double latency_seconds = std::strtod(latency->c_str(), &end);
+  if (end == latency->c_str() || *end != '\0') return false;
+
+  out = JudgeDecision{};
+  out.verdict = static_cast<Verdict>(verdict_value);
+  out.says_valid = *says_valid == "1";
+  out.prompt = *prompt;
+  out.completion.text = *text;
+  out.completion.prompt_tokens = static_cast<std::size_t>(prompt_tokens);
+  out.completion.completion_tokens =
+      static_cast<std::size_t>(completion_tokens);
+  out.completion.latency_seconds = latency_seconds;
+  return true;
 }
 
 }  // namespace
@@ -54,7 +124,32 @@ Llmj::Llmj(std::shared_ptr<llm::ModelClient> client, llm::PromptStyle style,
     for (std::size_t i = 0; i < shard_count; ++i) {
       shards_.push_back(std::make_unique<CacheShard>());
     }
+    if (cache_config_.store != nullptr) warm_load();
   }
+}
+
+void Llmj::warm_load() {
+  // Constructor context: single-threaded, shards exist, no locks needed.
+  cache_config_.store->for_each(
+      kStoreNamespace,
+      [this](std::uint64_t key, std::uint64_t content_hash,
+             const cache::ArtifactStore::Fields& fields) {
+        // Capacity check before the decode so an oversized store doesn't
+        // pay decoding for entries this shard will discard anyway.
+        CacheShard& shard = *shards_[key & shard_mask_];
+        if (shard.entries.size() >= shard_capacity_ ||
+            shard.entries.count(key) != 0) {
+          return;
+        }
+        JudgeDecision decision;
+        // Records of other prompt styles (decode checks the style field)
+        // and corrupt records degrade to a miss, never a wrong verdict.
+        if (!decode_decision(fields, style_, decision)) return;
+        shard.entries.emplace(
+            key, CacheEntry{content_hash, std::move(decision), true});
+        shard.order.push_back(key);
+        ++warm_loaded_;
+      });
 }
 
 std::uint64_t Llmj::cache_key(std::uint64_t content_hash,
@@ -67,24 +162,24 @@ std::uint64_t Llmj::cache_key(std::uint64_t content_hash,
   // compile/exec observables fill the agent tool-info block, and (style,
   // seed) select the protocol and the judgment draw.
   std::uint64_t h = content_hash;
-  h = mix(h, static_cast<std::uint64_t>(file.flavor));
-  h = mix(h, static_cast<std::uint64_t>(style_));
-  h = mix(h, seed);
+  h = hash_mix(h, static_cast<std::uint64_t>(file.flavor));
+  h = hash_mix(h, static_cast<std::uint64_t>(style_));
+  h = hash_mix(h, seed);
   if (compile != nullptr) {
-    h = mix(h, 0xC0117117ULL);
-    h = mix(h, static_cast<std::uint64_t>(compile->success));
-    h = mix(h, static_cast<std::uint64_t>(
+    h = hash_mix(h, 0xC0117117ULL);
+    h = hash_mix(h, static_cast<std::uint64_t>(compile->success));
+    h = hash_mix(h, static_cast<std::uint64_t>(
                    static_cast<std::int64_t>(compile->return_code)));
-    h = mix(h, support::fnv1a64(compile->stderr_text));
-    h = mix(h, support::fnv1a64(compile->stdout_text));
+    h = hash_mix(h, support::fnv1a64(compile->stderr_text));
+    h = hash_mix(h, support::fnv1a64(compile->stdout_text));
   }
   if (exec != nullptr) {
-    h = mix(h, 0xE8EC0DEULL);
-    h = mix(h, static_cast<std::uint64_t>(exec->ran));
-    h = mix(h, static_cast<std::uint64_t>(
+    h = hash_mix(h, 0xE8EC0DEULL);
+    h = hash_mix(h, static_cast<std::uint64_t>(exec->ran));
+    h = hash_mix(h, static_cast<std::uint64_t>(
                    static_cast<std::int64_t>(exec->return_code)));
-    h = mix(h, support::fnv1a64(exec->stderr_text));
-    h = mix(h, support::fnv1a64(exec->stdout_text));
+    h = hash_mix(h, support::fnv1a64(exec->stderr_text));
+    h = hash_mix(h, support::fnv1a64(exec->stdout_text));
   }
   return h;
 }
@@ -113,6 +208,10 @@ Llmj::Probe Llmj::probe_or_claim(std::uint64_t key,
     out = it->second.decision;
     out.cached = true;
     out.batched = false;  // a copy, not a submission
+    out.persisted = it->second.persisted;
+    if (it->second.persisted) {
+      persisted_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
     return Probe::kHit;
   }
   if (shard.inflight.count(key) != 0) return Probe::kBusy;
@@ -167,6 +266,7 @@ JudgeDecision Llmj::wait_for(std::uint64_t key, std::uint64_t content_hash,
       JudgeDecision decision = it->second.decision;
       decision.cached = true;
       decision.batched = false;  // a copy, not a submission
+      decision.persisted = it->second.persisted;
       return decision;
     }
     // The computing caller failed (or the entry belongs to a colliding
@@ -351,15 +451,55 @@ JudgeCacheStats Llmj::cache_stats() const noexcept {
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.duplicate_misses =
       duplicate_misses_.load(std::memory_order_relaxed);
+  stats.persisted_hits = persisted_hits_.load(std::memory_order_relaxed);
+  stats.warm_loaded = warm_loaded_;
   return stats;
 }
 
-void Llmj::clear_cache() const {
+void Llmj::clear_cache() {
+  for (const auto& shard : shards_) {
+    {
+      std::lock_guard lock(shard->mutex);
+      shard->entries.clear();
+      shard->order.clear();
+      // Reset in-flight markers too: a waiter parked on a key whose owner
+      // publishes into the cleared map (or abandons) would otherwise race a
+      // clear that happened between its probe and its wait. After the
+      // reset, woken waiters find neither entry nor marker and simply
+      // become owners themselves — a recompute, never a stranding. The
+      // displaced owner's publish() re-inserts a correct (identical)
+      // decision, which is harmless.
+      shard->inflight.clear();
+    }
+    shard->done.notify_all();
+  }
+}
+
+std::size_t Llmj::persist_cache() const {
+  if (cache_config_.store == nullptr || !cache_config_.enabled) return 0;
+  // Snapshot each shard under its lock, feed the store outside: evaluation
+  // can keep publishing while the snapshot is written out.
+  struct Snapshot {
+    std::uint64_t key;
+    std::uint64_t content_hash;
+    JudgeDecision decision;
+  };
+  std::vector<Snapshot> snapshots;
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mutex);
-    shard->entries.clear();
-    shard->order.clear();
+    for (const std::uint64_t key : shard->order) {
+      const auto it = shard->entries.find(key);
+      if (it == shard->entries.end()) continue;
+      snapshots.push_back(
+          Snapshot{key, it->second.content_hash, it->second.decision});
+    }
   }
+  for (const Snapshot& snapshot : snapshots) {
+    cache_config_.store->put(kStoreNamespace, snapshot.key,
+                             snapshot.content_hash,
+                             encode_decision(style_, snapshot.decision));
+  }
+  return snapshots.size();
 }
 
 }  // namespace llm4vv::judge

@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cache/artifact_store.hpp"
 #include "judge/prompt.hpp"
 #include "judge/verdict.hpp"
 #include "llm/client.hpp"
@@ -30,6 +31,10 @@ struct JudgeDecision {
   /// for copies served from the cache or in-flight dedup — the pipeline's
   /// batch-occupancy accounting counts exactly the batched submissions.
   bool batched = false;
+  /// True when the serving cache entry was warm-loaded from a persistent
+  /// artifact store: a previous process run paid for the model call.
+  /// Implies `cached`.
+  bool persisted = false;
 };
 
 /// Configuration of the judge's decision memoization cache. Probed and
@@ -47,6 +52,14 @@ struct JudgeCacheConfig {
   /// Shard count (rounded up to a power of two, minimum 1). Sharding keeps
   /// concurrent judge workers from serializing on one cache mutex.
   std::size_t shards = 8;
+  /// Optional persistence. When set, the Llmj warm-loads every "judge"
+  /// record of its own prompt style at construction (byte-identical
+  /// decisions on warm hits, no model call, no simulated GPU time) and
+  /// persist_cache() snapshots the sharded memo back into the store. The
+  /// store's fingerprint (corpus/model/seed) gates staleness: a mismatch
+  /// cold-starts the file, never serves a wrong verdict. Null (the
+  /// default) keeps the cache process-local, exactly as before.
+  std::shared_ptr<cache::ArtifactStore> store;
 };
 
 /// Counters of the memoization cache (monotonic over the Llmj's lifetime).
@@ -63,6 +76,11 @@ struct JudgeCacheStats {
   /// batch. Before in-flight dedup these were thundering-herd misses that
   /// each paid a full simulated GPU call.
   std::uint64_t duplicate_misses = 0;
+  /// Subset of `hits` served by entries warm-loaded from the persistent
+  /// artifact store: cross-run savings, as opposed to in-process ones.
+  std::uint64_t persisted_hits = 0;
+  /// Decisions decoded from the store at construction (warm start size).
+  std::uint64_t warm_loaded = 0;
 };
 
 /// One item of a batched evaluate_many() call. Agent styles require
@@ -112,8 +130,20 @@ class Llmj {
   /// Snapshot of the memoization counters.
   JudgeCacheStats cache_stats() const noexcept;
 
-  /// Drop all cached decisions (counters are kept).
-  void clear_cache() const;
+  /// Drop all cached decisions (counters are kept). Also resets the
+  /// in-flight dedup sets and wakes their waiters, so a clear issued during
+  /// concurrent evaluation can never strand a thread waiting on a key whose
+  /// computation it will no longer observe; a waiter woken this way simply
+  /// recomputes. Non-const: this is a genuine mutation, not a logically-
+  /// const read through the `mutable` shards.
+  void clear_cache();
+
+  /// Snapshot every cached decision into the configured artifact store
+  /// (namespace "judge"). Does not write the file — call store->save() for
+  /// durability, so one save can also cover a compile cache sharing the
+  /// store. Safe to call while other threads evaluate. Returns the number
+  /// of records written; 0 when no store is configured.
+  std::size_t persist_cache() const;
 
  private:
   /// One cached decision plus the file-content hash it was computed for.
@@ -124,6 +154,7 @@ class Llmj {
   struct CacheEntry {
     std::uint64_t content_hash = 0;
     JudgeDecision decision;
+    bool persisted = false;  ///< warm-loaded from the artifact store
   };
 
   /// One cache shard: its own lock, map, FIFO eviction order, and the set
@@ -164,6 +195,9 @@ class Llmj {
                                   const toolchain::ExecutionRecord* exec,
                                   std::uint64_t seed) const;
 
+  /// Decode the store's "judge" records of this style into the shards.
+  void warm_load();
+
   std::shared_ptr<llm::ModelClient> client_;
   llm::PromptStyle style_;
 
@@ -175,6 +209,8 @@ class Llmj {
   mutable std::atomic<std::uint64_t> misses_{0};
   mutable std::atomic<std::uint64_t> evictions_{0};
   mutable std::atomic<std::uint64_t> duplicate_misses_{0};
+  mutable std::atomic<std::uint64_t> persisted_hits_{0};
+  std::uint64_t warm_loaded_ = 0;  ///< set once in the constructor
 };
 
 }  // namespace llm4vv::judge

@@ -28,13 +28,24 @@ ModelClient::SlotLease::~SlotLease() {
   client.slot_free_.notify_all();
 }
 
+void ModelClient::acquire_slots(std::size_t slots) {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t ticket = next_ticket_++;
+  slot_free_.wait(lock, [this, ticket, slots] {
+    return serving_ == ticket && in_flight_ + slots <= max_concurrency_;
+  });
+  ++serving_;
+  in_flight_ += slots;
+  lock.unlock();
+  // The next ticket holder may already fit in the remaining slots; the
+  // broadcast lets it (and only it — the predicate orders everyone else)
+  // proceed without waiting for a release.
+  slot_free_.notify_all();
+}
+
 Completion ModelClient::complete(const std::string& prompt,
                                  const GenerationParams& params) {
-  {
-    std::unique_lock lock(mutex_);
-    slot_free_.wait(lock, [this] { return in_flight_ < max_concurrency_; });
-    ++in_flight_;
-  }
+  acquire_slots(1);
   SlotLease lease{*this, 1};
 
   Completion completion = model_->generate(prompt, params);
@@ -60,16 +71,12 @@ std::vector<Completion> ModelClient::complete_many(
   if (prompts.empty()) return {};
   // One model replica serves the whole pass, but the pass keeps up to
   // max_concurrency streams busy; clamping keeps oversized batches from
-  // waiting for more slots than exist.
+  // waiting for more slots than exist. The FIFO ticket inside
+  // acquire_slots guarantees the N-slot wait is bounded: single-slot
+  // callers arriving later queue behind this batch instead of re-consuming
+  // every released slot.
   const std::size_t slots = std::min(prompts.size(), max_concurrency_);
-  {
-    std::unique_lock lock(mutex_);
-    slot_free_.wait(lock, [this, slots] {
-      return in_flight_ + slots <= max_concurrency_;
-    });
-    in_flight_ += slots;
-  }
-
+  acquire_slots(slots);
   SlotLease lease{*this, slots};
 
   std::vector<Completion> completions =
@@ -104,6 +111,11 @@ std::vector<Completion> ModelClient::complete_many(
 ClientStats ModelClient::stats() const {
   std::lock_guard lock(mutex_);
   return stats_;
+}
+
+std::size_t ModelClient::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<std::size_t>(next_ticket_ - serving_);
 }
 
 std::vector<Transcript> ModelClient::transcripts() const {

@@ -42,6 +42,13 @@ struct Transcript {
 /// stage can be parallelized "if there are enough available GPU
 /// resources"); excess callers block. Statistics and an optional bounded
 /// transcript log are kept under a separate lock.
+///
+/// Slot admission is FIFO: every caller (single or batched) takes a ticket
+/// and acquires only at the head of the queue. Without the ticket, a
+/// steady stream of single-slot callers could starve a complete_many()
+/// waiter indefinitely — each release immediately re-consumed by a
+/// newcomer before N slots were ever simultaneously free. With it, the
+/// wide waiter's wait is bounded by the work already queued ahead of it.
 class ModelClient {
  public:
   ModelClient(std::shared_ptr<const LanguageModel> model,
@@ -66,6 +73,10 @@ class ModelClient {
   /// Snapshot of the running statistics.
   ClientStats stats() const;
 
+  /// Callers currently queued for slots (ticket taken, not yet admitted).
+  /// A live gauge for monitoring and for deterministic fairness tests.
+  std::size_t queue_depth() const;
+
   /// Recorded transcripts (most recent `transcript_capacity` calls).
   std::vector<Transcript> transcripts() const;
 
@@ -83,6 +94,10 @@ class ModelClient {
     ~SlotLease();
   };
 
+  /// Take a FIFO ticket and block until at the head of the queue with
+  /// `slots` slots free; admits the caller and passes the head on.
+  void acquire_slots(std::size_t slots);
+
   std::shared_ptr<const LanguageModel> model_;
   const std::size_t max_concurrency_;
   const std::size_t transcript_capacity_;
@@ -90,6 +105,13 @@ class ModelClient {
   mutable std::mutex mutex_;
   std::condition_variable slot_free_;
   std::size_t in_flight_ = 0;
+  /// FIFO ticket discipline: `next_ticket_` is taken on arrival,
+  /// `serving_` advances when the head finishes acquiring. A caller waits
+  /// until it *is* the head AND its slots fit — so wide waiters cannot be
+  /// overtaken forever, at the price of head-of-line blocking (bounded:
+  /// every holder eventually releases).
+  std::uint64_t next_ticket_ = 0;
+  std::uint64_t serving_ = 0;
   ClientStats stats_;
   std::deque<Transcript> transcripts_;
 };

@@ -34,6 +34,14 @@ struct JudgeLocal {
   std::uint64_t batches = 0;
   std::uint64_t batched_prompts = 0;
   std::uint64_t max_batch = 0;
+  std::uint64_t persisted_hits = 0;
+};
+
+/// Compile workers likewise accumulate cache counters locally.
+struct CompileLocal {
+  StageStats stats;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t persisted_hits = 0;
 };
 
 void merge_into(StageStats& total, const StageStats& part) {
@@ -77,7 +85,7 @@ PipelineResult ValidationPipeline::run(
   // Per-worker accumulators: each worker owns one slot and writes it once
   // at exit, so the hot loop touches no shared counter and takes no lock
   // (the old StageCounter mutex and gpu_mutex are gone).
-  std::vector<StageStats> compile_locals(config_.compile_workers);
+  std::vector<CompileLocal> compile_locals(config_.compile_workers);
   std::vector<StageStats> execute_locals(config_.execute_workers);
   std::vector<JudgeLocal> judge_locals(config_.judge_workers);
 
@@ -92,7 +100,7 @@ PipelineResult ValidationPipeline::run(
   // Stage 1: compile.
   for (std::size_t w = 0; w < config_.compile_workers; ++w) {
     workers.emplace_back([&, w] {
-      StageStats local;
+      CompileLocal local;
       std::vector<std::size_t> batch;
       std::vector<WorkItem> outgoing;
       batch.reserve(kStageBatch);
@@ -109,9 +117,12 @@ PipelineResult ValidationPipeline::run(
           PipelineRecord& record = result.records[index];
           record.compiled = item.compile.success;
           record.compile_rc = item.compile.return_code;
-          ++local.processed;
-          if (!item.compile.success) ++local.rejected;
-          local.busy_seconds += timer.seconds();
+          record.compile_cached = item.compile.cached;
+          if (item.compile.cached) ++local.cache_hits;
+          if (item.compile.persisted) ++local.persisted_hits;
+          ++local.stats.processed;
+          if (!item.compile.success) ++local.stats.rejected;
+          local.stats.busy_seconds += timer.seconds();
           if (filter && !item.compile.success) continue;
           outgoing.push_back(std::move(item));
         }
@@ -174,8 +185,10 @@ PipelineResult ValidationPipeline::run(
         record.verdict = decision.verdict;
         record.judge_says_valid = decision.says_valid;
         record.judge_cached = decision.cached;
+        record.judge_persisted = decision.persisted;
         ++local.stats.processed;
         if (!decision.says_valid) ++local.stats.rejected;
+        if (decision.persisted) ++local.persisted_hits;
         if (decision.cached) {
           ++local.cache_hits;
         } else {
@@ -254,7 +267,9 @@ PipelineResult ValidationPipeline::run(
     if (record.dropped) ++result.dropped_items;
   }
   for (const auto& local : compile_locals) {
-    merge_into(result.compile_stage, local);
+    merge_into(result.compile_stage, local.stats);
+    result.compile_cache_hits += local.cache_hits;
+    result.compile_persisted_hits += local.persisted_hits;
   }
   for (const auto& local : execute_locals) {
     merge_into(result.execute_stage, local);
@@ -267,6 +282,7 @@ PipelineResult ValidationPipeline::run(
     result.judge_batches += local.batches;
     result.judge_batched_prompts += local.batched_prompts;
     result.judge_max_batch = std::max(result.judge_max_batch, local.max_batch);
+    result.judge_persisted_hits += local.persisted_hits;
   }
   if (result.judge_batches > 0) {
     result.judge_batch_occupancy =

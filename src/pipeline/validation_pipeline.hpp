@@ -62,6 +62,12 @@ struct PipelineRecord {
   bool dropped = false;
   /// True when the judge stage answered from its memoization cache.
   bool judge_cached = false;
+  /// True when the serving judge-cache entry was warm-loaded from a
+  /// persistent artifact store (cross-run hit; implies judge_cached).
+  bool judge_persisted = false;
+  /// True when the compile stage was served from the compile cache (the
+  /// front-end never ran for this file in this call).
+  bool compile_cached = false;
 };
 
 /// Per-stage counters.
@@ -98,6 +104,15 @@ struct PipelineResult {
   /// The headline occupancy number: how full the batched forward passes
   /// actually ran.
   double judge_batch_occupancy = 0.0;
+  /// Judge cache hits served by entries warm-loaded from a persistent
+  /// artifact store (subset of judge_cache_hits): the cross-run savings a
+  /// warm start delivers, as opposed to in-process memoization.
+  std::uint64_t judge_persisted_hits = 0;
+  /// Compile-stage results served from the driver's compile cache (the
+  /// front-end was skipped), and the subset that came from a persistent
+  /// store rather than this process's own earlier compiles.
+  std::uint64_t compile_cache_hits = 0;
+  std::uint64_t compile_persisted_hits = 0;
 };
 
 /// The staged validation pipeline of Figure 2: bounded queues between a

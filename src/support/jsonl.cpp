@@ -1,7 +1,10 @@
 #include "support/jsonl.hpp"
 
+#include "support/strings.hpp"
+
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace llm4vv::support {
 
@@ -58,6 +61,13 @@ JsonObject& JsonObject::field(const std::string& key, double value) {
   return *this;
 }
 
+std::string format_double_roundtrip(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
 std::string JsonObject::str() const {
   std::string out = "{";
   for (std::size_t i = 0; i < parts_.size(); ++i) {
@@ -66,6 +76,156 @@ std::string JsonObject::str() const {
   }
   out.push_back('}');
   return out;
+}
+
+namespace {
+
+/// Cursor over one line; all helpers return false on malformed input so the
+/// caller can turn any defect into "skip this record".
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool done() const noexcept { return pos >= text.size(); }
+  char peek() const noexcept { return done() ? '\0' : text[pos]; }
+  void skip_ws() noexcept {
+    while (!done() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  }
+  bool eat(char c) noexcept {
+    skip_ws();
+    if (peek() != c) return false;
+    ++pos;
+    return true;
+  }
+};
+
+/// Parse a JSON string literal starting at the opening quote.
+bool parse_string(Cursor& cur, std::string& out) {
+  if (!cur.eat('"')) return false;
+  out.clear();
+  while (true) {
+    if (cur.done()) return false;  // unterminated (truncated line)
+    const char c = cur.text[cur.pos++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (cur.done()) return false;
+    const char esc = cur.text[cur.pos++];
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'u': {
+        if (cur.pos + 4 > cur.text.size()) return false;
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const int digit = hex_digit_value(cur.text[cur.pos++]);
+          if (digit < 0) return false;
+          code = code * 16 + static_cast<unsigned>(digit);
+        }
+        // The writer only emits \u for control characters; decode any BMP
+        // codepoint to UTF-8 anyway so foreign files load too.
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        break;
+      }
+      default: return false;
+    }
+  }
+}
+
+bool parse_value(Cursor& cur, JsonValue& out) {
+  cur.skip_ws();
+  const char c = cur.peek();
+  if (c == '"') {
+    out.kind = JsonValue::Kind::kString;
+    return parse_string(cur, out.string);
+  }
+  if (c == 't') {
+    if (cur.text.substr(cur.pos, 4) != "true") return false;
+    cur.pos += 4;
+    out.kind = JsonValue::Kind::kBool;
+    out.boolean = true;
+    return true;
+  }
+  if (c == 'f') {
+    if (cur.text.substr(cur.pos, 5) != "false") return false;
+    cur.pos += 5;
+    out.kind = JsonValue::Kind::kBool;
+    out.boolean = false;
+    return true;
+  }
+  if (c == 'n') {
+    if (cur.text.substr(cur.pos, 4) != "null") return false;
+    cur.pos += 4;
+    out.kind = JsonValue::Kind::kNull;
+    return true;
+  }
+  if (c == '-' || (c >= '0' && c <= '9')) {
+    const std::size_t start = cur.pos;
+    while (!cur.done()) {
+      const char d = cur.text[cur.pos];
+      if ((d >= '0' && d <= '9') || d == '-' || d == '+' || d == '.' ||
+          d == 'e' || d == 'E') {
+        ++cur.pos;
+      } else {
+        break;
+      }
+    }
+    // strtod needs NUL-terminated input; the token is short, copy it.
+    const std::string token(cur.text.substr(start, cur.pos - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') return false;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = value;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::map<std::string, JsonValue>> parse_json_object_line(
+    std::string_view line) {
+  Cursor cur{line};
+  if (!cur.eat('{')) return std::nullopt;
+  std::map<std::string, JsonValue> object;
+  cur.skip_ws();
+  if (cur.peek() == '}') {
+    ++cur.pos;
+  } else {
+    while (true) {
+      std::string key;
+      cur.skip_ws();
+      if (!parse_string(cur, key)) return std::nullopt;
+      if (!cur.eat(':')) return std::nullopt;
+      JsonValue value;
+      if (!parse_value(cur, value)) return std::nullopt;
+      object[key] = std::move(value);
+      if (cur.eat(',')) continue;
+      if (cur.eat('}')) break;
+      return std::nullopt;
+    }
+  }
+  cur.skip_ws();
+  if (!cur.done()) return std::nullopt;  // trailing garbage
+  return object;
 }
 
 }  // namespace llm4vv::support

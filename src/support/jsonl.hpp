@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace llm4vv::support {
@@ -34,5 +37,34 @@ class JsonObject {
 
 /// Escape a string for inclusion in JSON output (quotes not included).
 std::string json_escape(const std::string& text);
+
+/// %.17g rendering of a double: the single definition of the exact
+/// round-trip rule used wherever a persisted double must survive a
+/// save/parse cycle bit-identically (the judge's artifact-store codec
+/// embeds latencies through this). Non-finite values render as "null".
+std::string format_double_roundtrip(double value);
+
+/// One parsed JSON scalar. The JSONL dialect this library writes (and the
+/// artifact store persists) only ever puts scalars in object values, so the
+/// reader models exactly that: strings, numbers, booleans, and null.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+
+  bool is_string() const noexcept { return kind == Kind::kString; }
+  bool is_number() const noexcept { return kind == Kind::kNumber; }
+};
+
+/// Parse one JSON object line (the complement of JsonObject::str). Returns
+/// std::nullopt on any syntax error — a truncated tail line in a JSONL file
+/// parses as "not an object" rather than throwing, which is what lets the
+/// artifact store skip corrupt records and keep loading. Duplicate keys keep
+/// the last value. Nested objects/arrays are rejected (the writer never
+/// produces them).
+std::optional<std::map<std::string, JsonValue>> parse_json_object_line(
+    std::string_view line);
 
 }  // namespace llm4vv::support

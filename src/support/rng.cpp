@@ -20,6 +20,12 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  std::uint64_t s = h;
+  return splitmix64(s);
+}
+
 std::uint64_t fnv1a64(std::string_view bytes) noexcept {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (const char c : bytes) {

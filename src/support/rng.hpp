@@ -74,6 +74,14 @@ class Rng {
 /// Stateless SplitMix64 step; exposed for hashing/seeding helpers.
 std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 
+/// Mix one 64-bit word into a running hash (boost-style combine followed by
+/// the SplitMix64 finalizer). The judge cache key, the compile cache key,
+/// and the compiler-config fingerprint all build on this one definition —
+/// persisted artifact keys depend on it, so changing it invalidates every
+/// store file (by design: the records would no longer be found, a cold
+/// start, never a wrong hit).
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) noexcept;
+
 /// 64-bit FNV-1a hash of a byte string; used to derive per-file judge seeds
 /// so that a given (file, prompt-style) pair always gets the same verdict
 /// within an experiment.

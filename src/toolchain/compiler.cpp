@@ -1,5 +1,8 @@
 #include "toolchain/compiler.hpp"
 
+#include <cstring>
+
+#include "cache/compile_cache.hpp"
 #include "directive/validator.hpp"
 #include "frontend/fortran.hpp"
 #include "frontend/lexer.hpp"
@@ -78,7 +81,48 @@ CompilerConfig clang_persona() {
 CompilerDriver::CompilerDriver(CompilerConfig config)
     : config_(std::move(config)) {}
 
+CompilerDriver::CompilerDriver(CompilerConfig config,
+                               std::shared_ptr<cache::CompileCache> cache)
+    : config_(std::move(config)), cache_(std::move(cache)) {}
+
+std::uint64_t driver_fingerprint(const CompilerConfig& config) noexcept {
+  // Mix every config field that can change a compile's outcome. The
+  // strictness rate enters via its IEEE bit pattern (exact, no rounding).
+  std::uint64_t h = support::fnv1a64(config.persona);
+  h = support::hash_mix(h, static_cast<std::uint64_t>(config.flavor));
+  h = support::hash_mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                               config.supported_version)));
+  std::uint64_t rate_bits = 0;
+  static_assert(sizeof(rate_bits) == sizeof(config.strictness_reject_rate));
+  std::memcpy(&rate_bits, &config.strictness_reject_rate, sizeof(rate_bits));
+  h = support::hash_mix(h, rate_bits);
+  h = support::hash_mix(h, config.quirk_seed);
+  return h;
+}
+
+std::uint64_t file_identity_hash(const frontend::SourceFile& file) noexcept {
+  // Everything about the *file* that can change a compile's outcome: the
+  // content (obviously), the language (selects the Fortran vs C front-end),
+  // and the name (rendered into every persona diagnostic, so two identical
+  // files under different names must not share cached stderr). The driver
+  // config is covered separately by driver_fingerprint().
+  std::uint64_t h = support::fnv1a64(file.content);
+  h = support::hash_mix(h, support::fnv1a64(file.name));
+  h = support::hash_mix(h, static_cast<std::uint64_t>(file.language));
+  return h;
+}
+
 CompileResult CompilerDriver::compile(const frontend::SourceFile& file) const {
+  if (cache_ == nullptr) return compile_uncached(file);
+  const std::uint64_t identity = file_identity_hash(file);
+  if (auto hit = cache_->lookup(identity)) return std::move(*hit);
+  CompileResult result = compile_uncached(file);
+  cache_->insert(identity, result);
+  return result;
+}
+
+CompileResult CompilerDriver::compile_uncached(
+    const frontend::SourceFile& file) const {
   CompileResult result;
   frontend::DiagnosticEngine diags;
 

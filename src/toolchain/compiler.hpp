@@ -7,6 +7,10 @@
 #include "frontend/source.hpp"
 #include "vm/bytecode.hpp"
 
+namespace llm4vv::cache {
+class CompileCache;  // cache/compile_cache.hpp stores CompileResults
+}
+
 namespace llm4vv::toolchain {
 
 /// Which real compiler's behaviour (diagnostic style, spec version support,
@@ -41,25 +45,60 @@ struct CompileResult {
   std::vector<frontend::Diagnostic> diagnostics;
   /// Lowered bytecode; null when compilation failed.
   std::shared_ptr<const vm::Module> module;
+  /// True when the driver served this result from its compile cache (the
+  /// front-end never ran for this call).
+  bool cached = false;
+  /// True when the serving cache entry was warm-loaded from a persistent
+  /// artifact store (a previous process run paid for the front-end).
+  bool persisted = false;
 };
 
 /// Default personas matching the paper's setup.
 CompilerConfig nvc_persona();
 CompilerConfig clang_persona();
 
+/// Stable 64-bit digest of everything in CompilerConfig that can change a
+/// compile's outcome. The compile cache mixes it into its keys so caches
+/// (and store files) shared between personas never cross-serve results;
+/// exposed as a free function so the cache can be built before the driver.
+std::uint64_t driver_fingerprint(const CompilerConfig& config) noexcept;
+
+/// Digest of everything about a SourceFile that can change its compile:
+/// content, language (parser selection), and name (baked into the rendered
+/// diagnostics). This is the identity the compile cache memoizes on.
+std::uint64_t file_identity_hash(const frontend::SourceFile& file) noexcept;
+
 /// The simulated compiler driver: lex -> parse -> sema -> directive
 /// validation -> lowering, with persona-styled diagnostics on stderr.
+///
+/// With a cache::CompileCache attached, byte-identical files skip the whole
+/// front-end: results are memoized on (content hash, driver fingerprint)
+/// and — when the cache is store-backed — survive across process runs.
 class CompilerDriver {
  public:
   explicit CompilerDriver(CompilerConfig config);
+  CompilerDriver(CompilerConfig config,
+                 std::shared_ptr<cache::CompileCache> cache);
 
-  /// Compile one source file. Thread-safe (const; no shared mutable state).
+  /// Compile one source file. Thread-safe (const; the only shared state is
+  /// the thread-safe compile cache).
   CompileResult compile(const frontend::SourceFile& file) const;
 
   const CompilerConfig& config() const noexcept { return config_; }
+  const std::shared_ptr<cache::CompileCache>& cache() const noexcept {
+    return cache_;
+  }
+
+  /// Digest of this driver's config; see the free driver_fingerprint().
+  std::uint64_t fingerprint() const noexcept {
+    return driver_fingerprint(config_);
+  }
 
  private:
+  CompileResult compile_uncached(const frontend::SourceFile& file) const;
+
   CompilerConfig config_;
+  std::shared_ptr<cache::CompileCache> cache_;
 };
 
 }  // namespace llm4vv::toolchain

@@ -141,7 +141,7 @@ TEST(JudgeCacheTest, ZeroCapacityDisablesCache) {
 }
 
 TEST(JudgeCacheTest, ClearCacheForcesRecomputeWithSameResult) {
-  const Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis);
+  Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis);
   const auto file = sample_file();
   const auto first = judge.evaluate(file);
   judge.clear_cache();
@@ -343,6 +343,36 @@ TEST(JudgeDedupTest, ConcurrentMissesOnOneKeyPayASingleModelCall) {
   // Every other caller either piggybacked on the in-flight computation or
   // (if it arrived after publication) hit the cache outright.
   EXPECT_EQ(stats.hits + stats.duplicate_misses, 3u);
+}
+
+// clear_cache() now also resets the in-flight sets and wakes waiters. A
+// clear issued while one thread computes a key and another waits on it
+// must leave nobody stranded: the waiter either re-claims the key and
+// recomputes, or is served by the owner's (re-)publication — both produce
+// the same deterministic decision.
+TEST(JudgeDedupTest, ClearDuringConcurrentEvaluationStrandsNobody) {
+  auto model = std::make_shared<const GatedModel>();
+  auto client = std::make_shared<llm::ModelClient>(model, 4);
+  Llmj judge(client, llm::PromptStyle::kDirectAnalysis);
+  const auto file = sample_file(8);
+
+  std::thread owner([&judge, &file] { (void)judge.evaluate(file); });
+  model->wait_for_entry();  // owner is inside the model, key in flight
+
+  std::thread waiter([&judge, &file] { (void)judge.evaluate(file); });
+  // Let the waiter park on the in-flight key, then clear everything.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  judge.clear_cache();
+  model->release();
+
+  owner.join();
+  waiter.join();  // must terminate: the regression was a hang right here
+
+  // Post-clear evaluations still work and are deterministic.
+  const auto after = judge.evaluate(file);
+  const auto again = judge.evaluate(file);
+  EXPECT_EQ(again.verdict, after.verdict);
+  EXPECT_EQ(again.completion.text, after.completion.text);
 }
 
 TEST(JudgeDedupTest, DuplicateMissesStartAtZero) {

@@ -211,6 +211,126 @@ TEST(CompleteManyTest, TranscriptsRecordEachBatchedPrompt) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// FIFO slot fairness
+// ---------------------------------------------------------------------------
+
+/// A model that records the order generate() calls start in and can hold
+/// them at a gate until the test releases it.
+class OrderingModel final : public LanguageModel {
+ public:
+  std::string name() const override { return "ordering-model"; }
+  Completion generate(const std::string& prompt,
+                      const GenerationParams& params) const override {
+    {
+      std::unique_lock lock(mutex_);
+      order_.push_back(prompt);
+      started_cv_.notify_all();
+      release_cv_.wait(lock, [this] { return released_; });
+    }
+    Completion completion;
+    completion.text = "ok";
+    completion.prompt_tokens = prompt.size();
+    completion.completion_tokens = 2;
+    completion.latency_seconds = 0.01;
+    (void)params;
+    return completion;
+  }
+  std::vector<Completion> generate_batch(
+      const std::vector<std::string>& prompts,
+      const GenerationParams& params) const override {
+    {
+      std::unique_lock lock(mutex_);
+      for (const auto& prompt : prompts) order_.push_back(prompt);
+      started_cv_.notify_all();
+      release_cv_.wait(lock, [this] { return released_; });
+    }
+    std::vector<Completion> completions;
+    for (const auto& prompt : prompts) {
+      Completion completion;
+      completion.text = "ok";
+      completion.prompt_tokens = prompt.size();
+      completion.completion_tokens = 2;
+      completion.latency_seconds = 0.01;
+      completions.push_back(completion);
+    }
+    (void)params;
+    return completions;
+  }
+  void wait_for_started(std::size_t count) const {
+    std::unique_lock lock(mutex_);
+    started_cv_.wait(lock,
+                     [this, count] { return order_.size() >= count; });
+  }
+  void release() const {
+    {
+      std::lock_guard lock(mutex_);
+      released_ = true;
+    }
+    release_cv_.notify_all();
+  }
+  std::vector<std::string> order() const {
+    std::lock_guard lock(mutex_);
+    return order_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable started_cv_;
+  mutable std::condition_variable release_cv_;
+  mutable std::vector<std::string> order_;
+  mutable bool released_ = false;
+};
+
+// The starvation regression the FIFO ticket fixes: a wide complete_many
+// waiter must run before single-slot callers that arrived after it, no
+// matter how many of them keep the pool churning. The gated model holds an
+// early single call in flight; the wide batch queues behind it; a wave of
+// later singles queues behind the batch. When the gate opens, the recorded
+// start order must put both batch prompts before every late single —
+// bounding the wide waiter's wait by the work already queued ahead of it.
+TEST(SlotFairnessTest, WideWaiterIsNotStarvedBySingleSlotStream) {
+  auto model = std::make_shared<const OrderingModel>();
+  ModelClient client(model, 2);
+
+  std::thread early([&client] { client.complete("early"); });
+  model->wait_for_started(1);  // "early" holds one of the two slots
+
+  std::thread wide([&client] {
+    client.complete_many({"batch-a", "batch-b"});  // needs both slots
+  });
+  // The batch has taken its ticket once it is queued for slots.
+  while (client.queue_depth() < 1) std::this_thread::yield();
+
+  std::vector<std::thread> singles;
+  for (int i = 0; i < 8; ++i) {
+    singles.emplace_back(
+        [&client, i] { client.complete("late-" + std::to_string(i)); });
+    while (client.queue_depth() < static_cast<std::size_t>(2 + i)) {
+      std::this_thread::yield();
+    }
+  }
+
+  model->release();
+  early.join();
+  wide.join();
+  for (auto& thread : singles) thread.join();
+
+  const auto order = model->order();
+  ASSERT_EQ(order.size(), 11u);  // early + 2 batch + 8 singles
+  std::size_t batch_last = 0;
+  std::size_t single_first = order.size();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == "batch-a" || order[i] == "batch-b") {
+      batch_last = std::max(batch_last, i);
+    } else if (order[i] != "early") {
+      single_first = std::min(single_first, i);
+    }
+  }
+  EXPECT_LT(batch_last, single_first)
+      << "a late single-slot caller overtook the queued batch";
+}
+
 // Regression for the slot-release wakeup bug: with notify_one a release
 // could be consumed by a multi-slot complete_many waiter whose predicate
 // was still false, leaving a runnable single-slot waiter asleep. Mixing

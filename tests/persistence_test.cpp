@@ -1,0 +1,470 @@
+// Cross-run persistence through the artifact store: judge-verdict warm
+// starts (byte-identical decisions, persisted-hit accounting, fingerprint
+// invalidation, corruption recovery, save-under-concurrency) and the
+// compile cache (front-end skipping in memory and across store round
+// trips), plus the pipeline-level counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "cache/compile_cache.hpp"
+#include "corpus/generator.hpp"
+#include "judge/judge.hpp"
+#include "llm/coder_model.hpp"
+#include "pipeline/validation_pipeline.hpp"
+#include "tests/test_util.hpp"
+
+namespace llm4vv::judge {
+namespace {
+
+using cache::ArtifactStore;
+using cache::ArtifactStoreConfig;
+using cache::StoreFingerprint;
+using frontend::Flavor;
+using frontend::Language;
+
+using testutil::TempFile;
+
+std::shared_ptr<llm::ModelClient> make_client(std::size_t concurrency = 2) {
+  return std::make_shared<llm::ModelClient>(
+      std::make_shared<const llm::SimulatedCoderModel>(), concurrency);
+}
+
+std::shared_ptr<ArtifactStore> make_store(const std::string& path) {
+  ArtifactStoreConfig config;
+  config.path = path;
+  config.fingerprint = StoreFingerprint{"persist-test", "sim-coder", 5};
+  return std::make_shared<ArtifactStore>(config);
+}
+
+frontend::SourceFile sample_file(std::uint64_t seed) {
+  return corpus::generate_one("saxpy_offload", Flavor::kOpenACC,
+                              Language::kC, seed)
+      .file;
+}
+
+void expect_same_decision(const JudgeDecision& a, const JudgeDecision& b) {
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(a.says_valid, b.says_valid);
+  EXPECT_EQ(a.prompt, b.prompt);
+  EXPECT_EQ(a.completion.text, b.completion.text);
+  EXPECT_EQ(a.completion.prompt_tokens, b.completion.prompt_tokens);
+  EXPECT_EQ(a.completion.completion_tokens, b.completion.completion_tokens);
+  EXPECT_DOUBLE_EQ(a.completion.latency_seconds,
+                   b.completion.latency_seconds);
+}
+
+// ---------------------------------------------------------------------------
+// Judge-verdict persistence
+// ---------------------------------------------------------------------------
+
+TEST(JudgePersistenceTest, WarmDecisionIsByteIdenticalToCold) {
+  TempFile file("roundtrip");
+  const auto source = sample_file(3);
+  JudgeDecision cold;
+  {
+    JudgeCacheConfig config;
+    config.store = make_store(file.path());
+    const Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis,
+                     config);
+    cold = judge.evaluate(source, nullptr, nullptr, 5);
+    EXPECT_FALSE(cold.cached);
+    EXPECT_EQ(judge.persist_cache(), 1u);
+    ASSERT_TRUE(config.store->save());
+  }
+  {
+    JudgeCacheConfig config;
+    config.store = make_store(file.path());
+    EXPECT_FALSE(config.store->load_report().cold_start);
+    const Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis,
+                     config);
+    const auto warm = judge.evaluate(source, nullptr, nullptr, 5);
+    EXPECT_TRUE(warm.cached);
+    EXPECT_TRUE(warm.persisted);
+    expect_same_decision(warm, cold);
+    const auto stats = judge.cache_stats();
+    EXPECT_EQ(stats.warm_loaded, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.persisted_hits, 1u);
+    EXPECT_EQ(stats.misses, 0u);
+  }
+}
+
+TEST(JudgePersistenceTest, AgentStyleDecisionsRoundTripWithOutcomes) {
+  TempFile file("agent");
+  const auto source = sample_file(4);
+  const auto driver = testutil::clean_driver(Flavor::kOpenACC);
+  const auto compiled = driver.compile(source);
+  const toolchain::Executor executor;
+  const auto ran = executor.run(compiled.module);
+
+  JudgeDecision cold;
+  {
+    JudgeCacheConfig config;
+    config.store = make_store(file.path());
+    const Llmj judge(make_client(), llm::PromptStyle::kAgentDirect, config);
+    cold = judge.evaluate(source, &compiled, &ran, 9);
+    judge.persist_cache();
+    ASSERT_TRUE(config.store->save());
+  }
+  JudgeCacheConfig config;
+  config.store = make_store(file.path());
+  const Llmj judge(make_client(), llm::PromptStyle::kAgentDirect, config);
+  const auto warm = judge.evaluate(source, &compiled, &ran, 9);
+  EXPECT_TRUE(warm.persisted);
+  expect_same_decision(warm, cold);
+  // A different seed or outcome still misses: the key covers them.
+  EXPECT_FALSE(judge.evaluate(source, &compiled, &ran, 10).cached);
+}
+
+TEST(JudgePersistenceTest, OtherStylesRecordsAreNotLoaded) {
+  TempFile file("styles");
+  const auto source = sample_file(6);
+  {
+    JudgeCacheConfig config;
+    config.store = make_store(file.path());
+    const Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis,
+                     config);
+    (void)judge.evaluate(source);
+    judge.persist_cache();
+    ASSERT_TRUE(config.store->save());
+  }
+  JudgeCacheConfig config;
+  config.store = make_store(file.path());
+  // An agent-style judge must not warm-load direct-analysis verdicts.
+  const Llmj judge(make_client(), llm::PromptStyle::kAgentDirect, config);
+  EXPECT_EQ(judge.cache_stats().warm_loaded, 0u);
+}
+
+TEST(JudgePersistenceTest, FingerprintMismatchColdStartsCleanly) {
+  TempFile file("fp");
+  const auto source = sample_file(7);
+  JudgeDecision cold;
+  {
+    JudgeCacheConfig config;
+    config.store = make_store(file.path());
+    const Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis,
+                     config);
+    cold = judge.evaluate(source);
+    judge.persist_cache();
+    ASSERT_TRUE(config.store->save());
+  }
+  // Same file, different model fingerprint: the records are stale and must
+  // not be served — cold start, recompute, same (deterministic) decision.
+  ArtifactStoreConfig changed;
+  changed.path = file.path();
+  changed.fingerprint = StoreFingerprint{"persist-test", "other-model", 5};
+  JudgeCacheConfig config;
+  config.store = std::make_shared<ArtifactStore>(changed);
+  EXPECT_TRUE(config.store->load_report().cold_start);
+  const Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis, config);
+  EXPECT_EQ(judge.cache_stats().warm_loaded, 0u);
+  const auto redone = judge.evaluate(source);
+  EXPECT_FALSE(redone.cached);
+  EXPECT_FALSE(redone.persisted);
+  expect_same_decision(redone, cold);
+}
+
+TEST(JudgePersistenceTest, CorruptTailRecoversRemainingRecords) {
+  TempFile file("corrupt");
+  const auto file_a = sample_file(10);
+  const auto file_b = sample_file(11);
+  {
+    JudgeCacheConfig config;
+    config.store = make_store(file.path());
+    const Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis,
+                     config);
+    (void)judge.evaluate(file_a);
+    (void)judge.evaluate(file_b);
+    judge.persist_cache();
+    ASSERT_TRUE(config.store->save());
+  }
+  {
+    // Crash-like truncated tail plus binary garbage.
+    std::ofstream out(file.path(), std::ios::app);
+    out << R"({"ns":"judge","key":"00ff","check":"00ff","f_style":")";
+  }
+  JudgeCacheConfig config;
+  config.store = make_store(file.path());
+  EXPECT_FALSE(config.store->load_report().cold_start);
+  EXPECT_EQ(config.store->load_report().corrupt_lines, 1u);
+  const Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis, config);
+  EXPECT_EQ(judge.cache_stats().warm_loaded, 2u);
+  EXPECT_TRUE(judge.evaluate(file_a).persisted);
+  EXPECT_TRUE(judge.evaluate(file_b).persisted);
+}
+
+TEST(JudgePersistenceTest, ConcurrentSaveWhileEvaluating) {
+  TempFile file("concurrent");
+  JudgeCacheConfig config;
+  config.store = make_store(file.path());
+  const Llmj judge(make_client(4), llm::PromptStyle::kDirectAnalysis,
+                   config);
+
+  std::atomic<bool> stop{false};
+  std::thread saver([&judge, &config, &stop] {
+    while (!stop.load()) {
+      judge.persist_cache();
+      ASSERT_TRUE(config.store->save());
+    }
+  });
+  std::vector<std::thread> evaluators;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 3; ++t) {
+    evaluators.emplace_back([&judge, &mismatches, t] {
+      for (std::uint64_t i = 0; i < 20; ++i) {
+        const auto source = sample_file(100 + (t * 20 + i) % 30);
+        const auto decision = judge.evaluate(source);
+        const auto again = judge.evaluate(source);
+        if (again.completion.text != decision.completion.text) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : evaluators) thread.join();
+  stop.store(true);
+  saver.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // The final persisted file must reload cleanly and serve warm hits.
+  // (Some generated files can share content, so the unique-key count is
+  // what the judge actually computed: its miss counter.)
+  judge.persist_cache();
+  ASSERT_TRUE(config.store->save());
+  const auto unique_keys = judge.cache_stats().misses;
+  EXPECT_GE(unique_keys, 25u);
+  JudgeCacheConfig reload;
+  reload.store = make_store(file.path());
+  EXPECT_FALSE(reload.store->load_report().cold_start);
+  EXPECT_EQ(reload.store->load_report().corrupt_lines, 0u);
+  const Llmj warm(make_client(), llm::PromptStyle::kDirectAnalysis, reload);
+  EXPECT_EQ(warm.cache_stats().warm_loaded, unique_keys);
+  EXPECT_TRUE(warm.evaluate(sample_file(100)).persisted);
+}
+
+TEST(JudgePersistenceTest, PersistCacheWithoutStoreIsANoOp) {
+  const Llmj judge(make_client(), llm::PromptStyle::kDirectAnalysis);
+  (void)judge.evaluate(sample_file(1));
+  EXPECT_EQ(judge.persist_cache(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Compile cache
+// ---------------------------------------------------------------------------
+
+toolchain::CompilerDriver cached_driver(
+    Flavor flavor, const std::shared_ptr<cache::CompileCache>& compile_cache) {
+  auto config = flavor == Flavor::kOpenACC ? toolchain::nvc_persona()
+                                           : toolchain::clang_persona();
+  return toolchain::CompilerDriver(config, compile_cache);
+}
+
+TEST(CompileCacheTest, SecondCompileSkipsTheFrontEnd) {
+  auto compile_cache =
+      std::make_shared<cache::CompileCache>(cache::CompileCacheConfig{},
+                                            toolchain::driver_fingerprint(
+                                                toolchain::nvc_persona()));
+  const auto driver = cached_driver(Flavor::kOpenACC, compile_cache);
+  const auto source = sample_file(21);
+
+  const auto first = driver.compile(source);
+  EXPECT_FALSE(first.cached);
+  const auto second = driver.compile(source);
+  EXPECT_TRUE(second.cached);
+  EXPECT_FALSE(second.persisted);
+  EXPECT_EQ(second.success, first.success);
+  EXPECT_EQ(second.return_code, first.return_code);
+  EXPECT_EQ(second.stderr_text, first.stderr_text);
+  // The lowered module is shared, not recompiled.
+  EXPECT_EQ(second.module.get(), first.module.get());
+  const auto stats = compile_cache->stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(CompileCacheTest, PersistedCompileSkipsFrontEndAcrossStores) {
+  TempFile file("compile");
+  const auto source = sample_file(22);
+  const auto fingerprint =
+      toolchain::driver_fingerprint(toolchain::nvc_persona());
+  toolchain::CompileResult cold;
+  {
+    cache::CompileCacheConfig config;
+    config.store = make_store(file.path());
+    auto compile_cache =
+        std::make_shared<cache::CompileCache>(config, fingerprint);
+    const auto driver = cached_driver(Flavor::kOpenACC, compile_cache);
+    cold = driver.compile(source);
+    EXPECT_EQ(compile_cache->persist(), 1u);
+    ASSERT_TRUE(config.store->save());
+  }
+  cache::CompileCacheConfig config;
+  config.store = make_store(file.path());
+  auto compile_cache =
+      std::make_shared<cache::CompileCache>(config, fingerprint);
+  EXPECT_EQ(compile_cache->stats().warm_loaded, 1u);
+  const auto driver = cached_driver(Flavor::kOpenACC, compile_cache);
+  const auto warm = driver.compile(source);
+  EXPECT_TRUE(warm.cached);
+  EXPECT_TRUE(warm.persisted);
+  EXPECT_EQ(warm.success, cold.success);
+  EXPECT_EQ(warm.return_code, cold.return_code);
+  EXPECT_EQ(warm.stderr_text, cold.stderr_text);
+  EXPECT_EQ(warm.stdout_text, cold.stdout_text);
+  ASSERT_EQ(warm.module != nullptr, cold.module != nullptr);
+  if (warm.module != nullptr) {
+    // The decoded module must behave exactly like the original.
+    const toolchain::Executor executor;
+    const auto a = executor.run(warm.module);
+    const auto b = executor.run(cold.module);
+    EXPECT_EQ(a.return_code, b.return_code);
+    EXPECT_EQ(a.stdout_text, b.stdout_text);
+    EXPECT_EQ(a.steps, b.steps);
+  }
+  EXPECT_EQ(compile_cache->stats().persisted_hits, 1u);
+}
+
+// The memo key is the file *identity* (content + name + language), not the
+// content alone: persona diagnostics bake the file name into stderr, and
+// the language selects the front-end, so byte-identical content under a
+// different name or language must never share a cached result.
+TEST(CompileCacheTest, SameContentDifferentNameOrLanguageDoesNotCrossServe) {
+  auto compile_cache =
+      std::make_shared<cache::CompileCache>(cache::CompileCacheConfig{},
+                                            toolchain::driver_fingerprint(
+                                                toolchain::nvc_persona()));
+  const auto driver = cached_driver(Flavor::kOpenACC, compile_cache);
+
+  frontend::SourceFile alpha;
+  alpha.name = "alpha.c";
+  alpha.content = "int main() { return undeclared_var; }\n";
+  frontend::SourceFile beta = alpha;
+  beta.name = "beta.c";
+
+  const auto first = driver.compile(alpha);
+  const auto second = driver.compile(beta);
+  EXPECT_FALSE(second.cached);  // different name: a distinct identity
+  EXPECT_NE(second.stderr_text.find("beta.c"), std::string::npos)
+      << "cached diagnostics leaked another file's name: "
+      << second.stderr_text;
+  EXPECT_EQ(first.stderr_text.find("beta.c"), std::string::npos);
+
+  // Same bytes re-labelled as Fortran select a different front-end and
+  // must also miss (SourceFile::language is part of the identity).
+  frontend::SourceFile fortran = alpha;
+  fortran.language = Language::kFortran;
+  EXPECT_FALSE(driver.compile(fortran).cached);
+
+  // The true repeat still hits.
+  EXPECT_TRUE(driver.compile(alpha).cached);
+}
+
+TEST(CompileCacheTest, DifferentPersonaNeverCrossServes) {
+  TempFile file("persona");
+  const auto source = sample_file(23);
+  {
+    cache::CompileCacheConfig config;
+    config.store = make_store(file.path());
+    auto compile_cache = std::make_shared<cache::CompileCache>(
+        config, toolchain::driver_fingerprint(toolchain::nvc_persona()));
+    const auto driver = cached_driver(Flavor::kOpenACC, compile_cache);
+    (void)driver.compile(source);
+    compile_cache->persist();
+    ASSERT_TRUE(config.store->save());
+  }
+  cache::CompileCacheConfig config;
+  config.store = make_store(file.path());
+  // clang persona: different fingerprint, so the nvc record must not load.
+  auto compile_cache = std::make_shared<cache::CompileCache>(
+      config, toolchain::driver_fingerprint(toolchain::clang_persona()));
+  EXPECT_EQ(compile_cache->stats().warm_loaded, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline integration: warm-start counters
+// ---------------------------------------------------------------------------
+
+std::vector<frontend::SourceFile> small_batch(std::size_t count) {
+  std::vector<frontend::SourceFile> files;
+  for (std::size_t i = 0; i < count; ++i) {
+    files.push_back(sample_file(40 + i));
+  }
+  return files;
+}
+
+TEST(PipelinePersistenceTest, WarmRunServesEverythingFromTheStore) {
+  TempFile file("pipeline");
+  const auto files = small_batch(12);
+  const auto fingerprint =
+      toolchain::driver_fingerprint(toolchain::nvc_persona());
+
+  pipeline::PipelineConfig pipe_config;
+  pipe_config.mode = pipeline::PipelineMode::kRecordAll;
+  pipe_config.judge_seed = 3;
+
+  pipeline::PipelineResult cold;
+  {
+    auto store = make_store(file.path());
+    JudgeCacheConfig judge_config;
+    judge_config.store = store;
+    auto judge = std::make_shared<const Llmj>(
+        make_client(), llm::PromptStyle::kAgentDirect, judge_config);
+    cache::CompileCacheConfig cc;
+    cc.store = store;
+    auto compile_cache =
+        std::make_shared<cache::CompileCache>(cc, fingerprint);
+    const pipeline::ValidationPipeline pipe(
+        toolchain::CompilerDriver(toolchain::nvc_persona(), compile_cache),
+        toolchain::Executor(), judge, pipe_config);
+    cold = pipe.run(files);
+    EXPECT_EQ(cold.judge_persisted_hits, 0u);
+    EXPECT_GT(cold.judge_gpu_seconds, 0.0);
+    judge->persist_cache();
+    compile_cache->persist();
+    ASSERT_TRUE(store->save());
+  }
+
+  auto store = make_store(file.path());
+  JudgeCacheConfig judge_config;
+  judge_config.store = store;
+  auto judge = std::make_shared<const Llmj>(
+      make_client(), llm::PromptStyle::kAgentDirect, judge_config);
+  cache::CompileCacheConfig cc;
+  cc.store = store;
+  auto compile_cache = std::make_shared<cache::CompileCache>(cc, fingerprint);
+  const pipeline::ValidationPipeline pipe(
+      toolchain::CompilerDriver(toolchain::nvc_persona(), compile_cache),
+      toolchain::Executor(), judge, pipe_config);
+  const auto warm = pipe.run(files);
+
+  // Every judged file is a persisted hit; no simulated GPU time is spent.
+  EXPECT_EQ(warm.judge_persisted_hits, warm.judge_stage.processed);
+  EXPECT_EQ(warm.judge_cache_hits, warm.judge_stage.processed);
+  EXPECT_EQ(warm.judge_cache_misses, 0u);
+  EXPECT_DOUBLE_EQ(warm.judge_gpu_seconds, 0.0);
+  // Every compile was served from the persisted compile cache.
+  EXPECT_EQ(warm.compile_cache_hits, files.size());
+  EXPECT_EQ(warm.compile_persisted_hits, files.size());
+
+  // Verdicts are byte-identical to the cold run's.
+  ASSERT_EQ(warm.records.size(), cold.records.size());
+  for (std::size_t i = 0; i < warm.records.size(); ++i) {
+    EXPECT_EQ(warm.records[i].verdict, cold.records[i].verdict) << i;
+    EXPECT_EQ(warm.records[i].judge_says_valid,
+              cold.records[i].judge_says_valid)
+        << i;
+    EXPECT_EQ(warm.records[i].pipeline_says_valid,
+              cold.records[i].pipeline_says_valid)
+        << i;
+    EXPECT_TRUE(warm.records[i].judge_persisted) << i;
+    EXPECT_TRUE(warm.records[i].compile_cached) << i;
+  }
+}
+
+}  // namespace
+}  // namespace llm4vv::judge

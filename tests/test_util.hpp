@@ -1,8 +1,11 @@
 #pragma once
 
+#include <atomic>
+#include <filesystem>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <unistd.h>
 
 #include "directive/validator.hpp"
 #include "frontend/fortran.hpp"
@@ -56,6 +59,31 @@ inline vm::ExecResult run_source(
   const auto module = vm::lower(program, lopts);
   return vm::execute(module, limits);
 }
+
+/// A unique temp file per instance (pid + counter under the system temp
+/// dir); the destructor removes it and its `.tmp` save sidecar. Shared by
+/// the artifact-store and persistence test suites.
+class TempFile {
+ public:
+  explicit TempFile(const char* tag) {
+    static std::atomic<int> counter{0};
+    path_ = (std::filesystem::temp_directory_path() /
+             ("llm4vv_test_" + std::to_string(::getpid()) + "_" + tag + "_" +
+              std::to_string(counter.fetch_add(1)) + ".jsonl"))
+                .string();
+  }
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+    std::filesystem::remove(path_ + ".tmp", ec);
+  }
+  TempFile(const TempFile&) = delete;
+  TempFile& operator=(const TempFile&) = delete;
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
 
 /// A strictness-free compiler driver for validity testing.
 inline toolchain::CompilerDriver clean_driver(frontend::Flavor flavor) {
