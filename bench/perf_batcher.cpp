@@ -1,0 +1,124 @@
+// Ablation bench for the asynchronous submission API's adaptive batcher:
+// with several judge workers submitting through one central ModelClient,
+// sweep the wait window T. At T=0 every worker's submission group flushes
+// immediately (the PR 2 per-worker-chunk shape); with T>0 the batcher may
+// hold a submission up to T microseconds so groups from *different*
+// workers coalesce into fuller cross-worker forward passes — higher flush
+// occupancy, more prefill amortization, fewer simulated GPU seconds.
+//
+// run_benchmarks.sh and CI guard two properties of this sweep:
+//   1. cross-worker batches actually form: mean flush occupancy at
+//      T=200 us strictly exceeds the T=0 (static per-worker) baseline;
+//   2. the saving is real: sim-GPU s/run at T=200 us is no worse than at
+//      T=0.
+#include <benchmark/benchmark.h>
+
+#include "core/llm4vv.hpp"
+
+namespace {
+
+using namespace llm4vv;
+
+/// A probed batch with a controlled invalid share (issues 0-2 fail early).
+std::vector<frontend::SourceFile> make_batch(std::size_t size,
+                                             int invalid_tenths) {
+  const std::size_t invalid =
+      size * static_cast<std::size_t>(invalid_tenths) / 10;
+  corpus::GeneratorConfig gen;
+  gen.flavor = frontend::Flavor::kOpenACC;
+  gen.count = size + 32;
+  gen.seed = 1234;
+  const auto suite = corpus::generate_suite(gen);
+
+  probing::ProbingConfig probe;
+  probe.issue_counts = {invalid / 3, invalid / 3,
+                        invalid - 2 * (invalid / 3), 0, 0, size - invalid};
+  probe.seed = 77;
+  const auto probed = probing::probe_suite(suite, probe);
+
+  std::vector<frontend::SourceFile> files;
+  files.reserve(probed.files.size());
+  for (const auto& f : probed.files) files.push_back(f.file);
+  return files;
+}
+
+void BM_PipelineAdaptiveBatch(benchmark::State& state) {
+  const auto window_us = static_cast<std::uint64_t>(state.range(0));
+  const auto files = make_batch(120, 3);
+
+  // Cache off so every judged file is a genuine model submission.
+  // stage_batch = 1 makes every queue hand-off per-item (no 16-wide
+  // bursts), so the judge queue stays shallow and each worker's popped
+  // chunk is small: at T=0 the per-worker submission groups are tiny — the
+  // sparse-arrival load shape where only a cross-worker batcher can keep
+  // forward-pass occupancy up.
+  llm::BatcherConfig batcher;
+  batcher.max_batch = 8;
+  batcher.window_us = window_us;
+  auto client = core::make_simulated_client(4, batcher);
+  judge::JudgeCacheConfig cache;
+  cache.enabled = false;
+  auto judge = std::make_shared<const judge::Llmj>(
+      client, llm::PromptStyle::kAgentDirect, cache);
+  pipeline::PipelineConfig config;
+  config.mode = pipeline::PipelineMode::kRecordAll;
+  config.compile_workers = 2;
+  config.execute_workers = 2;
+  config.judge_workers = 4;
+  config.judge_batch_size = 8;
+  config.stage_batch = 1;
+  const pipeline::ValidationPipeline pipe(
+      toolchain::CompilerDriver(toolchain::nvc_persona()),
+      toolchain::Executor(), judge, config);
+
+  double gpu_seconds = 0.0;
+  double formed_occupancy_sum = 0.0;
+  double chunk_occupancy_sum = 0.0;
+  std::uint64_t formed_batches = 0;
+  std::uint64_t flush_full = 0;
+  std::uint64_t flush_window = 0;
+  std::size_t queue_depth_peak = 0;
+  for (auto _ : state) {
+    const auto result = pipe.run(files);
+    gpu_seconds += result.judge_gpu_seconds;
+    formed_occupancy_sum += result.judge_batch_occupancy;
+    chunk_occupancy_sum +=
+        result.judge_batches == 0
+            ? 0.0
+            : static_cast<double>(result.judge_batched_prompts) /
+                  static_cast<double>(result.judge_batches);
+    formed_batches += result.judge_formed_batches;
+    flush_full += result.judge_flush_full;
+    flush_window += result.judge_flush_window;
+    queue_depth_peak =
+        std::max(queue_depth_peak, result.judge_queue_depth_peak);
+    benchmark::DoNotOptimize(result.records.data());
+  }
+  const auto runs = static_cast<double>(state.iterations());
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * files.size()));
+  state.counters["sim_gpu_s_per_run"] = gpu_seconds / runs;
+  /// Mean prompts per forward pass the batcher actually formed.
+  state.counters["formed_occupancy"] = formed_occupancy_sum / runs;
+  /// The old per-worker popped-chunk occupancy, for comparison.
+  state.counters["chunk_occupancy"] = chunk_occupancy_sum / runs;
+  state.counters["formed_batches_per_run"] =
+      static_cast<double>(formed_batches) / runs;
+  state.counters["flush_full_per_run"] =
+      static_cast<double>(flush_full) / runs;
+  state.counters["flush_window_per_run"] =
+      static_cast<double>(flush_window) / runs;
+  state.counters["queue_depth_peak"] =
+      static_cast<double>(queue_depth_peak);
+}
+BENCHMARK(BM_PipelineAdaptiveBatch)
+    ->Arg(0)
+    ->Arg(50)
+    ->Arg(200)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"window_us"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

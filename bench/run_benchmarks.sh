@@ -3,6 +3,8 @@
 # next to this script, so every PR leaves a perf trajectory:
 #   bench/BENCH_tokenizer.json  - trie vs naive encode, count, roundtrip
 #   bench/BENCH_pipeline.json   - mode/worker sweeps + judge-cache counters
+#   bench/BENCH_batcher.json    - adaptive-batcher wait-window sweep
+#                                 (cross-worker flush occupancy vs T)
 #   bench/BENCH_cache.json      - persistent warm-start collapse (perf_cache
 #                                 runs TWICE against one cache file; the
 #                                 recorded JSON is the second, warm run)
@@ -45,6 +47,7 @@ run_bench() {
 
 run_bench perf_tokenizer "${script_dir}/BENCH_tokenizer.json"
 run_bench perf_pipeline "${script_dir}/BENCH_pipeline.json"
+run_bench perf_batcher "${script_dir}/BENCH_batcher.json"
 
 # Warm-start persistence check: run perf_cache twice against ONE cache
 # file. The first invocation starts cold (the file is deleted here) and
@@ -104,6 +107,39 @@ if command -v jq >/dev/null 2>&1; then
     exit 1
   }
   echo "batched judge path OK (occupancy > 1, sim GPU below sequential)"
+
+  jq -r '
+    .benchmarks[]
+    | select(.name | startswith("BM_PipelineAdaptiveBatch"))
+    | "\(.name): formed_occupancy \(.formed_occupancy * 100 | floor / 100)" +
+      " (chunk \(.chunk_occupancy * 100 | floor / 100)), " +
+      "sim_gpu \(.sim_gpu_s_per_run * 100 | floor / 100) s/run, " +
+      "wall \(.real_time * 100 | floor / 100) ms"
+  ' "${script_dir}/BENCH_batcher.json"
+
+  # Cross-worker batch-formation guard: with several judge workers and
+  # per-item arrivals, the T=200 us wait window must form strictly fuller
+  # forward passes than both the T=0 formed baseline and the static
+  # per-worker popped-chunk occupancy at the same load — and the fuller
+  # passes must not cost more simulated GPU time. If this fails, the
+  # adaptive batcher silently stopped coalescing across workers.
+  jq -e '
+    ([.benchmarks[]
+      | select(.name == "BM_PipelineAdaptiveBatch/window_us:0")][0]) as $t0 |
+    ([.benchmarks[]
+      | select(.name == "BM_PipelineAdaptiveBatch/window_us:200")][0]) as $t |
+    $t.formed_batches_per_run > 0
+      and $t.formed_occupancy > $t0.formed_occupancy
+      and $t.formed_occupancy > $t0.chunk_occupancy
+      and $t.sim_gpu_s_per_run <= $t0.sim_gpu_s_per_run * 1.001
+  ' "${script_dir}/BENCH_batcher.json" > /dev/null || {
+    echo "error: adaptive batcher not forming cross-worker batches at" \
+         "T=200us (occupancy <= static baseline, or sim GPU regressed)" \
+         "- see BENCH_batcher.json" >&2
+    exit 1
+  }
+  echo "adaptive batcher OK (T=200us occupancy beats static baseline," \
+       "sim GPU no worse)"
 
   jq -r '
     [.benchmarks[] | select(.name == "BM_PipelineWarmStart")][0]

@@ -59,7 +59,11 @@ probing::ProbedSuite build_part_two_suite(frontend::Flavor flavor,
                                           const ExperimentOptions& options);
 
 /// Fresh simulated-judge client (one A100-node replica per judge worker).
+/// The default batcher config is paper mode — window_us = 0, no coalescing
+/// across callers, sequential pricing bit-exact with the paper's
+/// one-call-per-file accounting; pass an explicit BatcherConfig to enable
+/// adaptive cross-worker batching (see llm::BatcherConfig).
 std::shared_ptr<llm::ModelClient> make_simulated_client(
-    std::size_t max_concurrency = 4);
+    std::size_t max_concurrency = 4, llm::BatcherConfig batcher = {});
 
 }  // namespace llm4vv::core

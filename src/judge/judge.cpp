@@ -22,9 +22,9 @@ std::size_t pow2_at_least(std::size_t n) {
 
 using support::hash_mix;
 
-/// Parse a finished model call into the decision's verdict fields. Both
-/// the sequential and the batched paths go through here, which is what
-/// keeps their verdicts byte-for-byte identical by construction.
+/// Parse a finished model call into the decision's verdict fields. Every
+/// path — blocking, batched, asynchronous — goes through here, which is
+/// what keeps their verdicts byte-for-byte identical by construction.
 void finish_decision(JudgeDecision& decision, llm::Completion completion,
                      bool batched) {
   decision.completion = std::move(completion);
@@ -106,6 +106,159 @@ bool decode_decision(const cache::ArtifactStore::Fields& fields,
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// JudgeFuture
+// ---------------------------------------------------------------------------
+
+/// Shared state behind a JudgeFuture. Resolution is idempotent and runs
+/// under the state's own mutex; the kinds mirror the probe outcomes:
+///  - kReady:    a cache hit, decision filled at submission time;
+///  - kOwner:    this future owns the model submission (and, with the
+///               cache enabled, the claimed in-flight key it must publish
+///               or abandon);
+///  - kFollower: an in-batch duplicate; copies its leader's decision;
+///  - kPeerWait: a duplicate of work in flight on another caller; waits
+///               for that owner's publication (taking the key over if it
+///               was abandoned).
+struct JudgeFuture::State {
+  enum class Kind { kReady, kOwner, kFollower, kPeerWait };
+
+  std::mutex mutex;
+  bool resolved = false;
+  /// Lock-free mirror of `resolved`, set after resolution completes, so
+  /// ready() can answer without touching the mutex a concurrent resolve()
+  /// holds across its blocking wait.
+  std::atomic<bool> resolved_flag{false};
+  JudgeDecision decision;
+  std::exception_ptr error;
+
+  Kind kind = Kind::kReady;
+  const Llmj* judge = nullptr;
+  std::uint64_t seed = 0;
+
+  // kOwner / kPeerWait:
+  std::uint64_t key = 0;
+  std::uint64_t content_hash = 0;
+  // kOwner:
+  llm::CompletionFuture completion;
+  bool publish_on_resolve = false;  ///< owns a claimed in-flight key
+  bool batched = false;             ///< submitted via the batch API
+  // kFollower:
+  std::shared_ptr<State> leader;
+  // kPeerWait (referents owned by the submitting caller):
+  JudgeRequest request;
+
+  ~State() {
+    // A claimed key whose future was dropped unresolved must not strand
+    // other callers waiting on it: abandon wakes them and lets the next
+    // prober take ownership (a deterministic recompute, never a hang).
+    if (!resolved && kind == Kind::kOwner && publish_on_resolve) {
+      judge->abandon(key);
+    }
+  }
+
+  /// Resolve once: fills `decision` or `error`.
+  void resolve() {
+    std::lock_guard lock(mutex);
+    if (resolved) return;
+    struct FlagGuard {
+      State& state;
+      ~FlagGuard() {
+        if (state.resolved) {
+          state.resolved_flag.store(true, std::memory_order_release);
+        }
+      }
+    } flag_guard{*this};
+    try {
+      switch (kind) {
+        case Kind::kReady:
+          break;  // decision filled at submission time
+        case Kind::kOwner: {
+          llm::Completion value = completion.get();
+          finish_decision(decision, std::move(value), batched);
+          if (publish_on_resolve) {
+            judge->publish(key, content_hash, decision);
+            publish_on_resolve = false;
+          }
+          break;
+        }
+        case Kind::kFollower: {
+          leader->resolve();
+          std::lock_guard leader_lock(leader->mutex);
+          if (leader->error != nullptr) {
+            resolved = true;
+            error = leader->error;
+            return;
+          }
+          decision = leader->decision;
+          decision.cached = true;
+          decision.batched = false;  // a copy, not a submission
+          judge->duplicate_misses_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        case Kind::kPeerWait:
+          decision = judge->wait_for(key, content_hash, *request.file,
+                                     request.compile, request.exec, seed);
+          break;
+      }
+      resolved = true;
+    } catch (...) {
+      error = std::current_exception();
+      resolved = true;
+      if (kind == Kind::kOwner && publish_on_resolve) {
+        judge->abandon(key);
+        publish_on_resolve = false;
+      }
+    }
+  }
+};
+
+bool JudgeFuture::ready() const {
+  // Never touches state_->mutex: a concurrent get() holds it across its
+  // blocking wait, and ready() must stay non-blocking. `kind` and the
+  // submission-time fields are immutable once the future is handed out;
+  // resolution is observed through the atomic mirror.
+  if (state_ == nullptr) return false;
+  if (state_->resolved_flag.load(std::memory_order_acquire)) return true;
+  switch (state_->kind) {
+    case State::Kind::kReady:
+      return true;
+    case State::Kind::kOwner:
+      // get() still finalizes (parse + publish), but nothing blocks once
+      // the underlying pass has flushed.
+      return state_->completion.valid() && state_->completion.ready();
+    case State::Kind::kFollower: {
+      const State& leader = *state_->leader;
+      return leader.resolved_flag.load(std::memory_order_acquire) ||
+             (leader.completion.valid() && leader.completion.ready());
+    }
+    case State::Kind::kPeerWait:
+      // True once the owning caller has published the key: get() then
+      // copies the cached decision without waiting. (If the owner
+      // abandons instead, this stays false and get() recomputes.)
+      return state_->judge->published(state_->key, state_->content_hash);
+  }
+  return false;
+}
+
+bool JudgeFuture::waits_on_peer() const {
+  return state_ != nullptr && state_->kind == State::Kind::kPeerWait;
+}
+
+JudgeDecision JudgeFuture::get() const {
+  if (state_ == nullptr) {
+    throw std::logic_error("JudgeFuture::get on an empty future");
+  }
+  state_->resolve();
+  std::lock_guard lock(state_->mutex);
+  if (state_->error != nullptr) std::rethrow_exception(state_->error);
+  return state_->decision;
+}
+
+// ---------------------------------------------------------------------------
+// Llmj
+// ---------------------------------------------------------------------------
 
 Llmj::Llmj(std::shared_ptr<llm::ModelClient> client, llm::PromptStyle style,
            JudgeCacheConfig cache)
@@ -238,6 +391,13 @@ void Llmj::publish(std::uint64_t key, std::uint64_t content_hash,
   shard.done.notify_all();
 }
 
+bool Llmj::published(std::uint64_t key, std::uint64_t content_hash) const {
+  CacheShard& shard = *shards_[key & shard_mask_];
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.entries.find(key);
+  return it != shard.entries.end() && it->second.content_hash == content_hash;
+}
+
 void Llmj::abandon(std::uint64_t key) const {
   CacheShard& shard = *shards_[key & shard_mask_];
   {
@@ -287,159 +447,188 @@ JudgeDecision Llmj::wait_for(std::uint64_t key, std::uint64_t content_hash,
   return decision;
 }
 
-JudgeDecision Llmj::evaluate(const frontend::SourceFile& file,
-                             const toolchain::CompileResult* compile,
-                             const toolchain::ExecutionRecord* exec,
-                             std::uint64_t seed) const {
-  if (!cache_config_.enabled) {
-    return evaluate_uncached(file, compile, exec, seed);
-  }
-
-  const std::uint64_t content_hash = support::fnv1a64(file.content);
-  const std::uint64_t key = cache_key(content_hash, file, compile, exec, seed);
-  JudgeDecision decision;
-  switch (probe_or_claim(key, content_hash, decision)) {
-    case Probe::kHit:
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return decision;
-    case Probe::kBusy:
-      // Another worker is judging this exact key right now; wait for its
-      // result instead of paying a duplicate simulated GPU call.
-      return wait_for(key, content_hash, file, compile, exec, seed);
-    case Probe::kClaimed:
-      break;
-  }
-  misses_.fetch_add(1, std::memory_order_relaxed);
-
-  try {
-    decision = evaluate_uncached(file, compile, exec, seed);
-    publish(key, content_hash, decision);
-  } catch (...) {
-    abandon(key);
-    throw;
-  }
-  return decision;
-}
-
-std::vector<JudgeDecision> Llmj::evaluate_many(
-    const std::vector<JudgeRequest>& batch, std::uint64_t seed) const {
-  std::vector<JudgeDecision> decisions(batch.size());
-  if (batch.empty()) return decisions;
+JudgeFuture Llmj::evaluate_async(const JudgeRequest& request,
+                                 std::uint64_t seed) const {
+  async_items_.fetch_add(1, std::memory_order_relaxed);
+  auto state = std::make_shared<JudgeFuture::State>();
+  state->judge = this;
+  state->seed = seed;
 
   llm::GenerationParams params;
   params.seed = seed;
 
   if (!cache_config_.enabled) {
+    state->kind = JudgeFuture::State::Kind::kOwner;
+    state->decision.prompt =
+        build_prompt(style_, *request.file, request.compile, request.exec);
+    state->completion = client_->submit(state->decision.prompt, params);
+    return JudgeFuture(std::move(state));
+  }
+
+  const std::uint64_t content_hash = support::fnv1a64(request.file->content);
+  const std::uint64_t key =
+      cache_key(content_hash, *request.file, request.compile, request.exec,
+                seed);
+  switch (probe_or_claim(key, content_hash, state->decision)) {
+    case Probe::kHit:
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      async_immediate_.fetch_add(1, std::memory_order_relaxed);
+      state->kind = JudgeFuture::State::Kind::kReady;
+      state->resolved = true;
+      return JudgeFuture(std::move(state));
+    case Probe::kBusy:
+      state->kind = JudgeFuture::State::Kind::kPeerWait;
+      state->key = key;
+      state->content_hash = content_hash;
+      state->request = request;
+      return JudgeFuture(std::move(state));
+    case Probe::kClaimed:
+      break;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  state->kind = JudgeFuture::State::Kind::kOwner;
+  state->key = key;
+  state->content_hash = content_hash;
+  state->publish_on_resolve = true;
+  // From here on the state's destructor abandons the claim if this future
+  // never resolves — a throw below (or a dropped future) can't strand
+  // anyone waiting on the key.
+  state->decision.prompt =
+      build_prompt(style_, *request.file, request.compile, request.exec);
+  state->completion = client_->submit(state->decision.prompt, params);
+  return JudgeFuture(std::move(state));
+}
+
+std::vector<JudgeFuture> Llmj::evaluate_async_many(
+    const std::vector<JudgeRequest>& batch, std::uint64_t seed) const {
+  std::vector<JudgeFuture> futures;
+  futures.reserve(batch.size());
+  if (batch.empty()) return futures;
+  async_items_.fetch_add(batch.size(), std::memory_order_relaxed);
+
+  llm::GenerationParams params;
+  params.seed = seed;
+
+  std::vector<std::shared_ptr<JudgeFuture::State>> states;
+  states.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    states.push_back(std::make_shared<JudgeFuture::State>());
+    states.back()->judge = this;
+    states.back()->seed = seed;
+  }
+
+  if (!cache_config_.enabled) {
     // Paper accounting: every item — duplicates included — is submitted,
-    // as one batched pass.
+    // as one batch-API group (the adaptive batcher decides the passes).
     std::vector<std::string> prompts;
     prompts.reserve(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      decisions[i].prompt =
-          build_prompt(style_, *batch[i].file, batch[i].compile,
-                       batch[i].exec);
-      prompts.push_back(decisions[i].prompt);
+      states[i]->kind = JudgeFuture::State::Kind::kOwner;
+      states[i]->batched = true;
+      states[i]->decision.prompt = build_prompt(
+          style_, *batch[i].file, batch[i].compile, batch[i].exec);
+      prompts.push_back(states[i]->decision.prompt);
     }
-    auto completions = client_->complete_many(prompts, params);
+    auto completions = client_->submit_many(prompts, params);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      finish_decision(decisions[i], std::move(completions[i]),
-                      /*batched=*/true);
+      states[i]->completion = std::move(completions[i]);
+      futures.push_back(JudgeFuture(std::move(states[i])));
     }
-    return decisions;
+    return futures;
   }
 
-  /// An item that missed the cache: either claimed by this batch (a miss
-  /// to submit) or in flight on another thread (a waiter).
-  struct Pending {
-    std::size_t index;
-    std::uint64_t key;
-    std::uint64_t content_hash;
-  };
-  std::vector<Pending> misses;
-  std::vector<Pending> waiters;
-  std::vector<std::pair<std::size_t, std::size_t>> followers;  // idx, leader
-  // Reserve up front so recording a freshly claimed key cannot itself
-  // throw and lose the claim before the guard below can see it.
-  misses.reserve(batch.size());
-  waiters.reserve(batch.size());
-  followers.reserve(batch.size());
-
-  // Everything between the first claim and the last publish runs under
-  // this guard: if classification, prompt assembly, submission, or
-  // publication throws, every key this batch still holds in flight is
-  // abandoned so other threads cannot wait on it forever (abandoning an
-  // already-published key is a harmless no-op erase).
-  try {
-    // Pass 1: classify every item. Keys this batch claims are recorded in
-    // `batch_leader` so a second copy of the same key becomes an in-batch
-    // follower instead of deadlocking on its own in-flight marker.
-    std::unordered_map<std::uint64_t, std::size_t> batch_leader;
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const std::uint64_t content_hash =
-          support::fnv1a64(batch[i].file->content);
-      const std::uint64_t key =
-          cache_key(content_hash, *batch[i].file, batch[i].compile,
-                    batch[i].exec, seed);
-      const auto leader = batch_leader.find(key);
-      if (leader != batch_leader.end()) {
-        followers.emplace_back(i, leader->second);
-        continue;
-      }
-      switch (probe_or_claim(key, content_hash, decisions[i])) {
-        case Probe::kHit:
-          hits_.fetch_add(1, std::memory_order_relaxed);
-          break;
-        case Probe::kBusy:
-          waiters.push_back(Pending{i, key, content_hash});
-          break;
-        case Probe::kClaimed:
-          misses.push_back(Pending{i, key, content_hash});
-          batch_leader.emplace(key, i);
-          break;
-      }
+  // Classify every item. Keys this batch claims are recorded in
+  // `batch_leader` so a second copy of the same key becomes an in-batch
+  // follower instead of deadlocking on its own in-flight marker. If
+  // anything below throws, the states' destructors abandon every claimed
+  // key, so other threads cannot wait on this batch forever.
+  std::unordered_map<std::uint64_t, std::size_t> batch_leader;
+  std::vector<std::size_t> miss_indices;
+  miss_indices.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    JudgeFuture::State& state = *states[i];
+    const std::uint64_t content_hash =
+        support::fnv1a64(batch[i].file->content);
+    const std::uint64_t key =
+        cache_key(content_hash, *batch[i].file, batch[i].compile,
+                  batch[i].exec, seed);
+    const auto leader = batch_leader.find(key);
+    if (leader != batch_leader.end()) {
+      state.kind = JudgeFuture::State::Kind::kFollower;
+      state.leader = states[leader->second];
+      continue;
     }
-
-    // Pass 2: submit all genuine misses as one batched forward pass.
-    if (!misses.empty()) {
-      std::vector<std::string> prompts;
-      prompts.reserve(misses.size());
-      for (const Pending& miss : misses) {
-        const JudgeRequest& request = batch[miss.index];
-        decisions[miss.index].prompt = build_prompt(
-            style_, *request.file, request.compile, request.exec);
-        prompts.push_back(decisions[miss.index].prompt);
-      }
-      auto completions = client_->complete_many(prompts, params);
-      misses_.fetch_add(misses.size(), std::memory_order_relaxed);
-      for (std::size_t m = 0; m < misses.size(); ++m) {
-        JudgeDecision& decision = decisions[misses[m].index];
-        finish_decision(decision, std::move(completions[m]),
-                        /*batched=*/true);
-        publish(misses[m].key, misses[m].content_hash, decision);
-      }
+    switch (probe_or_claim(key, content_hash, state.decision)) {
+      case Probe::kHit:
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        async_immediate_.fetch_add(1, std::memory_order_relaxed);
+        state.kind = JudgeFuture::State::Kind::kReady;
+        state.resolved = true;
+        break;
+      case Probe::kBusy:
+        state.kind = JudgeFuture::State::Kind::kPeerWait;
+        state.key = key;
+        state.content_hash = content_hash;
+        state.request = batch[i];
+        break;
+      case Probe::kClaimed:
+        state.kind = JudgeFuture::State::Kind::kOwner;
+        state.key = key;
+        state.content_hash = content_hash;
+        state.publish_on_resolve = true;
+        state.batched = true;
+        batch_leader.emplace(key, i);
+        miss_indices.push_back(i);
+        break;
     }
-  } catch (...) {
-    for (const Pending& miss : misses) abandon(miss.key);
-    throw;
   }
 
-  // Pass 3: in-batch followers copy their leader's freshly computed
-  // decision (no extra model call — a deduplicated miss).
-  for (const auto& [index, leader] : followers) {
-    duplicate_misses_.fetch_add(1, std::memory_order_relaxed);
-    decisions[index] = decisions[leader];
-    decisions[index].cached = true;
-    decisions[index].batched = false;
+  // Submit all genuine misses as one batch-API group: with a zero wait
+  // window they flush as one forward pass (the PR 2 shape); with a
+  // nonzero window the batcher may coalesce them with other callers'
+  // misses into larger cross-worker passes.
+  if (!miss_indices.empty()) {
+    std::vector<std::string> prompts;
+    prompts.reserve(miss_indices.size());
+    for (const std::size_t index : miss_indices) {
+      const JudgeRequest& request = batch[index];
+      states[index]->decision.prompt = build_prompt(
+          style_, *request.file, request.compile, request.exec);
+      prompts.push_back(states[index]->decision.prompt);
+    }
+    auto completions = client_->submit_many(prompts, params);
+    misses_.fetch_add(miss_indices.size(), std::memory_order_relaxed);
+    for (std::size_t m = 0; m < miss_indices.size(); ++m) {
+      states[miss_indices[m]]->completion = std::move(completions[m]);
+    }
   }
 
-  // Pass 4: wait for keys other threads were computing. This runs after
-  // our own misses were published, so two batches waiting on each other
-  // cannot cycle.
-  for (const Pending& waiter : waiters) {
-    const JudgeRequest& request = batch[waiter.index];
-    decisions[waiter.index] =
-        wait_for(waiter.key, waiter.content_hash, *request.file,
-                 request.compile, request.exec, seed);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    futures.push_back(JudgeFuture(std::move(states[i])));
+  }
+  return futures;
+}
+
+JudgeDecision Llmj::evaluate(const frontend::SourceFile& file,
+                             const toolchain::CompileResult* compile,
+                             const toolchain::ExecutionRecord* exec,
+                             std::uint64_t seed) const {
+  return evaluate_async(JudgeRequest{&file, compile, exec}, seed).get();
+}
+
+std::vector<JudgeDecision> Llmj::evaluate_many(
+    const std::vector<JudgeRequest>& batch, std::uint64_t seed) const {
+  const auto futures = evaluate_async_many(batch, seed);
+  std::vector<JudgeDecision> decisions(batch.size());
+  // Drain discipline: resolve everything this batch owns first, then the
+  // duplicates of other callers' in-flight work — two batches holding
+  // duplicates of each other's claims publish before they wait, so they
+  // can never deadlock.
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    if (!futures[i].waits_on_peer()) decisions[i] = futures[i].get();
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    if (futures[i].waits_on_peer()) decisions[i] = futures[i].get();
   }
   return decisions;
 }
@@ -453,6 +642,8 @@ JudgeCacheStats Llmj::cache_stats() const noexcept {
       duplicate_misses_.load(std::memory_order_relaxed);
   stats.persisted_hits = persisted_hits_.load(std::memory_order_relaxed);
   stats.warm_loaded = warm_loaded_;
+  stats.async_items = async_items_.load(std::memory_order_relaxed);
+  stats.async_immediate = async_immediate_.load(std::memory_order_relaxed);
   return stats;
 }
 

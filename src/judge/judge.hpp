@@ -17,6 +17,8 @@
 
 namespace llm4vv::judge {
 
+class Llmj;
+
 /// One judged file: prompt, completion, parsed verdict.
 struct JudgeDecision {
   Verdict verdict = Verdict::kUnparseable;
@@ -26,10 +28,10 @@ struct JudgeDecision {
   /// True when this decision was served from the memoization cache (no
   /// prompt assembly, no model call, no simulated GPU time spent).
   bool cached = false;
-  /// True when this decision's model call rode a batched complete_many
-  /// forward pass (an evaluate_many miss). False for sequential calls and
-  /// for copies served from the cache or in-flight dedup — the pipeline's
-  /// batch-occupancy accounting counts exactly the batched submissions.
+  /// True when this decision's model call rode the batch submission API
+  /// (an evaluate_many / evaluate_async_many miss). False for sequential
+  /// calls and for copies served from the cache or in-flight dedup — the
+  /// pipeline's chunk accounting counts exactly the batched submissions.
   bool batched = false;
   /// True when the serving cache entry was warm-loaded from a persistent
   /// artifact store: a previous process run paid for the model call.
@@ -63,8 +65,8 @@ struct JudgeCacheConfig {
 };
 
 /// Counters of the memoization cache (monotonic over the Llmj's lifetime).
-/// hits + misses + duplicate_misses equals the number of evaluate()/
-/// evaluate_many() items served while the cache was enabled.
+/// hits + misses + duplicate_misses equals the number of items served
+/// while the cache was enabled.
 struct JudgeCacheStats {
   std::uint64_t hits = 0;
   /// Items that actually assembled a prompt and queried the model.
@@ -72,23 +74,73 @@ struct JudgeCacheStats {
   std::uint64_t evictions = 0;
   /// Items that missed the cache but were served by piggybacking on a
   /// computation already in flight — a concurrent worker judging the same
-  /// key, or an earlier copy of the key inside the same evaluate_many
-  /// batch. Before in-flight dedup these were thundering-herd misses that
-  /// each paid a full simulated GPU call.
+  /// key, or an earlier copy of the key inside the same batch. Before
+  /// in-flight dedup these were thundering-herd misses that each paid a
+  /// full simulated GPU call.
   std::uint64_t duplicate_misses = 0;
   /// Subset of `hits` served by entries warm-loaded from the persistent
   /// artifact store: cross-run savings, as opposed to in-process ones.
   std::uint64_t persisted_hits = 0;
   /// Decisions decoded from the store at construction (warm start size).
   std::uint64_t warm_loaded = 0;
+  /// Items that entered the asynchronous core (everything does: the
+  /// blocking entry points are wrappers over evaluate_async[_many]).
+  std::uint64_t async_items = 0;
+  /// Subset of `async_items` whose future was already resolved when the
+  /// submission returned — cache hits that never touched the batcher.
+  std::uint64_t async_immediate = 0;
 };
 
-/// One item of a batched evaluate_many() call. Agent styles require
-/// non-null compile/exec records, exactly like evaluate().
+/// One item of a batched or asynchronous evaluation. Agent styles require
+/// non-null compile/exec records, exactly like evaluate(). The referenced
+/// file/compile/exec objects must stay alive until the matching decision
+/// (or JudgeFuture) is resolved.
 struct JudgeRequest {
   const frontend::SourceFile* file = nullptr;
   const toolchain::CompileResult* compile = nullptr;
   const toolchain::ExecutionRecord* exec = nullptr;
+};
+
+/// Handle on one asynchronously judged request.
+///
+/// Cache hits resolve at submission time; misses resolve when the model
+/// client's adaptive batcher flushes them; duplicates of in-flight work
+/// resolve when the owning caller publishes. get() finalizes the decision
+/// (parsing the verdict and, for claimed misses, publishing into the memo
+/// cache) and is idempotent.
+///
+/// Lifetime: the future must not outlive the Llmj that issued it (the
+/// shared state points back into the judge's cache shards). Dropping an
+/// unresolved future is safe and deterministic — a claimed key is
+/// abandoned so no other caller can be left waiting on it forever, and the
+/// underlying model submission fails cleanly if its client is destroyed.
+class JudgeFuture {
+ public:
+  JudgeFuture() = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+  /// True when get() will not block: the decision is resolved, the
+  /// underlying model pass has flushed (get() then only finalizes), or —
+  /// for a duplicate of another caller's in-flight work — that owner has
+  /// published. Itself non-blocking, even against a concurrent get().
+  bool ready() const;
+  /// True when this future waits on a computation owned by another caller
+  /// (a duplicate of in-flight work). Drain such futures AFTER every
+  /// future you own — the blocking wrappers and the pipeline do — so two
+  /// batches holding duplicates of each other's claimed keys resolve the
+  /// owned work first instead of deadlocking.
+  bool waits_on_peer() const;
+  /// Block until resolved and return the decision. Rethrows whatever the
+  /// underlying submission failed with. Idempotent and thread-safe.
+  JudgeDecision get() const;
+
+  struct State;
+
+ private:
+  friend class Llmj;
+  explicit JudgeFuture(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
 };
 
 /// The LLM-as-a-Judge orchestrator. One instance per prompt style:
@@ -97,35 +149,60 @@ struct JudgeRequest {
 ///  - kAgentIndirect   -> LLMJ 2
 ///
 /// For agent styles the caller supplies the compile/execute records (the
-/// "tools" of Figure 1); evaluate() assembles the prompt, queries the
-/// model client, and parses the FINAL JUDGEMENT protocol. Thread-safe.
+/// "tools" of Figure 1); the judge assembles the prompt, queries the model
+/// client, and parses the FINAL JUDGEMENT protocol. Thread-safe.
+///
+/// The asynchronous pair evaluate_async()/evaluate_async_many() is the
+/// core; evaluate()/evaluate_many() are thin submit-and-wait wrappers kept
+/// for convenience and backward compatibility (one code path, byte-
+/// identical decisions).
 class Llmj {
  public:
   Llmj(std::shared_ptr<llm::ModelClient> client, llm::PromptStyle style,
        JudgeCacheConfig cache = {});
 
-  /// Judge a file. Agent styles require non-null compile/exec records.
+  /// Judge a file (blocking wrapper over evaluate_async). Agent styles
+  /// require non-null compile/exec records.
   JudgeDecision evaluate(const frontend::SourceFile& file,
                          const toolchain::CompileResult* compile = nullptr,
                          const toolchain::ExecutionRecord* exec = nullptr,
                          std::uint64_t seed = 0) const;
 
-  /// Judge a batch of files in one submission. The batch is partitioned
-  /// into cache hits, duplicates of in-flight work, and genuine misses;
-  /// the misses are submitted to the model as a single
-  /// ModelClient::complete_many() pass and the results inserted into the
-  /// memo cache. Decisions come back in request order and are byte-for-byte
-  /// what evaluate() would have produced per item (only the latency
-  /// accounting differs, via the batched pass pricing). With the cache
-  /// disabled every item is submitted — including duplicates — preserving
-  /// the paper's one-request-per-file accounting.
+  /// Judge a batch of files in one submission (blocking wrapper over
+  /// evaluate_async_many). Decisions come back in request order and are
+  /// byte-for-byte what evaluate() would have produced per item (only the
+  /// latency accounting differs, via the batched pass pricing). With the
+  /// cache disabled every item is submitted — including duplicates —
+  /// preserving the paper's one-request-per-file accounting.
   std::vector<JudgeDecision> evaluate_many(
+      const std::vector<JudgeRequest>& batch, std::uint64_t seed = 0) const;
+
+  /// Judge a file asynchronously. A cache hit resolves immediately; a miss
+  /// is submitted to the model client's adaptive batcher (sequential
+  /// accounting: a lone submission is priced exactly like the blocking
+  /// call); a duplicate of in-flight work resolves when its owner
+  /// publishes. The request's referents must outlive the future.
+  JudgeFuture evaluate_async(const JudgeRequest& request,
+                             std::uint64_t seed = 0) const;
+
+  /// Judge a batch asynchronously. The batch is partitioned into cache
+  /// hits (resolved immediately), in-batch duplicates (resolved from their
+  /// leader), duplicates of in-flight work (resolved at publication), and
+  /// genuine misses — which are handed to the client as one submit_many
+  /// group, so the adaptive batcher can coalesce them with other callers'
+  /// misses into shared forward passes. Futures come back in request
+  /// order. Drain discipline: get() the non-waits_on_peer() futures first.
+  std::vector<JudgeFuture> evaluate_async_many(
       const std::vector<JudgeRequest>& batch, std::uint64_t seed = 0) const;
 
   llm::PromptStyle style() const noexcept { return style_; }
   const char* name() const noexcept {
     return llm::prompt_style_name(style_);
   }
+
+  /// The model client this judge submits through (for batcher telemetry:
+  /// the pipeline snapshots its stats around a run).
+  const llm::ModelClient& client() const noexcept { return *client_; }
 
   /// Snapshot of the memoization counters.
   JudgeCacheStats cache_stats() const noexcept;
@@ -146,6 +223,9 @@ class Llmj {
   std::size_t persist_cache() const;
 
  private:
+  friend class JudgeFuture;
+  friend struct JudgeFuture::State;
+
   /// One cached decision plus the file-content hash it was computed for.
   /// The content hash is re-checked on every hit: the map key is a 64-bit
   /// mix of all inputs, and this second independent hash turns an
@@ -181,6 +261,9 @@ class Llmj {
 
   Probe probe_or_claim(std::uint64_t key, std::uint64_t content_hash,
                        JudgeDecision& out) const;
+  /// True when the key has a published cache entry (readiness probe for
+  /// peer-wait futures; takes only the shard lock, never blocks).
+  bool published(std::uint64_t key, std::uint64_t content_hash) const;
   void publish(std::uint64_t key, std::uint64_t content_hash,
                const JudgeDecision& decision) const;
   void abandon(std::uint64_t key) const;
@@ -210,6 +293,8 @@ class Llmj {
   mutable std::atomic<std::uint64_t> evictions_{0};
   mutable std::atomic<std::uint64_t> duplicate_misses_{0};
   mutable std::atomic<std::uint64_t> persisted_hits_{0};
+  mutable std::atomic<std::uint64_t> async_items_{0};
+  mutable std::atomic<std::uint64_t> async_immediate_{0};
   std::uint64_t warm_loaded_ = 0;  ///< set once in the constructor
 };
 

@@ -2,17 +2,130 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace llm4vv::llm {
 
+namespace {
+
+/// Only requests with identical sampling parameters may share a forward
+/// pass (generate_batch takes a single params set).
+bool params_equal(const GenerationParams& a,
+                  const GenerationParams& b) noexcept {
+  return a.max_tokens == b.max_tokens && a.temperature == b.temperature &&
+         a.seed == b.seed;
+}
+
+void fail_state(const std::shared_ptr<detail::CompletionState>& state,
+                const std::exception_ptr& error) {
+  {
+    std::lock_guard lock(state->mutex);
+    state->error = error;
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ClientStats
+// ---------------------------------------------------------------------------
+
+std::size_t ClientStats::occupancy_bucket(std::size_t batch) noexcept {
+  if (batch <= 1) return 0;
+  if (batch == 2) return 1;
+  if (batch <= 4) return 2;
+  if (batch <= 8) return 3;
+  if (batch <= 16) return 4;
+  if (batch <= 32) return 5;
+  return 6;
+}
+
+const char* ClientStats::occupancy_bucket_label(std::size_t bucket) noexcept {
+  switch (bucket) {
+    case 0: return "1";
+    case 1: return "2";
+    case 2: return "3-4";
+    case 3: return "5-8";
+    case 4: return "9-16";
+    case 5: return "17-32";
+    case 6: return "33+";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// CompletionFuture
+// ---------------------------------------------------------------------------
+
+bool CompletionFuture::ready() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard lock(state_->mutex);
+  return state_->done;
+}
+
+void CompletionFuture::wait() const {
+  if (state_ == nullptr) {
+    throw std::logic_error("CompletionFuture::wait on an empty future");
+  }
+  std::unique_lock lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+Completion CompletionFuture::get() const {
+  wait();
+  std::lock_guard lock(state_->mutex);
+  if (state_->error != nullptr) std::rethrow_exception(state_->error);
+  return state_->value;
+}
+
+std::size_t CompletionFuture::flush_size() const {
+  if (state_ == nullptr) return 0;
+  std::lock_guard lock(state_->mutex);
+  return state_->flush_size;
+}
+
+// ---------------------------------------------------------------------------
+// ModelClient
+// ---------------------------------------------------------------------------
+
 ModelClient::ModelClient(std::shared_ptr<const LanguageModel> model,
                          std::size_t max_concurrency,
-                         std::size_t transcript_capacity)
+                         std::size_t transcript_capacity,
+                         BatcherConfig batcher)
     : model_(std::move(model)),
       max_concurrency_(max_concurrency == 0 ? 1 : max_concurrency),
-      transcript_capacity_(transcript_capacity) {
+      transcript_capacity_(transcript_capacity),
+      batcher_(batcher) {
   if (model_ == nullptr) {
     throw std::invalid_argument("ModelClient: model must not be null");
+  }
+  if (batcher_.window_us > 0) {
+    flusher_ = std::thread([this] { flusher_main(); });
+  }
+}
+
+ModelClient::~ModelClient() {
+  std::deque<PendingRequest> orphans;
+  {
+    std::unique_lock lock(batch_mutex_);
+    shutting_down_ = true;
+    orphans.swap(pending_);
+    batch_cv_.notify_all();
+    // Wait out flushes running on caller threads: they hold references to
+    // the model, the slot state, and the stats, none of which may die
+    // under them.
+    flush_done_.wait(lock, [this] { return active_flushes_ == 0; });
+  }
+  if (flusher_.joinable()) flusher_.join();
+  if (!orphans.empty()) {
+    const auto error = std::make_exception_ptr(std::runtime_error(
+        "ModelClient destroyed with " + std::to_string(orphans.size()) +
+        " unresolved submission(s)"));
+    for (const PendingRequest& request : orphans) {
+      fail_state(request.state, error);
+    }
   }
 }
 
@@ -21,10 +134,10 @@ ModelClient::SlotLease::~SlotLease() {
     std::lock_guard lock(client.mutex_);
     client.in_flight_ -= slots;
   }
-  // notify_all, not notify_one: complete_many() waiters need several slots
-  // free at once, and a single wake delivered to such a waiter whose
-  // predicate is still false would be consumed without releasing anyone —
-  // stranding a single-slot waiter that could have run.
+  // notify_all, not notify_one: wide flushes need several slots free at
+  // once, and a single wake delivered to such a waiter whose predicate is
+  // still false would be consumed without releasing anyone — stranding a
+  // single-slot waiter that could have run.
   client.slot_free_.notify_all();
 }
 
@@ -43,56 +156,86 @@ void ModelClient::acquire_slots(std::size_t slots) {
   slot_free_.notify_all();
 }
 
-Completion ModelClient::complete(const std::string& prompt,
-                                 const GenerationParams& params) {
-  acquire_slots(1);
-  SlotLease lease{*this, 1};
-
-  Completion completion = model_->generate(prompt, params);
-
-  {
-    std::lock_guard lock(mutex_);
-    ++stats_.requests;
-    stats_.prompt_tokens += completion.prompt_tokens;
-    stats_.completion_tokens += completion.completion_tokens;
-    stats_.gpu_seconds += completion.latency_seconds;
-    if (transcript_capacity_ > 0) {
-      transcripts_.push_back(Transcript{prompt, completion});
-      while (transcripts_.size() > transcript_capacity_) {
-        transcripts_.pop_front();
-      }
-    }
+std::size_t ModelClient::head_run_locked() const {
+  std::size_t run = 0;
+  for (const PendingRequest& request : pending_) {
+    if (!params_equal(request.params, pending_.front().params)) break;
+    ++run;
+    if (batcher_.max_batch > 0 && run >= batcher_.max_batch) break;
   }
-  return completion;
+  return run;
 }
 
-std::vector<Completion> ModelClient::complete_many(
-    const std::vector<std::string>& prompts, const GenerationParams& params) {
-  if (prompts.empty()) return {};
-  // One model replica serves the whole pass, but the pass keeps up to
-  // max_concurrency streams busy; clamping keeps oversized batches from
-  // waiting for more slots than exist. The FIFO ticket inside
-  // acquire_slots guarantees the N-slot wait is bounded: single-slot
-  // callers arriving later queue behind this batch instead of re-consuming
-  // every released slot.
-  const std::size_t slots = std::min(prompts.size(), max_concurrency_);
-  acquire_slots(slots);
-  SlotLease lease{*this, slots};
+std::vector<ModelClient::PendingRequest> ModelClient::collect_group_locked() {
+  std::vector<PendingRequest> group;
+  if (pending_.empty()) return group;
+  const std::size_t cap =
+      batcher_.max_batch == 0 ? pending_.size() : batcher_.max_batch;
+  group.reserve(std::min(cap, pending_.size()));
+  const GenerationParams head_params = pending_.front().params;
+  while (!pending_.empty() && group.size() < cap &&
+         params_equal(pending_.front().params, head_params)) {
+    group.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  return group;
+}
 
-  std::vector<Completion> completions =
-      model_->generate_batch(prompts, params);
-  if (completions.size() != prompts.size()) {
-    throw std::logic_error(
-        "ModelClient: generate_batch returned a mismatched completion count");
+void ModelClient::execute_flush(std::vector<PendingRequest>& group,
+                                FlushReason reason) {
+  if (group.empty()) return;
+  std::vector<std::string> prompts;
+  prompts.reserve(group.size());
+  bool batch_origin = group.size() >= 2;
+  for (const PendingRequest& request : group) {
+    prompts.push_back(request.prompt);
+    batch_origin = batch_origin || request.batch_origin;
+  }
+
+  std::vector<Completion> completions;
+  try {
+    // One model replica serves the whole pass, but the pass keeps up to
+    // max_concurrency streams busy; clamping keeps oversized batches from
+    // waiting for more slots than exist. The FIFO ticket inside
+    // acquire_slots guarantees the multi-slot wait is bounded: single-slot
+    // flushes arriving later queue behind this one instead of re-consuming
+    // every released slot.
+    const std::size_t slots = std::min(group.size(), max_concurrency_);
+    acquire_slots(slots);
+    SlotLease lease{*this, slots};
+    completions = model_->generate_batch(prompts, group.front().params);
+    if (completions.size() != prompts.size()) {
+      throw std::logic_error(
+          "ModelClient: generate_batch returned a mismatched completion "
+          "count");
+    }
+  } catch (...) {
+    // Never leaks out of a flush — window flushes run on the flusher
+    // thread and full flushes on whichever caller filled the batch, so the
+    // failure is delivered through every affected future instead.
+    const auto error = std::current_exception();
+    for (const PendingRequest& request : group) {
+      fail_state(request.state, error);
+    }
+    return;
   }
 
   {
     std::lock_guard lock(mutex_);
-    stats_.requests += prompts.size();
-    ++stats_.batches;
-    stats_.batched_prompts += prompts.size();
-    stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch,
-                                               prompts.size());
+    stats_.requests += group.size();
+    ++stats_.formed_batches;
+    switch (reason) {
+      case FlushReason::kImmediate: ++stats_.flush_immediate; break;
+      case FlushReason::kFull: ++stats_.flush_full; break;
+      case FlushReason::kWindow: ++stats_.flush_window; break;
+    }
+    ++stats_.occupancy_hist[ClientStats::occupancy_bucket(group.size())];
+    if (batch_origin) {
+      ++stats_.batches;
+      stats_.batched_prompts += group.size();
+      stats_.max_batch =
+          std::max<std::uint64_t>(stats_.max_batch, group.size());
+    }
     for (std::size_t i = 0; i < completions.size(); ++i) {
       stats_.prompt_tokens += completions[i].prompt_tokens;
       stats_.completion_tokens += completions[i].completion_tokens;
@@ -105,17 +248,172 @@ std::vector<Completion> ModelClient::complete_many(
       }
     }
   }
+
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const auto& state = group[i].state;
+    {
+      std::lock_guard lock(state->mutex);
+      state->value = std::move(completions[i]);
+      state->flush_size = group.size();
+      state->done = true;
+    }
+    state->cv.notify_all();
+  }
+}
+
+std::vector<CompletionFuture> ModelClient::enqueue(
+    std::vector<PendingRequest> requests) {
+  std::vector<CompletionFuture> futures;
+  futures.reserve(requests.size());
+  for (const PendingRequest& request : requests) {
+    futures.push_back(CompletionFuture(request.state));
+  }
+
+  std::vector<std::vector<PendingRequest>> flushes;
+  FlushReason reason = FlushReason::kImmediate;
+  {
+    std::lock_guard lock(batch_mutex_);
+    if (shutting_down_) {
+      const auto error = std::make_exception_ptr(std::runtime_error(
+          "ModelClient: submit during shutdown"));
+      for (const PendingRequest& request : requests) {
+        fail_state(request.state, error);
+      }
+      return futures;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (PendingRequest& request : requests) {
+      request.enqueued = now;
+      pending_.push_back(std::move(request));
+    }
+    std::size_t high = pending_high_water_.load(std::memory_order_relaxed);
+    while (pending_.size() > high &&
+           !pending_high_water_.compare_exchange_weak(
+               high, pending_.size(), std::memory_order_relaxed)) {
+    }
+    if (batcher_.window_us == 0) {
+      // Paper mode: this submission flushes now, in its entirety. The
+      // enqueue + collect runs under one lock acquisition, so nothing from
+      // a concurrent caller can ever ride along (sequential pricing stays
+      // bit-exact) and nothing is ever left pending.
+      reason = FlushReason::kImmediate;
+      while (!pending_.empty()) flushes.push_back(collect_group_locked());
+    } else {
+      reason = FlushReason::kFull;
+      // "Full" means the *head equal-params run* reached max_batch — only
+      // requests that can actually share the pass count toward fullness.
+      // A short head run of other params is never flushed early on the
+      // strength of requests queued behind it (FIFO head-of-line: it
+      // waits for its own window or for same-params arrivals); so every
+      // kFull flush really carries max_batch prompts.
+      while (batcher_.max_batch > 0 &&
+             head_run_locked() >= batcher_.max_batch) {
+        flushes.push_back(collect_group_locked());
+      }
+      // Whatever remains waits for more arrivals or the window; (re)arm
+      // the flusher on the new oldest pending request.
+      if (!pending_.empty()) batch_cv_.notify_all();
+    }
+    active_flushes_ += flushes.size();
+  }
+
+  for (auto& group : flushes) {
+    execute_flush(group, reason);
+    {
+      std::lock_guard lock(batch_mutex_);
+      --active_flushes_;
+    }
+    flush_done_.notify_all();
+  }
+  return futures;
+}
+
+void ModelClient::flusher_main() {
+  const auto window = std::chrono::microseconds(batcher_.window_us);
+  std::unique_lock lock(batch_mutex_);
+  for (;;) {
+    batch_cv_.wait(lock, [this] {
+      return shutting_down_ || !pending_.empty();
+    });
+    if (shutting_down_) return;
+    // Sleep until the oldest pending request's window expires; arrivals
+    // and shutdown re-wake us (a full-triggered flush may also empty the
+    // queue while we sleep — re-check everything on every wake).
+    while (!shutting_down_ && !pending_.empty()) {
+      const auto deadline = pending_.front().enqueued + window;
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      batch_cv_.wait_until(lock, deadline);
+    }
+    if (shutting_down_) return;
+    if (pending_.empty()) continue;
+    std::vector<PendingRequest> group = collect_group_locked();
+    ++active_flushes_;
+    lock.unlock();
+    execute_flush(group, FlushReason::kWindow);
+    lock.lock();
+    --active_flushes_;
+    flush_done_.notify_all();
+  }
+}
+
+CompletionFuture ModelClient::submit(const std::string& prompt,
+                                     const GenerationParams& params) {
+  std::vector<PendingRequest> requests(1);
+  requests[0].prompt = prompt;
+  requests[0].params = params;
+  requests[0].state = std::make_shared<detail::CompletionState>();
+  return enqueue(std::move(requests))[0];
+}
+
+std::vector<CompletionFuture> ModelClient::submit_many(
+    const std::vector<std::string>& prompts, const GenerationParams& params) {
+  if (prompts.empty()) return {};
+  std::vector<PendingRequest> requests(prompts.size());
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    requests[i].prompt = prompts[i];
+    requests[i].params = params;
+    requests[i].state = std::make_shared<detail::CompletionState>();
+    requests[i].batch_origin = true;
+  }
+  return enqueue(std::move(requests));
+}
+
+Completion ModelClient::complete(const std::string& prompt,
+                                 const GenerationParams& params) {
+  return submit(prompt, params).get();
+}
+
+std::vector<Completion> ModelClient::complete_many(
+    const std::vector<std::string>& prompts, const GenerationParams& params) {
+  if (prompts.empty()) return {};
+  const auto futures = submit_many(prompts, params);
+  std::vector<Completion> completions;
+  completions.reserve(futures.size());
+  for (const CompletionFuture& future : futures) {
+    completions.push_back(future.get());
+  }
   return completions;
 }
 
 ClientStats ModelClient::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
+  ClientStats snapshot;
+  {
+    std::lock_guard lock(mutex_);
+    snapshot = stats_;
+  }
+  snapshot.pending_high_water =
+      pending_high_water_.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 std::size_t ModelClient::queue_depth() const {
   std::lock_guard lock(mutex_);
   return static_cast<std::size_t>(next_ticket_ - serving_);
+}
+
+std::size_t ModelClient::pending_depth() const {
+  std::lock_guard lock(batch_mutex_);
+  return pending_.size();
 }
 
 std::vector<Transcript> ModelClient::transcripts() const {

@@ -1,15 +1,51 @@
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "llm/model.hpp"
 
 namespace llm4vv::llm {
+
+/// Adaptive-batcher knobs of the asynchronous submission path.
+///
+/// Pending submissions coalesce across all callers and flush as one
+/// generate_batch() forward pass when the batch is full (`max_batch`
+/// requests pending) or the wait window (`window_us`) of the oldest pending
+/// request elapses — whichever comes first.
+///
+/// The defaults are **paper mode**: `window_us = 0` flushes every
+/// submission the moment it is enqueued, so nothing ever waits and nothing
+/// from another caller can ride along — complete() prices exactly like a
+/// sequential generate() (a batch of one is priced bit-identically, see
+/// SimulatedCoderModel) and complete_many() prices exactly like the PR 2
+/// one-pass-per-call batch. The core/ experiments rely on this pinning for
+/// their seed-exact simulated-GPU accounting.
+struct BatcherConfig {
+  /// Flush as soon as this many requests are pending. 0 = no cap: a flush
+  /// takes everything pending (every complete_many() call then maps to one
+  /// forward pass, the PR 2 shape).
+  std::size_t max_batch = 0;
+  /// How long a pending request may wait for the batch to fill before the
+  /// flusher thread submits it anyway. 0 = flush immediately on every
+  /// submission (no flusher thread, no cross-caller coalescing).
+  std::uint64_t window_us = 0;
+};
+
+/// Why a batch was flushed.
+enum class FlushReason {
+  kImmediate,  ///< window_us == 0: flushed at submission time
+  kFull,       ///< pending depth reached max_batch
+  kWindow,     ///< the oldest pending request's wait window elapsed
+};
 
 /// Aggregate statistics of an inference endpoint.
 struct ClientStats {
@@ -20,13 +56,77 @@ struct ClientStats {
   /// A100 node, the currency the validation pipeline saves by filtering
   /// files before the LLM stage.
   double gpu_seconds = 0.0;
-  /// complete_many() submissions (each is one batched forward pass).
+  /// Batched forward passes: flushes that carried two or more prompts, or
+  /// whose requests arrived through the batch submission API
+  /// (submit_many / complete_many). A lone complete()/submit() flush is a
+  /// plain request, not a batch.
   std::uint64_t batches = 0;
-  /// Prompts that went through those batched submissions (also counted in
+  /// Prompts that went through those batched passes (also counted in
   /// `requests`, which covers both paths).
   std::uint64_t batched_prompts = 0;
   /// Largest single batch submitted so far.
   std::uint64_t max_batch = 0;
+
+  // -- adaptive-batcher telemetry (every counter below is per flush) ------
+  /// Forward passes the batcher executed, of any size and origin. This is
+  /// the truthful denominator for occupancy: prompts / formed batches.
+  std::uint64_t formed_batches = 0;
+  /// Flush-reason split of `formed_batches`.
+  std::uint64_t flush_immediate = 0;
+  std::uint64_t flush_full = 0;
+  std::uint64_t flush_window = 0;
+  /// High-water mark of simultaneously pending (submitted, not yet
+  /// flushed) requests over the client's lifetime.
+  std::size_t pending_high_water = 0;
+  /// Histogram of flush sizes: buckets 1, 2, 3-4, 5-8, 9-16, 17-32, 33+.
+  static constexpr std::size_t kOccupancyBuckets = 7;
+  std::array<std::uint64_t, kOccupancyBuckets> occupancy_hist{};
+
+  /// Bucket index a flush of `batch` prompts lands in.
+  static std::size_t occupancy_bucket(std::size_t batch) noexcept;
+  /// Human-readable label of a bucket ("1", "2", "3-4", ...).
+  static const char* occupancy_bucket_label(std::size_t bucket) noexcept;
+};
+
+namespace detail {
+/// Shared state behind a CompletionFuture; fulfilled exactly once by the
+/// flush that served it (or failed with its exception / at shutdown).
+struct CompletionState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Completion value;
+  std::exception_ptr error;
+  /// Size of the forward pass that served this completion (0 on failure).
+  std::size_t flush_size = 0;
+};
+}  // namespace detail
+
+/// Handle on one asynchronously submitted completion. Copyable (shared
+/// state); safe to outlive the ModelClient — a client destroyed with the
+/// request still pending fails the future deterministically instead of
+/// leaving a waiter hung.
+class CompletionFuture {
+ public:
+  CompletionFuture() = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+  /// True when get() will not block.
+  bool ready() const;
+  /// Block until the request is flushed (or failed).
+  void wait() const;
+  /// Block until resolved and return the completion; rethrows the flush's
+  /// exception on failure. Idempotent.
+  Completion get() const;
+  /// Size of the forward pass that served this request (only meaningful
+  /// once ready; 0 if the request failed before a pass ran).
+  std::size_t flush_size() const;
+
+ private:
+  friend class ModelClient;
+  explicit CompletionFuture(std::shared_ptr<detail::CompletionState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::CompletionState> state_;
 };
 
 /// One recorded request/response pair (for the examples and debugging).
@@ -38,34 +138,68 @@ struct Transcript {
 /// Thread-safe inference-server facade over a LanguageModel.
 ///
 /// Models the paper's serving setup: one model replica per GPU, so at most
-/// `max_concurrency` generate() calls proceed at once (the pipeline's judge
-/// stage can be parallelized "if there are enough available GPU
-/// resources"); excess callers block. Statistics and an optional bounded
-/// transcript log are kept under a separate lock.
+/// `max_concurrency` forward passes' worth of streams proceed at once (the
+/// pipeline's judge stage can be parallelized "if there are enough
+/// available GPU resources"); excess callers block. Statistics and an
+/// optional bounded transcript log are kept under a separate lock.
 ///
-/// Slot admission is FIFO: every caller (single or batched) takes a ticket
-/// and acquires only at the head of the queue. Without the ticket, a
-/// steady stream of single-slot callers could starve a complete_many()
-/// waiter indefinitely — each release immediately re-consumed by a
-/// newcomer before N slots were ever simultaneously free. With it, the
-/// wide waiter's wait is bounded by the work already queued ahead of it.
+/// Submission is asynchronous at the core: submit()/submit_many() enqueue
+/// requests into a central adaptive batcher (see BatcherConfig) and return
+/// futures; the batcher coalesces pending requests across *all* callers
+/// and flushes them as one generate_batch() pass when the batch fills or
+/// the wait window elapses. The blocking complete()/complete_many() calls
+/// are thin wrappers over that one code path. Only requests with equal
+/// GenerationParams coalesce (a pass has a single params set); the batcher
+/// flushes the longest FIFO run of equal-params requests at a time.
+///
+/// Slot admission is FIFO: every flush takes a ticket and acquires only at
+/// the head of the queue. Without the ticket, a steady stream of
+/// single-slot flushes could starve a wide flush indefinitely — each
+/// release immediately re-consumed by a newcomer before N slots were ever
+/// simultaneously free. With it, the wide flush's wait is bounded by the
+/// work already queued ahead of it.
 class ModelClient {
  public:
   ModelClient(std::shared_ptr<const LanguageModel> model,
               std::size_t max_concurrency = 1,
-              std::size_t transcript_capacity = 0);
+              std::size_t transcript_capacity = 0,
+              BatcherConfig batcher = {});
 
-  /// Blocking completion call (thread-safe).
+  /// Destroying the client with requests still pending fails their futures
+  /// deterministically (get() throws); flushes already executing are
+  /// drained first, so no future is ever left unresolved and no flush can
+  /// touch a dead client.
+  ~ModelClient();
+
+  ModelClient(const ModelClient&) = delete;
+  ModelClient& operator=(const ModelClient&) = delete;
+
+  /// Submit one prompt to the adaptive batcher. Returns immediately with a
+  /// future unless this submission fills the batch — the filling caller
+  /// runs the flush inline (and with window_us == 0 every submission is
+  /// its own immediate flush, pricing exactly like the old blocking path).
+  CompletionFuture submit(const std::string& prompt,
+                          const GenerationParams& params = {});
+
+  /// Submit a group of prompts atomically (they enter the batcher
+  /// back-to-back, so with window_us == 0 the group flushes as one pass —
+  /// the PR 2 complete_many shape). Futures come back in prompt order.
+  std::vector<CompletionFuture> submit_many(
+      const std::vector<std::string>& prompts,
+      const GenerationParams& params = {});
+
+  /// Blocking completion call (thread-safe): submit + wait. With a nonzero
+  /// batcher window the call waits for its flush like every other
+  /// submission — pin window_us to 0 for strictly sequential pricing.
   Completion complete(const std::string& prompt,
                       const GenerationParams& params = {});
 
-  /// Blocking batched completion (thread-safe): submits all prompts as one
-  /// forward pass via LanguageModel::generate_batch. The batch acquires
-  /// min(prompts.size(), max_concurrency) GPU slots atomically — it waits
-  /// until that many are free at once instead of trickling in, so two
-  /// batched callers can never deadlock each other holding partial slot
-  /// sets. Statistics record the pass as one batch plus per-prompt token
-  /// counts; completions come back in prompt order.
+  /// Blocking batched completion (thread-safe): submit_many + wait all.
+  /// Each flush acquires min(size, max_concurrency) GPU slots atomically —
+  /// it waits until that many are free at once instead of trickling in, so
+  /// two batched callers can never deadlock each other holding partial
+  /// slot sets. Statistics record each pass as one batch plus per-prompt
+  /// token counts; completions come back in prompt order.
   std::vector<Completion> complete_many(
       const std::vector<std::string>& prompts,
       const GenerationParams& params = {});
@@ -73,9 +207,16 @@ class ModelClient {
   /// Snapshot of the running statistics.
   ClientStats stats() const;
 
-  /// Callers currently queued for slots (ticket taken, not yet admitted).
+  /// Callers currently queued for GPU slots (ticket taken, not admitted).
   /// A live gauge for monitoring and for deterministic fairness tests.
   std::size_t queue_depth() const;
+
+  /// Requests currently pending in the adaptive batcher (submitted, not
+  /// yet flushed).
+  std::size_t pending_depth() const;
+
+  /// The batcher configuration this client runs with.
+  const BatcherConfig& batcher() const noexcept { return batcher_; }
 
   /// Recorded transcripts (most recent `transcript_capacity` calls).
   std::vector<Transcript> transcripts() const;
@@ -84,10 +225,21 @@ class ModelClient {
   std::string model_name() const { return model_->name(); }
 
  private:
+  /// One request waiting in the adaptive batcher.
+  struct PendingRequest {
+    std::string prompt;
+    GenerationParams params;
+    std::shared_ptr<detail::CompletionState> state;
+    /// Arrived through submit_many/complete_many (batch accounting keeps
+    /// the PR 2 meaning of `batches` for single-prompt batch calls).
+    bool batch_origin = false;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   /// RAII lease on acquired concurrency slots: the destructor returns them
-  /// and wakes every waiter (multi-slot complete_many waiters need the
-  /// broadcast), so no exit path — normal, throwing model, failed
-  /// validation — can leak a slot.
+  /// and wakes every waiter (multi-slot flush waiters need the broadcast),
+  /// so no exit path — normal, throwing model, failed validation — can
+  /// leak a slot.
   struct SlotLease {
     ModelClient& client;
     std::size_t slots;
@@ -98,9 +250,30 @@ class ModelClient {
   /// `slots` slots free; admits the caller and passes the head on.
   void acquire_slots(std::size_t slots);
 
+  /// Enqueue requests and run whatever flush policy triggers. Returns the
+  /// futures in request order.
+  std::vector<CompletionFuture> enqueue(std::vector<PendingRequest> requests);
+
+  /// Length of the FIFO head run of equal-params pending requests (capped
+  /// at max_batch) — the requests one flush could actually carry. Caller
+  /// holds batch_mutex_.
+  std::size_t head_run_locked() const;
+
+  /// Pop the longest FIFO run of equal-params pending requests (capped at
+  /// max_batch). Caller holds batch_mutex_.
+  std::vector<PendingRequest> collect_group_locked();
+
+  /// Run one batched forward pass for `group` and fulfill its futures.
+  /// Never throws: a model failure is stored into every future instead.
+  void execute_flush(std::vector<PendingRequest>& group, FlushReason reason);
+
+  /// Window-flush thread body (only started when window_us > 0).
+  void flusher_main();
+
   std::shared_ptr<const LanguageModel> model_;
   const std::size_t max_concurrency_;
   const std::size_t transcript_capacity_;
+  const BatcherConfig batcher_;
 
   mutable std::mutex mutex_;
   std::condition_variable slot_free_;
@@ -114,6 +287,19 @@ class ModelClient {
   std::uint64_t serving_ = 0;
   ClientStats stats_;
   std::deque<Transcript> transcripts_;
+
+  /// Adaptive-batcher state, under its own lock so submissions never
+  /// contend with the stats/slot lock.
+  mutable std::mutex batch_mutex_;
+  std::condition_variable batch_cv_;
+  std::deque<PendingRequest> pending_;
+  /// Flushes currently executing on caller threads; the destructor waits
+  /// for them so an in-flight pass can never touch a dead client.
+  std::size_t active_flushes_ = 0;
+  std::condition_variable flush_done_;
+  bool shutting_down_ = false;
+  std::atomic<std::size_t> pending_high_water_{0};
+  std::thread flusher_;
 };
 
 }  // namespace llm4vv::llm

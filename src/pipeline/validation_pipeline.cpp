@@ -20,11 +20,6 @@ struct WorkItem {
   toolchain::ExecutionRecord exec;
 };
 
-/// Items a worker moves per queue round-trip. Batching amortizes the queue
-/// lock over several items; kept small so one worker cannot starve its
-/// siblings of a nearly-empty queue.
-constexpr std::size_t kStageBatch = 16;
-
 /// Everything one judge worker accumulates locally and merges at join.
 struct JudgeLocal {
   StageStats stats;
@@ -62,9 +57,15 @@ ValidationPipeline::ValidationPipeline(
   if (judge_ == nullptr) {
     throw std::invalid_argument("ValidationPipeline: judge must not be null");
   }
+  if (config_.judge_batch_size == 0) {
+    throw std::invalid_argument(
+        "ValidationPipeline: PipelineConfig::judge_batch_size must be >= 1 "
+        "(1 = sequential per-item judging); 0 is not a valid batch size");
+  }
   if (config_.compile_workers == 0) config_.compile_workers = 1;
   if (config_.execute_workers == 0) config_.execute_workers = 1;
   if (config_.judge_workers == 0) config_.judge_workers = 1;
+  if (config_.stage_batch == 0) config_.stage_batch = 1;
 }
 
 PipelineResult ValidationPipeline::run(
@@ -77,6 +78,13 @@ PipelineResult ValidationPipeline::run(
   if (files.empty()) return result;
 
   const bool filter = config_.mode == PipelineMode::kFilterEarly;
+  const std::size_t kStageBatch = config_.stage_batch;
+
+  // Snapshot the judge client's batcher counters so the run can report the
+  // forward passes actually formed on its behalf (assumes the client is
+  // not concurrently serving unrelated traffic — true for every in-tree
+  // call site, where runs on a shared client are sequential).
+  const llm::ClientStats client_before = judge_->client().stats();
 
   support::MpmcQueue<std::size_t> compile_queue(config_.queue_capacity);
   support::MpmcQueue<WorkItem> execute_queue(config_.queue_capacity);
@@ -170,11 +178,14 @@ PipelineResult ValidationPipeline::run(
     });
   }
 
-  // Stage 3: agent-based LLMJ. With judge_batch_size > 1 the worker hands
-  // each popped chunk to evaluate_many, so cache misses share one batched
-  // forward pass instead of queueing for the model one at a time.
-  const std::size_t judge_batch =
-      config_.judge_batch_size == 0 ? 1 : config_.judge_batch_size;
+  // Stage 3: agent-based LLMJ, submit-then-drain. With judge_batch_size >
+  // 1 the worker slices each popped chunk into submission groups and
+  // submits every group asynchronously before draining any future: cache
+  // misses enter the client's adaptive batcher together, and while this
+  // worker blocks on its first decision other workers keep submitting —
+  // so with a nonzero batcher window, cross-worker batches form naturally
+  // instead of being limited to per-worker chunks.
+  const std::size_t judge_batch = config_.judge_batch_size;
   for (std::size_t w = 0; w < config_.judge_workers; ++w) {
     workers.emplace_back([&, w] {
       JudgeLocal local;
@@ -197,14 +208,26 @@ PipelineResult ValidationPipeline::run(
           local.gpu_seconds += decision.completion.latency_seconds;
         }
       };
+      /// One submitted-but-not-drained chunk item.
+      struct PendingJudge {
+        const WorkItem* item = nullptr;
+        judge::JudgeFuture future;
+        judge::JudgeDecision decision;
+        std::size_t group = 0;  ///< submission-group id within the chunk
+      };
       std::vector<WorkItem> batch;
       std::vector<judge::JudgeRequest> requests;
+      std::vector<PendingJudge> pending;
       batch.reserve(kStageBatch);
       requests.reserve(judge_batch);
+      pending.reserve(kStageBatch);
       for (;;) {
         batch.clear();
         if (judge_queue.pop_up_to(kStageBatch, batch) == 0) break;
         if (judge_batch <= 1) {
+          // Sequential per-item path: the paper's one-call-per-file
+          // accounting (each call is its own immediate flush when the
+          // batcher window is pinned to 0).
           for (const WorkItem& item : batch) {
             support::Stopwatch timer;
             const judge::JudgeDecision decision =
@@ -215,8 +238,12 @@ PipelineResult ValidationPipeline::run(
           }
           continue;
         }
+        support::Stopwatch timer;
+        // Submit every group of the chunk first...
+        pending.clear();
+        std::size_t groups = 0;
         for (std::size_t start = 0; start < batch.size();
-             start += judge_batch) {
+             start += judge_batch, ++groups) {
           const std::size_t end =
               std::min(batch.size(), start + judge_batch);
           requests.clear();
@@ -224,25 +251,50 @@ PipelineResult ValidationPipeline::run(
             requests.push_back(judge::JudgeRequest{
                 &files[batch[i].index], &batch[i].compile, &batch[i].exec});
           }
-          support::Stopwatch timer;
-          const auto decisions =
-              judge_->evaluate_many(requests, config_.judge_seed);
-          local.stats.busy_seconds += timer.seconds();
-          // Count only decisions whose model call rode the batched pass —
-          // cache hits, dedup copies, and rare sequential fallbacks (a
-          // waiter taking over an abandoned key) are not batched prompts.
+          auto futures =
+              judge_->evaluate_async_many(requests, config_.judge_seed);
+          for (std::size_t i = start; i < end; ++i) {
+            PendingJudge entry;
+            entry.item = &batch[i];
+            entry.future = std::move(futures[i - start]);
+            entry.group = groups;
+            pending.push_back(std::move(entry));
+          }
+        }
+        // ...then drain: futures this worker owns first, duplicates of
+        // other workers' in-flight keys second — the owners publish before
+        // anyone waits, so two workers holding duplicates of each other's
+        // claims cannot deadlock.
+        for (PendingJudge& entry : pending) {
+          if (!entry.future.waits_on_peer()) {
+            entry.decision = entry.future.get();
+          }
+        }
+        for (PendingJudge& entry : pending) {
+          if (entry.future.waits_on_peer()) {
+            entry.decision = entry.future.get();
+          }
+        }
+        local.stats.busy_seconds += timer.seconds();
+        // Per-group accounting of the popped-chunk view: count only
+        // decisions whose model call rode the batch submission API —
+        // cache hits, dedup copies, and rare sequential fallbacks (a
+        // waiter taking over an abandoned key) are not batched prompts.
+        // The forward-pass truth comes from the client's flush counters,
+        // snapshotted around the whole run.
+        for (std::size_t g = 0; g < groups; ++g) {
           std::uint64_t submitted = 0;
-          for (const auto& decision : decisions) {
-            if (decision.batched) ++submitted;
+          for (const PendingJudge& entry : pending) {
+            if (entry.group == g && entry.decision.batched) ++submitted;
           }
           if (submitted > 0) {
             ++local.batches;
             local.batched_prompts += submitted;
             local.max_batch = std::max(local.max_batch, submitted);
           }
-          for (std::size_t i = start; i < end; ++i) {
-            record_decision(batch[i], decisions[i - start]);
-          }
+        }
+        for (const PendingJudge& entry : pending) {
+          record_decision(*entry.item, entry.decision);
         }
       }
       judge_locals[w] = local;
@@ -284,10 +336,32 @@ PipelineResult ValidationPipeline::run(
     result.judge_max_batch = std::max(result.judge_max_batch, local.max_batch);
     result.judge_persisted_hits += local.persisted_hits;
   }
-  if (result.judge_batches > 0) {
-    result.judge_batch_occupancy =
-        static_cast<double>(result.judge_batched_prompts) /
-        static_cast<double>(result.judge_batches);
+  // Batcher truth: occupancy and flush telemetry come from the client's
+  // counters, windowed over this run — batches are counted as the model
+  // actually formed them, not as the judge workers' popped chunks happened
+  // to slice them (a pass coalescing several workers' groups counts once,
+  // at its true size).
+  const llm::ClientStats client_after = judge_->client().stats();
+  result.judge_formed_batches =
+      client_after.formed_batches - client_before.formed_batches;
+  result.judge_flush_immediate =
+      client_after.flush_immediate - client_before.flush_immediate;
+  result.judge_flush_full =
+      client_after.flush_full - client_before.flush_full;
+  result.judge_flush_window =
+      client_after.flush_window - client_before.flush_window;
+  for (std::size_t b = 0; b < llm::ClientStats::kOccupancyBuckets; ++b) {
+    result.judge_occupancy_hist[b] =
+        client_after.occupancy_hist[b] - client_before.occupancy_hist[b];
+  }
+  result.judge_queue_depth_peak = client_after.pending_high_water;
+  const std::uint64_t formed_batched =
+      client_after.batches - client_before.batches;
+  const std::uint64_t formed_prompts =
+      client_after.batched_prompts - client_before.batched_prompts;
+  if (formed_batched > 0) {
+    result.judge_batch_occupancy = static_cast<double>(formed_prompts) /
+                                   static_cast<double>(formed_batched);
   }
   result.wall_seconds = wall.seconds();
   return result;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -29,15 +30,26 @@ struct PipelineConfig {
   std::size_t judge_workers = 1;
   std::size_t queue_capacity = 128;
   std::uint64_t judge_seed = 0;
-  /// Items a judge worker hands to Llmj::evaluate_many per submission:
-  /// cache misses inside such a chunk go to the model as one batched
-  /// forward pass that amortizes prefill. 1 (or 0) selects the sequential
-  /// per-item path — the paper's one-call-per-file accounting, which the
-  /// core/ experiments pin to keep their simulated GPU totals seed-exact.
-  /// Effective batches are also bounded by how many items a queue pop
-  /// returns, so occupancy can come in under this value on a draining
-  /// queue.
+  /// Items a judge worker submits to Llmj::evaluate_async_many per group:
+  /// cache misses inside such a group enter the model client's adaptive
+  /// batcher together, and — with the batcher's wait window pinned to 0 —
+  /// go to the model as one batched forward pass that amortizes prefill.
+  /// With a nonzero window the batcher may further coalesce groups from
+  /// different judge workers into shared cross-worker passes. 1 selects
+  /// the sequential per-item path — the paper's one-call-per-file
+  /// accounting, which the core/ experiments pin to keep their simulated
+  /// GPU totals seed-exact. 0 is invalid: the pipeline constructor rejects
+  /// it instead of silently misbehaving. Effective group sizes are also
+  /// bounded by how many items a queue pop returns, so chunk occupancy can
+  /// come in under this value on a draining queue.
   std::size_t judge_batch_size = 8;
+  /// Items a worker moves per queue round-trip (pop_up_to / push_all).
+  /// Batching amortizes the queue lock over several items; kept small so
+  /// one worker cannot starve its siblings of a nearly-empty queue. 1
+  /// hands items through one at a time — the sparse-arrival shape the
+  /// adaptive batcher's wait window is designed for (and what
+  /// BM_PipelineAdaptiveBatch measures). 0 is clamped to 1.
+  std::size_t stage_batch = 16;
 };
 
 /// Everything recorded about one file's trip through the pipeline.
@@ -93,17 +105,36 @@ struct PipelineResult {
   std::uint64_t judge_cache_misses = 0;
   /// Items refused by a closed queue (sum of PipelineRecord::dropped).
   std::size_t dropped_items = 0;
-  /// Batched judge submissions: evaluate_many() calls that put at least one
-  /// prompt in front of the model (cache-hit-only chunks don't count).
+  /// Batched judge submission *groups*: judge-worker chunk groups that put
+  /// at least one prompt in front of the model (cache-hit-only groups
+  /// don't count). This is the per-worker "popped chunk" view; the batcher
+  /// counters below are the forward-pass truth.
   std::uint64_t judge_batches = 0;
-  /// Prompts submitted through those batched calls.
+  /// Prompts submitted through those groups.
   std::uint64_t judge_batched_prompts = 0;
-  /// Largest single model batch observed during the run.
+  /// Largest single submission group observed during the run.
   std::uint64_t judge_max_batch = 0;
-  /// Mean prompts per batched submission (0 when nothing was batched).
-  /// The headline occupancy number: how full the batched forward passes
-  /// actually ran.
+  /// Mean prompts per batched forward pass actually formed by the model
+  /// client's adaptive batcher during this run (0 when nothing was
+  /// batched). The headline occupancy number: how full the batched
+  /// forward passes really ran. Unlike the popped-chunk counters above,
+  /// this is computed from the client's flush statistics, so passes that
+  /// coalesced several workers' groups count once, at their true size.
   double judge_batch_occupancy = 0.0;
+  /// Forward passes the judge's client executed during the run (every
+  /// flush, any size) and their flush-reason split — the adaptive
+  /// batcher's telemetry, windowed over this run.
+  std::uint64_t judge_formed_batches = 0;
+  std::uint64_t judge_flush_immediate = 0;
+  std::uint64_t judge_flush_full = 0;
+  std::uint64_t judge_flush_window = 0;
+  /// Flush-size histogram over the run (buckets per
+  /// llm::ClientStats::occupancy_bucket_label).
+  std::array<std::uint64_t, llm::ClientStats::kOccupancyBuckets>
+      judge_occupancy_hist{};
+  /// High-water mark of requests pending in the client's batcher (client
+  /// lifetime, not per-run: a high-water mark cannot be windowed).
+  std::size_t judge_queue_depth_peak = 0;
   /// Judge cache hits served by entries warm-loaded from a persistent
   /// artifact store (subset of judge_cache_hits): the cross-run savings a
   /// warm start delivers, as opposed to in-process memoization.
@@ -121,6 +152,8 @@ struct PipelineResult {
 /// communicate only through the queues).
 class ValidationPipeline {
  public:
+  /// Throws std::invalid_argument on a null judge or a config with
+  /// judge_batch_size == 0 (use 1 for sequential per-item judging).
   ValidationPipeline(toolchain::CompilerDriver compiler,
                      toolchain::Executor executor,
                      std::shared_ptr<const judge::Llmj> judge,

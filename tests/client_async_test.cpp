@@ -1,0 +1,369 @@
+// Asynchronous submission API coverage: CompletionFuture resolution,
+// adaptive-batcher flush policies (immediate / full / window), cross-caller
+// coalescing, params isolation, telemetry counters, and deterministic
+// shutdown with unresolved futures.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "corpus/generator.hpp"
+#include "judge/prompt.hpp"
+#include "llm/client.hpp"
+#include "llm/coder_model.hpp"
+#include "tests/test_util.hpp"
+
+namespace llm4vv::llm {
+namespace {
+
+using frontend::Flavor;
+using frontend::Language;
+
+std::vector<std::string> sample_prompts(std::size_t count) {
+  std::vector<std::string> prompts;
+  prompts.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    prompts.push_back(judge::direct_analysis_prompt(
+        corpus::generate_one("saxpy_offload", Flavor::kOpenACC, Language::kC,
+                             200 + i)
+            .file));
+  }
+  return prompts;
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence with the blocking path
+// ---------------------------------------------------------------------------
+
+TEST(SubmitTest, SubmitGetMatchesCompleteByteForByte) {
+  auto model = std::make_shared<const SimulatedCoderModel>();
+  ModelClient async_client(model, 2);
+  ModelClient blocking_client(model, 2);
+  const auto prompts = sample_prompts(3);
+  GenerationParams params;
+  params.seed = 11;
+  for (const auto& prompt : prompts) {
+    const auto future = async_client.submit(prompt, params);
+    const auto via_future = future.get();
+    const auto via_blocking = blocking_client.complete(prompt, params);
+    EXPECT_EQ(via_future.text, via_blocking.text);
+    EXPECT_EQ(via_future.prompt_tokens, via_blocking.prompt_tokens);
+    EXPECT_EQ(via_future.completion_tokens, via_blocking.completion_tokens);
+    // Paper-mode pricing: a lone submission is its own flush of one,
+    // priced exactly like the sequential call.
+    EXPECT_DOUBLE_EQ(via_future.latency_seconds,
+                     via_blocking.latency_seconds);
+  }
+}
+
+TEST(SubmitTest, SubmitManyMatchesCompleteMany) {
+  auto model = std::make_shared<const SimulatedCoderModel>();
+  ModelClient async_client(model, 4);
+  ModelClient blocking_client(model, 4);
+  const auto prompts = sample_prompts(5);
+  const auto futures = async_client.submit_many(prompts);
+  const auto reference = blocking_client.complete_many(prompts);
+  ASSERT_EQ(futures.size(), prompts.size());
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    const auto completion = futures[i].get();
+    EXPECT_EQ(completion.text, reference[i].text) << i;
+    EXPECT_DOUBLE_EQ(completion.latency_seconds,
+                     reference[i].latency_seconds)
+        << i;
+    EXPECT_EQ(futures[i].flush_size(), prompts.size()) << i;
+  }
+}
+
+TEST(SubmitTest, WindowZeroFlushesEverySubmissionImmediately) {
+  ModelClient client(std::make_shared<const SimulatedCoderModel>(), 1);
+  const auto prompts = sample_prompts(2);
+  const auto a = client.submit(prompts[0]);
+  EXPECT_TRUE(a.ready());  // flushed inside submit()
+  const auto b = client.submit(prompts[1]);
+  EXPECT_TRUE(b.ready());
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.formed_batches, 2u);
+  EXPECT_EQ(stats.flush_immediate, 2u);
+  EXPECT_EQ(stats.flush_full, 0u);
+  EXPECT_EQ(stats.flush_window, 0u);
+  // Lone single submissions are plain requests, not batches.
+  EXPECT_EQ(stats.batches, 0u);
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.occupancy_hist[ClientStats::occupancy_bucket(1)], 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Flush policies
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveBatcherTest, BatchFullFlushesBeforeWindowExpires) {
+  BatcherConfig batcher;
+  batcher.max_batch = 2;
+  batcher.window_us = 60ull * 1000 * 1000;  // 60 s: window never fires here
+  ModelClient client(std::make_shared<const SimulatedCoderModel>(), 2, 0,
+                     batcher);
+  const auto prompts = sample_prompts(2);
+
+  const auto first = client.submit(prompts[0]);
+  EXPECT_FALSE(first.ready());  // pending: 1 < max_batch, window far away
+  EXPECT_EQ(client.pending_depth(), 1u);
+
+  const auto second = client.submit(prompts[1]);  // fills the batch
+  EXPECT_TRUE(first.ready());
+  EXPECT_TRUE(second.ready());
+  EXPECT_EQ(client.pending_depth(), 0u);
+
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.formed_batches, 1u);
+  EXPECT_EQ(stats.flush_full, 1u);
+  EXPECT_EQ(stats.flush_window, 0u);
+  // Two coalesced single submissions are a genuine batched pass.
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_prompts, 2u);
+  EXPECT_EQ(stats.pending_high_water, 2u);
+  EXPECT_EQ(stats.occupancy_hist[ClientStats::occupancy_bucket(2)], 1u);
+  EXPECT_EQ(first.flush_size(), 2u);
+}
+
+TEST(AdaptiveBatcherTest, WindowFlushFiresWithoutFurtherArrivals) {
+  BatcherConfig batcher;
+  batcher.max_batch = 8;
+  batcher.window_us = 2000;  // 2 ms
+  ModelClient client(std::make_shared<const SimulatedCoderModel>(), 2, 0,
+                     batcher);
+  const auto prompts = sample_prompts(3);
+  const auto futures = client.submit_many(prompts);
+  // Nothing fills the batch; the flusher thread must resolve these at the
+  // window deadline.
+  for (const auto& future : futures) (void)future.get();
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.formed_batches, 1u);
+  EXPECT_EQ(stats.flush_window, 1u);
+  EXPECT_EQ(stats.flush_full, 0u);
+  EXPECT_EQ(stats.batched_prompts, 3u);
+  EXPECT_EQ(futures[0].flush_size(), 3u);
+}
+
+TEST(AdaptiveBatcherTest, CrossCallerSubmissionsCoalesceIntoOnePass) {
+  BatcherConfig batcher;
+  batcher.max_batch = 4;
+  batcher.window_us = 60ull * 1000 * 1000;
+  ModelClient client(std::make_shared<const SimulatedCoderModel>(), 4, 0,
+                     batcher);
+  const auto prompts = sample_prompts(4);
+  // Two separate submit_many "callers": neither fills the batch alone; the
+  // second tops it up and the combined flush serves both.
+  const auto first =
+      client.submit_many({prompts[0], prompts[1]});
+  EXPECT_FALSE(first[0].ready());
+  const auto second =
+      client.submit_many({prompts[2], prompts[3]});
+  for (const auto& future : first) EXPECT_EQ(future.get().text.empty(), false);
+  for (const auto& future : second) (void)future.get();
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.formed_batches, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.max_batch, 4u);
+  EXPECT_EQ(first[0].flush_size(), 4u);
+  EXPECT_EQ(second[1].flush_size(), 4u);
+}
+
+TEST(AdaptiveBatcherTest, MaxBatchCapsOversizedSubmitMany) {
+  BatcherConfig batcher;
+  batcher.max_batch = 3;
+  batcher.window_us = 0;
+  ModelClient client(std::make_shared<const SimulatedCoderModel>(), 4, 0,
+                     batcher);
+  const auto prompts = sample_prompts(7);
+  const auto completions = client.complete_many(prompts);
+  ASSERT_EQ(completions.size(), 7u);
+  const auto stats = client.stats();
+  // 7 prompts with a 3-cap: passes of 3, 3, 1.
+  EXPECT_EQ(stats.formed_batches, 3u);
+  EXPECT_EQ(stats.max_batch, 3u);
+  EXPECT_EQ(stats.requests, 7u);
+  // Text must match the uncapped client prompt-for-prompt.
+  ModelClient reference(std::make_shared<const SimulatedCoderModel>(), 4);
+  const auto expected = reference.complete_many(prompts);
+  for (std::size_t i = 0; i < prompts.size(); ++i) {
+    EXPECT_EQ(completions[i].text, expected[i].text) << i;
+  }
+}
+
+TEST(AdaptiveBatcherTest, MixedParamsNeverShareAPass) {
+  BatcherConfig batcher;
+  batcher.max_batch = 8;
+  batcher.window_us = 2000;
+  ModelClient client(std::make_shared<const SimulatedCoderModel>(), 2, 0,
+                     batcher);
+  const auto prompts = sample_prompts(2);
+  GenerationParams seed_a;
+  seed_a.seed = 1;
+  GenerationParams seed_b;
+  seed_b.seed = 2;
+  const auto fa = client.submit(prompts[0], seed_a);
+  const auto fb = client.submit(prompts[1], seed_b);
+  const auto ca = fa.get();
+  const auto cb = fb.get();
+  // A pass has one params set, so the two seeds must flush separately...
+  EXPECT_EQ(client.stats().formed_batches, 2u);
+  EXPECT_EQ(fa.flush_size(), 1u);
+  EXPECT_EQ(fb.flush_size(), 1u);
+  // ...and each completion must match its own seed's sequential result.
+  ModelClient reference(std::make_shared<const SimulatedCoderModel>(), 2);
+  EXPECT_EQ(ca.text, reference.complete(prompts[0], seed_a).text);
+  EXPECT_EQ(cb.text, reference.complete(prompts[1], seed_b).text);
+}
+
+TEST(AdaptiveBatcherTest, MixedParamsDoNotFakeAFullFlush) {
+  // Regression: the full trigger must count only the head equal-params
+  // run — a lone stale request of other params must not be flushed early
+  // (and mislabelled "full") just because requests it cannot share a pass
+  // with piled up behind it.
+  BatcherConfig batcher;
+  batcher.max_batch = 4;
+  batcher.window_us = 3000;
+  ModelClient client(std::make_shared<const SimulatedCoderModel>(), 4, 0,
+                     batcher);
+  const auto prompts = sample_prompts(5);
+  GenerationParams seed_a;
+  seed_a.seed = 1;
+  GenerationParams seed_b;
+  seed_b.seed = 2;
+  const auto head = client.submit(prompts[0], seed_a);
+  const auto rest = client.submit_many(
+      {prompts[1], prompts[2], prompts[3], prompts[4]}, seed_b);
+  // Five pending, but no equal-params run of four at the head: nothing
+  // may flush as "full"; both groups resolve via their windows.
+  (void)head.get();
+  for (const auto& future : rest) (void)future.get();
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.flush_full, 0u);
+  EXPECT_EQ(stats.flush_window, 2u);
+  EXPECT_EQ(stats.formed_batches, 2u);
+  EXPECT_EQ(head.flush_size(), 1u);
+  EXPECT_EQ(rest[0].flush_size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown & cancellation
+// ---------------------------------------------------------------------------
+
+TEST(AsyncShutdownTest, DestroyingClientFailsPendingFuturesDeterministically) {
+  BatcherConfig batcher;
+  batcher.max_batch = 100;
+  batcher.window_us = 60ull * 1000 * 1000;  // nothing flushes on its own
+  std::vector<CompletionFuture> futures;
+  {
+    ModelClient client(std::make_shared<const SimulatedCoderModel>(), 2, 0,
+                       batcher);
+    futures = client.submit_many(sample_prompts(3));
+    EXPECT_FALSE(futures[0].ready());
+  }  // destroyed with 3 pending
+  for (const auto& future : futures) {
+    EXPECT_TRUE(future.ready());  // failed counts as resolved
+    EXPECT_THROW((void)future.get(), std::runtime_error);
+  }
+}
+
+TEST(AsyncShutdownTest, ShutdownStressResolvesOrFailsEveryFuture) {
+  // Many threads submit singles against a small full-trigger batch: some
+  // flushes fire (futures carry completions), a remainder is still pending
+  // when the client dies (futures carry the shutdown error). Every future
+  // must end resolved — no waiter may hang, no future may stay limbo.
+  BatcherConfig batcher;
+  batcher.max_batch = 5;
+  batcher.window_us = 60ull * 1000 * 1000;  // only full flushes fire
+  auto model = std::make_shared<const SimulatedCoderModel>();
+  const auto prompts = sample_prompts(4);
+  std::vector<CompletionFuture> futures;
+  std::mutex futures_mutex;
+  {
+    ModelClient client(model, 2, 0, batcher);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < 8; ++i) {
+          auto future = client.submit(prompts[static_cast<std::size_t>(t)]);
+          std::lock_guard lock(futures_mutex);
+          futures.push_back(std::move(future));
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }  // 32 submitted; 32 % 5 == 2 still pending at destruction
+  ASSERT_EQ(futures.size(), 32u);
+  int served = 0;
+  int failed = 0;
+  for (const auto& future : futures) {
+    EXPECT_TRUE(future.ready());
+    try {
+      (void)future.get();
+      ++served;
+    } catch (const std::runtime_error&) {
+      ++failed;
+    }
+  }
+  EXPECT_EQ(served + failed, 32);
+  EXPECT_GT(served, 0);  // full flushes fired before shutdown
+  EXPECT_GT(failed, 0);  // the tail was failed deterministically
+}
+
+TEST(AsyncShutdownTest, InFlightFlushDrainsBeforeDestruction) {
+  // A flush already executing when the destructor runs must complete and
+  // fulfill its futures; only never-flushed requests fail.
+  auto model = std::make_shared<const testutil::GatedModel>();
+  BatcherConfig batcher;
+  batcher.max_batch = 2;
+  batcher.window_us = 60ull * 1000 * 1000;
+  auto client = std::make_unique<ModelClient>(model, 2, 0, batcher);
+  const auto prompts = sample_prompts(2);
+
+  // Fill the batch from a worker thread: the full-trigger flush runs on
+  // that thread and blocks at the model's gate.
+  std::vector<CompletionFuture> futures;
+  std::mutex futures_mutex;
+  std::thread submitter([&] {
+    auto submitted = client->submit_many(prompts);
+    std::lock_guard lock(futures_mutex);
+    futures = std::move(submitted);
+  });
+  model->wait_for_entry();
+
+  std::thread destroyer([&] { client.reset(); });
+  // Give the destructor a moment to start waiting on the active flush,
+  // then open the gate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  model->release();
+  submitter.join();
+  destroyer.join();
+
+  std::lock_guard lock(futures_mutex);
+  ASSERT_EQ(futures.size(), 2u);
+  for (const auto& future : futures) {
+    EXPECT_TRUE(future.ready());
+    EXPECT_NO_THROW((void)future.get());  // served, not failed
+  }
+}
+
+TEST(AsyncShutdownTest, SubmitAfterShutdownBeginsFailsCleanly) {
+  // Covered indirectly by the stress above; here the deterministic shape:
+  // a client destroyed with nothing pending accepts no further traffic
+  // (compile-time API sanity — the future from a dead client cannot be
+  // produced, so this just pins that plain teardown is clean).
+  BatcherConfig batcher;
+  batcher.window_us = 1000;
+  auto client = std::make_unique<ModelClient>(
+      std::make_shared<const SimulatedCoderModel>(), 1, 0, batcher);
+  const auto completion = client->complete(sample_prompts(1)[0]);
+  EXPECT_FALSE(completion.text.empty());
+  EXPECT_NO_THROW(client.reset());
+}
+
+}  // namespace
+}  // namespace llm4vv::llm

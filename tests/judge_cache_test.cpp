@@ -272,49 +272,8 @@ TEST(EvaluateManyTest, EmptyBatchYieldsNoDecisions) {
 // In-flight dedup (thundering herd)
 // ---------------------------------------------------------------------------
 
-/// A model whose generate() blocks until the test releases it, so the test
-/// can deterministically park several workers behind one in-flight miss.
-class GatedModel final : public llm::LanguageModel {
- public:
-  std::string name() const override { return inner_.name(); }
-  llm::Completion generate(const std::string& prompt,
-                           const llm::GenerationParams& params)
-      const override {
-    {
-      std::unique_lock lock(mutex_);
-      ++entered_;
-      entered_cv_.notify_all();
-      release_cv_.wait(lock, [this] { return released_; });
-    }
-    return inner_.generate(prompt, params);
-  }
-  void wait_for_entry() const {
-    std::unique_lock lock(mutex_);
-    entered_cv_.wait(lock, [this] { return entered_ > 0; });
-  }
-  void release() const {
-    {
-      std::lock_guard lock(mutex_);
-      released_ = true;
-    }
-    release_cv_.notify_all();
-  }
-  int entered() const {
-    std::lock_guard lock(mutex_);
-    return entered_;
-  }
-
- private:
-  llm::SimulatedCoderModel inner_;
-  mutable std::mutex mutex_;
-  mutable std::condition_variable entered_cv_;
-  mutable std::condition_variable release_cv_;
-  mutable int entered_ = 0;
-  mutable bool released_ = false;
-};
-
 TEST(JudgeDedupTest, ConcurrentMissesOnOneKeyPayASingleModelCall) {
-  auto model = std::make_shared<const GatedModel>();
+  auto model = std::make_shared<const testutil::GatedModel>();
   auto client = std::make_shared<llm::ModelClient>(model, 4);
   const Llmj judge(client, llm::PromptStyle::kDirectAnalysis);
   const auto file = sample_file(6);
@@ -351,7 +310,7 @@ TEST(JudgeDedupTest, ConcurrentMissesOnOneKeyPayASingleModelCall) {
 // recomputes, or is served by the owner's (re-)publication — both produce
 // the same deterministic decision.
 TEST(JudgeDedupTest, ClearDuringConcurrentEvaluationStrandsNobody) {
-  auto model = std::make_shared<const GatedModel>();
+  auto model = std::make_shared<const testutil::GatedModel>();
   auto client = std::make_shared<llm::ModelClient>(model, 4);
   Llmj judge(client, llm::PromptStyle::kDirectAnalysis);
   const auto file = sample_file(8);

@@ -318,6 +318,118 @@ TEST(PipelineTest, BatchedJudgingFillsBatchesAndSavesGpuSeconds) {
   EXPECT_GT(batched.judge_gpu_seconds, 0.0);
 }
 
+TEST(PipelineTest, JudgeBatchSizeZeroIsRejectedAtConstruction) {
+  // Regression: judge_batch_size = 0 used to be silently clamped inside
+  // the judge stage; it must now fail loudly at construction time.
+  auto judge = std::make_shared<const judge::Llmj>(
+      core::make_simulated_client(1), llm::PromptStyle::kAgentDirect);
+  PipelineConfig config;
+  config.judge_batch_size = 0;
+  EXPECT_THROW(ValidationPipeline(testutil::clean_driver(Flavor::kOpenACC),
+                                  toolchain::Executor(), judge, config),
+               std::invalid_argument);
+}
+
+TEST(PipelineTest, AdaptiveWindowVerdictsMatchSequentialAndBatchesForm) {
+  // The submit-then-drain judge stage with a nonzero batcher window must
+  // produce byte-identical verdicts to the sequential paper path, while
+  // actually forming batched forward passes.
+  const auto probed = probed_batch(8, 60);  // 100 files through one judge
+  const auto files = files_of(probed);
+  const auto sequential =
+      make_batched_pipeline(1, core::make_simulated_client(4)).run(files);
+
+  llm::BatcherConfig batcher;
+  batcher.max_batch = 8;
+  batcher.window_us = 1500;
+  const auto adaptive =
+      make_batched_pipeline(8, core::make_simulated_client(4, batcher))
+          .run(files);
+
+  ASSERT_EQ(sequential.records.size(), adaptive.records.size());
+  for (std::size_t i = 0; i < sequential.records.size(); ++i) {
+    EXPECT_EQ(sequential.records[i].verdict, adaptive.records[i].verdict)
+        << i;
+    EXPECT_EQ(sequential.records[i].judge_says_valid,
+              adaptive.records[i].judge_says_valid)
+        << i;
+  }
+  EXPECT_GT(adaptive.judge_formed_batches, 0u);
+  EXPECT_GT(adaptive.judge_batch_occupancy, 1.0);
+  // The flush reasons must be adaptive ones: nothing flushes "immediately"
+  // when a window is configured.
+  EXPECT_EQ(adaptive.judge_flush_immediate, 0u);
+  EXPECT_GT(adaptive.judge_flush_full + adaptive.judge_flush_window, 0u);
+  // Amortized passes cost no more simulated GPU time than sequential.
+  EXPECT_LT(adaptive.judge_gpu_seconds, sequential.judge_gpu_seconds);
+}
+
+TEST(PipelineTest, OccupancyIsComputedFromFormedBatchesNotPoppedChunks) {
+  // Satellite regression: judge_batch_occupancy must follow the batcher's
+  // formed passes. With the batcher capped below judge_batch_size, the
+  // popped-chunk groups (up to 8) are split into passes of at most 4 — the
+  // reported occupancy must be the formed-pass number (<= cap), computed
+  // exactly from the client's counters, even though the old popped-chunk
+  // definition could read higher.
+  const auto probed = probed_batch(8, 60);
+  const auto files = files_of(probed);
+  llm::BatcherConfig batcher;
+  batcher.max_batch = 4;
+  batcher.window_us = 0;
+  auto client = core::make_simulated_client(4, batcher);
+  const auto result = make_batched_pipeline(8, client).run(files);
+
+  const auto stats = client->stats();
+  ASSERT_GT(stats.batches, 0u);
+  EXPECT_DOUBLE_EQ(result.judge_batch_occupancy,
+                   static_cast<double>(stats.batched_prompts) /
+                       static_cast<double>(stats.batches));
+  EXPECT_LE(result.judge_batch_occupancy, 4.0);  // capped by the batcher
+  EXPECT_EQ(result.judge_formed_batches, stats.formed_batches);
+  // The popped-chunk counters still tell the worker-side story and may
+  // exceed the cap (a group of up to 8 submitted at once).
+  EXPECT_GE(result.judge_max_batch, result.judge_batch_occupancy);
+  // Histogram and telemetry flowed through.
+  std::uint64_t hist_total = 0;
+  for (const auto bucket : result.judge_occupancy_hist) hist_total += bucket;
+  EXPECT_EQ(hist_total, result.judge_formed_batches);
+  EXPECT_GT(result.judge_queue_depth_peak, 0u);
+}
+
+TEST(PipelineTest, RepeatedAdaptiveRunsLeaveNoStrandedState) {
+  // Shutdown/cancellation stress at the pipeline level: repeated runs over
+  // a windowed batcher (flusher thread active, futures in flight inside
+  // every run) must drain completely every time — and afterwards the judge
+  // must answer instantly from a fully published cache, proving no claim
+  // was left in flight.
+  const auto probed = probed_batch(2, 10);
+  const auto files = files_of(probed);
+  llm::BatcherConfig batcher;
+  batcher.max_batch = 4;
+  batcher.window_us = 500;
+  auto client = core::make_simulated_client(4, batcher);
+  auto judge = std::make_shared<const judge::Llmj>(
+      client, llm::PromptStyle::kAgentDirect);
+  PipelineConfig config;
+  config.mode = PipelineMode::kRecordAll;
+  config.compile_workers = 2;
+  config.execute_workers = 2;
+  config.judge_workers = 4;
+  config.judge_batch_size = 4;
+  const ValidationPipeline pipe(testutil::clean_driver(Flavor::kOpenACC),
+                                toolchain::Executor(), judge, config);
+  const auto first = pipe.run(files);
+  for (const auto& record : first.records) EXPECT_TRUE(record.judged);
+  const auto second = pipe.run(files);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    EXPECT_EQ(second.records[i].judge_says_valid,
+              first.records[i].judge_says_valid)
+        << i;
+    EXPECT_TRUE(second.records[i].judge_cached) << i;  // nothing stranded
+  }
+  EXPECT_EQ(client->pending_depth(), 0u);
+}
+
 TEST(PipelineTest, StageStatsAreConsistent) {
   const auto probed = probed_batch(4, 16);
   const auto files = files_of(probed);

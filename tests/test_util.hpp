@@ -1,8 +1,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <unistd.h>
@@ -12,6 +14,7 @@
 #include "frontend/lexer.hpp"
 #include "frontend/parser.hpp"
 #include "frontend/sema.hpp"
+#include "llm/coder_model.hpp"
 #include "toolchain/compiler.hpp"
 #include "toolchain/executor.hpp"
 #include "vm/interp.hpp"
@@ -83,6 +86,53 @@ class TempFile {
 
  private:
   std::string path_;
+};
+
+/// A simulated coder model whose generate() calls block at a gate until
+/// the test releases it — the standard way to deterministically park
+/// workers behind an in-flight model call (the base-class generate_batch
+/// loops over generate, so batched flushes gate too). Shared by the judge
+/// dedup, async-client, and async-judge test suites.
+class GatedModel final : public llm::LanguageModel {
+ public:
+  std::string name() const override { return inner_.name(); }
+  llm::Completion generate(const std::string& prompt,
+                           const llm::GenerationParams& params)
+      const override {
+    {
+      std::unique_lock lock(mutex_);
+      ++entered_;
+      entered_cv_.notify_all();
+      release_cv_.wait(lock, [this] { return released_; });
+    }
+    return inner_.generate(prompt, params);
+  }
+  /// Block until at least `count` generate() calls have reached the gate.
+  void wait_for_entry(int count = 1) const {
+    std::unique_lock lock(mutex_);
+    entered_cv_.wait(lock, [this, count] { return entered_ >= count; });
+  }
+  /// Open the gate for every present and future call.
+  void release() const {
+    {
+      std::lock_guard lock(mutex_);
+      released_ = true;
+    }
+    release_cv_.notify_all();
+  }
+  /// Calls that have reached the gate so far.
+  int entered() const {
+    std::lock_guard lock(mutex_);
+    return entered_;
+  }
+
+ private:
+  llm::SimulatedCoderModel inner_;
+  mutable std::mutex mutex_;
+  mutable std::condition_variable entered_cv_;
+  mutable std::condition_variable release_cv_;
+  mutable int entered_ = 0;
+  mutable bool released_ = false;
 };
 
 /// A strictness-free compiler driver for validity testing.
