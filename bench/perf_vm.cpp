@@ -1,8 +1,16 @@
-// Execute-stage microbenchmarks: VM throughput, and the cost of the
-// device-mirror data movement relative to plain host execution.
+// Execute-stage microbenchmarks: VM throughput (including the dispatch-core
+// sweep behind the BENCH_vm.json CI gate), the cost of the device-mirror
+// data movement relative to plain host execution, and the sharded-vs-mutex
+// queue hand-off sweep of the execute stage. See docs/BENCHMARKS.md.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "core/llm4vv.hpp"
+#include "support/mpmc_queue.hpp"
 
 namespace {
 
@@ -74,6 +82,90 @@ void BM_ExecuteDeviceLoop(benchmark::State& state) {
       static_cast<double>(steps), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ExecuteDeviceLoop)->Unit(benchmark::kMillisecond);
+
+void BM_ExecuteDispatch(benchmark::State& state) {
+  // The dispatch-core ablation behind the CI gate: the same host loop under
+  // the reference switch (0), the function-pointer table (1), and the
+  // token-threaded core (2). The acceptance bar is threaded >= 1.5x the
+  // reference's steps/s; the `dispatch` counter is 0/1/2 so jq can key on
+  // it, the resolved core name is in the run name via SetLabel.
+  const auto mode = static_cast<vm::DispatchMode>(state.range(0));
+  const auto module = compile_one(kHostLoop);
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const auto result = vm::execute(*module, {}, mode);
+    steps += result.steps;
+    benchmark::DoNotOptimize(result.return_code);
+  }
+  state.SetLabel(vm::dispatch_mode_name(mode));
+  state.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExecuteDispatch)
+    ->Arg(static_cast<int>(vm::DispatchMode::kReference))
+    ->Arg(static_cast<int>(vm::DispatchMode::kTable))
+    ->Arg(static_cast<int>(vm::DispatchMode::kThreaded))
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"dispatch"});
+
+void BM_PipelineExecuteScale(benchmark::State& state) {
+  // The execute stage's queue hand-off at scale, isolated: W producers
+  // feed W consumers through one bounded MpmcQueue in the pipeline's
+  // per-item arrival shape (push / pop_up_to(1)) with no per-item work,
+  // so queue synchronization is all that is measured. shards:0 stripes
+  // min(workers, 8) — deliberately NOT the pipeline's auto policy (which
+  // also caps at hardware_concurrency and would decline to shard on a
+  // small host): the A/B needs the sharded configuration measured
+  // everywhere, including where it only costs. shards:1 is the
+  // single-mutex baseline the sharded queue must beat at >= 4 workers on
+  // multi-core hosts (see docs/BENCHMARKS.md for the gate's tiers).
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  std::size_t shards = static_cast<std::size_t>(state.range(1));
+  if (shards == 0) shards = std::min<std::size_t>(workers, 8);
+  constexpr std::size_t kItemsPerProducer = 2048;
+  const std::size_t total = kItemsPerProducer * workers;
+  std::uint64_t steals = 0;
+  for (auto _ : state) {
+    support::MpmcQueue<std::size_t> queue(128, shards);
+    std::atomic<std::uint64_t> consumed{0};
+    std::vector<std::thread> threads;
+    threads.reserve(workers * 2);
+    for (std::size_t p = 0; p < workers; ++p) {
+      threads.emplace_back([&queue] {
+        for (std::size_t i = 0; i < kItemsPerProducer; ++i) {
+          queue.push(i);
+        }
+      });
+    }
+    for (std::size_t c = 0; c < workers; ++c) {
+      threads.emplace_back([&queue, &consumed] {
+        std::vector<std::size_t> out;
+        std::uint64_t local = 0;
+        for (;;) {
+          out.clear();
+          if (queue.pop_up_to(1, out) == 0) break;
+          local += out[0] + 1;
+        }
+        consumed.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+    for (std::size_t p = 0; p < workers; ++p) threads[p].join();
+    queue.close();
+    for (std::size_t c = workers; c < threads.size(); ++c) threads[c].join();
+    benchmark::DoNotOptimize(consumed.load());
+    steals += queue.steals();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * total));
+  state.counters["queue_shards"] = static_cast<double>(shards);
+  state.counters["queue_steals_per_run"] =
+      static_cast<double>(steals) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_PipelineExecuteScale)
+    ->ArgsProduct({{1, 4, 8}, {1, 0}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->ArgNames({"workers", "shards"});
 
 void BM_GeneratedSuiteExecution(benchmark::State& state) {
   // End-to-end compile+run over a generated suite sample.

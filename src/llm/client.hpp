@@ -78,11 +78,22 @@ struct ClientStats {
   /// High-water mark of simultaneously pending (submitted, not yet
   /// flushed) requests over the client's lifetime.
   std::size_t pending_high_water = 0;
-  /// Histogram of flush sizes: buckets 1, 2, 3-4, 5-8, 9-16, 17-32, 33+.
+  /// Histogram of flush sizes. Seven fixed buckets, power-of-two edges
+  /// above the two singleton buckets (upper edges inclusive):
+  ///
+  ///   bucket:  0    1    2      3      4       5        6
+  ///   sizes:   1    2    3-4    5-8    9-16    17-32    33+
+  ///
+  /// i.e. a flush of `n` prompts lands in bucket 0 for n <= 1, bucket 1
+  /// for n == 2, and bucket min(ceil(log2(n)), 6) for n >= 3. The edges
+  /// are pinned by a unit test (client_async_test) and documented in
+  /// docs/ASYNC_API.md; bench JSON and PipelineResult::judge_occupancy_hist
+  /// reuse these buckets via occupancy_bucket_label().
   static constexpr std::size_t kOccupancyBuckets = 7;
   std::array<std::uint64_t, kOccupancyBuckets> occupancy_hist{};
 
-  /// Bucket index a flush of `batch` prompts lands in.
+  /// Bucket index a flush of `batch` prompts lands in (batch 0 — which no
+  /// real flush produces — counts into bucket 0 with the singletons).
   static std::size_t occupancy_bucket(std::size_t batch) noexcept;
   /// Human-readable label of a bucket ("1", "2", "3-4", ...).
   static const char* occupancy_bucket_label(std::size_t bucket) noexcept;

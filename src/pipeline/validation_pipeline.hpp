@@ -2,6 +2,7 @@
 
 #include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "judge/judge.hpp"
@@ -50,6 +51,15 @@ struct PipelineConfig {
   /// adaptive batcher's wait window is designed for (and what
   /// BM_PipelineAdaptiveBatch measures). 0 is clamped to 1.
   std::size_t stage_batch = 16;
+  /// Lock-striped shards per inter-stage queue (see support::MpmcQueue):
+  /// workers hash to a home shard and steal from siblings, so high worker
+  /// counts stop serializing on one queue mutex. 0 (the default) sizes
+  /// automatically — one shard per worker of the widest stage, capped at
+  /// min(hardware threads, 8): striping beyond the hardware's parallelism
+  /// is pure scan overhead. Sharding never changes per-file results
+  /// (records are indexed, not ordered); 1 restores the strict-FIFO
+  /// single-mutex queue.
+  std::size_t queue_shards = 0;
 };
 
 /// Everything recorded about one file's trip through the pipeline.
@@ -144,6 +154,14 @@ struct PipelineResult {
   /// store rather than this process's own earlier compiles.
   std::uint64_t compile_cache_hits = 0;
   std::uint64_t compile_persisted_hits = 0;
+  /// Resolved VM dispatch core the execute stage ran with ("computed-goto",
+  /// "table", or "reference"; see vm::dispatch_mode_name).
+  std::string execute_dispatch;
+  /// Lock-striped shards each inter-stage queue ran with this run.
+  std::size_t queue_shards = 0;
+  /// Pops served by a non-home shard across the three inter-stage queues —
+  /// how often workers had to steal instead of hitting their own shard.
+  std::uint64_t queue_steals = 0;
 };
 
 /// The staged validation pipeline of Figure 2: bounded queues between a

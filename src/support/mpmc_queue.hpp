@@ -1,30 +1,59 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
 namespace llm4vv::support {
 
-/// Bounded multi-producer/multi-consumer blocking queue.
+/// Bounded multi-producer/multi-consumer blocking queue, lock-striped
+/// across N shards.
 ///
-/// This is the channel that connects validation-pipeline stages (Figure 2 of
-/// the paper): producers block when the queue is full (back-pressure keeps a
-/// fast compile stage from flooding the slow LLM stage) and consumers block
-/// when it is empty. `close()` wakes everyone and drains remaining items;
-/// after the queue is closed and empty, `pop()` returns std::nullopt so
-/// worker loops terminate cleanly (CP.mess: communicate by message passing,
-/// not by shared mutable state).
+/// This is the channel that connects validation-pipeline stages (Figure 2
+/// of the paper): producers block when the queue is full (back-pressure
+/// keeps a fast compile stage from flooding the slow LLM stage) and
+/// consumers block when it is empty. `close()` wakes everyone and drains
+/// remaining items; after the queue is closed and empty, `pop()` returns
+/// std::nullopt so worker loops terminate cleanly (CP.mess: communicate by
+/// message passing, not by shared mutable state).
+///
+/// Sharding (PR 5): with `shards > 1` the buffer is striped across that
+/// many independently locked sub-queues, so many workers no longer
+/// serialize on a single mutex. Each thread hashes its id to a *home*
+/// shard and pushes/pops there first (affinity keeps a steady worker on
+/// one uncontended lock and preserves FIFO order within its shard);
+/// when the home shard is empty (pop) or full (push) the operation walks
+/// the sibling shards — *work stealing* — before blocking on the
+/// queue-wide gate. Cross-shard ordering is not defined; `shards == 1`
+/// (the default) is the original single-mutex queue with strict FIFO
+/// order. Blocking uses a queue-wide gate (atomic size + waiter-counted
+/// condition variables), touched only when a thread actually has to
+/// sleep or a sleeper exists to wake.
+///
+/// Capacity note: the bound is split evenly, each shard holding up to
+/// ceil(capacity / shards) items, so the effective bound can round up to
+/// at most `capacity + shards - 1`; `capacity()` returns the requested
+/// value.
 template <typename T>
 class MpmcQueue {
  public:
-  /// Create a queue holding at most `capacity` items (capacity must be > 0).
-  explicit MpmcQueue(std::size_t capacity = 256) : capacity_(capacity) {
+  /// Create a queue holding at most ~`capacity` items striped over
+  /// `shards` sub-queues (capacity must be > 0; shards == 0 is promoted
+  /// to 1).
+  explicit MpmcQueue(std::size_t capacity = 256, std::size_t shards = 1)
+      : capacity_(capacity),
+        shard_count_(shards == 0 ? 1 : shards),
+        shard_capacity_((capacity + shard_count_ - 1) / shard_count_),
+        shards_(shard_count_) {
     if (capacity == 0) {
       throw std::invalid_argument("MpmcQueue: capacity must be > 0");
     }
@@ -36,142 +65,308 @@ class MpmcQueue {
   /// Block until there is space, then enqueue. Returns false (and drops the
   /// item) if the queue was closed.
   bool push(T item) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
-    return true;
+    const std::size_t home = home_shard();
+    for (;;) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      for (std::size_t i = 0; i < shard_count_; ++i) {
+        Shard& shard = shards_[(home + i) % shard_count_];
+        std::unique_lock lock(shard.mutex);
+        // Re-checked under the lock: close() sweeps every shard mutex
+        // after setting the flag, so a push that enqueued before the
+        // sweep is drained and one that arrives after it fails — exactly
+        // the single-mutex queue's close/push linearization.
+        if (closed_.load(std::memory_order_acquire)) return false;
+        if (shard.items.size() >= shard_capacity_) continue;
+        shard.items.push_back(std::move(item));
+        // The count must move while the shard lock is held: a consumer
+        // can otherwise pop this item and decrement before our increment
+        // lands, wrapping size_ to SIZE_MAX.
+        size_.fetch_add(1);
+        lock.unlock();
+        wake_consumers(1);
+        return true;
+      }
+      wait_for_space();
+    }
   }
 
-  /// Blocking bulk enqueue: moves the elements of `items` into the queue in
-  /// order, waiting for space as needed, taking the lock once per burst of
-  /// free capacity instead of once per element. Returns the number of items
-  /// enqueued; anything less than `items.size()` means the queue was closed
-  /// mid-push and the tail `[returned, size)` was left untouched in `items`
-  /// (elements before that point are moved-from).
+  /// Blocking bulk enqueue: moves the elements of `items` into the queue,
+  /// waiting for space as needed, taking one shard lock per shard visited
+  /// per burst instead of one per element. Returns the number of items
+  /// enqueued; anything less than `items.size()` means the queue was
+  /// closed mid-push and the tail `[returned, size)` was left untouched in
+  /// `items` (elements before that point are moved-from). With a single
+  /// shard the items land in order; with several they stripe across
+  /// shards.
   std::size_t push_all(std::vector<T>& items) {
+    const std::size_t home = home_shard();
     std::size_t pushed = 0;
-    std::unique_lock lock(mutex_);
-    while (pushed < items.size()) {
-      not_full_.wait(lock,
-                     [this] { return closed_ || items_.size() < capacity_; });
-      if (closed_) break;
+    bool closed_seen = false;
+    while (pushed < items.size() && !closed_seen) {
+      if (closed_.load(std::memory_order_acquire)) break;
       std::size_t burst = 0;
-      while (pushed < items.size() && items_.size() < capacity_) {
-        items_.push_back(std::move(items[pushed]));
-        ++pushed;
-        ++burst;
+      for (std::size_t i = 0; i < shard_count_ && pushed < items.size();
+           ++i) {
+        Shard& shard = shards_[(home + i) % shard_count_];
+        std::lock_guard lock(shard.mutex);
+        if (closed_.load(std::memory_order_acquire)) {
+          closed_seen = true;  // see push(): close/push linearization
+          break;
+        }
+        std::size_t shard_burst = 0;
+        while (pushed < items.size() &&
+               shard.items.size() < shard_capacity_) {
+          shard.items.push_back(std::move(items[pushed]));
+          ++pushed;
+          ++shard_burst;
+        }
+        // Counted under the shard lock; see push().
+        if (shard_burst > 0) size_.fetch_add(shard_burst);
+        burst += shard_burst;
       }
-      // Notify with the mutex released so woken consumers don't pile up on
-      // it; the burst must be published before the next wait, or consumers
-      // would sleep while this producer sleeps.
-      lock.unlock();
-      if (burst == 1) {
-        not_empty_.notify_one();
-      } else if (burst > 1) {
-        not_empty_.notify_all();
+      if (burst > 0) {
+        wake_consumers(burst);
+        continue;
       }
-      if (pushed == items.size()) return pushed;
-      lock.lock();
+      if (!closed_seen) wait_for_space();
     }
     return pushed;
   }
 
   /// Non-blocking enqueue; returns false when full or closed.
   bool try_push(T item) {
-    {
-      std::lock_guard lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
-      items_.push_back(std::move(item));
+    if (closed_.load(std::memory_order_acquire)) return false;
+    const std::size_t home = home_shard();
+    for (std::size_t i = 0; i < shard_count_; ++i) {
+      Shard& shard = shards_[(home + i) % shard_count_];
+      std::unique_lock lock(shard.mutex);
+      if (closed_.load(std::memory_order_acquire)) return false;
+      if (shard.items.size() >= shard_capacity_) continue;
+      shard.items.push_back(std::move(item));
+      size_.fetch_add(1);  // under the shard lock; see push()
+      lock.unlock();
+      wake_consumers(1);
+      return true;
     }
-    not_empty_.notify_one();
-    return true;
+    return false;
   }
 
   /// Block until an item is available or the queue is closed-and-drained.
   /// Returns std::nullopt only in the latter case.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;  // closed and drained
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
-    return item;
+    const std::size_t home = home_shard();
+    for (;;) {
+      for (std::size_t i = 0; i < shard_count_; ++i) {
+        Shard& shard = shards_[(home + i) % shard_count_];
+        std::unique_lock lock(shard.mutex);
+        if (shard.items.empty()) continue;
+        T item = std::move(shard.items.front());
+        shard.items.pop_front();
+        size_.fetch_sub(1);  // under the shard lock; see push()
+        lock.unlock();
+        if (i != 0) steals_.fetch_add(1, std::memory_order_relaxed);
+        wake_producers(1);
+        return item;
+      }
+      if (!wait_for_items()) return std::nullopt;
+    }
   }
 
   /// Blocking bulk dequeue: waits until at least one item is available (or
   /// the queue is closed-and-drained), then appends up to `max` items to
-  /// `out` under a single lock acquisition. Returns the number of items
-  /// appended; 0 signals end-of-stream, exactly like a nullopt from pop().
+  /// `out`, sweeping sibling shards (home first, one lock each) until the
+  /// burst is full or every shard was visited. The sweep matters: striped
+  /// producers spread a batch across shards, and a single-shard burst
+  /// would fragment downstream batching (the judge stage's submission
+  /// groups) on multi-core hosts. Returns the number of items appended;
+  /// 0 signals end-of-stream, exactly like a nullopt from pop().
   std::size_t pop_up_to(std::size_t max, std::vector<T>& out) {
     if (max == 0) return 0;
-    std::size_t popped = 0;
-    {
-      std::unique_lock lock(mutex_);
-      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-      while (popped < max && !items_.empty()) {
-        out.push_back(std::move(items_.front()));
-        items_.pop_front();
-        ++popped;
+    const std::size_t home = home_shard();
+    for (;;) {
+      std::size_t popped = 0;
+      bool stole = false;
+      for (std::size_t i = 0; i < shard_count_ && popped < max; ++i) {
+        Shard& shard = shards_[(home + i) % shard_count_];
+        std::lock_guard lock(shard.mutex);
+        std::size_t from_shard = 0;
+        while (popped < max && !shard.items.empty()) {
+          out.push_back(std::move(shard.items.front()));
+          shard.items.pop_front();
+          ++popped;
+          ++from_shard;
+        }
+        if (from_shard > 0) {
+          size_.fetch_sub(from_shard);  // under the shard lock; see push()
+          if (i != 0) stole = true;
+        }
       }
+      if (popped > 0) {
+        if (stole) steals_.fetch_add(1, std::memory_order_relaxed);
+        wake_producers(popped);
+        return popped;
+      }
+      if (!wait_for_items()) return 0;
     }
-    if (popped == 1) {
-      not_full_.notify_one();
-    } else if (popped > 1) {
-      not_full_.notify_all();
-    }
-    return popped;
   }
 
   /// Non-blocking dequeue; std::nullopt when currently empty.
   std::optional<T> try_pop() {
-    std::unique_lock lock(mutex_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
-    return item;
+    const std::size_t home = home_shard();
+    for (std::size_t i = 0; i < shard_count_; ++i) {
+      Shard& shard = shards_[(home + i) % shard_count_];
+      std::unique_lock lock(shard.mutex);
+      if (shard.items.empty()) continue;
+      T item = std::move(shard.items.front());
+      shard.items.pop_front();
+      size_.fetch_sub(1);  // under the shard lock; see push()
+      lock.unlock();
+      if (i != 0) steals_.fetch_add(1, std::memory_order_relaxed);
+      wake_producers(1);
+      return item;
+    }
+    return std::nullopt;
   }
 
   /// Close the queue: producers start failing immediately, consumers drain
   /// the remaining items and then observe end-of-stream.
   void close() {
-    {
-      std::lock_guard lock(mutex_);
-      closed_ = true;
+    closed_.store(true, std::memory_order_release);
+    // Sweep every shard mutex after setting the flag: a push holding a
+    // shard lock either enqueued before this sweep (its item and size_
+    // update are then ordered before the sweep, so consumers drain it)
+    // or re-checks the flag under the lock and fails. This restores the
+    // single-mutex queue's guarantee that no push succeeds after close()
+    // returns.
+    for (Shard& shard : shards_) {
+      std::lock_guard shard_lock(shard.mutex);
     }
+    // Taking the gate lock before broadcasting pairs with the waiters'
+    // predicate check, so nobody can sleep through the close.
+    std::lock_guard lock(gate_mutex_);
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
   /// True once close() has been called.
-  bool closed() const {
-    std::lock_guard lock(mutex_);
-    return closed_;
-  }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
 
   /// Number of items currently buffered (a snapshot; for stats only).
   std::size_t size() const {
-    std::lock_guard lock(mutex_);
-    return items_.size();
+    return size_.load();
   }
 
-  /// Maximum number of buffered items.
+  /// Requested maximum number of buffered items (per-shard rounding can
+  /// raise the effective bound by up to shards - 1).
   std::size_t capacity() const noexcept { return capacity_; }
 
+  /// Number of lock-striped sub-queues.
+  std::size_t shard_count() const noexcept { return shard_count_; }
+
+  /// Pop operations (pop / try_pop / pop_up_to bursts) that were served by
+  /// a shard other than the calling thread's home shard — the
+  /// work-stealing rate, surfaced in pipeline telemetry.
+  std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
  private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::deque<T> items;
+  };
+
+  std::size_t home_shard() const noexcept {
+    if (shard_count_ == 1) return 0;
+    // The thread's hash never changes; computing get_id()+hash per queue
+    // operation is measurable on the hand-off hot path, so cache it.
+    static const thread_local std::size_t thread_hash =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return thread_hash % shard_count_;
+  }
+
+  std::size_t total_capacity() const noexcept {
+    return shard_capacity_ * shard_count_;
+  }
+
+  /// Sleep until some shard may have space (or the queue closed). Callers
+  /// re-scan after waking; the predicate only uses atomics, so it is safe
+  /// under the gate lock.
+  void wait_for_space() {
+    std::unique_lock gate(gate_mutex_);
+    if (closed_.load(std::memory_order_acquire)) return;
+    if (size_.load() < total_capacity()) return;
+    push_waiters_.fetch_add(1);
+    not_full_.wait(gate, [this] {
+      return closed_.load(std::memory_order_acquire) ||
+             size_.load() < total_capacity();
+    });
+    push_waiters_.fetch_sub(1);
+  }
+
+  /// Sleep until items may be available. Returns false when the queue is
+  /// closed and drained (end-of-stream); true means "re-scan".
+  bool wait_for_items() {
+    std::unique_lock gate(gate_mutex_);
+    for (;;) {
+      if (size_.load() > 0) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        // A racing push that passed its closed-check may still hold a
+        // shard lock with its item not yet counted. Sweep the shard
+        // locks so any such enqueue is ordered before the final check;
+        // afterwards no push can succeed (they all re-check the flag
+        // under the lock), so size_ == 0 really is end-of-stream.
+        gate.unlock();
+        for (Shard& shard : shards_) {
+          std::lock_guard shard_lock(shard.mutex);
+        }
+        return size_.load() > 0;
+      }
+      pop_waiters_.fetch_add(1);
+      not_empty_.wait(gate, [this] {
+        return closed_.load(std::memory_order_acquire) ||
+               size_.load() > 0;
+      });
+      pop_waiters_.fetch_sub(1);
+    }
+  }
+
+  /// Wake sleeping consumers after publishing `n` items. The waiter count
+  /// keeps the gate untouched on the uncontended fast path; acquiring the
+  /// gate mutex (even empty) before notifying closes the race with a
+  /// waiter that just failed its predicate check but has not yet slept.
+  void wake_consumers(std::size_t n) {
+    if (pop_waiters_.load() == 0) return;
+    { std::lock_guard lock(gate_mutex_); }
+    if (n == 1) {
+      not_empty_.notify_one();
+    } else {
+      not_empty_.notify_all();
+    }
+  }
+
+  void wake_producers(std::size_t n) {
+    if (push_waiters_.load() == 0) return;
+    { std::lock_guard lock(gate_mutex_); }
+    if (n == 1) {
+      not_full_.notify_one();
+    } else {
+      not_full_.notify_all();
+    }
+  }
+
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
+  const std::size_t shard_count_;
+  const std::size_t shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<int> pop_waiters_{0};
+  std::atomic<int> push_waiters_{0};
+  mutable std::mutex gate_mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
 };
 
 }  // namespace llm4vv::support

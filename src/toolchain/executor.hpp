@@ -21,13 +21,21 @@ struct ExecutionRecord {
 /// Runs compiled modules under the VM with execution budgets.
 class Executor {
  public:
-  explicit Executor(vm::ExecLimits limits = {}) : limits_(limits) {}
+  /// `dispatch` selects the VM dispatch core (all cores are semantically
+  /// identical; the default is the fastest one this build provides).
+  explicit Executor(vm::ExecLimits limits = {},
+                    vm::DispatchMode dispatch = vm::default_dispatch_mode())
+      : limits_(limits), dispatch_(dispatch) {}
 
   /// Execute a compiled module; a null module yields ran=false.
   ExecutionRecord run(const std::shared_ptr<const vm::Module>& module) const;
 
+  /// The dispatch core this executor runs modules with.
+  vm::DispatchMode dispatch_mode() const noexcept { return dispatch_; }
+
  private:
   vm::ExecLimits limits_;
+  vm::DispatchMode dispatch_;
 };
 
 }  // namespace llm4vv::toolchain

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -47,6 +48,11 @@ enum class Op : std::uint8_t {
   kDevExit,      ///< a: region index — leave it (processes copy-backs)
   kDevAction,    ///< a: region index — unstructured enter/exit data or update
 };
+
+/// Number of opcodes — the size of the interpreter's dispatch tables (the
+/// threaded cores index handler arrays by the raw opcode value).
+inline constexpr std::size_t kOpCount =
+    static_cast<std::size_t>(Op::kDevAction) + 1;
 
 /// One instruction. `line` drives runtime error positions.
 struct Instr {

@@ -7,6 +7,18 @@
 #include "frontend/builtins.hpp"
 #include "vm/runtime.hpp"
 
+// The token-threaded core needs GNU computed goto (`&&label`). It is
+// available on GCC and Clang regardless of -std=c++NN; configuring with
+// -DLLM4VV_VM_DISPATCH=table removes it, so an explicit
+// DispatchMode::kThreaded request degrades to the portable
+// function-pointer-table core (the CI matrix builds that leg so it stays
+// green). The *default* execute core is the table core in every build —
+// see default_dispatch_mode().
+#if !defined(LLM4VV_VM_DISPATCH_TABLE) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define LLM4VV_VM_COMPUTED_GOTO 1
+#endif
+
 namespace llm4vv::vm {
 
 namespace {
@@ -16,27 +28,132 @@ struct ExitSignal {
   int code;
 };
 
+/// One pre-decoded instruction: a handler index (the raw opcode value —
+/// static_asserted against the inc-file order below) plus the packed
+/// operands, flat in one cache-friendly stream per chunk.
+struct DecodedInstr {
+  std::uint32_t handler = 0;
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t line = 0;
+};
+
+/// Handler index of the end-of-chunk sentinel appended to every decoded
+/// chunk. Executing it reproduces the reference loop's per-fetch bounds
+/// check ("fell off the end of a chunk") without paying a compare on every
+/// dispatch.
+constexpr std::uint32_t kChunkEndHandler =
+    static_cast<std::uint32_t>(kOpCount);
+
+struct DecodedChunk {
+  std::vector<DecodedInstr> code;  ///< original instructions + 2 sentinels
+};
+
+struct DecodedProgram {
+  std::vector<DecodedChunk> chunks;
+};
+
+/// The inc file must list every opcode in exact Op-enum order, because the
+/// decoded handler index is the raw opcode value.
+constexpr Op kIncOrder[] = {
+#define VM_OP(NAME, ...) Op::NAME,
+#include "vm/interp_ops.inc"
+#undef VM_OP
+};
+static_assert(sizeof(kIncOrder) / sizeof(kIncOrder[0]) == kOpCount,
+              "interp_ops.inc must define every opcode exactly once");
+static_assert(
+    [] {
+      for (std::size_t i = 0; i < kOpCount; ++i) {
+        if (static_cast<std::size_t>(kIncOrder[i]) != i) return false;
+      }
+      return true;
+    }(),
+    "interp_ops.inc bodies must appear in Op-enum order");
+
+bool is_jump(Op op) noexcept {
+  return op == Op::kJump || op == Op::kJumpIfFalse || op == Op::kJumpIfTrue;
+}
+
+/// Lower a module's bytecode into the flat handler-index streams the fast
+/// cores execute. Wild jump targets are rebased onto end-of-chunk
+/// sentinels so they trap exactly like the reference loop's fetch bounds
+/// check, line rendering included: a target of exactly `size` renders at
+/// the last instruction's line there (ip - 1 lands in range), while a
+/// target beyond `size` renders with no line (ip - 1 lands out of range) —
+/// so each chunk gets TWO sentinels, one per line behaviour. A negative
+/// target — undefined behaviour in the reference — becomes the same
+/// defined no-line trap. Out-of-range opcodes match no case in the
+/// reference switch and are skipped there; they decode to the same no-op.
+DecodedProgram decode(const Module& module) {
+  DecodedProgram program;
+  program.chunks.resize(module.chunks.size());
+  for (std::size_t c = 0; c < module.chunks.size(); ++c) {
+    const std::vector<Instr>& code = module.chunks[c].code;
+    std::vector<DecodedInstr>& out = program.chunks[c].code;
+    const std::int32_t size = static_cast<std::int32_t>(code.size());
+    out.reserve(code.size() + 2);
+    for (const Instr& instr : code) {
+      DecodedInstr d;
+      std::uint32_t handler = static_cast<std::uint32_t>(instr.op);
+      if (handler >= kOpCount) {
+        handler = static_cast<std::uint32_t>(Op::kNop);
+      }
+      d.handler = handler;
+      d.a = instr.a;
+      d.b = instr.b;
+      d.line = instr.line;
+      if (is_jump(instr.op) && (d.a < 0 || d.a > size)) d.a = size + 1;
+      out.push_back(d);
+    }
+    // Sentinel at index `size`: sequential fall-off and jump-to-size land
+    // here; the reference renders those at the last instruction's line.
+    DecodedInstr end;
+    end.handler = kChunkEndHandler;
+    end.line = code.empty() ? 0 : code.back().line;
+    out.push_back(end);
+    // Sentinel at `size + 1`: rebased wild jumps land here; the reference
+    // renders those with no line (frame.ip - 1 is out of range).
+    DecodedInstr wild;
+    wild.handler = kChunkEndHandler;
+    wild.line = 0;
+    out.push_back(wild);
+  }
+  return program;
+}
+
 }  // namespace
 
 /// Interpreter state shared with the runtime library (see runtime.hpp).
+///
+/// Three dispatch cores share this machine: the reference `switch` loop
+/// (the behavioural pin), and two cores over the pre-decoded stream — a
+/// portable function-pointer table and a token-threaded computed-goto loop.
+/// The fast cores expand the same interp_ops.inc bodies, so they cannot
+/// drift from each other; drift from the reference is caught by the
+/// differential suite in tests/vm_dispatch_test.cpp.
 class Machine final : public RuntimeHost {
  public:
   Machine(const Module& module, const ExecLimits& limits)
       : module_(module), limits_(limits), memory_(limits.max_cells) {}
 
-  ExecResult run() {
+  ExecResult run(DispatchMode mode) {
+    if (mode != DispatchMode::kReference) {
+      decoded_storage_ = decode(module_);
+      decoded_ = &decoded_storage_;
+    }
     ExecResult result;
     try {
       if (module_.init_chunk >= 0) {
         call_chunk(module_.init_chunk, 0);
-        run_loop();
+        run_loop(mode);
       }
       if (module_.main_chunk < 0) {
         throw Trap{TrapKind::kInternal, "module has no main chunk"};
       }
       stack_.clear();
       call_chunk(module_.main_chunk, 0);
-      run_loop();
+      run_loop(mode);
       const Value ret = pop();
       result.return_code = static_cast<int>(ret.as_int() & 0xff);
     } catch (const ExitSignal& signal) {
@@ -104,6 +221,48 @@ class Machine final : public RuntimeHost {
     std::vector<Value> slots;
   };
 
+  /// Per-loop cached execution state of the fast cores: the live frame,
+  /// its decoded code stream, the instruction pointer, and register-
+  /// friendly copies of the step budget. Re-synced after anything that
+  /// changes the frame stack (call/ret). Unlike the reference loop, the
+  /// fast cores do not write frame->ip per instruction — the kCall body
+  /// saves the return address, and trap positions come from
+  /// Machine::fast_ins_ (published per fetch) instead.
+  struct ExecState {
+    Frame* frame = nullptr;
+    const DecodedInstr* code = nullptr;  ///< chunk base (jump targets)
+    const DecodedInstr* pc = nullptr;    ///< next instruction to fetch
+    const Value* consts = nullptr;
+    std::uint64_t steps = 0;
+    std::uint64_t max_steps = 0;
+    bool halted = false;
+
+    void sync(Machine& m) {
+      frame = &m.frames_.back();
+      code = m.decoded_->chunks[static_cast<std::size_t>(frame->chunk)]
+                 .code.data();
+      pc = code + frame->ip;
+    }
+
+    void enter(Machine& m) {
+      consts = m.module_.consts.data();
+      steps = m.steps_;
+      max_steps = m.limits_.max_steps;
+      sync(m);
+    }
+  };
+
+  /// Publishes the fast cores' local step counter back into the machine on
+  /// every exit path — including a trap unwinding to run()'s catch, which
+  /// reads steps_ for the result.
+  struct StepsSync {
+    Machine& m;
+    ExecState& s;
+    ~StepsSync() { m.steps_ = s.steps; }
+  };
+
+  using Handler = void (*)(Machine&, ExecState&, const DecodedInstr*);
+
   void call_chunk(std::int32_t chunk_index, std::int32_t argc) {
     if (frames_.size() >= limits_.max_frames) {
       throw Trap{TrapKind::kStackOverflow, "call depth limit exceeded"};
@@ -142,6 +301,10 @@ class Machine final : public RuntimeHost {
   }
 
   int current_line() const {
+    // Fast cores publish the executing instruction instead of writing
+    // frame->ip back on every fetch; its decoded line is the reference
+    // loop's code[frame.ip - 1].line.
+    if (fast_ins_ != nullptr) return fast_ins_->line;
     if (frames_.empty()) return 0;
     const Frame& frame = frames_.back();
     const auto& code =
@@ -291,9 +454,166 @@ class Machine final : public RuntimeHost {
     }
   }
 
-  // -- the main loop --------------------------------------------------------
+  // -- dispatch cores -------------------------------------------------------
 
-  void run_loop() {
+  void run_loop(DispatchMode mode) {
+    switch (mode) {
+      case DispatchMode::kReference:
+        run_loop_reference();
+        return;
+      case DispatchMode::kTable:
+        run_loop_table();
+        break;
+      case DispatchMode::kThreaded:
+#if defined(LLM4VV_VM_COMPUTED_GOTO)
+        run_loop_threaded();
+#else
+        run_loop_table();
+#endif
+        break;
+    }
+    // Normal completion: stop trap rendering from reading a stale
+    // instruction (a later trap outside any loop — e.g. an exhausted frame
+    // budget on the main call — must render like the reference). A trap
+    // unwinding past this keeps fast_ins_, which IS the trap position.
+    fast_ins_ = nullptr;
+  }
+
+  /// Sentinel handler: the decoded stream's end-of-chunk marker. The fetch
+  /// already charged a step; undo it so the trap is byte-identical to the
+  /// reference loop's bounds check (which fires before step accounting).
+  [[noreturn]] static void handler_chunk_end(Machine& m, ExecState& s,
+                                             const DecodedInstr*) {
+    (void)m;
+    --s.steps;
+    throw Trap{TrapKind::kInternal, "fell off the end of a chunk"};
+  }
+
+  /// Slow path of the fetch's step-budget check. A sentinel fetch must
+  /// trap as end-of-chunk, not budget exhaustion — the reference loop
+  /// checks bounds before charging the step.
+  [[noreturn]] void step_trap(ExecState& s, const DecodedInstr* ins) {
+    if (ins->handler == kChunkEndHandler) handler_chunk_end(*this, s, ins);
+    throw Trap{TrapKind::kStepLimit, "instruction budget exhausted"};
+  }
+
+  // Handler definitions, one static function per opcode, expanded from the
+  // single-source bodies in interp_ops.inc.
+#define VM_RET_EMPTY()  \
+  {                     \
+    s.halted = true;    \
+    return;             \
+  }
+#define VM_OP(NAME, ...)                                \
+  static void handler_##NAME(Machine& m, ExecState& s,  \
+                             const DecodedInstr* ins) { \
+    (void)m;                                            \
+    (void)s;                                            \
+    (void)ins;                                          \
+    __VA_ARGS__                                         \
+  }
+#include "vm/interp_ops.inc"
+#undef VM_OP
+#undef VM_RET_EMPTY
+
+  static constexpr Handler kHandlers[] = {
+#define VM_OP(NAME, ...) &Machine::handler_##NAME,
+#include "vm/interp_ops.inc"
+#undef VM_OP
+      &Machine::handler_chunk_end,
+  };
+  static_assert(sizeof(kHandlers) / sizeof(kHandlers[0]) == kOpCount + 1,
+                "one handler per opcode plus the end-of-chunk sentinel");
+
+  /// Portable fast core: pre-decoded stream + function-pointer table.
+  void run_loop_table() {
+    ExecState s;
+    s.enter(*this);
+    StepsSync sync_guard{*this, s};
+    const DecodedInstr* ins = nullptr;
+    try {
+      for (;;) {
+        ins = s.pc++;
+        if (++s.steps > s.max_steps) [[unlikely]] step_trap(s, ins);
+        kHandlers[ins->handler](*this, s, ins);
+        if (s.halted) return;
+      }
+    } catch (...) {
+      // Publish the trapping instruction for line rendering only on the
+      // unwind path, keeping the fetch free of per-instruction stores.
+      fast_ins_ = ins;
+      throw;
+    }
+  }
+
+  /// Token-threaded core: every handler call site ends in its own indirect
+  /// jump through the label table, so the branch predictor learns
+  /// per-opcode successor patterns instead of sharing one mispredicting
+  /// dispatch site. GCC's cross-jumping pass would merge those replicated
+  /// indirect jumps back into a single dispatch site — exactly the
+  /// pessimization token threading exists to avoid — so it is disabled
+  /// for this function.
+#if defined(__GNUC__) && !defined(__clang__)
+  __attribute__((optimize("no-crossjumping")))
+#endif
+  void run_loop_threaded() {
+#if defined(LLM4VV_VM_COMPUTED_GOTO)
+    static const void* const kLabels[] = {
+#define VM_OP(NAME, ...) &&label_##NAME,
+#include "vm/interp_ops.inc"
+#undef VM_OP
+        &&label_chunk_end,
+    };
+    static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kOpCount + 1,
+                  "one label per opcode plus the end-of-chunk sentinel");
+
+    Machine& m = *this;
+    ExecState s;
+    s.enter(m);
+    StepsSync sync_guard{m, s};
+    const DecodedInstr* ins = nullptr;
+
+#define VM_DISPATCH()                                  \
+  do {                                                 \
+    ins = s.pc++;                                      \
+    if (++s.steps > s.max_steps) [[unlikely]] {        \
+      m.step_trap(s, ins);                             \
+    }                                                  \
+    goto* kLabels[ins->handler];                       \
+  } while (0)
+
+    try {
+      VM_DISPATCH();
+
+      // Call-threaded: each label calls the shared outlined handler and
+      // re-dispatches from its own site. Inlining all ~50 bodies into this
+      // one function measurably loses to the outlined handlers' codegen
+      // (register pressure), so the labels deliberately call.
+#define VM_OP(NAME, ...)     \
+  label_##NAME:              \
+  handler_##NAME(m, s, ins); \
+  if (s.halted) return;      \
+  VM_DISPATCH();
+#include "vm/interp_ops.inc"
+#undef VM_OP
+
+    label_chunk_end:
+      handler_chunk_end(m, s, ins);
+    } catch (...) {
+      // Publish the trapping instruction for line rendering only on the
+      // unwind path, keeping the fetch free of per-instruction stores.
+      m.fast_ins_ = ins;
+      throw;
+    }
+#undef VM_DISPATCH
+#else
+    run_loop_table();
+#endif
+  }
+
+  /// The original per-instruction switch decode loop, kept verbatim as the
+  /// behavioural reference for differential testing.
+  void run_loop_reference() {
     while (!frames_.empty()) {
       Frame& frame = frames_.back();
       const Chunk& chunk =
@@ -505,11 +825,49 @@ class Machine final : public RuntimeHost {
   std::uint64_t steps_ = 0;
   int device_depth_ = 0;
   std::uint64_t rand_state_ = 0x5eed5eed5eed5eedULL;
+  /// Decoded streams of the fast cores (unused in reference mode).
+  DecodedProgram decoded_storage_;
+  const DecodedProgram* decoded_ = nullptr;
+  /// Instruction a fast core is currently executing; consulted by
+  /// current_line() so trap messages render the reference-identical
+  /// position without the loops writing frame->ip back on every fetch.
+  const DecodedInstr* fast_ins_ = nullptr;
 };
 
+bool threaded_dispatch_is_computed_goto() noexcept {
+#if defined(LLM4VV_VM_COMPUTED_GOTO)
+  return true;
+#else
+  return false;
+#endif
+}
+
+DispatchMode default_dispatch_mode() noexcept {
+  return DispatchMode::kTable;
+}
+
+const char* dispatch_mode_name(DispatchMode mode) noexcept {
+  switch (mode) {
+    case DispatchMode::kReference: return "reference";
+    case DispatchMode::kTable: return "table";
+    case DispatchMode::kThreaded:
+      return threaded_dispatch_is_computed_goto() ? "computed-goto" : "table";
+  }
+  return "?";
+}
+
 ExecResult execute(const Module& module, const ExecLimits& limits) {
+  return execute(module, limits, default_dispatch_mode());
+}
+
+ExecResult execute(const Module& module, const ExecLimits& limits,
+                   DispatchMode mode) {
   Machine machine(module, limits);
-  return machine.run();
+  return machine.run(mode);
+}
+
+ExecResult execute_reference(const Module& module, const ExecLimits& limits) {
+  return execute(module, limits, DispatchMode::kReference);
 }
 
 }  // namespace llm4vv::vm

@@ -365,5 +365,60 @@ TEST(AsyncShutdownTest, SubmitAfterShutdownBeginsFailsCleanly) {
   EXPECT_NO_THROW(client.reset());
 }
 
+// ---------------------------------------------------------------------------
+// Occupancy histogram buckets: the seven fixed edges are a documented
+// contract (client.hpp header comment, docs/ASYNC_API.md) — bench JSON and
+// PipelineResult::judge_occupancy_hist reuse them, so moving an edge is a
+// silent telemetry break. Pin every boundary.
+// ---------------------------------------------------------------------------
+
+TEST(OccupancyBucketTest, EdgesArePinned) {
+  // bucket:    0    1    2      3      4       5        6
+  // sizes:     1    2    3-4    5-8    9-16    17-32    33+
+  EXPECT_EQ(ClientStats::occupancy_bucket(0), 0u);  // no real flush is 0
+  EXPECT_EQ(ClientStats::occupancy_bucket(1), 0u);
+  EXPECT_EQ(ClientStats::occupancy_bucket(2), 1u);
+  EXPECT_EQ(ClientStats::occupancy_bucket(3), 2u);
+  EXPECT_EQ(ClientStats::occupancy_bucket(4), 2u);
+  EXPECT_EQ(ClientStats::occupancy_bucket(5), 3u);
+  EXPECT_EQ(ClientStats::occupancy_bucket(8), 3u);
+  EXPECT_EQ(ClientStats::occupancy_bucket(9), 4u);
+  EXPECT_EQ(ClientStats::occupancy_bucket(16), 4u);
+  EXPECT_EQ(ClientStats::occupancy_bucket(17), 5u);
+  EXPECT_EQ(ClientStats::occupancy_bucket(32), 5u);
+  EXPECT_EQ(ClientStats::occupancy_bucket(33), 6u);
+  EXPECT_EQ(ClientStats::occupancy_bucket(1000), 6u);
+}
+
+TEST(OccupancyBucketTest, EveryBucketHasALabelAndLabelsMatchEdges) {
+  EXPECT_STREQ(ClientStats::occupancy_bucket_label(0), "1");
+  EXPECT_STREQ(ClientStats::occupancy_bucket_label(1), "2");
+  EXPECT_STREQ(ClientStats::occupancy_bucket_label(2), "3-4");
+  EXPECT_STREQ(ClientStats::occupancy_bucket_label(3), "5-8");
+  EXPECT_STREQ(ClientStats::occupancy_bucket_label(4), "9-16");
+  EXPECT_STREQ(ClientStats::occupancy_bucket_label(5), "17-32");
+  EXPECT_STREQ(ClientStats::occupancy_bucket_label(6), "33+");
+  EXPECT_STREQ(
+      ClientStats::occupancy_bucket_label(ClientStats::kOccupancyBuckets),
+      "?");
+}
+
+TEST(OccupancyBucketTest, FlushSizesLandInDocumentedBuckets) {
+  // Three immediate single-prompt flushes + one batch of 6: buckets 0 and
+  // 3 must carry exactly those counts.
+  ModelClient client(std::make_shared<const SimulatedCoderModel>(),
+                     /*max_concurrency=*/2);
+  for (int i = 0; i < 3; ++i) {
+    client.complete("single prompt " + std::to_string(i));
+  }
+  client.complete_many(sample_prompts(6));
+  const ClientStats stats = client.stats();
+  EXPECT_EQ(stats.occupancy_hist[0], 3u);
+  EXPECT_EQ(stats.occupancy_hist[ClientStats::occupancy_bucket(6)], 1u);
+  std::uint64_t total = 0;
+  for (const auto count : stats.occupancy_hist) total += count;
+  EXPECT_EQ(total, stats.formed_batches);
+}
+
 }  // namespace
 }  // namespace llm4vv::llm

@@ -443,5 +443,104 @@ TEST(PipelineTest, StageStatsAreConsistent) {
   EXPECT_GE(result.compile_stage.busy_seconds, 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// PR 5: execute-stage telemetry (dispatch core, queue shards, steal counts)
+// and shard-count independence of results.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineTest, ExecuteTelemetryReportsDispatchAndShards) {
+  const auto probed = probed_batch(2, 8);
+  const auto files = files_of(probed);
+  const auto pipe = make_pipeline(PipelineMode::kRecordAll, 2,
+                                  core::make_simulated_client(2));
+  const auto result = pipe.run(files);
+  EXPECT_EQ(result.execute_dispatch,
+            vm::dispatch_mode_name(vm::default_dispatch_mode()));
+  EXPECT_GE(result.queue_shards, 1u);
+  EXPECT_LE(result.queue_shards, 8u);
+}
+
+TEST(PipelineTest, ExplicitQueueShardCountIsHonored) {
+  const auto probed = probed_batch(2, 8);
+  const auto files = files_of(probed);
+  auto judge = std::make_shared<const judge::Llmj>(
+      core::make_simulated_client(2), llm::PromptStyle::kAgentDirect);
+  PipelineConfig config;
+  config.mode = PipelineMode::kRecordAll;
+  config.compile_workers = 2;
+  config.execute_workers = 2;
+  config.judge_workers = 2;
+  config.queue_shards = 4;
+  const ValidationPipeline pipe(testutil::clean_driver(Flavor::kOpenACC),
+                                toolchain::Executor(), judge, config);
+  const auto result = pipe.run(files);
+  EXPECT_EQ(result.queue_shards, 4u);
+  // Sharded hand-off must not lose or duplicate work.
+  EXPECT_EQ(result.compile_stage.processed, files.size());
+  EXPECT_EQ(result.execute_stage.processed, files.size());
+  EXPECT_EQ(result.dropped_items, 0u);
+}
+
+TEST(PipelineTest, VerdictsIndependentOfQueueSharding) {
+  const auto probed = probed_batch(3, 12);
+  const auto files = files_of(probed);
+  std::vector<PipelineResult> results;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    auto judge = std::make_shared<const judge::Llmj>(
+        core::make_simulated_client(2), llm::PromptStyle::kAgentDirect);
+    PipelineConfig config;
+    config.mode = PipelineMode::kRecordAll;
+    config.compile_workers = 2;
+    config.execute_workers = 2;
+    config.judge_workers = 2;
+    config.queue_shards = shards;
+    const ValidationPipeline pipe(testutil::clean_driver(Flavor::kOpenACC),
+                                  toolchain::Executor(), judge, config);
+    results.push_back(pipe.run(files));
+  }
+  ASSERT_EQ(results[0].records.size(), results[1].records.size());
+  for (std::size_t i = 0; i < results[0].records.size(); ++i) {
+    const auto& a = results[0].records[i];
+    const auto& b = results[1].records[i];
+    EXPECT_EQ(a.compiled, b.compiled) << i;
+    EXPECT_EQ(a.executed, b.executed) << i;
+    EXPECT_EQ(a.exec_rc, b.exec_rc) << i;
+    EXPECT_EQ(a.judged, b.judged) << i;
+    EXPECT_EQ(a.verdict, b.verdict) << i;
+    EXPECT_EQ(a.pipeline_says_valid, b.pipeline_says_valid) << i;
+  }
+}
+
+TEST(PipelineTest, ReferenceDispatchExecutorMatchesFastCore) {
+  const auto probed = probed_batch(3, 12);
+  const auto files = files_of(probed);
+  std::vector<PipelineResult> results;
+  for (const auto mode :
+       {vm::default_dispatch_mode(), vm::DispatchMode::kReference}) {
+    auto judge = std::make_shared<const judge::Llmj>(
+        core::make_simulated_client(2), llm::PromptStyle::kAgentDirect);
+    PipelineConfig config;
+    config.mode = PipelineMode::kRecordAll;
+    config.compile_workers = 2;
+    config.execute_workers = 2;
+    config.judge_workers = 2;
+    const ValidationPipeline pipe(testutil::clean_driver(Flavor::kOpenACC),
+                                  toolchain::Executor({}, mode), judge,
+                                  config);
+    results.push_back(pipe.run(files));
+  }
+  EXPECT_EQ(results[1].execute_dispatch, "reference");
+  ASSERT_EQ(results[0].records.size(), results[1].records.size());
+  for (std::size_t i = 0; i < results[0].records.size(); ++i) {
+    EXPECT_EQ(results[0].records[i].executed, results[1].records[i].executed)
+        << i;
+    EXPECT_EQ(results[0].records[i].exec_rc, results[1].records[i].exec_rc)
+        << i;
+    EXPECT_EQ(results[0].records[i].pipeline_says_valid,
+              results[1].records[i].pipeline_says_valid)
+        << i;
+  }
+}
+
 }  // namespace
 }  // namespace llm4vv::pipeline

@@ -221,6 +221,183 @@ TEST(MpmcQueueTest, BatchedConcurrentSumPreserved) {
 }
 
 // ---------------------------------------------------------------------------
+// Sharded MpmcQueue (PR 5): the lock-striped configuration must preserve
+// every blocking/draining/accounting contract of the single-mutex queue;
+// only cross-shard ordering is given up.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedMpmcQueueTest, ShardCountAndCapacityAccessors) {
+  MpmcQueue<int> q(33, 4);
+  EXPECT_EQ(q.capacity(), 33u);   // requested bound, as before
+  EXPECT_EQ(q.shard_count(), 4u);
+  MpmcQueue<int> zero_shards(8, 0);  // promoted to 1, not rejected
+  EXPECT_EQ(zero_shards.shard_count(), 1u);
+  EXPECT_THROW(MpmcQueue<int>(0, 4), std::invalid_argument);
+}
+
+TEST(ShardedMpmcQueueTest, AllItemsSurviveAcrossShards) {
+  // 8 items through capacity 8 / 4 shards (2 per shard): the single
+  // producer overflows its home shard and stripes across all of them; a
+  // consumer on another thread must retrieve every item exactly once.
+  MpmcQueue<int> q(8, 4);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 8u);
+  q.close();
+  std::vector<bool> seen(8, false);
+  std::thread consumer([&] {
+    for (;;) {
+      const auto item = q.pop();
+      if (!item) return;
+      ASSERT_GE(*item, 0);
+      ASSERT_LT(*item, 8);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(*item)]);
+      seen[static_cast<std::size_t>(*item)] = true;
+    }
+  });
+  consumer.join();
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(seen[static_cast<std::size_t>(i)]);
+}
+
+TEST(ShardedMpmcQueueTest, StealsCountedWhenDrainingForeignShards) {
+  // One producer thread fills all 4 shards (capacity 2 each); a consumer
+  // on a different thread has ONE home shard, so at least 6 of its 8 pops
+  // must be steals, whatever the thread-id hash picks.
+  MpmcQueue<int> q(8, 4);
+  std::thread producer([&] {
+    for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.push(i));
+  });
+  producer.join();
+  q.close();
+  std::thread consumer([&] {
+    while (q.pop().has_value()) {
+    }
+  });
+  consumer.join();
+  EXPECT_GE(q.steals(), 6u);
+}
+
+TEST(ShardedMpmcQueueTest, ConcurrentSumPreservedSharded) {
+  MpmcQueue<int> q(16, 4);
+  std::atomic<long> total{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(q.push(p * 1000 + i));
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        const auto item = q.pop();
+        if (!item) return;
+        total.fetch_add(*item, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  long expected = 0;
+  for (int p = 0; p < 4; ++p) {
+    for (int i = 0; i < 1000; ++i) expected += p * 1000 + i;
+  }
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ShardedMpmcQueueTest, BatchedOpsPreservedSharded) {
+  // push_all / pop_up_to across shards: totals survive, push_all reports
+  // full acceptance, pop_up_to(0) still ends the stream.
+  MpmcQueue<int> q(16, 4);
+  std::atomic<long> total{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int chunk = 0; chunk < 10; ++chunk) {
+        std::vector<int> batch;
+        for (int i = 0; i < 100; ++i) {
+          batch.push_back(p * 1000 + chunk * 100 + i);
+        }
+        ASSERT_EQ(q.push_all(batch), batch.size());
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<int> batch;
+      for (;;) {
+        batch.clear();
+        if (q.pop_up_to(7, batch) == 0) return;
+        for (const int v : batch) {
+          total.fetch_add(v, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  long expected = 0;
+  for (int p = 0; p < 3; ++p) {
+    for (int chunk = 0; chunk < 10; ++chunk) {
+      for (int i = 0; i < 100; ++i) expected += p * 1000 + chunk * 100 + i;
+    }
+  }
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ShardedMpmcQueueTest, PopUpToGathersAcrossShards) {
+  // A single burst must sweep sibling shards until full: items striped
+  // across 4 shards by one producer come back as ONE chunk of 8, not a
+  // fragment per shard (fragmented chunks would shrink the judge stage's
+  // submission groups downstream).
+  MpmcQueue<int> q(8, 4);  // 2 slots per shard
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.push(i));
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_up_to(8, out), 8u);
+  EXPECT_EQ(out.size(), 8u);
+}
+
+TEST(ShardedMpmcQueueTest, BlockedConsumerWakesOnShardedPush) {
+  MpmcQueue<int> q(8, 4);
+  std::thread consumer([&] {
+    const auto item = q.pop();  // sleeps on the gate until the push lands
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, 77);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(q.push(77));
+  consumer.join();
+}
+
+TEST(ShardedMpmcQueueTest, BlockedProducerWakesOnShardedPop) {
+  MpmcQueue<int> q(4, 4);  // one slot per shard
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.push(i));
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(99));  // every shard full: blocks on the gate
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(q.pop().has_value());
+  producer.join();
+  q.close();
+  std::size_t drained = 0;
+  while (q.pop().has_value()) ++drained;
+  EXPECT_EQ(drained, 4u);  // 3 originals + the unblocked 99
+}
+
+TEST(ShardedMpmcQueueTest, CloseWakesShardedWaiters) {
+  MpmcQueue<int> q(4, 4);
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+  EXPECT_FALSE(q.push(5));  // producers fail immediately after close
+}
+
+// ---------------------------------------------------------------------------
 // ThreadPool
 // ---------------------------------------------------------------------------
 

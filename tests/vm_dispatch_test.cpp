@@ -1,0 +1,399 @@
+// Differential test of the VM dispatch cores: the pre-decoded fast cores
+// (function-pointer table and computed-goto threaded) must be byte-identical
+// to the pinned reference switch interpreter — outputs, traps, return
+// codes, and exact step accounting — over hand-written programs, generated
+// + probed corpora, and randomized raw bytecode modules.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.hpp"
+#include "probing/prober.hpp"
+#include "tests/test_util.hpp"
+#include "toolchain/compiler.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/interp.hpp"
+#include "vm/lower.hpp"
+
+namespace llm4vv::vm {
+namespace {
+
+constexpr DispatchMode kFastModes[] = {DispatchMode::kTable,
+                                       DispatchMode::kThreaded};
+
+void expect_identical(const ExecResult& ref, const ExecResult& got,
+                      DispatchMode mode, const std::string& what) {
+  const std::string context =
+      what + " [" + dispatch_mode_name(mode) + " vs reference]";
+  EXPECT_EQ(ref.return_code, got.return_code) << context;
+  EXPECT_EQ(ref.stdout_text, got.stdout_text) << context;
+  EXPECT_EQ(ref.stderr_text, got.stderr_text) << context;
+  EXPECT_EQ(ref.trap, got.trap) << context;
+  EXPECT_EQ(ref.steps, got.steps) << context;
+}
+
+void diff_module(const Module& module, const ExecLimits& limits,
+                 const std::string& what) {
+  const ExecResult ref = execute_reference(module, limits);
+  for (const DispatchMode mode : kFastModes) {
+    expect_identical(ref, execute(module, limits, mode), mode, what);
+  }
+}
+
+Module compile_module(const std::string& source,
+                      frontend::Flavor flavor = frontend::Flavor::kOpenACC) {
+  frontend::DiagnosticEngine diags;
+  auto program = testutil::analyze_source(source, diags, flavor);
+  if (diags.has_errors()) {
+    std::string message = "compile failed:";
+    for (const auto& d : diags.diagnostics()) {
+      message += " [line " + std::to_string(d.line) + "] " + d.message + ";";
+    }
+    throw std::runtime_error(message);
+  }
+  LowerOptions lopts;
+  lopts.flavor = flavor;
+  return lower(program, lopts);
+}
+
+void diff_source(const std::string& source, const ExecLimits& limits = {}) {
+  diff_module(compile_module(source), limits, source.substr(0, 60));
+}
+
+// ---------------------------------------------------------------------------
+// Hand-written programs: arithmetic, control flow, memory, device regions,
+// and every trap kind the front-end can reach.
+// ---------------------------------------------------------------------------
+
+TEST(VmDispatchDiffTest, StraightLinePrograms) {
+  diff_source("int main() { return 2 + 3 * 4 - 20 / 4 + 10 % 3; }");
+  diff_source("int main() { double x = 7.9; return (int)(x * 2.0) - 9; }");
+  diff_source("int main() { int a = 5; return a > 3 ? (a << 2) : ~a; }");
+  diff_source("int main() { int z = 0; return (0 && (1 / z)) + 10; }");
+}
+
+TEST(VmDispatchDiffTest, LoopsCallsAndRecursion) {
+  diff_source(
+      "int fib(int n) { if (n < 2) { return n; } "
+      "return fib(n - 1) + fib(n - 2); }\n"
+      "int main() { return fib(12) % 100; }");
+  diff_source(
+      "int main() { int s = 0; for (int i = 0; i < 50; i++) { "
+      "if (i % 3 == 0) { continue; } s += i; } return s % 100; }");
+  diff_source(
+      "int g;\n"
+      "void bump() { g = g + 3; return; }\n"
+      "int main() { for (int i = 0; i < 7; i++) { bump(); } return g; }");
+}
+
+TEST(VmDispatchDiffTest, MemoryAndIo) {
+  diff_source(
+      "#include <stdlib.h>\n#include <stdio.h>\n"
+      "int main() {\n"
+      "  int *a = (int *)malloc(16 * sizeof(int));\n"
+      "  for (int i = 0; i < 16; i++) { a[i] = i * i; }\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < 16; i++) { s += a[i]; }\n"
+      "  printf(\"sum=%d\\n\", s);\n"
+      "  free(a);\n"
+      "  return s > 0 ? 0 : 1;\n"
+      "}");
+  diff_source(
+      "#include <stdio.h>\n"
+      "int main() { fprintf(0, \"warn %d\\n\", 42); puts(\"done\"); "
+      "return 0; }");  // the stream arg is dropped; output goes to stderr
+}
+
+TEST(VmDispatchDiffTest, DeviceRegions) {
+  diff_source(
+      "#include <stdlib.h>\n"
+      "int main() {\n"
+      "  double *a = (double *)malloc(64 * sizeof(double));\n"
+      "  for (int i = 0; i < 64; i++) { a[i] = i * 0.5; }\n"
+      "#pragma acc parallel loop copy(a[0:64])\n"
+      "  for (int i = 0; i < 64; i++) { a[i] = a[i] * 2.0; }\n"
+      "  double s = 0.0;\n"
+      "  for (int i = 0; i < 64; i++) { s = s + a[i]; }\n"
+      "  free(a);\n"
+      "  return s > 0.0 ? 0 : 1;\n"
+      "}");
+  // present() without a prior mapping: the kNotPresent trap path.
+  diff_source(
+      "#include <stdlib.h>\n"
+      "int main() {\n"
+      "  int *a = (int *)malloc(8 * sizeof(int));\n"
+      "  a[0] = 1;\n"
+      "#pragma acc parallel loop present(a[0:8])\n"
+      "  for (int i = 0; i < 8; i++) { a[i] = i; }\n"
+      "  free(a);\n"
+      "  return 0;\n"
+      "}");
+}
+
+TEST(VmDispatchDiffTest, TrapPrograms) {
+  diff_source("int main() { int z = 0; return 1 / z; }");
+  diff_source("int main() { int z = 0; return 7 % z; }");
+  diff_source("#include <stdlib.h>\nint main() { int *p = 0; return p[3]; }");
+  diff_source(
+      "#include <stdlib.h>\n"
+      "int main() { int *a = (int *)malloc(4 * sizeof(int)); "
+      "free(a); return a[1]; }");
+  diff_source(
+      "#include <stdlib.h>\n"
+      "int main() { int *a = (int *)malloc(4 * sizeof(int)); "
+      "int r = a[9]; free(a); return r; }");
+  // Unbounded recursion: the call-depth trap.
+  diff_source("int f(int n) { return f(n + 1); }\nint main() { return f(0); }");
+  diff_source("#include <stdlib.h>\nint main() { exit(3); return 0; }");
+}
+
+TEST(VmDispatchDiffTest, BudgetTraps) {
+  ExecLimits tight;
+  tight.max_steps = 500;
+  diff_source("int main() { int s = 0; while (1) { s += 1; } return s; }",
+              tight);
+  ExecLimits tiny_output;
+  tiny_output.max_output = 64;
+  diff_source(
+      "#include <stdio.h>\n"
+      "int main() { for (int i = 0; i < 100; i++) { "
+      "printf(\"line %d\\n\", i); } return 0; }",
+      tiny_output);
+}
+
+// The step budget must trap on the same instruction in every core — sweep
+// the budget across the end-of-chunk boundary, where the fast cores'
+// sentinel accounting has to undo the speculatively charged step.
+TEST(VmDispatchDiffTest, StepBudgetBoundaryExact) {
+  Module module;
+  Chunk chunk;
+  chunk.name = "main";
+  for (int i = 0; i < 6; ++i) {
+    chunk.code.push_back(Instr{Op::kNop, 0, 0, i + 1});
+  }
+  // No kRet: the reference loop falls off the end after 6 nops.
+  module.chunks.push_back(chunk);
+  module.main_chunk = 0;
+  for (std::uint64_t budget = 1; budget <= 9; ++budget) {
+    ExecLimits limits;
+    limits.max_steps = budget;
+    diff_module(module, limits,
+                "nop-module budget=" + std::to_string(budget));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generated + probed corpora: every file the suite generator can produce
+// must execute identically (compile failures are skipped — no module).
+// ---------------------------------------------------------------------------
+
+TEST(VmDispatchDiffTest, GeneratedCorpusBothFlavors) {
+  for (const auto flavor :
+       {frontend::Flavor::kOpenACC, frontend::Flavor::kOpenMP}) {
+    corpus::GeneratorConfig gen;
+    gen.flavor = flavor;
+    gen.count = 24;
+    gen.seed = 20260728;
+    const auto suite = corpus::generate_suite(gen);
+    toolchain::CompilerConfig config = toolchain::nvc_persona();
+    config.strictness_reject_rate = 0.0;
+    const toolchain::CompilerDriver driver(config);
+    ExecLimits tight;
+    tight.max_steps = 20000;  // force budget traps on the longer programs
+    for (const auto& tc : suite.cases) {
+      const auto compiled = driver.compile(tc.file);
+      if (!compiled.success || compiled.module == nullptr) continue;
+      diff_module(*compiled.module, {}, tc.file.name);
+      diff_module(*compiled.module, tight, tc.file.name + " (tight)");
+    }
+  }
+}
+
+TEST(VmDispatchDiffTest, ProbedCorpusTrapHeavy) {
+  corpus::GeneratorConfig gen;
+  gen.flavor = frontend::Flavor::kOpenACC;
+  gen.count = 40;
+  gen.seed = 99;
+  const auto suite = corpus::generate_suite(gen);
+  probing::ProbingConfig probe;
+  probe.issue_counts = {4, 4, 4, 4, 4, 4};
+  probe.seed = 7;
+  const auto probed = probing::probe_suite(suite, probe);
+  toolchain::CompilerConfig config = toolchain::nvc_persona();
+  config.strictness_reject_rate = 0.0;
+  const toolchain::CompilerDriver driver(config);
+  for (const auto& pf : probed.files) {
+    const auto compiled = driver.compile(pf.file);
+    if (!compiled.success || compiled.module == nullptr) continue;
+    diff_module(*compiled.module, {}, pf.file.name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized raw modules: structurally valid operands (indices in range,
+// no negative jump targets — those are undefined in the reference loop)
+// but semantically chaotic, so stack underflows, wild pointers, division
+// by zero, budget exhaustion, and fell-off-the-end traps all fire. Every
+// core must agree byte for byte on each of them.
+// ---------------------------------------------------------------------------
+
+Module random_module(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const auto pick = [&](std::size_t bound) {
+    return static_cast<std::int32_t>(rng() % bound);
+  };
+
+  Module module;
+  module.consts = {Value::from_int(0),     Value::from_int(1),
+                   Value::from_int(7),     Value::from_float(1.5),
+                   Value::from_int(-3),    Value::from_pointer(0),
+                   Value::from_float(0.0), Value::from_int(1 << 20)};
+  module.strings = {"s0"};
+  module.global_slot_count = 4;
+
+  Region region;
+  region.device_mode = (seed & 1) != 0;
+  region.directive = "fuzz";
+  module.regions.push_back(region);
+
+  // Ops the generator may emit. kCallBuiltin is excluded: several builtin
+  // shims index their argument vector unchecked, which a random argc makes
+  // undefined in every core alike.
+  static constexpr Op kOps[] = {
+      Op::kNop,        Op::kPushConst,   Op::kLoadSlot,  Op::kStoreSlot,
+      Op::kLoadGlobal, Op::kStoreGlobal, Op::kAddrSlot,  Op::kAddrGlobal,
+      Op::kLoadInd,    Op::kStoreInd,    Op::kStoreIndKeep,
+      Op::kIndexAddr,  Op::kAdd,         Op::kSub,       Op::kMul,
+      Op::kDiv,        Op::kMod,         Op::kNeg,       Op::kNot,
+      Op::kBitNot,     Op::kEq,          Op::kNe,        Op::kLt,
+      Op::kLe,         Op::kGt,          Op::kGe,        Op::kBitAnd,
+      Op::kBitOr,      Op::kBitXor,      Op::kShl,       Op::kShr,
+      Op::kCastInt,    Op::kCastFloat,   Op::kJump,      Op::kJumpIfFalse,
+      Op::kJumpIfTrue, Op::kCall,        Op::kRet,       Op::kPop,
+      Op::kDup,        Op::kSwap,        Op::kAllocArray,
+      Op::kAllocGlobalArray,             Op::kDevEnter,  Op::kDevExit,
+      Op::kDevAction};
+
+  const std::size_t chunk_count = 2 + rng() % 2;
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    Chunk chunk;
+    chunk.name = "fuzz" + std::to_string(c);
+    chunk.param_count = pick(3);
+    chunk.slot_count = chunk.param_count + 4;
+    const std::size_t length = 4 + rng() % 40;
+    for (std::size_t i = 0; i < length; ++i) {
+      Instr instr;
+      instr.op = kOps[rng() % (sizeof(kOps) / sizeof(kOps[0]))];
+      instr.line = static_cast<std::int32_t>(i + 1);
+      switch (instr.op) {
+        case Op::kPushConst:
+          instr.a = pick(module.consts.size());
+          break;
+        case Op::kLoadSlot:
+        case Op::kStoreSlot:
+        case Op::kAddrSlot:
+          instr.a = pick(static_cast<std::size_t>(chunk.slot_count));
+          break;
+        case Op::kLoadGlobal:
+        case Op::kStoreGlobal:
+        case Op::kAddrGlobal:
+          instr.a = pick(static_cast<std::size_t>(module.global_slot_count));
+          break;
+        case Op::kJump:
+        case Op::kJumpIfFalse:
+        case Op::kJumpIfTrue:
+          // [0, length + 3]: a target of `length` falls off the end at the
+          // last instruction's line, anything beyond renders the same trap
+          // with no line — both must match the reference byte for byte.
+          // Negative targets are undefined in the reference loop, so never
+          // generated.
+          instr.a = pick(length + 4);
+          break;
+        case Op::kCall:
+          instr.a = pick(chunk_count);
+          instr.b = pick(3);
+          break;
+        case Op::kAllocArray:
+          instr.a = pick(static_cast<std::size_t>(chunk.slot_count));
+          instr.b = pick(4);  // 0 pops a (possibly absurd) count: kBadAlloc
+          break;
+        case Op::kAllocGlobalArray:
+          instr.a = pick(static_cast<std::size_t>(module.global_slot_count));
+          instr.b = 1 + pick(3);
+          break;
+        case Op::kDevEnter:
+        case Op::kDevExit:
+        case Op::kDevAction:
+          instr.a = pick(module.regions.size());
+          break;
+        default:
+          instr.a = pick(8);
+          instr.b = pick(8);
+          break;
+      }
+      chunk.code.push_back(instr);
+    }
+    module.chunks.push_back(std::move(chunk));
+  }
+  module.main_chunk = 0;
+  if ((rng() & 3) == 0 && chunk_count > 1) module.init_chunk = 1;
+  return module;
+}
+
+TEST(VmDispatchDiffTest, RandomizedModules) {
+  ExecLimits limits;
+  limits.max_steps = 3000;
+  limits.max_output = 1u << 12;
+  limits.max_frames = 32;
+  limits.max_cells = 1u << 16;
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    diff_module(random_module(seed), limits,
+                "random module seed=" + std::to_string(seed));
+  }
+}
+
+// Wild jumps: a target of exactly `size` must trap at the last
+// instruction's line, a target beyond `size` must trap with no line —
+// both identical to the reference loop's fetch bounds check.
+TEST(VmDispatchDiffTest, WildJumpTargetsRenderReferenceLines) {
+  for (const std::int32_t target : {3, 4, 100, 1 << 20}) {
+    Module module;
+    Chunk chunk;
+    chunk.name = "main";
+    chunk.code.push_back(Instr{Op::kNop, 0, 0, 1});
+    chunk.code.push_back(Instr{Op::kJump, target, 0, 2});
+    chunk.code.push_back(Instr{Op::kNop, 0, 0, 3});
+    module.chunks.push_back(chunk);
+    module.main_chunk = 0;
+    diff_module(module, {}, "wild jump to " + std::to_string(target));
+  }
+}
+
+// Empty chunks trap "fell off the end" before executing anything; the
+// decoded sentinel is the only instruction in the stream.
+TEST(VmDispatchDiffTest, EmptyMainChunk) {
+  Module module;
+  Chunk chunk;
+  chunk.name = "empty";
+  module.chunks.push_back(chunk);
+  module.main_chunk = 0;
+  diff_module(module, {}, "empty main chunk");
+}
+
+// Sanity on the mode surface itself.
+TEST(VmDispatchTest, ModeNamesAndDefault) {
+  EXPECT_STREQ(dispatch_mode_name(DispatchMode::kReference), "reference");
+  EXPECT_STREQ(dispatch_mode_name(DispatchMode::kTable), "table");
+  if (threaded_dispatch_is_computed_goto()) {
+    EXPECT_STREQ(dispatch_mode_name(DispatchMode::kThreaded),
+                 "computed-goto");
+  } else {
+    EXPECT_STREQ(dispatch_mode_name(DispatchMode::kThreaded), "table");
+  }
+  EXPECT_EQ(default_dispatch_mode(), DispatchMode::kTable);
+}
+
+}  // namespace
+}  // namespace llm4vv::vm

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Fails when README.md or docs/*.md contain a relative markdown link to a
+# file that does not exist (the docs CI job runs this; see docs/BENCHMARKS.md
+# "CI regression gates"). External links (scheme://, mailto:) and pure
+# in-page anchors (#...) are skipped; a link's own #fragment is stripped
+# before the existence check.
+#
+# Usage: tools/check_docs_links.sh [repo-root]
+set -euo pipefail
+
+root="${1:-$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)}"
+
+shopt -s nullglob
+files=("${root}/README.md" "${root}"/docs/*.md)
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_docs_links: no markdown files found under ${root}" >&2
+  exit 1
+fi
+
+dead=0
+checked=0
+for file in "${files[@]}"; do
+  dir="$(dirname "${file}")"
+  # Extract every inline markdown link target: [text](target). Reference
+  # style links are not used in this repo; grep -o keeps it simple and the
+  # docs job loud.
+  while IFS= read -r target; do
+    case "${target}" in
+      *://*|mailto:*|\#*) continue ;;  # external or in-page anchor
+    esac
+    path="${target%%#*}"              # strip fragment
+    [[ -z "${path}" ]] && continue
+    checked=$((checked + 1))
+    if [[ ! -e "${dir}/${path}" ]]; then
+      echo "dead link: ${file#"${root}"/} -> ${target}" >&2
+      dead=$((dead + 1))
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "${file}" |
+           sed -E 's/^\[[^]]*\]\(//; s/\)$//; s/[[:space:]]+"[^"]*"$//')
+done
+
+if [[ ${dead} -gt 0 ]]; then
+  echo "check_docs_links: ${dead} dead link(s) in ${#files[@]} file(s)" >&2
+  exit 1
+fi
+echo "check_docs_links: OK (${checked} relative links in ${#files[@]} files)"
