@@ -10,6 +10,9 @@
 #                                 recorded JSON is the second, warm run)
 #   bench/BENCH_vm.json         - VM dispatch-core sweep + sharded-vs-mutex
 #                                 execute-queue scaling (see docs/BENCHMARKS.md)
+#   bench/BENCH_faults.json     - resilience sweep: goodput/success rate at
+#                                 5%/20% seeded transient faults with retries
+#                                 off/on, plus p99 added latency per request
 #
 # Usage: bench/run_benchmarks.sh [build-dir]
 #   BENCH_MIN_TIME=0.01s bench/run_benchmarks.sh   # quick smoke run
@@ -51,6 +54,7 @@ run_bench perf_tokenizer "${script_dir}/BENCH_tokenizer.json"
 run_bench perf_pipeline "${script_dir}/BENCH_pipeline.json"
 run_bench perf_batcher "${script_dir}/BENCH_batcher.json"
 run_bench perf_vm "${script_dir}/BENCH_vm.json"
+run_bench perf_faults "${script_dir}/BENCH_faults.json"
 
 # Warm-start persistence check: run perf_cache twice against ONE cache
 # file. The first invocation starts cold (the file is deleted here) and
@@ -242,4 +246,61 @@ if command -v jq >/dev/null 2>&1; then
     exit 1
   }
   echo "execute-queue sharding OK (${shard_desc})"
+
+  jq -r '
+    .benchmarks[]
+    | select(.name | startswith("BM_PipelineFaults"))
+    | "\(.name): success \(.success_rate * 1000 | floor / 10)%, " +
+      "goodput \(.goodput_files_per_s | floor) files/s, " +
+      "errors/run \(.judge_errors_per_run), " +
+      "retries/run \(.judge_retries_per_run)"
+  ' "${script_dir}/BENCH_faults.json"
+  jq -r '
+    .benchmarks[]
+    | select(.name | startswith("BM_ClientAddedLatency"))
+    | "\(.name): p99 added latency " +
+      "\(.p99_added_latency_us | floor) us " +
+      "(\(.served_prompts_per_run | floor) prompts served)"
+  ' "${script_dir}/BENCH_faults.json"
+
+  # Resilience gates: at 20% seeded transient faults the retry layer must
+  # recover >= 95% of the files (the S3/S6 acceptance bar), and at both
+  # rates retries-on must strictly beat retries-off on success rate — if
+  # either fails, the retry/split machinery silently stopped recovering
+  # faulted passes. The p99 added latency must be a real, finite price
+  # (> 0: faults genuinely injected; the bound is generous because backoff
+  # waits are real wall time on a loaded CI host).
+  jq -e '
+    ([.benchmarks[]
+      | select(.name == "BM_PipelineFaults/fault_pct:20/retries:1")][0])
+      as $r20 |
+    ([.benchmarks[]
+      | select(.name == "BM_PipelineFaults/fault_pct:20/retries:0")][0])
+      as $n20 |
+    ([.benchmarks[]
+      | select(.name == "BM_PipelineFaults/fault_pct:5/retries:1")][0])
+      as $r5 |
+    ([.benchmarks[]
+      | select(.name == "BM_PipelineFaults/fault_pct:5/retries:0")][0])
+      as $n5 |
+    $r20.success_rate >= 0.95
+      and $r20.success_rate > $n20.success_rate
+      and $r5.success_rate > $n5.success_rate
+      and $r20.judge_retries_per_run > 0
+  ' "${script_dir}/BENCH_faults.json" > /dev/null || {
+    echo "error: resilience gate failed (20% faults with retries must" \
+         "recover >= 95% of files and beat retries-off) - see" \
+         "BENCH_faults.json" >&2
+    exit 1
+  }
+  jq -e '
+    [.benchmarks[] | select(.name | startswith("BM_ClientAddedLatency"))]
+    | length > 0 and all(.[]; .p99_added_latency_us > 0)
+  ' "${script_dir}/BENCH_faults.json" > /dev/null || {
+    echo "error: added-latency probe saw no faults (p99 added latency 0)" \
+         "- see BENCH_faults.json" >&2
+    exit 1
+  }
+  echo "resilience OK (20% faults + retries >= 95% success, beats" \
+       "retries-off; p99 added latency nonzero)"
 fi

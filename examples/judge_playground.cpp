@@ -23,6 +23,27 @@
 // With a nonzero window the three judges' submissions for each file
 // coalesce into one batched forward pass — watch the batcher summary at
 // the bottom report fuller flushes and cheaper simulated passes.
+//
+// The resilience layer (PR 6) is drivable from here as well. Fault
+// injection (seeded, deterministic — same flags, same faults):
+//   --fault-transient <p>  per-(prompt, attempt) transient failure rate
+//   --fault-permanent <p>  per-prompt permanent failure rate
+//   --fault-slow <p>       slow-trickle rate (latency x --fault-slow-factor)
+//   --fault-slow-factor <f>  latency multiplier for slow faults (default 8)
+//   --fault-seed <s>       reseed the fault plan
+// And the client's answer to it:
+//   --retry-attempts <n>   total forward-pass attempts per request (1 = no
+//                          retries, the paper-mode default)
+//   --retry-backoff-us <t> base exponential backoff between attempts
+//   --retry-deadline-us <t> per-request wall-clock deadline (0 = none)
+//   --breaker              enable the circuit breaker
+//   --max-pending <n>      bound the batcher's pending queue (0 = unbounded)
+//   --overflow-block       block submitters at the bound instead of
+//                          shedding (needs --batch-window-us > 0)
+// Try:  judge_playground --fault-transient 0.5 --retry-attempts 4
+// and watch judges ride through faults (completions are byte-identical to
+// a fault-free run); drop --retry-attempts and the same faults surface as
+// judge errors in the summary instead of crashing the playground.
 #include <cstdio>
 
 #include "core/llm4vv.hpp"
@@ -40,6 +61,34 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("batch-max", 0));
   batcher.window_us =
       static_cast<std::uint64_t>(args.get_int("batch-window-us", 0));
+  batcher.max_pending =
+      static_cast<std::size_t>(args.get_int("max-pending", 0));
+  batcher.overflow = args.has("overflow-block") ? llm::OverflowPolicy::kBlock
+                                                : llm::OverflowPolicy::kShed;
+
+  llm::FaultPlanConfig fault_config;
+  fault_config.transient_rate = args.get_double("fault-transient", 0.0);
+  fault_config.permanent_rate = args.get_double("fault-permanent", 0.0);
+  fault_config.slow_rate = args.get_double("fault-slow", 0.0);
+  fault_config.slow_latency_factor =
+      args.get_double("fault-slow-factor", fault_config.slow_latency_factor);
+  fault_config.seed = static_cast<std::uint64_t>(args.get_int(
+      "fault-seed", static_cast<std::int64_t>(fault_config.seed)));
+  const bool faults_on = fault_config.transient_rate > 0.0 ||
+                         fault_config.permanent_rate > 0.0 ||
+                         fault_config.slow_rate > 0.0;
+
+  llm::RetryPolicy retry;
+  retry.max_attempts =
+      static_cast<std::uint32_t>(args.get_int("retry-attempts", 1));
+  retry.base_backoff_us = static_cast<std::uint64_t>(
+      args.get_int("retry-backoff-us",
+                   static_cast<std::int64_t>(retry.base_backoff_us)));
+  retry.deadline_us =
+      static_cast<std::uint64_t>(args.get_int("retry-deadline-us", 0));
+
+  llm::CircuitBreakerConfig breaker;
+  breaker.enabled = args.has("breaker");
 
   // A valid OpenMP target test, then a mutated (invalid) twin.
   const auto valid = corpus::generate_one("sum_reduction",
@@ -55,10 +104,26 @@ int main(int argc, char** argv) {
   const toolchain::CompilerDriver driver(toolchain::clang_persona());
   const toolchain::Executor executor;
   // Keep a transcript ring so we can print the conversations afterwards.
-  auto model = std::make_shared<const llm::SimulatedCoderModel>();
+  llm::CoderModelConfig model_config;
+  std::shared_ptr<const llm::FaultPlan> fault_plan;
+  if (faults_on) {
+    fault_plan = std::make_shared<const llm::FaultPlan>(fault_config);
+    model_config.faults = fault_plan;
+    std::printf("faults: transient %.0f%%, permanent %.0f%%, slow %.0f%% "
+                "(x%.1f latency), seed 0x%llx; retries: %u attempt(s)%s%s\n\n",
+                fault_config.transient_rate * 100,
+                fault_config.permanent_rate * 100,
+                fault_config.slow_rate * 100,
+                fault_config.slow_latency_factor,
+                static_cast<unsigned long long>(fault_config.seed),
+                retry.max_attempts,
+                retry.deadline_us > 0 ? ", deadline set" : "",
+                breaker.enabled ? ", breaker on" : "");
+  }
+  auto model = std::make_shared<const llm::SimulatedCoderModel>(model_config);
   auto client = std::make_shared<llm::ModelClient>(model, 3,
                                                    /*transcripts=*/16,
-                                                   batcher);
+                                                   batcher, retry, breaker);
 
   // One store shared by all three judges; records are keyed by prompt
   // style, so they never cross-serve. The fingerprint pins the model —
@@ -114,16 +179,25 @@ int main(int argc, char** argv) {
       futures.push_back(llmj->evaluate_async(request));
     }
     for (std::size_t j = 0; j < judges.size(); ++j) {
-      const auto decision = futures[j].get();
-      std::printf("  %-16s -> %-9s (%zu prompt + %zu completion tokens, "
-                  "%.1f s simulated%s)\n",
-                  judges[j]->name(), judge::verdict_name(decision.verdict),
-                  decision.completion.prompt_tokens,
-                  decision.completion.completion_tokens,
-                  decision.completion.latency_seconds,
-                  decision.persisted ? ", persisted cache hit"
-                  : decision.cached ? ", cache hit"
-                                    : "");
+      try {
+        const auto decision = futures[j].get();
+        std::printf("  %-16s -> %-9s (%zu prompt + %zu completion tokens, "
+                    "%.1f s simulated%s%s)\n",
+                    judges[j]->name(), judge::verdict_name(decision.verdict),
+                    decision.completion.prompt_tokens,
+                    decision.completion.completion_tokens,
+                    decision.completion.latency_seconds,
+                    decision.persisted ? ", persisted cache hit"
+                    : decision.cached ? ", cache hit"
+                                      : "",
+                    decision.completion.attempts > 1 ? ", retried" : "");
+      } catch (const llm::ModelError& e) {
+        // Graceful degradation, exactly like the pipeline's judge stage:
+        // a failed judge is a recorded outcome, not a crash.
+        std::printf("  %-16s -> JUDGE ERROR (%s after %u attempt(s): %s)\n",
+                    judges[j]->name(), llm::failure_kind_name(e.kind()),
+                    e.attempts(), e.what());
+      }
     }
     std::printf("\n");
   }
@@ -167,6 +241,43 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.occupancy_hist[b]));
     }
     std::printf("\n");
+
+    // Resilience summary: only interesting when faults / retries /
+    // backpressure / the breaker were actually in play.
+    if (faults_on || retry.max_attempts > 1 || breaker.enabled ||
+        batcher.max_pending > 0) {
+      std::printf("resilience: %llu served, %llu failed "
+                  "(%llu timeouts, %llu shed), %llu retries, "
+                  "%llu batch splits, %llu breaker opens "
+                  "(%llu fast rejections)\n",
+                  static_cast<unsigned long long>(stats.requests),
+                  static_cast<unsigned long long>(stats.failed_requests),
+                  static_cast<unsigned long long>(stats.timeouts),
+                  static_cast<unsigned long long>(stats.pending_shed),
+                  static_cast<unsigned long long>(stats.retries),
+                  static_cast<unsigned long long>(stats.batch_splits),
+                  static_cast<unsigned long long>(stats.breaker_opens),
+                  static_cast<unsigned long long>(stats.breaker_rejected));
+      if (fault_plan != nullptr) {
+        const auto fault_stats = fault_plan->stats();
+        std::printf("fault plan drew: %llu transient, %llu permanent, "
+                    "%llu slow\n",
+                    static_cast<unsigned long long>(fault_stats.transient),
+                    static_cast<unsigned long long>(fault_stats.permanent),
+                    static_cast<unsigned long long>(fault_stats.slow));
+      }
+      std::printf("retry latency histogram:");
+      bool any = false;
+      for (std::size_t b = 0; b < llm::ClientStats::kRetryLatencyBuckets;
+           ++b) {
+        if (stats.retry_latency_hist[b] == 0) continue;
+        any = true;
+        std::printf(
+            " [%s]=%llu", llm::ClientStats::retry_latency_bucket_label(b),
+            static_cast<unsigned long long>(stats.retry_latency_hist[b]));
+      }
+      std::printf(any ? "\n" : " (no retried requests)\n");
+    }
   }
 
   if (store != nullptr && cache_save) {

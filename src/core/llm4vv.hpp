@@ -27,6 +27,7 @@
 #include "judge/judge.hpp"
 #include "llm/client.hpp"
 #include "llm/coder_model.hpp"
+#include "llm/faults.hpp"
 #include "metrics/metrics.hpp"
 #include "pipeline/validation_pipeline.hpp"
 #include "probing/prober.hpp"

@@ -1,15 +1,21 @@
 #include "llm/client.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
 #include <stdexcept>
 #include <utility>
+
+#include "support/rng.hpp"
 
 namespace llm4vv::llm {
 
 namespace {
 
 /// Only requests with identical sampling parameters may share a forward
-/// pass (generate_batch takes a single params set).
+/// pass (generate_batch takes a single params set). The retry ordinal
+/// (`attempt`) is deliberately NOT part of the identity: it is an
+/// internal annotation of the retry layer, never a sampling knob.
 bool params_equal(const GenerationParams& a,
                   const GenerationParams& b) noexcept {
   return a.max_tokens == b.max_tokens && a.temperature == b.temperature &&
@@ -26,7 +32,53 @@ void fail_state(const std::shared_ptr<detail::CompletionState>& state,
   state->cv.notify_all();
 }
 
+/// Rebuild a failure as a ModelError carrying the attempt count the retry
+/// layer actually spent, preserving the original kind and message.
+std::exception_ptr wrap_failure(FailureKind kind, const std::string& what,
+                                std::uint32_t attempts) {
+  switch (kind) {
+    case FailureKind::kTransient:
+      return std::make_exception_ptr(TransientModelError(what, attempts));
+    case FailureKind::kPermanent:
+      return std::make_exception_ptr(PermanentModelError(what, attempts));
+    case FailureKind::kTimeout:
+      return std::make_exception_ptr(RequestTimeoutError(what, attempts));
+    case FailureKind::kBreaker:
+      return std::make_exception_ptr(CircuitOpenError(what, attempts));
+    case FailureKind::kShutdown:
+      return std::make_exception_ptr(ClientShutdownError(what, attempts));
+    case FailureKind::kOverflow:
+      return std::make_exception_ptr(QueueOverflowError(what));
+    case FailureKind::kOther: break;
+  }
+  return std::make_exception_ptr(ModelError(FailureKind::kOther, what,
+                                            attempts));
+}
+
+std::uint64_t micros_since(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
 }  // namespace
+
+/// Per-request result of one flush's resilient resolution.
+struct ModelClient::FlushOutcome {
+  Completion value;
+  std::exception_ptr error;       ///< null = success
+  FailureKind kind = FailureKind::kOther;
+  std::uint32_t attempts = 0;     ///< forward passes spent on this request
+  std::size_t pass_size = 0;      ///< size of the pass that served it
+  std::uint64_t resolve_us = 0;   ///< flush start -> resolution, wall time
+};
+
+/// Counter deltas one flush accumulates for the stats merge.
+struct ModelClient::FlushTally {
+  std::uint64_t splits = 0;
+  std::uint64_t breaker_rejected = 0;
+};
 
 // ---------------------------------------------------------------------------
 // ClientStats
@@ -51,6 +103,28 @@ const char* ClientStats::occupancy_bucket_label(std::size_t bucket) noexcept {
     case 4: return "9-16";
     case 5: return "17-32";
     case 6: return "33+";
+  }
+  return "?";
+}
+
+std::size_t ClientStats::retry_latency_bucket(std::uint64_t micros) noexcept {
+  if (micros < 100) return 0;
+  if (micros < 1000) return 1;
+  if (micros < 10000) return 2;
+  if (micros < 100000) return 3;
+  if (micros < 1000000) return 4;
+  return 5;
+}
+
+const char* ClientStats::retry_latency_bucket_label(
+    std::size_t bucket) noexcept {
+  switch (bucket) {
+    case 0: return "<100us";
+    case 1: return "<1ms";
+    case 2: return "<10ms";
+    case 3: return "<100ms";
+    case 4: return "<1s";
+    case 5: return ">=1s";
   }
   return "?";
 }
@@ -80,6 +154,18 @@ Completion CompletionFuture::get() const {
   return state_->value;
 }
 
+bool CompletionFuture::failed() const {
+  wait();
+  std::lock_guard lock(state_->mutex);
+  return state_->error != nullptr;
+}
+
+std::exception_ptr CompletionFuture::error() const {
+  if (state_ == nullptr) return nullptr;
+  std::lock_guard lock(state_->mutex);
+  return state_->done ? state_->error : nullptr;
+}
+
 std::size_t CompletionFuture::flush_size() const {
   if (state_ == nullptr) return 0;
   std::lock_guard lock(state_->mutex);
@@ -93,11 +179,14 @@ std::size_t CompletionFuture::flush_size() const {
 ModelClient::ModelClient(std::shared_ptr<const LanguageModel> model,
                          std::size_t max_concurrency,
                          std::size_t transcript_capacity,
-                         BatcherConfig batcher)
+                         BatcherConfig batcher, RetryPolicy retry,
+                         CircuitBreakerConfig breaker)
     : model_(std::move(model)),
       max_concurrency_(max_concurrency == 0 ? 1 : max_concurrency),
       transcript_capacity_(transcript_capacity),
-      batcher_(batcher) {
+      batcher_(batcher),
+      retry_(retry),
+      breaker_config_(breaker) {
   if (model_ == nullptr) {
     throw std::invalid_argument("ModelClient: model must not be null");
   }
@@ -112,15 +201,22 @@ ModelClient::~ModelClient() {
     std::unique_lock lock(batch_mutex_);
     shutting_down_ = true;
     orphans.swap(pending_);
+    // One broadcast wakes everyone parked on the batcher: the window
+    // flusher, blocked-overflow submitters, and — the S1 fix — flushes
+    // sleeping out a retry backoff, which observe shutting_down_ and
+    // CANCEL their remaining attempts instead of running them against a
+    // dying client.
     batch_cv_.notify_all();
+    room_cv_.notify_all();
     // Wait out flushes running on caller threads: they hold references to
     // the model, the slot state, and the stats, none of which may die
-    // under them.
+    // under them. Bounded: backoffs were just cancelled, so each flush
+    // finishes after at most its current forward pass.
     flush_done_.wait(lock, [this] { return active_flushes_ == 0; });
   }
   if (flusher_.joinable()) flusher_.join();
   if (!orphans.empty()) {
-    const auto error = std::make_exception_ptr(std::runtime_error(
+    const auto error = std::make_exception_ptr(ClientShutdownError(
         "ModelClient destroyed with " + std::to_string(orphans.size()) +
         " unresolved submission(s)"));
     for (const PendingRequest& request : orphans) {
@@ -178,51 +274,252 @@ std::vector<ModelClient::PendingRequest> ModelClient::collect_group_locked() {
     group.push_back(std::move(pending_.front()));
     pending_.pop_front();
   }
+  // The queue just shrank: blocked-overflow submitters may fit now.
+  if (batcher_.max_pending > 0 &&
+      batcher_.overflow == OverflowPolicy::kBlock) {
+    room_cv_.notify_all();
+  }
   return group;
+}
+
+bool ModelClient::breaker_admit() {
+  if (!breaker_config_.enabled) return true;
+  std::lock_guard lock(breaker_mutex_);
+  switch (breaker_state_) {
+    case BreakerState::kClosed: return true;
+    case BreakerState::kOpen: {
+      const auto cooldown =
+          std::chrono::microseconds(breaker_config_.cooldown_us);
+      if (std::chrono::steady_clock::now() - breaker_opened_at_ < cooldown) {
+        return false;
+      }
+      // Cooldown elapsed: this pass becomes the half-open probe.
+      breaker_state_ = BreakerState::kHalfOpen;
+      breaker_probing_ = true;
+      return true;
+    }
+    case BreakerState::kHalfOpen:
+      // One probe at a time; everyone else keeps failing fast until the
+      // probe's verdict is in.
+      if (breaker_probing_) return false;
+      breaker_probing_ = true;
+      return true;
+  }
+  return true;
+}
+
+void ModelClient::breaker_record(bool success) {
+  if (!breaker_config_.enabled) return;
+  std::lock_guard lock(breaker_mutex_);
+  if (breaker_state_ == BreakerState::kHalfOpen) {
+    breaker_probing_ = false;
+    if (success) {
+      // Probe succeeded: close and start from a clean window.
+      breaker_state_ = BreakerState::kClosed;
+      breaker_window_.clear();
+      breaker_failures_ = 0;
+    } else {
+      breaker_state_ = BreakerState::kOpen;
+      breaker_opened_at_ = std::chrono::steady_clock::now();
+      breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (breaker_state_ == BreakerState::kOpen) return;  // late stragglers
+  breaker_window_.push_back(success);
+  if (!success) ++breaker_failures_;
+  while (breaker_window_.size() > std::max<std::size_t>(
+                                      1, breaker_config_.window)) {
+    if (!breaker_window_.front()) --breaker_failures_;
+    breaker_window_.pop_front();
+  }
+  if (breaker_window_.size() >= breaker_config_.min_samples &&
+      static_cast<double>(breaker_failures_) >=
+          breaker_config_.open_failure_rate *
+              static_cast<double>(breaker_window_.size())) {
+    breaker_state_ = BreakerState::kOpen;
+    breaker_opened_at_ = std::chrono::steady_clock::now();
+    breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+    breaker_window_.clear();
+    breaker_failures_ = 0;
+  }
+}
+
+BreakerState ModelClient::breaker_state() const {
+  std::lock_guard lock(breaker_mutex_);
+  return breaker_state_;
+}
+
+bool ModelClient::backoff_wait(std::uint32_t retry, const std::string& prompt,
+                               std::chrono::steady_clock::time_point deadline,
+                               bool has_deadline) {
+  double backoff = static_cast<double>(retry_.base_backoff_us);
+  for (std::uint32_t k = 1; k < retry; ++k) {
+    backoff *= retry_.backoff_multiplier;
+  }
+  backoff = std::min(backoff, static_cast<double>(retry_.max_backoff_us));
+  std::uint64_t wait_us = static_cast<std::uint64_t>(backoff);
+  if (retry_.jitter_us > 0) {
+    // Deterministic jitter: reproducible for a given (prompt, attempt,
+    // seed), different across requests so synchronized retry storms
+    // de-correlate.
+    support::Rng rng(support::hash_mix(
+        support::hash_mix(support::fnv1a64(prompt), retry),
+        retry_.jitter_seed));
+    wait_us += rng.next_below(retry_.jitter_us + 1);
+  }
+  auto until = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(wait_us);
+  // Never sleep past the request's deadline: wake at the deadline and let
+  // the caller's boundary check convert the expiry into a timeout.
+  if (has_deadline && deadline < until) until = deadline;
+  std::unique_lock lock(batch_mutex_);
+  batch_cv_.wait_until(lock, until, [this] { return shutting_down_; });
+  return !shutting_down_;
+}
+
+void ModelClient::resolve_requests(
+    std::vector<PendingRequest>& group, std::vector<std::size_t> indices,
+    std::uint32_t attempt, std::chrono::steady_clock::time_point flush_start,
+    std::vector<FlushOutcome>& outcomes, FlushTally& tally) {
+  const std::uint32_t max_attempts = std::max<std::uint32_t>(
+      1, retry_.max_attempts);
+  const bool has_deadline = retry_.deadline_us > 0;
+  const auto fail_indices = [&](const std::vector<std::size_t>& failed,
+                                FailureKind kind, const std::string& what,
+                                std::uint32_t attempts) {
+    const std::uint64_t now_us = micros_since(flush_start);
+    for (const std::size_t idx : failed) {
+      FlushOutcome& out = outcomes[idx];
+      out.error = wrap_failure(kind, what, attempts);
+      out.kind = kind;
+      out.attempts = attempts;
+      out.resolve_us = now_us;
+    }
+  };
+
+  for (;;) {
+    // Deadline check at the attempt boundary. Deadlines are per request
+    // and measured from enqueue time, so a group member that queued
+    // longer can expire while its pass-mates fight on.
+    if (has_deadline) {
+      const auto now = std::chrono::steady_clock::now();
+      const auto budget = std::chrono::microseconds(retry_.deadline_us);
+      std::vector<std::size_t> live;
+      live.reserve(indices.size());
+      std::vector<std::size_t> expired;
+      for (const std::size_t idx : indices) {
+        if (now >= group[idx].enqueued + budget) {
+          expired.push_back(idx);
+        } else {
+          live.push_back(idx);
+        }
+      }
+      if (!expired.empty()) {
+        fail_indices(expired, FailureKind::kTimeout,
+                     "ModelClient: request deadline expired after " +
+                         std::to_string(attempt) + " attempt(s)",
+                     attempt);
+      }
+      indices.swap(live);
+      if (indices.empty()) return;
+    }
+
+    FailureKind kind = FailureKind::kOther;
+    std::string what;
+    if (!breaker_admit()) {
+      tally.breaker_rejected += indices.size();
+      kind = FailureKind::kBreaker;
+      what = "ModelClient: circuit breaker open";
+    } else {
+      try {
+        std::vector<std::string> prompts;
+        prompts.reserve(indices.size());
+        for (const std::size_t idx : indices) {
+          prompts.push_back(group[idx].prompt);
+        }
+        GenerationParams params = group[indices.front()].params;
+        params.attempt = attempt;
+        std::vector<Completion> completions =
+            model_->generate_batch(prompts, params);
+        if (completions.size() != prompts.size()) {
+          throw std::logic_error(
+              "ModelClient: generate_batch returned a mismatched "
+              "completion count");
+        }
+        breaker_record(true);
+        const std::uint64_t now_us = micros_since(flush_start);
+        for (std::size_t i = 0; i < indices.size(); ++i) {
+          FlushOutcome& out = outcomes[indices[i]];
+          out.value = std::move(completions[i]);
+          out.value.attempts = attempt + 1;
+          out.attempts = attempt + 1;
+          out.pass_size = indices.size();
+          out.resolve_us = now_us;
+        }
+        return;
+      } catch (const ModelError& e) {
+        breaker_record(false);
+        kind = e.kind();
+        what = e.what();
+      } catch (const std::exception& e) {
+        breaker_record(false);
+        kind = FailureKind::kOther;
+        what = e.what();
+      } catch (...) {
+        breaker_record(false);
+        kind = FailureKind::kOther;
+        what = "ModelClient: unknown model failure";
+      }
+    }
+
+    const std::uint32_t attempts_used = attempt + 1;
+    if (!retryable(kind) || attempts_used >= max_attempts) {
+      fail_indices(indices, kind, what, attempts_used);
+      return;
+    }
+    // Back off before the next attempt (once per consecutive-attempt
+    // pair; split children skip straight to their pass). Interruptible:
+    // a client shutting down cancels the retry instead of awaiting it.
+    if (!backoff_wait(attempts_used, group[indices.front()].prompt,
+                      group[indices.front()].enqueued +
+                          std::chrono::microseconds(retry_.deadline_us),
+                      has_deadline)) {
+      fail_indices(indices, FailureKind::kShutdown,
+                   "ModelClient: shutdown cancelled a retry in backoff",
+                   attempts_used);
+      return;
+    }
+    if (indices.size() > 1) {
+      // Failed-batch splitting: one poisoned request must not re-fail its
+      // healthy pass-mates, and each request's remaining attempt budget
+      // is its own. Singletons can't split further, so recursion depth
+      // is at most one.
+      ++tally.splits;
+      for (const std::size_t idx : indices) {
+        resolve_requests(group, {idx}, attempt + 1, flush_start, outcomes,
+                         tally);
+      }
+      return;
+    }
+    ++attempt;
+  }
 }
 
 void ModelClient::execute_flush(std::vector<PendingRequest>& group,
                                 FlushReason reason) {
   if (group.empty()) return;
-  std::vector<std::string> prompts;
-  prompts.reserve(group.size());
   bool batch_origin = group.size() >= 2;
   for (const PendingRequest& request : group) {
-    prompts.push_back(request.prompt);
     batch_origin = batch_origin || request.batch_origin;
   }
 
-  std::vector<Completion> completions;
-  try {
-    // One model replica serves the whole pass, but the pass keeps up to
-    // max_concurrency streams busy; clamping keeps oversized batches from
-    // waiting for more slots than exist. The FIFO ticket inside
-    // acquire_slots guarantees the multi-slot wait is bounded: single-slot
-    // flushes arriving later queue behind this one instead of re-consuming
-    // every released slot.
-    const std::size_t slots = std::min(group.size(), max_concurrency_);
-    acquire_slots(slots);
-    SlotLease lease{*this, slots};
-    completions = model_->generate_batch(prompts, group.front().params);
-    if (completions.size() != prompts.size()) {
-      throw std::logic_error(
-          "ModelClient: generate_batch returned a mismatched completion "
-          "count");
-    }
-  } catch (...) {
-    // Never leaks out of a flush — window flushes run on the flusher
-    // thread and full flushes on whichever caller filled the batch, so the
-    // failure is delivered through every affected future instead.
-    const auto error = std::current_exception();
-    for (const PendingRequest& request : group) {
-      fail_state(request.state, error);
-    }
-    return;
-  }
-
+  // The flush formed — count it (reason + occupancy at the formed size)
+  // regardless of how resolution goes; retried/split passes below are
+  // extra attempts of this same flush, not new formed batches, so the
+  // occupancy histogram keeps summing to formed_batches.
   {
     std::lock_guard lock(mutex_);
-    stats_.requests += group.size();
     ++stats_.formed_batches;
     switch (reason) {
       case FlushReason::kImmediate: ++stats_.flush_immediate; break;
@@ -230,31 +527,75 @@ void ModelClient::execute_flush(std::vector<PendingRequest>& group,
       case FlushReason::kWindow: ++stats_.flush_window; break;
     }
     ++stats_.occupancy_hist[ClientStats::occupancy_bucket(group.size())];
-    if (batch_origin) {
-      ++stats_.batches;
-      stats_.batched_prompts += group.size();
-      stats_.max_batch =
-          std::max<std::uint64_t>(stats_.max_batch, group.size());
-    }
-    for (std::size_t i = 0; i < completions.size(); ++i) {
-      stats_.prompt_tokens += completions[i].prompt_tokens;
-      stats_.completion_tokens += completions[i].completion_tokens;
-      stats_.gpu_seconds += completions[i].latency_seconds;
+  }
+
+  const auto flush_start = std::chrono::steady_clock::now();
+  std::vector<FlushOutcome> outcomes(group.size());
+  FlushTally tally;
+  {
+    // One model replica serves the whole pass, but the pass keeps up to
+    // max_concurrency streams busy; clamping keeps oversized batches from
+    // waiting for more slots than exist. The FIFO ticket inside
+    // acquire_slots guarantees the multi-slot wait is bounded: single-slot
+    // flushes arriving later queue behind this one instead of re-consuming
+    // every released slot. Retries and splits run inside the same lease —
+    // a flush's slots are held until its last request resolves.
+    const std::size_t slots = std::min(group.size(), max_concurrency_);
+    acquire_slots(slots);
+    SlotLease lease{*this, slots};
+    std::vector<std::size_t> all(group.size());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    resolve_requests(group, std::move(all), 0, flush_start, outcomes, tally);
+  }
+
+  {
+    std::lock_guard lock(mutex_);
+    stats_.batch_splits += tally.splits;
+    stats_.breaker_rejected += tally.breaker_rejected;
+    std::size_t served = 0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const FlushOutcome& out = outcomes[i];
+      if (out.attempts > 1) {
+        stats_.retries += out.attempts - 1;
+        ++stats_.retry_latency_hist[ClientStats::retry_latency_bucket(
+            out.resolve_us)];
+      }
+      if (out.error != nullptr) {
+        ++stats_.failed_requests;
+        if (out.kind == FailureKind::kTimeout) ++stats_.timeouts;
+        continue;
+      }
+      ++served;
+      ++stats_.requests;
+      stats_.prompt_tokens += out.value.prompt_tokens;
+      stats_.completion_tokens += out.value.completion_tokens;
+      stats_.gpu_seconds += out.value.latency_seconds;
       if (transcript_capacity_ > 0) {
-        transcripts_.push_back(Transcript{prompts[i], completions[i]});
+        transcripts_.push_back(Transcript{group[i].prompt, out.value});
         while (transcripts_.size() > transcript_capacity_) {
           transcripts_.pop_front();
         }
       }
     }
+    if (batch_origin && served > 0) {
+      ++stats_.batches;
+      stats_.batched_prompts += served;
+      stats_.max_batch =
+          std::max<std::uint64_t>(stats_.max_batch, group.size());
+    }
   }
 
   for (std::size_t i = 0; i < group.size(); ++i) {
     const auto& state = group[i].state;
+    FlushOutcome& out = outcomes[i];
+    if (out.error != nullptr) {
+      fail_state(state, out.error);
+      continue;
+    }
     {
       std::lock_guard lock(state->mutex);
-      state->value = std::move(completions[i]);
-      state->flush_size = group.size();
+      state->value = std::move(out.value);
+      state->flush_size = out.pass_size;
       state->done = true;
     }
     state->cv.notify_all();
@@ -272,19 +613,67 @@ std::vector<CompletionFuture> ModelClient::enqueue(
   std::vector<std::vector<PendingRequest>> flushes;
   FlushReason reason = FlushReason::kImmediate;
   {
-    std::lock_guard lock(batch_mutex_);
+    std::unique_lock lock(batch_mutex_);
     if (shutting_down_) {
-      const auto error = std::make_exception_ptr(std::runtime_error(
+      const auto error = std::make_exception_ptr(ClientShutdownError(
           "ModelClient: submit during shutdown"));
       for (const PendingRequest& request : requests) {
         fail_state(request.state, error);
       }
       return futures;
     }
-    const auto now = std::chrono::steady_clock::now();
-    for (PendingRequest& request : requests) {
-      request.enqueued = now;
-      pending_.push_back(std::move(request));
+    // Bounded pending queue (S2). kShed fails the overflowing tail now.
+    // kBlock parks this submitter until the window flusher (or a filling
+    // caller) drains the queue below the bound; it needs that external
+    // drainer, so it only engages when window_us > 0 — an immediate-flush
+    // batcher never leaves anything pending, and blocking for room there
+    // could only wait on itself.
+    std::size_t admit = requests.size();
+    bool pushed = false;
+    if (batcher_.max_pending > 0) {
+      if (batcher_.overflow == OverflowPolicy::kShed) {
+        const std::size_t room = batcher_.max_pending > pending_.size()
+                                     ? batcher_.max_pending - pending_.size()
+                                     : 0;
+        if (admit > room) {
+          const auto error = std::make_exception_ptr(QueueOverflowError(
+              "ModelClient: pending queue full (max_pending " +
+              std::to_string(batcher_.max_pending) + "), request shed"));
+          for (std::size_t i = room; i < requests.size(); ++i) {
+            fail_state(requests[i].state, error);
+          }
+          pending_shed_.fetch_add(admit - room, std::memory_order_relaxed);
+          admit = room;
+        }
+      } else if (batcher_.window_us > 0) {
+        pushed = true;
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          room_cv_.wait(lock, [this] {
+            return shutting_down_ || pending_.size() < batcher_.max_pending;
+          });
+          if (shutting_down_) {
+            const auto error = std::make_exception_ptr(ClientShutdownError(
+                "ModelClient: submit during shutdown"));
+            for (std::size_t j = i; j < requests.size(); ++j) {
+              fail_state(requests[j].state, error);
+            }
+            break;
+          }
+          requests[i].enqueued = std::chrono::steady_clock::now();
+          pending_.push_back(std::move(requests[i]));
+          // Wake the window flusher per push: this submitter may park on
+          // room_cv_ before reaching the post-loop notify, and the flusher
+          // is the drainer it is waiting for.
+          batch_cv_.notify_all();
+        }
+      }
+    }
+    if (!pushed) {
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < admit; ++i) {
+        requests[i].enqueued = now;
+        pending_.push_back(std::move(requests[i]));
+      }
     }
     std::size_t high = pending_high_water_.load(std::memory_order_relaxed);
     while (pending_.size() > high &&
@@ -403,6 +792,8 @@ ClientStats ModelClient::stats() const {
   }
   snapshot.pending_high_water =
       pending_high_water_.load(std::memory_order_relaxed);
+  snapshot.pending_shed = pending_shed_.load(std::memory_order_relaxed);
+  snapshot.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

@@ -11,9 +11,25 @@
 #include <thread>
 #include <vector>
 
+#include "llm/faults.hpp"
 #include "llm/model.hpp"
 
 namespace llm4vv::llm {
+
+/// What happens to a submission that would push the batcher's pending
+/// queue past BatcherConfig::max_pending.
+enum class OverflowPolicy {
+  /// Fail the overflowing requests immediately with QueueOverflowError and
+  /// count them in ClientStats::pending_shed (load-shedding: the caller
+  /// finds out now, not after an unbounded wait).
+  kShed,
+  /// Block the submitting caller until the queue drains below the bound
+  /// (classic backpressure; submission order is preserved). Needs an
+  /// external drainer, so it only engages when window_us > 0 — an
+  /// immediate-flush batcher (window_us == 0) never leaves anything
+  /// pending and ignores the bound under this policy.
+  kBlock,
+};
 
 /// Adaptive-batcher knobs of the asynchronous submission path.
 ///
@@ -38,7 +54,60 @@ struct BatcherConfig {
   /// flusher thread submits it anyway. 0 = flush immediately on every
   /// submission (no flusher thread, no cross-caller coalescing).
   std::uint64_t window_us = 0;
+  /// Bound on the pending queue. 0 (the default) keeps it unbounded — the
+  /// pre-resilience behaviour every bench and the paper-mode pinning rely
+  /// on. With a bound, a submission that would exceed it is handled per
+  /// `overflow`. Note the bound is about coalescing backlog: with
+  /// window_us == 0 nothing ever stays pending across calls, but a single
+  /// over-sized submit_many still sheds its tail under kShed.
+  std::size_t max_pending = 0;
+  OverflowPolicy overflow = OverflowPolicy::kShed;
 };
+
+/// Retry discipline of the client's flush path. The default is paper mode:
+/// one attempt, no deadline — a failed pass fails its futures exactly as
+/// before the resilience layer existed.
+struct RetryPolicy {
+  /// Total forward-pass attempts per request (1 = no retries). Only
+  /// retryable failures (see llm::retryable) consume further attempts:
+  /// permanent errors fail on the spot regardless of budget.
+  std::uint32_t max_attempts = 1;
+  /// Exponential backoff between a request's consecutive attempts:
+  /// min(base * multiplier^(k-1), max) for the k-th retry, plus a
+  /// deterministic jitter in [0, jitter_us] drawn from (prompt, attempt,
+  /// jitter_seed) — reproducible, but de-synchronized across requests.
+  std::uint64_t base_backoff_us = 100;
+  double backoff_multiplier = 2.0;
+  std::uint64_t max_backoff_us = 100000;
+  std::uint64_t jitter_us = 0;
+  std::uint64_t jitter_seed = 0x6a177e12ULL;
+  /// Per-request wall-clock deadline measured from submission (enqueue)
+  /// time; 0 = none. Checked at attempt boundaries — a pass in flight is
+  /// never cancelled mid-call, so a request can exceed its deadline by at
+  /// most one pass plus one backoff.
+  std::uint64_t deadline_us = 0;
+};
+
+/// Rolling-failure-rate circuit breaker over the client's forward passes.
+/// Disabled by default (paper mode). When enabled, pass outcomes feed a
+/// sliding window; too many failures OPEN the breaker, which fails further
+/// passes fast (CircuitOpenError, retryable) without touching the model
+/// until `cooldown_us` elapses. The first pass after cooldown is a
+/// HALF-OPEN probe: success closes the breaker, failure re-opens it.
+struct CircuitBreakerConfig {
+  bool enabled = false;
+  /// Sliding window of pass outcomes the failure rate is computed over.
+  std::size_t window = 32;
+  /// Outcomes required in the window before the rate can trip at all
+  /// (prevents one early failure from opening a cold breaker).
+  std::size_t min_samples = 8;
+  /// Failure fraction at or above which the breaker opens.
+  double open_failure_rate = 0.5;
+  std::uint64_t cooldown_us = 10000;
+};
+
+/// Observable breaker state (see CircuitBreakerConfig).
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
 
 /// Why a batch was flushed.
 enum class FlushReason {
@@ -97,6 +166,35 @@ struct ClientStats {
   static std::size_t occupancy_bucket(std::size_t batch) noexcept;
   /// Human-readable label of a bucket ("1", "2", "3-4", ...).
   static const char* occupancy_bucket_label(std::size_t bucket) noexcept;
+
+  // -- resilience telemetry (all zero in paper mode) ----------------------
+  /// Extra forward-pass attempts beyond each request's first (summed over
+  /// resolved requests, successful or not).
+  std::uint64_t retries = 0;
+  /// Requests that resolved with an error (`requests` above counts only
+  /// successfully served ones; a request lands in exactly one of the two).
+  std::uint64_t failed_requests = 0;
+  /// Subset of failed_requests that gave up on an expired deadline.
+  std::uint64_t timeouts = 0;
+  /// Requests shed at submission time by the bounded pending queue.
+  std::uint64_t pending_shed = 0;
+  /// Failed multi-request passes split into per-request retries.
+  std::uint64_t batch_splits = 0;
+  /// Closed->open transitions of the circuit breaker.
+  std::uint64_t breaker_opens = 0;
+  /// Pass attempts rejected while the breaker was open / probing.
+  std::uint64_t breaker_rejected = 0;
+  /// Histogram of resolution latency (flush start to verdict, real wall
+  /// time) of requests that needed more than one attempt — the price the
+  /// retry layer paid. Bucket upper edges: 100us, 1ms, 10ms, 100ms, 1s,
+  /// then open-ended.
+  static constexpr std::size_t kRetryLatencyBuckets = 6;
+  std::array<std::uint64_t, kRetryLatencyBuckets> retry_latency_hist{};
+
+  /// Bucket index a retried request resolving after `micros` lands in.
+  static std::size_t retry_latency_bucket(std::uint64_t micros) noexcept;
+  /// Human-readable label ("<100us", "<1ms", ..., ">=1s").
+  static const char* retry_latency_bucket_label(std::size_t bucket) noexcept;
 };
 
 namespace detail {
@@ -129,6 +227,13 @@ class CompletionFuture {
   /// Block until resolved and return the completion; rethrows the flush's
   /// exception on failure. Idempotent.
   Completion get() const;
+  /// True when the request resolved with an error — the first-class way to
+  /// observe failure without a try/catch around get(). Blocks like wait().
+  bool failed() const;
+  /// The resolved error (null when the request succeeded or is still in
+  /// flight; a ModelError for every failure the resilience layer
+  /// produces). Non-blocking.
+  std::exception_ptr error() const;
   /// Size of the forward pass that served this request (only meaningful
   /// once ready; 0 if the request failed before a pass ran).
   std::size_t flush_size() const;
@@ -174,12 +279,16 @@ class ModelClient {
   ModelClient(std::shared_ptr<const LanguageModel> model,
               std::size_t max_concurrency = 1,
               std::size_t transcript_capacity = 0,
-              BatcherConfig batcher = {});
+              BatcherConfig batcher = {}, RetryPolicy retry = {},
+              CircuitBreakerConfig breaker = {});
 
   /// Destroying the client with requests still pending fails their futures
-  /// deterministically (get() throws); flushes already executing are
-  /// drained first, so no future is ever left unresolved and no flush can
-  /// touch a dead client.
+  /// deterministically with ClientShutdownError (get() throws); flushes
+  /// already executing are drained first — but a flush parked in a retry
+  /// backoff is woken and CANCELLED (its futures fail with
+  /// ClientShutdownError too), not awaited to attempt exhaustion — so
+  /// shutdown latency is bounded by one forward pass, no future is ever
+  /// left unresolved, and no flush can touch a dead client.
   ~ModelClient();
 
   ModelClient(const ModelClient&) = delete;
@@ -229,6 +338,15 @@ class ModelClient {
   /// The batcher configuration this client runs with.
   const BatcherConfig& batcher() const noexcept { return batcher_; }
 
+  /// The retry policy this client runs with.
+  const RetryPolicy& retry_policy() const noexcept { return retry_; }
+
+  /// The breaker configuration and its current state.
+  const CircuitBreakerConfig& breaker_config() const noexcept {
+    return breaker_config_;
+  }
+  BreakerState breaker_state() const;
+
   /// Recorded transcripts (most recent `transcript_capacity` calls).
   std::vector<Transcript> transcripts() const;
 
@@ -274,9 +392,40 @@ class ModelClient {
   /// max_batch). Caller holds batch_mutex_.
   std::vector<PendingRequest> collect_group_locked();
 
-  /// Run one batched forward pass for `group` and fulfill its futures.
-  /// Never throws: a model failure is stored into every future instead.
+  /// Per-request result of a flush's resilient resolution (defined in the
+  /// .cpp; the header only passes references around).
+  struct FlushOutcome;
+  /// Counter deltas one flush accumulates for the stats merge.
+  struct FlushTally;
+
+  /// Run one (possibly retried/split) forward-pass resolution for `group`
+  /// and fulfill its futures. Never throws: every failure is stored into
+  /// the affected futures instead.
   void execute_flush(std::vector<PendingRequest>& group, FlushReason reason);
+
+  /// Resolve `indices` of `group` (requests sharing their attempt
+  /// history), starting at 0-based `attempt`: run a pass, and on failure
+  /// either fail the requests, split a multi-request pass into per-request
+  /// retries, or back off and re-attempt — per the RetryPolicy.
+  void resolve_requests(std::vector<PendingRequest>& group,
+                        std::vector<std::size_t> indices,
+                        std::uint32_t attempt,
+                        std::chrono::steady_clock::time_point flush_start,
+                        std::vector<FlushOutcome>& outcomes,
+                        FlushTally& tally);
+
+  /// Sleep out the backoff before retry number `retry` (1-based) of the
+  /// request holding `prompt`, capped at `deadline` when the policy has
+  /// one. Interruptible: returns false immediately when the client starts
+  /// shutting down (the caller then cancels the retry).
+  bool backoff_wait(std::uint32_t retry, const std::string& prompt,
+                    std::chrono::steady_clock::time_point deadline,
+                    bool has_deadline);
+
+  /// Breaker admission for one pass attempt; false = fail fast.
+  bool breaker_admit();
+  /// Feed one pass outcome into the breaker window.
+  void breaker_record(bool success);
 
   /// Window-flush thread body (only started when window_us > 0).
   void flusher_main();
@@ -285,6 +434,8 @@ class ModelClient {
   const std::size_t max_concurrency_;
   const std::size_t transcript_capacity_;
   const BatcherConfig batcher_;
+  const RetryPolicy retry_;
+  const CircuitBreakerConfig breaker_config_;
 
   mutable std::mutex mutex_;
   std::condition_variable slot_free_;
@@ -310,6 +461,24 @@ class ModelClient {
   std::condition_variable flush_done_;
   bool shutting_down_ = false;
   std::atomic<std::size_t> pending_high_water_{0};
+  /// Wakes OverflowPolicy::kBlock submitters when the pending queue
+  /// drains below max_pending (notified wherever pending_ shrinks).
+  std::condition_variable room_cv_;
+  /// Shed/breaker counters live outside stats_ so the enqueue path (which
+  /// holds batch_mutex_) and the breaker (its own lock) never have to
+  /// take the stats lock; stats() folds them into the snapshot.
+  std::atomic<std::uint64_t> pending_shed_{0};
+  std::atomic<std::uint64_t> breaker_opens_{0};
+
+  /// Circuit-breaker state, under its own lock (pass outcomes are
+  /// recorded from flush threads; breaker_state() reads from anywhere).
+  mutable std::mutex breaker_mutex_;
+  BreakerState breaker_state_ = BreakerState::kClosed;
+  std::deque<bool> breaker_window_;  ///< recent pass outcomes (true = ok)
+  std::size_t breaker_failures_ = 0;
+  std::chrono::steady_clock::time_point breaker_opened_at_{};
+  bool breaker_probing_ = false;  ///< a half-open probe pass is in flight
+
   std::thread flusher_;
 };
 

@@ -190,17 +190,67 @@ double SimulatedCoderModel::sequential_latency(
              config_.decode_tokens_per_second;
 }
 
+FaultKind SimulatedCoderModel::fault_for(const std::string& prompt,
+                                         const GenerationParams& params)
+    const {
+  if (config_.faults == nullptr) return FaultKind::kNone;
+  return config_.faults->decide(support::fnv1a64(prompt), params.attempt);
+}
+
 Completion SimulatedCoderModel::generate(const std::string& prompt,
                                          const GenerationParams& params)
     const {
+  const FaultKind fault = fault_for(prompt, params);
+  if (fault == FaultKind::kPermanent) {
+    throw PermanentModelError(
+        "SimulatedCoderModel: injected permanent fault");
+  }
+  if (fault == FaultKind::kTransient) {
+    throw TransientModelError(
+        "SimulatedCoderModel: injected transient fault (attempt " +
+        std::to_string(params.attempt) + ")");
+  }
   Completion completion = render(prompt, params);
   completion.latency_seconds = sequential_latency(completion);
+  if (fault == FaultKind::kSlow) {
+    completion.latency_seconds *= config_.faults->config().slow_latency_factor;
+  }
   return completion;
 }
 
 std::vector<Completion> SimulatedCoderModel::generate_batch(
     const std::vector<std::string>& prompts,
     const GenerationParams& params) const {
+  // Fault draws come first: one poisoned prompt fails the whole forward
+  // pass (that is what makes failed-batch splitting in the client worth
+  // having). A lone permanently-faulted prompt fails permanently so the
+  // retry layer can give up on it; any other faulted pass fails
+  // transiently — after a split, the healthy prompts' redraws clear.
+  std::vector<FaultKind> faults;
+  if (config_.faults != nullptr) {
+    faults.reserve(prompts.size());
+    std::size_t errors = 0;
+    bool all_permanent = !prompts.empty();
+    for (const std::string& prompt : prompts) {
+      const FaultKind fault = fault_for(prompt, params);
+      faults.push_back(fault);
+      const bool is_error =
+          fault == FaultKind::kTransient || fault == FaultKind::kPermanent;
+      if (is_error) ++errors;
+      all_permanent = all_permanent && fault == FaultKind::kPermanent;
+    }
+    if (errors > 0) {
+      if (all_permanent) {
+        throw PermanentModelError(
+            "SimulatedCoderModel: injected permanent fault");
+      }
+      throw TransientModelError(
+          "SimulatedCoderModel: injected fault failed a batch of " +
+          std::to_string(prompts.size()) + " (" + std::to_string(errors) +
+          " faulted, attempt " + std::to_string(params.attempt) + ")");
+    }
+  }
+
   std::vector<Completion> completions;
   completions.reserve(prompts.size());
   for (const std::string& prompt : prompts) {
@@ -239,6 +289,18 @@ std::vector<Completion> SimulatedCoderModel::generate_batch(
     completion.latency_seconds =
         sequential_sum > 0.0 ? pass_seconds * sequential / sequential_sum
                              : 0.0;
+  }
+  // Slow faults trickle their stream's tokens: the affected completion's
+  // attributed latency inflates (the batch's other streams keep theirs, so
+  // summed latencies exceed the fault-free pass cost — intended: the slow
+  // stream really does hold its slot longer).
+  if (!faults.empty()) {
+    const double factor = config_.faults->config().slow_latency_factor;
+    for (std::size_t i = 0; i < completions.size(); ++i) {
+      if (faults[i] == FaultKind::kSlow) {
+        completions[i].latency_seconds *= factor;
+      }
+    }
   }
   return completions;
 }

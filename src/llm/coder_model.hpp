@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "llm/faults.hpp"
 #include "llm/model.hpp"
 #include "llm/perception.hpp"
 #include "llm/profiles.hpp"
@@ -28,6 +30,15 @@ struct CoderModelConfig {
   /// so a pass decodes for max(completion_tokens) steps regardless of
   /// batch size. A batch of one is priced exactly like generate().
   double batch_prefill_fraction = 0.35;
+  /// Optional deterministic fault schedule (see llm/faults.hpp). Null (the
+  /// default) injects nothing — the model is infallible, exactly as before
+  /// the resilience layer existed. When set, every generate()/
+  /// generate_batch() call consults the plan per prompt: transient and
+  /// permanent faults throw TransientModelError/PermanentModelError, slow
+  /// faults inflate the affected completion's simulated latency by
+  /// slow_latency_factor. Fault draws never touch the judgment RNG, so
+  /// completions that are served stay byte-identical to a fault-free run.
+  std::shared_ptr<const FaultPlan> faults;
 };
 
 /// Behavioural simulator of deepseek-coder-33b-instruct as a V&V judge.
@@ -73,6 +84,10 @@ class SimulatedCoderModel final : public LanguageModel {
                     const GenerationParams& params) const;
   /// Sequential latency of one completion: full prefill + own decode.
   double sequential_latency(const Completion& completion) const;
+  /// The fault plan's decision for one prompt at params.attempt (kNone
+  /// when no plan is configured).
+  FaultKind fault_for(const std::string& prompt,
+                      const GenerationParams& params) const;
 
   CoderModelConfig config_;
 };

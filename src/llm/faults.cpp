@@ -1,0 +1,73 @@
+#include "llm/faults.hpp"
+
+#include "support/rng.hpp"
+
+namespace llm4vv::llm {
+
+namespace {
+
+// Domain-separation salts so the three draws of one (request, attempt)
+// never correlate.
+constexpr std::uint64_t kPermanentSalt = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kTransientSalt = 0xbf58476d1ce4e5b9ULL;
+constexpr std::uint64_t kSlowSalt = 0x94d049bb133111ebULL;
+
+bool draw(std::uint64_t prompt_hash, std::uint64_t salt, std::uint64_t seed,
+          double rate) noexcept {
+  if (rate <= 0.0) return false;
+  support::Rng rng(support::hash_mix(prompt_hash, seed ^ salt));
+  return rng.chance(rate);
+}
+
+}  // namespace
+
+const char* failure_kind_name(FailureKind kind) noexcept {
+  switch (kind) {
+    case FailureKind::kTransient: return "transient";
+    case FailureKind::kPermanent: return "permanent";
+    case FailureKind::kTimeout: return "timeout";
+    case FailureKind::kOverflow: return "overflow";
+    case FailureKind::kBreaker: return "breaker";
+    case FailureKind::kShutdown: return "shutdown";
+    case FailureKind::kOther: return "other";
+  }
+  return "?";
+}
+
+bool retryable(FailureKind kind) noexcept {
+  return kind == FailureKind::kTransient || kind == FailureKind::kBreaker;
+}
+
+FaultKind FaultPlan::decide(std::uint64_t prompt_hash,
+                            std::uint32_t attempt) const noexcept {
+  // Permanent first, and attempt-independent: the same request draws the
+  // same fate on every attempt, so permanents persist across retries.
+  if (draw(prompt_hash, kPermanentSalt, config_.seed,
+           config_.permanent_rate)) {
+    permanent_.fetch_add(1, std::memory_order_relaxed);
+    return FaultKind::kPermanent;
+  }
+  // Transient and slow draws mix the attempt ordinal: a retry re-rolls.
+  const std::uint64_t attempt_hash =
+      support::hash_mix(prompt_hash, static_cast<std::uint64_t>(attempt));
+  if (draw(attempt_hash, kTransientSalt, config_.seed,
+           config_.transient_rate)) {
+    transient_.fetch_add(1, std::memory_order_relaxed);
+    return FaultKind::kTransient;
+  }
+  if (draw(attempt_hash, kSlowSalt, config_.seed, config_.slow_rate)) {
+    slow_.fetch_add(1, std::memory_order_relaxed);
+    return FaultKind::kSlow;
+  }
+  return FaultKind::kNone;
+}
+
+FaultStats FaultPlan::stats() const noexcept {
+  FaultStats out;
+  out.transient = transient_.load(std::memory_order_relaxed);
+  out.permanent = permanent_.load(std::memory_order_relaxed);
+  out.slow = slow_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace llm4vv::llm

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace llm4vv::llm {
+
+/// Why a model request ultimately failed. Carried by every ModelError so
+/// the pipeline can record *what kind* of failure a judge_error was and
+/// the retry layer can decide whether another attempt can help.
+enum class FailureKind {
+  kTransient,  ///< backend hiccup; a retry may succeed
+  kPermanent,  ///< the backend deterministically rejects this request
+  kTimeout,    ///< the per-request deadline expired before an attempt won
+  kOverflow,   ///< shed by the batcher's bounded pending queue
+  kBreaker,    ///< rejected while the circuit breaker was open
+  kShutdown,   ///< the client was destroyed with the request unresolved
+  kOther,      ///< anything else (logic errors, unknown exceptions)
+};
+
+/// Stable short name ("transient", "permanent", ...) for logs and JSON.
+const char* failure_kind_name(FailureKind kind) noexcept;
+
+/// True when another attempt at the same request could plausibly succeed:
+/// transient backend failures and breaker rejections (the breaker may
+/// close again). Permanent rejections, deadline expiries, queue sheds,
+/// shutdown, and unknown errors are final.
+bool retryable(FailureKind kind) noexcept;
+
+/// Base of every model-path failure. Derives from std::runtime_error so
+/// pre-resilience call sites that catch runtime_error keep working;
+/// resilience-aware callers read kind() and attempts() instead of parsing
+/// the message.
+class ModelError : public std::runtime_error {
+ public:
+  ModelError(FailureKind kind, const std::string& what,
+             std::uint32_t attempts = 1)
+      : std::runtime_error(what), kind_(kind), attempts_(attempts) {}
+
+  FailureKind kind() const noexcept { return kind_; }
+  /// Forward passes attempted for the failed request, including the final
+  /// one (0 when the request failed before any pass ran, e.g. a shed or a
+  /// deadline that expired while still queued).
+  std::uint32_t attempts() const noexcept { return attempts_; }
+
+ private:
+  FailureKind kind_;
+  std::uint32_t attempts_;
+};
+
+/// A backend hiccup a retry may clear.
+struct TransientModelError : ModelError {
+  explicit TransientModelError(const std::string& what,
+                               std::uint32_t attempts = 1)
+      : ModelError(FailureKind::kTransient, what, attempts) {}
+};
+
+/// A deterministic rejection: retrying the same request cannot help.
+struct PermanentModelError : ModelError {
+  explicit PermanentModelError(const std::string& what,
+                               std::uint32_t attempts = 1)
+      : ModelError(FailureKind::kPermanent, what, attempts) {}
+};
+
+/// The per-request deadline (RetryPolicy::deadline_us) expired. Deadlines
+/// are checked at attempt boundaries — an in-flight forward pass is never
+/// cancelled mid-call.
+struct RequestTimeoutError : ModelError {
+  explicit RequestTimeoutError(const std::string& what,
+                               std::uint32_t attempts = 0)
+      : ModelError(FailureKind::kTimeout, what, attempts) {}
+};
+
+/// Shed at submission time by the bounded pending queue
+/// (BatcherConfig::max_pending with OverflowPolicy::kShed).
+struct QueueOverflowError : ModelError {
+  explicit QueueOverflowError(const std::string& what)
+      : ModelError(FailureKind::kOverflow, what, 0) {}
+};
+
+/// Rejected while the circuit breaker was open (or a half-open probe was
+/// already in flight). Retryable: the breaker may close again.
+struct CircuitOpenError : ModelError {
+  explicit CircuitOpenError(const std::string& what,
+                            std::uint32_t attempts = 1)
+      : ModelError(FailureKind::kBreaker, what, attempts) {}
+};
+
+/// The client shut down with the request unresolved: destroyed while the
+/// request was pending in the batcher, waiting out a retry backoff, or
+/// submitted after shutdown began.
+struct ClientShutdownError : ModelError {
+  explicit ClientShutdownError(const std::string& what,
+                               std::uint32_t attempts = 0)
+      : ModelError(FailureKind::kShutdown, what, attempts) {}
+};
+
+/// Knobs of the deterministic fault plan. All rates are probabilities in
+/// [0, 1]; the all-zero default injects nothing (paper mode).
+struct FaultPlanConfig {
+  /// Seed of the fault draws; independent of the model/judgment seeds, so
+  /// changing the fault schedule never changes a completion's text.
+  std::uint64_t seed = 0xFA17ED5EEDULL;
+  /// Probability a given (request, attempt) pair fails transiently. The
+  /// draw mixes the attempt index, so a retry of a transiently-failed
+  /// request re-rolls — retries can succeed.
+  double transient_rate = 0.0;
+  /// Probability a given request fails permanently. The draw does NOT mix
+  /// the attempt index: a permanently-faulted request fails every attempt,
+  /// so retrying it is provably futile (and the retry layer doesn't).
+  double permanent_rate = 0.0;
+  /// Probability a given (request, attempt) pair is served slowly: its
+  /// simulated latency is multiplied by slow_latency_factor (a slow
+  /// trickle of tokens, not an error — the completion text is unchanged).
+  double slow_rate = 0.0;
+  double slow_latency_factor = 8.0;
+};
+
+/// What the plan decided for one (request, attempt) draw.
+enum class FaultKind { kNone, kTransient, kPermanent, kSlow };
+
+/// Injection counters (drawn faults, whether or not a retry later cleared
+/// them).
+struct FaultStats {
+  std::uint64_t transient = 0;
+  std::uint64_t permanent = 0;
+  std::uint64_t slow = 0;
+};
+
+/// Seeded, deterministic fault schedule consulted by SimulatedCoderModel
+/// on every generate()/generate_batch() call. Determinism contract: the
+/// outcome of decide() depends only on (prompt hash, attempt, seed), so a
+/// run with a given plan is exactly reproducible, and — because the fault
+/// draw is independent of the judgment RNG — completions that do get
+/// served are byte-identical to a fault-free run. Thread-safe.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanConfig config = {}) : config_(config) {}
+
+  /// Decide the fate of one attempt at a request. `prompt_hash` is
+  /// support::fnv1a64 of the prompt; `attempt` is the 0-based retry
+  /// ordinal (GenerationParams::attempt).
+  FaultKind decide(std::uint64_t prompt_hash,
+                   std::uint32_t attempt) const noexcept;
+
+  const FaultPlanConfig& config() const noexcept { return config_; }
+
+  /// Faults drawn so far (monotonic; counts every injection, including
+  /// ones a later retry cleared).
+  FaultStats stats() const noexcept;
+
+ private:
+  FaultPlanConfig config_;
+  mutable std::atomic<std::uint64_t> transient_{0};
+  mutable std::atomic<std::uint64_t> permanent_{0};
+  mutable std::atomic<std::uint64_t> slow_{0};
+};
+
+}  // namespace llm4vv::llm

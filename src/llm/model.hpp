@@ -25,6 +25,11 @@ struct GenerationParams {
   /// Seed mixed into the judgment draw; equal (prompt, seed) pairs give
   /// byte-identical completions.
   std::uint64_t seed = 0;
+  /// 0-based retry ordinal, set by the ModelClient's retry layer. NOT part
+  /// of the sampling identity: it is excluded from batcher coalescing and
+  /// from the judgment RNG (a retried request yields byte-identical text),
+  /// and only feeds the FaultPlan's attempt-dependent fault draws.
+  std::uint32_t attempt = 0;
 };
 
 /// One model completion plus the accounting the pipeline's LLM stage needs.
@@ -36,6 +41,10 @@ struct Completion {
   /// (prompt prefill + token-by-token decode). Pipeline statistics use
   /// this as virtual time; nothing actually sleeps.
   double latency_seconds = 0.0;
+  /// Forward passes the ModelClient ran to obtain this completion (1 on
+  /// the first try; >1 when the retry layer re-attempted after transient
+  /// failures). Models leave this at 1; the client fills it in.
+  std::uint32_t attempts = 1;
 };
 
 /// Abstract chat/completions endpoint. The reproduction ships

@@ -30,6 +30,7 @@ struct JudgeLocal {
   std::uint64_t batched_prompts = 0;
   std::uint64_t max_batch = 0;
   std::uint64_t persisted_hits = 0;
+  std::uint64_t errors = 0;
 };
 
 /// Compile workers likewise accumulate cache counters locally.
@@ -222,15 +223,35 @@ PipelineResult ValidationPipeline::run(
           ++local.cache_hits;
         } else {
           ++local.cache_misses;
+          record.judge_attempts = decision.completion.attempts;
           record.judge_gpu_seconds = decision.completion.latency_seconds;
           local.gpu_seconds += decision.completion.latency_seconds;
         }
+      };
+      // Graceful degradation: a judge failure that survived the client's
+      // retry budget becomes a recorded outcome — kind and attempt count
+      // preserved — instead of a dropped record or a worker-killing throw.
+      const auto record_error = [&](const WorkItem& item,
+                                    const std::exception_ptr& error) {
+        PipelineRecord& record = result.records[item.index];
+        record.judge_error = true;
+        try {
+          std::rethrow_exception(error);
+        } catch (const llm::ModelError& e) {
+          record.judge_error_kind = e.kind();
+          record.judge_attempts = e.attempts();
+        } catch (...) {
+          record.judge_error_kind = llm::FailureKind::kOther;
+        }
+        ++local.stats.processed;
+        ++local.errors;
       };
       /// One submitted-but-not-drained chunk item.
       struct PendingJudge {
         const WorkItem* item = nullptr;
         judge::JudgeFuture future;
         judge::JudgeDecision decision;
+        std::exception_ptr error;  ///< the judge gave up on this item
         std::size_t group = 0;  ///< submission-group id within the chunk
       };
       std::vector<WorkItem> batch;
@@ -248,11 +269,16 @@ PipelineResult ValidationPipeline::run(
           // batcher window is pinned to 0).
           for (const WorkItem& item : batch) {
             support::Stopwatch timer;
-            const judge::JudgeDecision decision =
-                judge_->evaluate(files[item.index], &item.compile,
-                                 &item.exec, config_.judge_seed);
-            local.stats.busy_seconds += timer.seconds();
-            record_decision(item, decision);
+            try {
+              const judge::JudgeDecision decision =
+                  judge_->evaluate(files[item.index], &item.compile,
+                                   &item.exec, config_.judge_seed);
+              local.stats.busy_seconds += timer.seconds();
+              record_decision(item, decision);
+            } catch (...) {
+              local.stats.busy_seconds += timer.seconds();
+              record_error(item, std::current_exception());
+            }
           }
           continue;
         }
@@ -285,12 +311,20 @@ PipelineResult ValidationPipeline::run(
         // claims cannot deadlock.
         for (PendingJudge& entry : pending) {
           if (!entry.future.waits_on_peer()) {
-            entry.decision = entry.future.get();
+            try {
+              entry.decision = entry.future.get();
+            } catch (...) {
+              entry.error = std::current_exception();
+            }
           }
         }
         for (PendingJudge& entry : pending) {
           if (entry.future.waits_on_peer()) {
-            entry.decision = entry.future.get();
+            try {
+              entry.decision = entry.future.get();
+            } catch (...) {
+              entry.error = std::current_exception();
+            }
           }
         }
         local.stats.busy_seconds += timer.seconds();
@@ -312,7 +346,11 @@ PipelineResult ValidationPipeline::run(
           }
         }
         for (const PendingJudge& entry : pending) {
-          record_decision(*entry.item, entry.decision);
+          if (entry.error != nullptr) {
+            record_error(*entry.item, entry.error);
+          } else {
+            record_decision(*entry.item, entry.decision);
+          }
         }
       }
       judge_locals[w] = local;
@@ -353,6 +391,7 @@ PipelineResult ValidationPipeline::run(
     result.judge_batched_prompts += local.batched_prompts;
     result.judge_max_batch = std::max(result.judge_max_batch, local.max_batch);
     result.judge_persisted_hits += local.persisted_hits;
+    result.judge_errors += local.errors;
   }
   // Batcher truth: occupancy and flush telemetry come from the client's
   // counters, windowed over this run — batches are counted as the model
@@ -373,6 +412,16 @@ PipelineResult ValidationPipeline::run(
         client_after.occupancy_hist[b] - client_before.occupancy_hist[b];
   }
   result.judge_queue_depth_peak = client_after.pending_high_water;
+  result.judge_retries = client_after.retries - client_before.retries;
+  result.judge_timeouts = client_after.timeouts - client_before.timeouts;
+  result.judge_shed = client_after.pending_shed - client_before.pending_shed;
+  result.breaker_opens =
+      client_after.breaker_opens - client_before.breaker_opens;
+  for (std::size_t b = 0; b < llm::ClientStats::kRetryLatencyBuckets; ++b) {
+    result.judge_retry_latency_hist[b] =
+        client_after.retry_latency_hist[b] -
+        client_before.retry_latency_hist[b];
+  }
   result.queue_steals =
       compile_queue.steals() + execute_queue.steals() + judge_queue.steals();
   const std::uint64_t formed_batched =

@@ -90,6 +90,18 @@ struct PipelineRecord {
   /// True when the compile stage was served from the compile cache (the
   /// front-end never ran for this file in this call).
   bool compile_cached = false;
+  /// True when the judge stage gave up on this file: the model call failed
+  /// past the client's retry budget (or was shed / timed out). The record
+  /// stays in the results with the failure's kind and attempt count below
+  /// — graceful degradation, never a silent drop. `judged` stays false.
+  bool judge_error = false;
+  /// Why the judge gave up (valid only when judge_error).
+  llm::FailureKind judge_error_kind = llm::FailureKind::kOther;
+  /// Forward passes the client spent on this record's judge decision: 1 on
+  /// a clean first try, >1 when retries were needed (success or failure),
+  /// 0 when no pass ran (cache hit, filtered, shed, or still queued at
+  /// expiry).
+  std::uint32_t judge_attempts = 0;
 };
 
 /// Per-stage counters.
@@ -162,6 +174,19 @@ struct PipelineResult {
   /// Pops served by a non-home shard across the three inter-stage queues —
   /// how often workers had to steal instead of hitting their own shard.
   std::uint64_t queue_steals = 0;
+  // -- resilience telemetry (all zero with faults/retries off) ------------
+  /// Records whose judge stage gave up (sum of PipelineRecord::judge_error).
+  std::size_t judge_errors = 0;
+  /// Client counters windowed over this run (see llm::ClientStats): extra
+  /// forward-pass attempts, deadline give-ups, requests shed by the
+  /// bounded pending queue, circuit-breaker opens, and the resolution-
+  /// latency histogram of retried requests.
+  std::uint64_t judge_retries = 0;
+  std::uint64_t judge_timeouts = 0;
+  std::uint64_t judge_shed = 0;
+  std::uint64_t breaker_opens = 0;
+  std::array<std::uint64_t, llm::ClientStats::kRetryLatencyBuckets>
+      judge_retry_latency_hist{};
 };
 
 /// The staged validation pipeline of Figure 2: bounded queues between a

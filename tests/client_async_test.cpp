@@ -365,6 +365,72 @@ TEST(AsyncShutdownTest, SubmitAfterShutdownBeginsFailsCleanly) {
   EXPECT_NO_THROW(client.reset());
 }
 
+namespace {
+/// Always fails transiently; counts calls so the test can wait until the
+/// flush is provably inside its retry loop.
+class AlwaysTransientModel final : public LanguageModel {
+ public:
+  std::string name() const override { return "always-transient"; }
+  Completion generate(const std::string& prompt,
+                      const GenerationParams& params) const override {
+    (void)prompt;
+    (void)params;
+    calls.fetch_add(1, std::memory_order_relaxed);
+    throw TransientModelError("always failing");
+  }
+  mutable std::atomic<int> calls{0};
+};
+}  // namespace
+
+TEST(AsyncShutdownTest, DestroyMidBackoffCancelsTheRetry) {
+  // S1 regression: a flush parked in a retry backoff must not pin the
+  // destructor for the rest of the backoff (here ~10 s per retry). The
+  // dtor broadcasts shutdown, the backoff wait wakes, and the retry is
+  // CANCELLED — its future fails with the distinct shutdown error, well
+  // before the backoff could have elapsed.
+  auto model = std::make_shared<AlwaysTransientModel>();
+  RetryPolicy retry;
+  retry.max_attempts = 10;
+  retry.base_backoff_us = 10ull * 1000 * 1000;  // 10 s per backoff
+  retry.max_backoff_us = 10ull * 1000 * 1000;
+
+  auto client = std::make_unique<ModelClient>(model, 1, 0, BatcherConfig{},
+                                              retry);
+  CompletionFuture future;
+  std::mutex future_mutex;
+  // window_us == 0: the submitter runs the flush inline, so once the model
+  // has been called the submitter thread is heading into (or already
+  // parked in) the first 10 s backoff.
+  std::thread submitter([&] {
+    auto submitted = client->submit(sample_prompts(1)[0]);
+    std::lock_guard lock(future_mutex);
+    future = std::move(submitted);
+  });
+  while (model->calls.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  const auto start = std::chrono::steady_clock::now();
+  std::thread destroyer([&] { client.reset(); });
+  destroyer.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(5))
+      << "destructor slept out a retry backoff instead of cancelling it";
+  submitter.join();
+
+  std::lock_guard lock(future_mutex);
+  ASSERT_TRUE(future.valid());
+  EXPECT_TRUE(future.ready());
+  EXPECT_LT(model->calls.load(std::memory_order_relaxed), 10);
+  try {
+    (void)future.get();
+    FAIL() << "expected ClientShutdownError";
+  } catch (const ClientShutdownError& e) {
+    EXPECT_EQ(e.kind(), FailureKind::kShutdown);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Occupancy histogram buckets: the seven fixed edges are a documented
 // contract (client.hpp header comment, docs/ASYNC_API.md) — bench JSON and
