@@ -4,7 +4,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 
 #include "support/jsonl.hpp"
@@ -82,6 +81,9 @@ void ArtifactStore::load_file() {
   if (config_.path.empty()) return;
   std::ifstream in(config_.path);
   if (!in.is_open()) return;  // fresh file: nothing to load, not an error
+  // Constructor context: uncontended, taken to satisfy the GUARDED_BY
+  // discipline on records_/order_ (insert_locked requires it).
+  support::WriterLock lock(mutex_);
   load_report_.attempted = true;
 
   std::string line;
@@ -168,7 +170,7 @@ void ArtifactStore::load_file() {
 
 std::optional<ArtifactStore::Fields> ArtifactStore::get(
     std::string_view ns, std::uint64_t key, std::uint64_t check) const {
-  std::shared_lock lock(mutex_);
+  support::ReaderLock lock(mutex_);
   gets_.fetch_add(1, std::memory_order_relaxed);
   const auto it = records_.find(map_key(ns, key));
   if (it == records_.end() || it->second.check != check) return std::nullopt;
@@ -202,7 +204,7 @@ void ArtifactStore::insert_locked(std::string_view ns, std::uint64_t key,
 
 void ArtifactStore::put(std::string_view ns, std::uint64_t key,
                         std::uint64_t check, Fields fields) {
-  std::unique_lock lock(mutex_);
+  support::WriterLock lock(mutex_);
   insert_locked(ns, key, check, std::move(fields));
 }
 
@@ -210,7 +212,7 @@ void ArtifactStore::for_each(
     std::string_view ns,
     const std::function<void(std::uint64_t, std::uint64_t, const Fields&)>&
         visit) const {
-  std::shared_lock lock(mutex_);
+  support::ReaderLock lock(mutex_);
   for (const auto& mk : order_) {
     const auto it = records_.find(mk);
     if (it == records_.end() || it->second.ns != ns) continue;
@@ -226,13 +228,13 @@ bool ArtifactStore::save() {
   // into the shared `<path>.tmp` and publish a garbled file. Readers and
   // writers of the in-memory map are unaffected — they only contend on
   // `mutex_` during the snapshot below.
-  std::lock_guard save_lock(save_mutex_);
+  support::MutexLock save_lock(save_mutex_);
 
   // Render the snapshot under the lock, write it outside: a slow disk never
   // blocks readers longer than the serialization itself.
   std::ostringstream out;
   {
-    std::unique_lock lock(mutex_);
+    support::WriterLock lock(mutex_);
     support::JsonObject header;
     header.field("magic", std::string(kMagic))
         .field("format", static_cast<std::int64_t>(kFormat))
@@ -259,39 +261,39 @@ bool ArtifactStore::save() {
   {
     std::ofstream file(temp, std::ios::trunc | std::ios::binary);
     if (!file.is_open()) {
-      std::unique_lock lock(mutex_);
+      support::WriterLock lock(mutex_);
       last_error_ = "cannot open temp file: " + temp;
       return false;
     }
     file << out.str();
     file.flush();
     if (!file.good()) {
-      std::unique_lock lock(mutex_);
+      support::WriterLock lock(mutex_);
       last_error_ = "write failed: " + temp;
       return false;
     }
   }
   if (std::rename(temp.c_str(), config_.path.c_str()) != 0) {
-    std::unique_lock lock(mutex_);
+    support::WriterLock lock(mutex_);
     last_error_ = "rename failed: " + temp + " -> " + config_.path;
     return false;
   }
   // Count only saves that actually published a file; a monitor reading
   // stats().saves > 0 may conclude persistence works.
   {
-    std::unique_lock lock(mutex_);
+    support::WriterLock lock(mutex_);
     ++saves_;
   }
   return true;
 }
 
 std::size_t ArtifactStore::size() const {
-  std::shared_lock lock(mutex_);
+  support::ReaderLock lock(mutex_);
   return records_.size();
 }
 
 ArtifactStoreStats ArtifactStore::stats() const {
-  std::shared_lock lock(mutex_);
+  support::ReaderLock lock(mutex_);
   ArtifactStoreStats stats;
   stats.records = records_.size();
   stats.gets = gets_.load(std::memory_order_relaxed);
@@ -303,7 +305,7 @@ ArtifactStoreStats ArtifactStore::stats() const {
 }
 
 std::string ArtifactStore::last_error() const {
-  std::shared_lock lock(mutex_);
+  support::ReaderLock lock(mutex_);
   return last_error_;
 }
 

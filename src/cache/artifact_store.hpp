@@ -5,12 +5,12 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "support/thread_annotations.hpp"
 
 namespace llm4vv::cache {
 
@@ -123,27 +123,28 @@ class ArtifactStore {
 
   static std::string map_key(std::string_view ns, std::uint64_t key);
 
-  void load_file();
-  /// Unlocked insert shared by load_file() and put().
+  void load_file() EXCLUDES(mutex_);
+  /// Insert shared by load_file() and put(); expects the writer lock held.
   void insert_locked(std::string_view ns, std::uint64_t key,
-                     std::uint64_t check, Fields fields);
+                     std::uint64_t check, Fields fields) REQUIRES(mutex_);
 
   ArtifactStoreConfig config_;
   StoreLoadReport load_report_;
 
-  mutable std::shared_mutex mutex_;
+  mutable support::SharedMutex mutex_;
   /// Serializes whole save() calls (snapshot + temp write + rename); see
   /// save() for why this cannot ride on `mutex_`.
-  std::mutex save_mutex_;
-  std::unordered_map<std::string, Record> records_;
-  std::deque<std::string> order_;  ///< insertion order for compaction
-  std::string last_error_;
+  support::Mutex save_mutex_;
+  std::unordered_map<std::string, Record> records_ GUARDED_BY(mutex_);
+  /// Insertion order for compaction.
+  std::deque<std::string> order_ GUARDED_BY(mutex_);
+  std::string last_error_ GUARDED_BY(mutex_);
 
   mutable std::atomic<std::uint64_t> gets_{0};
   mutable std::atomic<std::uint64_t> hits_{0};
-  std::uint64_t puts_ = 0;
-  std::uint64_t compactions_ = 0;
-  std::uint64_t saves_ = 0;
+  std::uint64_t puts_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t compactions_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t saves_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Field accessors shared by the store's client codecs (judge verdicts,

@@ -77,11 +77,13 @@ std::uint64_t CompileCache::key_for(
 }
 
 void CompileCache::warm_load() {
-  // Single-threaded (constructor); no lock needed.
+  // Constructor context: uncontended, the lock below is taken to satisfy
+  // the GUARDED_BY discipline on entries_/order_/stats_.
   config_.store->for_each(
       kNamespace,
       [this](std::uint64_t key, std::uint64_t check,
              const ArtifactStore::Fields& fields) {
+        support::MutexLock lock(mutex_);
         // Only records keyed under this driver's fingerprint belong here:
         // the check hash is the raw file identity hash, so re-deriving the
         // key filters other personas' records. The capacity check comes
@@ -103,7 +105,7 @@ void CompileCache::warm_load() {
 std::optional<toolchain::CompileResult> CompileCache::lookup(
     std::uint64_t identity_hash) const {
   const std::uint64_t key = key_for(identity_hash);
-  std::lock_guard lock(mutex_);
+  support::MutexLock lock(mutex_);
   const auto it = entries_.find(key);
   // The raw identity hash is the collision check: a mixed-key collision
   // between two distinct files degrades to a miss, never a wrong result
@@ -126,7 +128,7 @@ void CompileCache::insert(std::uint64_t identity_hash,
   toolchain::CompileResult stored = result;
   stored.cached = false;
   stored.persisted = false;
-  std::lock_guard lock(mutex_);
+  support::MutexLock lock(mutex_);
   if (!entries_.emplace(key, Entry{std::move(stored), identity_hash, false})
            .second) {
     return;
@@ -145,7 +147,7 @@ std::size_t CompileCache::persist() const {
   // own exclusive lock per put and may be shared with the judge.
   std::vector<std::pair<std::uint64_t, toolchain::CompileResult>> snapshot;
   {
-    std::lock_guard lock(mutex_);
+    support::MutexLock lock(mutex_);
     snapshot.reserve(entries_.size());
     for (const std::uint64_t key : order_) {
       const auto it = entries_.find(key);
@@ -162,7 +164,7 @@ std::size_t CompileCache::persist() const {
 }
 
 CompileCacheStats CompileCache::stats() const {
-  std::lock_guard lock(mutex_);
+  support::MutexLock lock(mutex_);
   return stats_;
 }
 

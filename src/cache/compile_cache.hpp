@@ -3,10 +3,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "cache/artifact_store.hpp"
+#include "support/thread_annotations.hpp"
 #include "toolchain/compiler.hpp"
 
 namespace llm4vv::cache {
@@ -81,15 +81,15 @@ class CompileCache {
   };
 
   std::uint64_t key_for(std::uint64_t content_hash) const noexcept;
-  void warm_load();
+  void warm_load() EXCLUDES(mutex_);
 
   CompileCacheConfig config_;
   std::uint64_t driver_fingerprint_ = 0;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
-  std::deque<std::uint64_t> order_;
-  mutable CompileCacheStats stats_;
+  mutable support::Mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_ GUARDED_BY(mutex_);
+  std::deque<std::uint64_t> order_ GUARDED_BY(mutex_);
+  mutable CompileCacheStats stats_ GUARDED_BY(mutex_);
 };
 
 /// Encode/decode one CompileResult as artifact-store fields (exposed for

@@ -1,11 +1,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -14,6 +12,7 @@
 #include "judge/prompt.hpp"
 #include "judge/verdict.hpp"
 #include "llm/client.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace llm4vv::judge {
 
@@ -241,11 +240,11 @@ class Llmj {
   /// of keys currently being computed (in-flight dedup). `done` is
   /// signalled whenever an in-flight key is published or abandoned.
   struct CacheShard {
-    std::mutex mutex;
-    std::condition_variable done;
-    std::unordered_map<std::uint64_t, CacheEntry> entries;
-    std::deque<std::uint64_t> order;
-    std::unordered_set<std::uint64_t> inflight;
+    support::Mutex mutex;
+    support::CondVar done;
+    std::unordered_map<std::uint64_t, CacheEntry> entries GUARDED_BY(mutex);
+    std::deque<std::uint64_t> order GUARDED_BY(mutex);
+    std::unordered_set<std::uint64_t> inflight GUARDED_BY(mutex);
   };
 
   /// Outcome of probing a key: served from the cache, claimed by this

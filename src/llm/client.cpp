@@ -25,7 +25,7 @@ bool params_equal(const GenerationParams& a,
 void fail_state(const std::shared_ptr<detail::CompletionState>& state,
                 const std::exception_ptr& error) {
   {
-    std::lock_guard lock(state->mutex);
+    support::MutexLock lock(state->mutex);
     state->error = error;
     state->done = true;
   }
@@ -135,7 +135,7 @@ const char* ClientStats::retry_latency_bucket_label(
 
 bool CompletionFuture::ready() const {
   if (state_ == nullptr) return false;
-  std::lock_guard lock(state_->mutex);
+  support::MutexLock lock(state_->mutex);
   return state_->done;
 }
 
@@ -143,32 +143,32 @@ void CompletionFuture::wait() const {
   if (state_ == nullptr) {
     throw std::logic_error("CompletionFuture::wait on an empty future");
   }
-  std::unique_lock lock(state_->mutex);
-  state_->cv.wait(lock, [this] { return state_->done; });
+  support::UniqueLock lock(state_->mutex);
+  while (!state_->done) state_->cv.wait(lock);
 }
 
 Completion CompletionFuture::get() const {
   wait();
-  std::lock_guard lock(state_->mutex);
+  support::MutexLock lock(state_->mutex);
   if (state_->error != nullptr) std::rethrow_exception(state_->error);
   return state_->value;
 }
 
 bool CompletionFuture::failed() const {
   wait();
-  std::lock_guard lock(state_->mutex);
+  support::MutexLock lock(state_->mutex);
   return state_->error != nullptr;
 }
 
 std::exception_ptr CompletionFuture::error() const {
   if (state_ == nullptr) return nullptr;
-  std::lock_guard lock(state_->mutex);
+  support::MutexLock lock(state_->mutex);
   return state_->done ? state_->error : nullptr;
 }
 
 std::size_t CompletionFuture::flush_size() const {
   if (state_ == nullptr) return 0;
-  std::lock_guard lock(state_->mutex);
+  support::MutexLock lock(state_->mutex);
   return state_->flush_size;
 }
 
@@ -198,7 +198,7 @@ ModelClient::ModelClient(std::shared_ptr<const LanguageModel> model,
 ModelClient::~ModelClient() {
   std::deque<PendingRequest> orphans;
   {
-    std::unique_lock lock(batch_mutex_);
+    support::UniqueLock lock(batch_mutex_);
     shutting_down_ = true;
     orphans.swap(pending_);
     // One broadcast wakes everyone parked on the batcher: the window
@@ -212,7 +212,7 @@ ModelClient::~ModelClient() {
     // the model, the slot state, and the stats, none of which may die
     // under them. Bounded: backoffs were just cancelled, so each flush
     // finishes after at most its current forward pass.
-    flush_done_.wait(lock, [this] { return active_flushes_ == 0; });
+    while (active_flushes_ != 0) flush_done_.wait(lock);
   }
   if (flusher_.joinable()) flusher_.join();
   if (!orphans.empty()) {
@@ -227,7 +227,7 @@ ModelClient::~ModelClient() {
 
 ModelClient::SlotLease::~SlotLease() {
   {
-    std::lock_guard lock(client.mutex_);
+    support::MutexLock lock(client.mutex_);
     client.in_flight_ -= slots;
   }
   // notify_all, not notify_one: wide flushes need several slots free at
@@ -238,11 +238,11 @@ ModelClient::SlotLease::~SlotLease() {
 }
 
 void ModelClient::acquire_slots(std::size_t slots) {
-  std::unique_lock lock(mutex_);
+  support::UniqueLock lock(mutex_);
   const std::uint64_t ticket = next_ticket_++;
-  slot_free_.wait(lock, [this, ticket, slots] {
-    return serving_ == ticket && in_flight_ + slots <= max_concurrency_;
-  });
+  while (!(serving_ == ticket && in_flight_ + slots <= max_concurrency_)) {
+    slot_free_.wait(lock);
+  }
   ++serving_;
   in_flight_ += slots;
   lock.unlock();
@@ -284,7 +284,7 @@ std::vector<ModelClient::PendingRequest> ModelClient::collect_group_locked() {
 
 bool ModelClient::breaker_admit() {
   if (!breaker_config_.enabled) return true;
-  std::lock_guard lock(breaker_mutex_);
+  support::MutexLock lock(breaker_mutex_);
   switch (breaker_state_) {
     case BreakerState::kClosed: return true;
     case BreakerState::kOpen: {
@@ -310,7 +310,7 @@ bool ModelClient::breaker_admit() {
 
 void ModelClient::breaker_record(bool success) {
   if (!breaker_config_.enabled) return;
-  std::lock_guard lock(breaker_mutex_);
+  support::MutexLock lock(breaker_mutex_);
   if (breaker_state_ == BreakerState::kHalfOpen) {
     breaker_probing_ = false;
     if (success) {
@@ -346,7 +346,7 @@ void ModelClient::breaker_record(bool success) {
 }
 
 BreakerState ModelClient::breaker_state() const {
-  std::lock_guard lock(breaker_mutex_);
+  support::MutexLock lock(breaker_mutex_);
   return breaker_state_;
 }
 
@@ -373,8 +373,10 @@ bool ModelClient::backoff_wait(std::uint32_t retry, const std::string& prompt,
   // Never sleep past the request's deadline: wake at the deadline and let
   // the caller's boundary check convert the expiry into a timeout.
   if (has_deadline && deadline < until) until = deadline;
-  std::unique_lock lock(batch_mutex_);
-  batch_cv_.wait_until(lock, until, [this] { return shutting_down_; });
+  support::UniqueLock lock(batch_mutex_);
+  while (!shutting_down_) {
+    if (batch_cv_.wait_until(lock, until) == std::cv_status::timeout) break;
+  }
   return !shutting_down_;
 }
 
@@ -519,7 +521,7 @@ void ModelClient::execute_flush(std::vector<PendingRequest>& group,
   // extra attempts of this same flush, not new formed batches, so the
   // occupancy histogram keeps summing to formed_batches.
   {
-    std::lock_guard lock(mutex_);
+    support::MutexLock lock(mutex_);
     ++stats_.formed_batches;
     switch (reason) {
       case FlushReason::kImmediate: ++stats_.flush_immediate; break;
@@ -549,7 +551,7 @@ void ModelClient::execute_flush(std::vector<PendingRequest>& group,
   }
 
   {
-    std::lock_guard lock(mutex_);
+    support::MutexLock lock(mutex_);
     stats_.batch_splits += tally.splits;
     stats_.breaker_rejected += tally.breaker_rejected;
     std::size_t served = 0;
@@ -593,7 +595,7 @@ void ModelClient::execute_flush(std::vector<PendingRequest>& group,
       continue;
     }
     {
-      std::lock_guard lock(state->mutex);
+      support::MutexLock lock(state->mutex);
       state->value = std::move(out.value);
       state->flush_size = out.pass_size;
       state->done = true;
@@ -613,7 +615,7 @@ std::vector<CompletionFuture> ModelClient::enqueue(
   std::vector<std::vector<PendingRequest>> flushes;
   FlushReason reason = FlushReason::kImmediate;
   {
-    std::unique_lock lock(batch_mutex_);
+    support::UniqueLock lock(batch_mutex_);
     if (shutting_down_) {
       const auto error = std::make_exception_ptr(ClientShutdownError(
           "ModelClient: submit during shutdown"));
@@ -648,9 +650,10 @@ std::vector<CompletionFuture> ModelClient::enqueue(
       } else if (batcher_.window_us > 0) {
         pushed = true;
         for (std::size_t i = 0; i < requests.size(); ++i) {
-          room_cv_.wait(lock, [this] {
-            return shutting_down_ || pending_.size() < batcher_.max_pending;
-          });
+          while (!(shutting_down_ ||
+                   pending_.size() < batcher_.max_pending)) {
+            room_cv_.wait(lock);
+          }
           if (shutting_down_) {
             const auto error = std::make_exception_ptr(ClientShutdownError(
                 "ModelClient: submit during shutdown"));
@@ -709,21 +712,28 @@ std::vector<CompletionFuture> ModelClient::enqueue(
   for (auto& group : flushes) {
     execute_flush(group, reason);
     {
-      std::lock_guard lock(batch_mutex_);
+      support::MutexLock lock(batch_mutex_);
       --active_flushes_;
+      // Broadcast UNDER the lock, deliberately: the destructor's drain
+      // loop wakes on this decrement, and with the broadcast outside the
+      // critical section it could observe active_flushes_ == 0 (via its
+      // own lock acquisition racing ahead), destroy the client, and free
+      // this condition variable while the broadcast was still touching
+      // it. Under the lock, the destructor cannot re-acquire until the
+      // broadcast has fully left the condvar. Caught by TSan; pinned by
+      // AsyncShutdownTest.InFlightFlushDrainsBeforeDestruction and
+      // InlineFlushNotifyCannotOutliveClient.
+      flush_done_.notify_all();
     }
-    flush_done_.notify_all();
   }
   return futures;
 }
 
 void ModelClient::flusher_main() {
   const auto window = std::chrono::microseconds(batcher_.window_us);
-  std::unique_lock lock(batch_mutex_);
+  support::UniqueLock lock(batch_mutex_);
   for (;;) {
-    batch_cv_.wait(lock, [this] {
-      return shutting_down_ || !pending_.empty();
-    });
+    while (!(shutting_down_ || !pending_.empty())) batch_cv_.wait(lock);
     if (shutting_down_) return;
     // Sleep until the oldest pending request's window expires; arrivals
     // and shutdown re-wake us (a full-triggered flush may also empty the
@@ -787,7 +797,7 @@ std::vector<Completion> ModelClient::complete_many(
 ClientStats ModelClient::stats() const {
   ClientStats snapshot;
   {
-    std::lock_guard lock(mutex_);
+    support::MutexLock lock(mutex_);
     snapshot = stats_;
   }
   snapshot.pending_high_water =
@@ -798,17 +808,17 @@ ClientStats ModelClient::stats() const {
 }
 
 std::size_t ModelClient::queue_depth() const {
-  std::lock_guard lock(mutex_);
+  support::MutexLock lock(mutex_);
   return static_cast<std::size_t>(next_ticket_ - serving_);
 }
 
 std::size_t ModelClient::pending_depth() const {
-  std::lock_guard lock(batch_mutex_);
+  support::MutexLock lock(batch_mutex_);
   return pending_.size();
 }
 
 std::vector<Transcript> ModelClient::transcripts() const {
-  std::lock_guard lock(mutex_);
+  support::MutexLock lock(mutex_);
   return std::vector<Transcript>(transcripts_.begin(), transcripts_.end());
 }
 

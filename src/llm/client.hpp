@@ -3,16 +3,15 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "llm/faults.hpp"
 #include "llm/model.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace llm4vv::llm {
 
@@ -201,13 +200,13 @@ namespace detail {
 /// Shared state behind a CompletionFuture; fulfilled exactly once by the
 /// flush that served it (or failed with its exception / at shutdown).
 struct CompletionState {
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool done = false;
-  Completion value;
-  std::exception_ptr error;
+  support::Mutex mutex;
+  support::CondVar cv;
+  bool done GUARDED_BY(mutex) = false;
+  Completion value GUARDED_BY(mutex);
+  std::exception_ptr error GUARDED_BY(mutex);
   /// Size of the forward pass that served this completion (0 on failure).
-  std::size_t flush_size = 0;
+  std::size_t flush_size GUARDED_BY(mutex) = 0;
 };
 }  // namespace detail
 
@@ -377,20 +376,20 @@ class ModelClient {
 
   /// Take a FIFO ticket and block until at the head of the queue with
   /// `slots` slots free; admits the caller and passes the head on.
-  void acquire_slots(std::size_t slots);
+  void acquire_slots(std::size_t slots) EXCLUDES(mutex_);
 
   /// Enqueue requests and run whatever flush policy triggers. Returns the
   /// futures in request order.
-  std::vector<CompletionFuture> enqueue(std::vector<PendingRequest> requests);
+  std::vector<CompletionFuture> enqueue(std::vector<PendingRequest> requests)
+      EXCLUDES(batch_mutex_);
 
   /// Length of the FIFO head run of equal-params pending requests (capped
-  /// at max_batch) — the requests one flush could actually carry. Caller
-  /// holds batch_mutex_.
-  std::size_t head_run_locked() const;
+  /// at max_batch) — the requests one flush could actually carry.
+  std::size_t head_run_locked() const REQUIRES(batch_mutex_);
 
   /// Pop the longest FIFO run of equal-params pending requests (capped at
-  /// max_batch). Caller holds batch_mutex_.
-  std::vector<PendingRequest> collect_group_locked();
+  /// max_batch).
+  std::vector<PendingRequest> collect_group_locked() REQUIRES(batch_mutex_);
 
   /// Per-request result of a flush's resilient resolution (defined in the
   /// .cpp; the header only passes references around).
@@ -401,7 +400,8 @@ class ModelClient {
   /// Run one (possibly retried/split) forward-pass resolution for `group`
   /// and fulfill its futures. Never throws: every failure is stored into
   /// the affected futures instead.
-  void execute_flush(std::vector<PendingRequest>& group, FlushReason reason);
+  void execute_flush(std::vector<PendingRequest>& group, FlushReason reason)
+      EXCLUDES(batch_mutex_, mutex_);
 
   /// Resolve `indices` of `group` (requests sharing their attempt
   /// history), starting at 0-based `attempt`: run a pass, and on failure
@@ -420,15 +420,15 @@ class ModelClient {
   /// shutting down (the caller then cancels the retry).
   bool backoff_wait(std::uint32_t retry, const std::string& prompt,
                     std::chrono::steady_clock::time_point deadline,
-                    bool has_deadline);
+                    bool has_deadline) EXCLUDES(batch_mutex_);
 
   /// Breaker admission for one pass attempt; false = fail fast.
-  bool breaker_admit();
+  bool breaker_admit() EXCLUDES(breaker_mutex_);
   /// Feed one pass outcome into the breaker window.
-  void breaker_record(bool success);
+  void breaker_record(bool success) EXCLUDES(breaker_mutex_);
 
   /// Window-flush thread body (only started when window_us > 0).
-  void flusher_main();
+  void flusher_main() EXCLUDES(batch_mutex_);
 
   std::shared_ptr<const LanguageModel> model_;
   const std::size_t max_concurrency_;
@@ -437,33 +437,33 @@ class ModelClient {
   const RetryPolicy retry_;
   const CircuitBreakerConfig breaker_config_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable slot_free_;
-  std::size_t in_flight_ = 0;
+  mutable support::Mutex mutex_;
+  support::CondVar slot_free_;
+  std::size_t in_flight_ GUARDED_BY(mutex_) = 0;
   /// FIFO ticket discipline: `next_ticket_` is taken on arrival,
   /// `serving_` advances when the head finishes acquiring. A caller waits
   /// until it *is* the head AND its slots fit — so wide waiters cannot be
   /// overtaken forever, at the price of head-of-line blocking (bounded:
   /// every holder eventually releases).
-  std::uint64_t next_ticket_ = 0;
-  std::uint64_t serving_ = 0;
-  ClientStats stats_;
-  std::deque<Transcript> transcripts_;
+  std::uint64_t next_ticket_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t serving_ GUARDED_BY(mutex_) = 0;
+  ClientStats stats_ GUARDED_BY(mutex_);
+  std::deque<Transcript> transcripts_ GUARDED_BY(mutex_);
 
   /// Adaptive-batcher state, under its own lock so submissions never
   /// contend with the stats/slot lock.
-  mutable std::mutex batch_mutex_;
-  std::condition_variable batch_cv_;
-  std::deque<PendingRequest> pending_;
+  mutable support::Mutex batch_mutex_;
+  support::CondVar batch_cv_;
+  std::deque<PendingRequest> pending_ GUARDED_BY(batch_mutex_);
   /// Flushes currently executing on caller threads; the destructor waits
   /// for them so an in-flight pass can never touch a dead client.
-  std::size_t active_flushes_ = 0;
-  std::condition_variable flush_done_;
-  bool shutting_down_ = false;
+  std::size_t active_flushes_ GUARDED_BY(batch_mutex_) = 0;
+  support::CondVar flush_done_;
+  bool shutting_down_ GUARDED_BY(batch_mutex_) = false;
   std::atomic<std::size_t> pending_high_water_{0};
   /// Wakes OverflowPolicy::kBlock submitters when the pending queue
   /// drains below max_pending (notified wherever pending_ shrinks).
-  std::condition_variable room_cv_;
+  support::CondVar room_cv_;
   /// Shed/breaker counters live outside stats_ so the enqueue path (which
   /// holds batch_mutex_) and the breaker (its own lock) never have to
   /// take the stats lock; stats() folds them into the snapshot.
@@ -472,12 +472,16 @@ class ModelClient {
 
   /// Circuit-breaker state, under its own lock (pass outcomes are
   /// recorded from flush threads; breaker_state() reads from anywhere).
-  mutable std::mutex breaker_mutex_;
-  BreakerState breaker_state_ = BreakerState::kClosed;
-  std::deque<bool> breaker_window_;  ///< recent pass outcomes (true = ok)
-  std::size_t breaker_failures_ = 0;
-  std::chrono::steady_clock::time_point breaker_opened_at_{};
-  bool breaker_probing_ = false;  ///< a half-open probe pass is in flight
+  mutable support::Mutex breaker_mutex_;
+  BreakerState breaker_state_ GUARDED_BY(breaker_mutex_) =
+      BreakerState::kClosed;
+  /// Recent pass outcomes (true = ok).
+  std::deque<bool> breaker_window_ GUARDED_BY(breaker_mutex_);
+  std::size_t breaker_failures_ GUARDED_BY(breaker_mutex_) = 0;
+  std::chrono::steady_clock::time_point breaker_opened_at_
+      GUARDED_BY(breaker_mutex_){};
+  /// A half-open probe pass is in flight.
+  bool breaker_probing_ GUARDED_BY(breaker_mutex_) = false;
 
   std::thread flusher_;
 };

@@ -134,7 +134,13 @@ struct FaultStats {
 /// outcome of decide() depends only on (prompt hash, attempt, seed), so a
 /// run with a given plan is exactly reproducible, and — because the fault
 /// draw is independent of the judgment RNG — completions that do get
-/// served are byte-identical to a fault-free run. Thread-safe.
+/// served are byte-identical to a fault-free run.
+///
+/// Thread-safe without a lock: decide() is a pure function of its
+/// arguments plus the immutable config, and the counters are relaxed
+/// atomics — so there is nothing for GUARDED_BY to guard and the class
+/// carries no thread-safety annotations by design (the concurrency lint
+/// only polices mutex/cv members, of which this has none).
 class FaultPlan {
  public:
   explicit FaultPlan(FaultPlanConfig config = {}) : config_(config) {}

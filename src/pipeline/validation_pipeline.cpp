@@ -111,7 +111,10 @@ PipelineResult ValidationPipeline::run(
 
   // Per-worker accumulators: each worker owns one slot and writes it once
   // at exit, so the hot loop touches no shared counter and takes no lock
-  // (the old StageCounter mutex and gpu_mutex are gone).
+  // (the old StageCounter mutex and gpu_mutex are gone). With no mutex
+  // there is nothing here for the thread-safety analysis to check; the
+  // cross-thread handoffs all ride on the annotated MpmcQueue, and the
+  // join() barrier below publishes the locals.
   std::vector<CompileLocal> compile_locals(config_.compile_workers);
   std::vector<StageStats> execute_locals(config_.execute_workers);
   std::vector<JudgeLocal> judge_locals(config_.judge_workers);

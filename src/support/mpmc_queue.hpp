@@ -1,17 +1,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace llm4vv::support {
 
@@ -70,7 +70,7 @@ class MpmcQueue {
       if (closed_.load(std::memory_order_acquire)) return false;
       for (std::size_t i = 0; i < shard_count_; ++i) {
         Shard& shard = shards_[(home + i) % shard_count_];
-        std::unique_lock lock(shard.mutex);
+        UniqueLock lock(shard.mutex);
         // Re-checked under the lock: close() sweeps every shard mutex
         // after setting the flag, so a push that enqueued before the
         // sweep is drained and one that arrives after it fails — exactly
@@ -108,7 +108,7 @@ class MpmcQueue {
       for (std::size_t i = 0; i < shard_count_ && pushed < items.size();
            ++i) {
         Shard& shard = shards_[(home + i) % shard_count_];
-        std::lock_guard lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         if (closed_.load(std::memory_order_acquire)) {
           closed_seen = true;  // see push(): close/push linearization
           break;
@@ -139,7 +139,7 @@ class MpmcQueue {
     const std::size_t home = home_shard();
     for (std::size_t i = 0; i < shard_count_; ++i) {
       Shard& shard = shards_[(home + i) % shard_count_];
-      std::unique_lock lock(shard.mutex);
+      UniqueLock lock(shard.mutex);
       if (closed_.load(std::memory_order_acquire)) return false;
       if (shard.items.size() >= shard_capacity_) continue;
       shard.items.push_back(std::move(item));
@@ -158,7 +158,7 @@ class MpmcQueue {
     for (;;) {
       for (std::size_t i = 0; i < shard_count_; ++i) {
         Shard& shard = shards_[(home + i) % shard_count_];
-        std::unique_lock lock(shard.mutex);
+        UniqueLock lock(shard.mutex);
         if (shard.items.empty()) continue;
         T item = std::move(shard.items.front());
         shard.items.pop_front();
@@ -188,7 +188,7 @@ class MpmcQueue {
       bool stole = false;
       for (std::size_t i = 0; i < shard_count_ && popped < max; ++i) {
         Shard& shard = shards_[(home + i) % shard_count_];
-        std::lock_guard lock(shard.mutex);
+        MutexLock lock(shard.mutex);
         std::size_t from_shard = 0;
         while (popped < max && !shard.items.empty()) {
           out.push_back(std::move(shard.items.front()));
@@ -215,7 +215,7 @@ class MpmcQueue {
     const std::size_t home = home_shard();
     for (std::size_t i = 0; i < shard_count_; ++i) {
       Shard& shard = shards_[(home + i) % shard_count_];
-      std::unique_lock lock(shard.mutex);
+      UniqueLock lock(shard.mutex);
       if (shard.items.empty()) continue;
       T item = std::move(shard.items.front());
       shard.items.pop_front();
@@ -239,11 +239,11 @@ class MpmcQueue {
     // single-mutex queue's guarantee that no push succeeds after close()
     // returns.
     for (Shard& shard : shards_) {
-      std::lock_guard shard_lock(shard.mutex);
+      MutexLock shard_lock(shard.mutex);
     }
     // Taking the gate lock before broadcasting pairs with the waiters'
     // predicate check, so nobody can sleep through the close.
-    std::lock_guard lock(gate_mutex_);
+    MutexLock lock(gate_mutex_);
     not_empty_.notify_all();
     not_full_.notify_all();
   }
@@ -272,8 +272,8 @@ class MpmcQueue {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
-    std::deque<T> items;
+    mutable Mutex mutex;
+    std::deque<T> items GUARDED_BY(mutex);
   };
 
   std::size_t home_shard() const noexcept {
@@ -293,21 +293,21 @@ class MpmcQueue {
   /// re-scan after waking; the predicate only uses atomics, so it is safe
   /// under the gate lock.
   void wait_for_space() {
-    std::unique_lock gate(gate_mutex_);
+    UniqueLock gate(gate_mutex_);
     if (closed_.load(std::memory_order_acquire)) return;
     if (size_.load() < total_capacity()) return;
     push_waiters_.fetch_add(1);
-    not_full_.wait(gate, [this] {
-      return closed_.load(std::memory_order_acquire) ||
-             size_.load() < total_capacity();
-    });
+    while (!(closed_.load(std::memory_order_acquire) ||
+             size_.load() < total_capacity())) {
+      not_full_.wait(gate);
+    }
     push_waiters_.fetch_sub(1);
   }
 
   /// Sleep until items may be available. Returns false when the queue is
   /// closed and drained (end-of-stream); true means "re-scan".
   bool wait_for_items() {
-    std::unique_lock gate(gate_mutex_);
+    UniqueLock gate(gate_mutex_);
     for (;;) {
       if (size_.load() > 0) return true;
       if (closed_.load(std::memory_order_acquire)) {
@@ -318,15 +318,15 @@ class MpmcQueue {
         // under the lock), so size_ == 0 really is end-of-stream.
         gate.unlock();
         for (Shard& shard : shards_) {
-          std::lock_guard shard_lock(shard.mutex);
+          MutexLock shard_lock(shard.mutex);
         }
         return size_.load() > 0;
       }
       pop_waiters_.fetch_add(1);
-      not_empty_.wait(gate, [this] {
-        return closed_.load(std::memory_order_acquire) ||
-               size_.load() > 0;
-      });
+      while (!(closed_.load(std::memory_order_acquire) ||
+               size_.load() > 0)) {
+        not_empty_.wait(gate);
+      }
       pop_waiters_.fetch_sub(1);
     }
   }
@@ -337,7 +337,7 @@ class MpmcQueue {
   /// waiter that just failed its predicate check but has not yet slept.
   void wake_consumers(std::size_t n) {
     if (pop_waiters_.load() == 0) return;
-    { std::lock_guard lock(gate_mutex_); }
+    { MutexLock lock(gate_mutex_); }
     if (n == 1) {
       not_empty_.notify_one();
     } else {
@@ -347,7 +347,7 @@ class MpmcQueue {
 
   void wake_producers(std::size_t n) {
     if (push_waiters_.load() == 0) return;
-    { std::lock_guard lock(gate_mutex_); }
+    { MutexLock lock(gate_mutex_); }
     if (n == 1) {
       not_full_.notify_one();
     } else {
@@ -364,9 +364,9 @@ class MpmcQueue {
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<int> pop_waiters_{0};
   std::atomic<int> push_waiters_{0};
-  mutable std::mutex gate_mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
+  mutable Mutex gate_mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
 };
 
 }  // namespace llm4vv::support

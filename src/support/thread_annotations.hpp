@@ -1,0 +1,227 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+/// Clang Thread Safety Analysis (TSA) macros plus annotated drop-in
+/// wrappers for the standard synchronization primitives.
+///
+/// Why wrappers and not bare attributes on std::mutex members: TSA only
+/// tracks *capability types* — a `guarded_by(mu)` annotation is rejected
+/// (-Wthread-safety-attributes) unless `mu`'s type carries the
+/// `capability` attribute, and libstdc++'s std::mutex / std::lock_guard /
+/// std::unique_lock carry none. So the concurrency substrate declares its
+/// locks as support::Mutex / support::SharedMutex and takes them through
+/// support::MutexLock / support::UniqueLock / Reader-/WriterLock, which
+/// are annotated capability and scoped-capability types forwarding
+/// straight to the standard primitives (zero-overhead under -O: every
+/// member is a one-line inline forward). Off Clang every macro expands to
+/// nothing and the wrappers are plain std::mutex et al. in a coat.
+///
+/// Conventions (enforced by tools/lint_concurrency.sh and the CI
+/// `-Wthread-safety -Werror=thread-safety` leg; see
+/// docs/STATIC_ANALYSIS.md):
+///  - every lock-protected member is declared GUARDED_BY(its mutex);
+///  - helpers that expect the caller to hold a lock are _locked-suffixed
+///    and annotated REQUIRES(mutex);
+///  - condition-variable predicates that read guarded state are written
+///    as explicit `while (!pred) cv.wait(lock);` loops in the locked
+///    scope — TSA analyzes lambda bodies as separate functions with no
+///    capability context, so a predicate lambda would warn spuriously;
+///  - NO_THREAD_SAFETY_ANALYSIS is a last resort and must carry a comment
+///    explaining why the analysis cannot see the invariant.
+#if defined(__clang__) && defined(__has_attribute)
+#define LLM4VV_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define LLM4VV_THREAD_ANNOTATION_IMPL(x)  // no-op off Clang
+#endif
+
+/// Type declares a capability (a lock).
+#define CAPABILITY(x) LLM4VV_THREAD_ANNOTATION_IMPL(capability(x))
+/// Type is an RAII object acquiring a capability for its lifetime.
+#define SCOPED_CAPABILITY LLM4VV_THREAD_ANNOTATION_IMPL(scoped_lockable)
+/// Member may only be read/written while holding the capability.
+#define GUARDED_BY(x) LLM4VV_THREAD_ANNOTATION_IMPL(guarded_by(x))
+/// Pointee (not the pointer) is protected by the capability.
+#define PT_GUARDED_BY(x) LLM4VV_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+/// Function requires the capability held on entry (and does not release).
+#define REQUIRES(...) \
+  LLM4VV_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  LLM4VV_THREAD_ANNOTATION_IMPL(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the capability (held on exit, not on entry).
+#define ACQUIRE(...) \
+  LLM4VV_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  LLM4VV_THREAD_ANNOTATION_IMPL(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry, not on exit).
+#define RELEASE(...) \
+  LLM4VV_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  LLM4VV_THREAD_ANNOTATION_IMPL(release_shared_capability(__VA_ARGS__))
+/// Releases a capability held in either mode (scoped-lock destructors).
+#define RELEASE_GENERIC(...) \
+  LLM4VV_THREAD_ANNOTATION_IMPL(release_generic_capability(__VA_ARGS__))
+/// Function tries to acquire; first argument is the success return value.
+#define TRY_ACQUIRE(...) \
+  LLM4VV_THREAD_ANNOTATION_IMPL(try_acquire_capability(__VA_ARGS__))
+/// Function must NOT be called with the capability held (deadlock guard).
+#define EXCLUDES(...) LLM4VV_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+/// Runtime assertion that the capability is held.
+#define ASSERT_CAPABILITY(x) \
+  LLM4VV_THREAD_ANNOTATION_IMPL(assert_capability(x))
+/// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) LLM4VV_THREAD_ANNOTATION_IMPL(lock_returned(x))
+/// Opt this function out of the analysis (comment why, always).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  LLM4VV_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+namespace llm4vv::support {
+
+class CondVar;
+class UniqueLock;
+
+/// std::mutex with the TSA capability attribute. Lock it through
+/// MutexLock / UniqueLock; the raw lock()/unlock() exist for completeness
+/// and for code the analysis cannot express.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class UniqueLock;
+  std::mutex mutex_;
+};
+
+/// std::shared_mutex with the TSA capability attribute. Take it through
+/// WriterLock (exclusive) or ReaderLock (shared).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+  void lock_shared() ACQUIRE_SHARED() { mutex_.lock_shared(); }
+  void unlock_shared() RELEASE_SHARED() { mutex_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mutex_;
+};
+
+/// std::lock_guard equivalent: exclusive, held for the full scope.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// std::unique_lock equivalent: exclusive, re-lockable, and the handle
+/// condition variables wait on. The destructor releases only if held
+/// (std::unique_lock semantics; TSA tracks the scoped state through the
+/// annotated lock()/unlock()).
+class SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mutex) ACQUIRE(mutex) : lock_(mutex.mutex_) {}
+  ~UniqueLock() RELEASE() = default;
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() ACQUIRE() { lock_.lock(); }
+  void unlock() RELEASE() { lock_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Exclusive scope on a SharedMutex (std::unique_lock<std::shared_mutex>).
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mutex) ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~WriterLock() RELEASE() { mutex_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Shared scope on a SharedMutex (std::shared_lock). The destructor uses
+/// the generic release form, which is how TSA spells "release whatever
+/// mode this scope holds".
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mutex) ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~ReaderLock() RELEASE_GENERIC() { mutex_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// std::condition_variable over support::Mutex / UniqueLock.
+///
+/// The predicate overloads are intentionally absent: a predicate lambda
+/// reading GUARDED_BY members would be analyzed out of context and warn.
+/// Write the loop out — `while (!pred) cv.wait(lock);` — in the locked
+/// scope instead; predicates over atomics may of course keep any shape.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically release `lock`, sleep, and reacquire before returning —
+  /// the capability is held on entry and on exit, which is exactly what
+  /// the (empty) annotation set tells the analysis.
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace llm4vv::support

@@ -21,12 +21,12 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::post(std::function<void()> task) {
   {
-    std::lock_guard lock(idle_mutex_);
+    MutexLock lock(idle_mutex_);
     ++in_flight_;
   }
   if (!tasks_.push(std::move(task))) {
     {
-      std::lock_guard lock(idle_mutex_);
+      MutexLock lock(idle_mutex_);
       --in_flight_;
     }
     idle_cv_.notify_all();
@@ -35,8 +35,8 @@ void ThreadPool::post(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(idle_mutex_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  UniqueLock lock(idle_mutex_);
+  while (in_flight_ != 0) idle_cv_.wait(lock);
 }
 
 void ThreadPool::worker_loop() {
@@ -45,7 +45,7 @@ void ThreadPool::worker_loop() {
     if (!task) return;  // closed and drained
     (*task)();
     {
-      std::lock_guard lock(idle_mutex_);
+      MutexLock lock(idle_mutex_);
       --in_flight_;
     }
     idle_cv_.notify_all();

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "support/mpmc_queue.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace llm4vv::support {
 
@@ -55,9 +56,9 @@ class ThreadPool {
 
   MpmcQueue<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
-  mutable std::mutex idle_mutex_;
-  std::condition_variable idle_cv_;
-  std::size_t in_flight_ = 0;  // queued + executing tasks
+  mutable Mutex idle_mutex_;
+  CondVar idle_cv_;
+  std::size_t in_flight_ GUARDED_BY(idle_mutex_) = 0;  // queued + executing
 };
 
 }  // namespace llm4vv::support

@@ -351,6 +351,31 @@ TEST(AsyncShutdownTest, InFlightFlushDrainsBeforeDestruction) {
   }
 }
 
+TEST(AsyncShutdownTest, InlineFlushNotifyCannotOutliveClient) {
+  // Regression pin (TSan) for the shutdown handshake: the inline flush
+  // that drops active_flushes_ to zero must broadcast flush_done_ while
+  // batch_mutex_ is still held. Broadcast-after-unlock let the destructor
+  // wake on the decrement, observe zero, finish, and free the condition
+  // variable while the flushing thread was still inside the broadcast —
+  // a use-after-free visible under -fsanitize=thread. Hammer the window:
+  // repeated rounds of an inline full-trigger flush racing destruction,
+  // with the gate released only once the destructor is already running.
+  const auto prompt = sample_prompts(1)[0];
+  for (int round = 0; round < 32; ++round) {
+    auto model = std::make_shared<const testutil::GatedModel>();
+    BatcherConfig batcher;
+    batcher.max_batch = 1;  // every submit flushes inline on the caller
+    batcher.window_us = 60ull * 1000 * 1000;
+    auto client = std::make_unique<ModelClient>(model, 1, 0, batcher);
+    std::thread submitter([&] { (void)client->submit(prompt); });
+    model->wait_for_entry();
+    std::thread destroyer([&] { client.reset(); });
+    model->release();
+    submitter.join();
+    destroyer.join();
+  }
+}
+
 TEST(AsyncShutdownTest, SubmitAfterShutdownBeginsFailsCleanly) {
   // Covered indirectly by the stress above; here the deterministic shape:
   // a client destroyed with nothing pending accepts no further traffic
@@ -396,13 +421,20 @@ TEST(AsyncShutdownTest, DestroyMidBackoffCancelsTheRetry) {
 
   auto client = std::make_unique<ModelClient>(model, 1, 0, BatcherConfig{},
                                               retry);
+  // The submitter goes through a raw pointer captured before either thread
+  // starts: the relaxed `calls` spin below carries no happens-before, so a
+  // submitter-side read of the unique_ptr cell itself would race the
+  // destroyer's reset() of that cell (TSan-caught). The ModelClient
+  // object's own shutdown handshake is what this test exercises; the
+  // pointer cell must stay single-owner.
+  ModelClient* const raw_client = client.get();
   CompletionFuture future;
   std::mutex future_mutex;
   // window_us == 0: the submitter runs the flush inline, so once the model
   // has been called the submitter thread is heading into (or already
   // parked in) the first 10 s backoff.
   std::thread submitter([&] {
-    auto submitted = client->submit(sample_prompts(1)[0]);
+    auto submitted = raw_client->submit(sample_prompts(1)[0]);
     std::lock_guard lock(future_mutex);
     future = std::move(submitted);
   });

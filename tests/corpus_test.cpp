@@ -61,10 +61,12 @@ std::vector<ValidityCase> validity_cases() {
 INSTANTIATE_TEST_SUITE_P(
     AllTemplatesAllLanguages, TemplateValidityTest,
     ::testing::ValuesIn(validity_cases()),
-    [](const ::testing::TestParamInfo<ValidityCase>& info) {
-      std::string name = info.param.template_name;
-      name += info.param.flavor == Flavor::kOpenACC ? "_acc" : "_omp";
-      name += frontend::language_extension(info.param.language);
+    // Not `info`: INSTANTIATE_TEST_SUITE_P expands the lambda inside a
+    // generated function whose own parameter is named `info` (-Wshadow).
+    [](const ::testing::TestParamInfo<ValidityCase>& param_info) {
+      std::string name = param_info.param.template_name;
+      name += param_info.param.flavor == Flavor::kOpenACC ? "_acc" : "_omp";
+      name += frontend::language_extension(param_info.param.language);
       for (char& c : name) {
         if (c == '.') c = '_';
       }

@@ -345,9 +345,11 @@ std::vector<TemplateCase> all_template_cases() {
 INSTANTIATE_TEST_SUITE_P(
     AllTemplates, TemplateDirectiveTest,
     ::testing::ValuesIn(all_template_cases()),
-    [](const ::testing::TestParamInfo<TemplateCase>& info) {
-      return info.param.template_name + "_" +
-             (info.param.flavor == Flavor::kOpenACC ? "acc" : "omp");
+    // Not `info`: INSTANTIATE_TEST_SUITE_P expands the lambda inside a
+    // generated function whose own parameter is named `info` (-Wshadow).
+    [](const ::testing::TestParamInfo<TemplateCase>& param_info) {
+      return param_info.param.template_name + "_" +
+             (param_info.param.flavor == Flavor::kOpenACC ? "acc" : "omp");
     });
 
 }  // namespace
