@@ -1,0 +1,145 @@
+// Observability overhead bench (docs/OBSERVABILITY.md's budget):
+//   BM_PipelineTraced/obs:0  instrumented pipeline, registry and tracer
+//                            detached — every metric/span site is a null
+//                            branch. This is the configuration everyone
+//                            pays.
+//   BM_PipelineTraced/obs:1  metrics registry attached (sharded counter
+//                            cells on the hot path, probes at scrape).
+//   BM_PipelineTraced/obs:2  registry + span tracer attached — the full
+//                            tracing-on cost, recorded in BENCH_obs.json.
+// Plus microbenches for the primitives: a sharded counter inc, the null
+// (detached) handle branch, and one full ObsSpan record. The <2%
+// tracing-off budget is gated through the microbench ratio (detached inc
+// must stay well under an attached one — the null early-out is the whole
+// disabled-cost story) and noise-free invariants (sim_gpu_s_cold equal
+// across modes), not through wall-clock deltas between the separately
+// timed pipeline modes, which scheduler noise dominates at this scale —
+// see run_benchmarks.sh.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "core/llm4vv.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace llm4vv;
+
+std::vector<frontend::SourceFile> make_batch(std::size_t size,
+                                             int invalid_tenths) {
+  const std::size_t invalid =
+      size * static_cast<std::size_t>(invalid_tenths) / 10;
+  corpus::GeneratorConfig gen;
+  gen.flavor = frontend::Flavor::kOpenACC;
+  gen.count = size + 32;
+  gen.seed = 1234;
+  const auto suite = corpus::generate_suite(gen);
+
+  probing::ProbingConfig probe;
+  probe.issue_counts = {invalid / 3, invalid / 3,
+                        invalid - 2 * (invalid / 3), 0, 0, size - invalid};
+  probe.seed = 77;
+  const auto probed = probing::probe_suite(suite, probe);
+
+  std::vector<frontend::SourceFile> files;
+  files.reserve(probed.files.size());
+  for (const auto& f : probed.files) files.push_back(f.file);
+  return files;
+}
+
+void BM_PipelineTraced(benchmark::State& state) {
+  const int obs_mode = static_cast<int>(state.range(0));
+  const auto files = make_batch(120, 3);
+  auto client = core::make_simulated_client(2);
+  // Judge cache on: after the first iteration the model cost collapses and
+  // wall time is dominated by the stages the instrumentation actually sits
+  // in (compile, execute, queues, cache-hit judging) — the worst case for
+  // relative overhead, which is what the gate must bound.
+  auto judge = std::make_shared<const judge::Llmj>(
+      client, llm::PromptStyle::kAgentDirect);
+  pipeline::PipelineConfig config;
+  config.mode = pipeline::PipelineMode::kRecordAll;
+  config.compile_workers = 2;
+  config.execute_workers = 2;
+  config.judge_workers = 2;
+  config.judge_batch_size = 8;
+  std::shared_ptr<obs::Registry> registry;
+  std::shared_ptr<obs::Tracer> tracer;
+  if (obs_mode >= 1) {
+    registry = std::make_shared<obs::Registry>();
+    config.registry = registry;
+  }
+  if (obs_mode >= 2) {
+    tracer = std::make_shared<obs::Tracer>();
+    config.trace = tracer;
+    client->set_tracer(tracer);
+  }
+  const pipeline::ValidationPipeline pipe(
+      toolchain::CompilerDriver(toolchain::nvc_persona()),
+      toolchain::Executor(), judge, config);
+  double cold_gpu_seconds = 0.0;
+  std::size_t metric_samples = 0;
+  for (auto _ : state) {
+    const auto result = pipe.run(files);
+    // Only the cold run pays the model (the judge memo cache serves warm
+    // iterations), so keep the max as the corpus fingerprint.
+    cold_gpu_seconds = std::max(cold_gpu_seconds, result.judge_gpu_seconds);
+    metric_samples = result.metrics.size();
+    benchmark::DoNotOptimize(result.records.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * files.size()));
+  state.counters["sim_gpu_s_cold"] = cold_gpu_seconds;
+  state.counters["metric_samples"] = static_cast<double>(metric_samples);
+  if (tracer != nullptr) {
+    // Rings are bounded; count drops so spans_per_run stays honest even if
+    // a long full run wraps them.
+    state.counters["spans_per_run"] =
+        static_cast<double>(tracer->collect().size() + tracer->dropped()) /
+        static_cast<double>(state.iterations());
+  }
+}
+BENCHMARK(BM_PipelineTraced)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgNames({"obs"});
+
+void BM_CounterInc(benchmark::State& state) {
+  obs::Registry registry;
+  const obs::Counter counter = registry.counter("bench.hot");
+  for (auto _ : state) {
+    counter.inc();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_CounterIncDetached(benchmark::State& state) {
+  const obs::Counter counter;  // null handle: the disabled-path branch
+  for (auto _ : state) {
+    counter.inc();
+    benchmark::DoNotOptimize(&counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CounterIncDetached);
+
+void BM_SpanRecord(benchmark::State& state) {
+  obs::Tracer tracer;
+  std::uint64_t trace_id = 0;
+  for (auto _ : state) {
+    obs::ObsSpan span(&tracer, obs::SpanKind::kExecute, ++trace_id);
+    span.set_arg(1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["dropped"] = static_cast<double>(tracer.dropped());
+}
+BENCHMARK(BM_SpanRecord);
+
+}  // namespace
+
+BENCHMARK_MAIN();

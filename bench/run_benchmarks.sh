@@ -13,6 +13,10 @@
 #   bench/BENCH_faults.json     - resilience sweep: goodput/success rate at
 #                                 5%/20% seeded transient faults with retries
 #                                 off/on, plus p99 added latency per request
+#   bench/BENCH_obs.json        - observability overhead: detached vs
+#                                 registry vs registry+tracer pipeline wall
+#                                 time, plus counter-inc / span-record
+#                                 microbenches (see docs/OBSERVABILITY.md)
 #
 # Usage: bench/run_benchmarks.sh [build-dir]
 #   BENCH_MIN_TIME=0.01s bench/run_benchmarks.sh   # quick smoke run
@@ -55,6 +59,7 @@ run_bench perf_pipeline "${script_dir}/BENCH_pipeline.json"
 run_bench perf_batcher "${script_dir}/BENCH_batcher.json"
 run_bench perf_vm "${script_dir}/BENCH_vm.json"
 run_bench perf_faults "${script_dir}/BENCH_faults.json"
+run_bench perf_obs "${script_dir}/BENCH_obs.json"
 
 # Warm-start persistence check: run perf_cache twice against ONE cache
 # file. The first invocation starts cold (the file is deleted here) and
@@ -303,4 +308,67 @@ if command -v jq >/dev/null 2>&1; then
   }
   echo "resilience OK (20% faults + retries >= 95% success, beats" \
        "retries-off; p99 added latency nonzero)"
+
+  jq -r '
+    .benchmarks[]
+    | select(.name | startswith("BM_PipelineTraced"))
+    | "\(.name): wall \(.real_time * 100 | floor / 100) ms" +
+      (if .spans_per_run then
+         ", \(.spans_per_run | floor) spans/run" else "" end) +
+      (if .metric_samples > 0 then
+         ", \(.metric_samples) metric samples" else "" end)
+  ' "${script_dir}/BENCH_obs.json"
+  jq -r '
+    ([.benchmarks[] | select(.name == "BM_CounterInc")][0].real_time)
+      as $inc |
+    ([.benchmarks[] | select(.name == "BM_CounterIncDetached")][0]
+        .real_time) as $off |
+    ([.benchmarks[] | select(.name == "BM_SpanRecord")][0].real_time)
+      as $span |
+    "obs primitives: counter inc \($inc * 100 | floor / 100) ns " +
+    "(detached \($off * 100 | floor / 100) ns), " +
+    "span record \($span * 100 | floor / 100) ns"
+  ' "${script_dir}/BENCH_obs.json"
+
+  # Observability overhead gate. The <2% tracing-off budget rests on the
+  # disabled path being a single null-handle branch per site (~0.7 ns x
+  # a few sites per file is micro-seconds on milli-second runs); the
+  # noise-robust way to CI-gate that on a shared box is the microbench
+  # ratio -- a detached counter inc must stay well under half an attached
+  # one (it is ~0.11x today; if the null early-out ever disappears the
+  # two converge and this fires). Wall-clock comparisons between the
+  # separately-timed pipeline modes see scheduler noise far above 2%
+  # (load spikes swing a 13 ms run by 30%+ in either direction), so the
+  # pipeline-level bound is a generous structural backstop, not the
+  # budget. Noise-free invariants carry the rest: attaching obs must not
+  # perturb the computation (cold sim-GPU seconds equal across modes to
+  # within float summation-order jitter), and the traced run must
+  # actually produce spans + a metrics snapshot.
+  jq -e '
+    ([.benchmarks[]
+      | select(.name == "BM_PipelineTraced/obs:0")][0]) as $off |
+    ([.benchmarks[]
+      | select(.name == "BM_PipelineTraced/obs:1")][0]) as $reg |
+    ([.benchmarks[]
+      | select(.name == "BM_PipelineTraced/obs:2")][0]) as $traced |
+    ([.benchmarks[]
+      | select(.name == "BM_CounterInc")][0].real_time) as $inc |
+    ([.benchmarks[]
+      | select(.name == "BM_CounterIncDetached")][0].real_time) as $inert |
+    def near($a; $b): ($a - $b | if . < 0 then -. else . end) < 0.001;
+    $inert <= $inc * 0.5
+      and $reg.real_time <= $off.real_time * 1.5
+      and near($reg.sim_gpu_s_cold; $off.sim_gpu_s_cold)
+      and near($traced.sim_gpu_s_cold; $off.sim_gpu_s_cold)
+      and $traced.spans_per_run > 0
+      and $traced.metric_samples > 0
+  ' "${script_dir}/BENCH_obs.json" > /dev/null || {
+    echo "error: observability gate failed (detached counter inc not well" \
+         "under an attached one, registry-attached wall > 1.5x detached," \
+         "obs attachment changed sim-GPU accounting, or traced run" \
+         "produced no spans/metrics) - see BENCH_obs.json" >&2
+    exit 1
+  }
+  echo "observability OK (disabled path stays a branch, sim-GPU identical" \
+       "across modes, traced run produced spans + metrics)"
 fi

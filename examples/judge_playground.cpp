@@ -21,8 +21,8 @@
 //                          for the batch to fill (0 = flush immediately,
 //                          the paper-mode default)
 // With a nonzero window the three judges' submissions for each file
-// coalesce into one batched forward pass — watch the batcher summary at
-// the bottom report fuller flushes and cheaper simulated passes.
+// coalesce into one batched forward pass — watch the batcher summary on
+// stderr report fuller flushes and cheaper simulated passes.
 //
 // The resilience layer (PR 6) is drivable from here as well. Fault
 // injection (seeded, deterministic — same flags, same faults):
@@ -44,9 +44,28 @@
 // and watch judges ride through faults (completions are byte-identical to
 // a fault-free run); drop --retry-attempts and the same faults surface as
 // judge errors in the summary instead of crashing the playground.
+//
+// Observability (the PR 8 obs/ subsystem, docs/OBSERVABILITY.md):
+//   --trace-out <path>     export a Chrome trace-event JSON of the run
+//                          (judge spans plus the client's flush / retry /
+//                          backoff spans). `-` writes the JSON to stdout
+//                          and moves the human report to stderr, so
+//                          `--trace-out=- | tools/check_trace.py -` pipes
+//                          clean JSON.
+//   --trace-jsonl <path>   same spans as a JSONL log (one object per line)
+//   --metrics-dump         dump the metrics registry (client, judges, and
+//                          store re-registered as probes) to stderr in
+//                          Prometheus text format at exit
+// Telemetry summaries (batcher, resilience, metrics) always go to stderr;
+// stdout stays the demo's report — or pure trace JSON under --trace-out=-.
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 
 #include "core/llm4vv.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "support/cli.hpp"
 #include "support/strings.hpp"
 
@@ -56,6 +75,12 @@ int main(int argc, char** argv) {
   const support::CliArgs args(argc, argv);
   const std::string cache_file = args.get("cache-file", "");
   const bool cache_save = args.has("cache-save");
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string trace_jsonl = args.get("trace-jsonl", "");
+  const bool metrics_dump = args.has("metrics-dump");
+  const bool trace_to_stdout = trace_out == "-";
+  // Human report: stdout normally, stderr when the trace JSON owns stdout.
+  std::FILE* const report = trace_to_stdout ? stderr : stdout;
   llm::BatcherConfig batcher;
   batcher.max_batch =
       static_cast<std::size_t>(args.get_int("batch-max", 0));
@@ -109,21 +134,30 @@ int main(int argc, char** argv) {
   if (faults_on) {
     fault_plan = std::make_shared<const llm::FaultPlan>(fault_config);
     model_config.faults = fault_plan;
-    std::printf("faults: transient %.0f%%, permanent %.0f%%, slow %.0f%% "
-                "(x%.1f latency), seed 0x%llx; retries: %u attempt(s)%s%s\n\n",
-                fault_config.transient_rate * 100,
-                fault_config.permanent_rate * 100,
-                fault_config.slow_rate * 100,
-                fault_config.slow_latency_factor,
-                static_cast<unsigned long long>(fault_config.seed),
-                retry.max_attempts,
-                retry.deadline_us > 0 ? ", deadline set" : "",
-                breaker.enabled ? ", breaker on" : "");
+    std::fprintf(report,
+                 "faults: transient %.0f%%, permanent %.0f%%, slow %.0f%% "
+                 "(x%.1f latency), seed 0x%llx; retries: %u attempt(s)%s%s\n\n",
+                 fault_config.transient_rate * 100,
+                 fault_config.permanent_rate * 100,
+                 fault_config.slow_rate * 100,
+                 fault_config.slow_latency_factor,
+                 static_cast<unsigned long long>(fault_config.seed),
+                 retry.max_attempts,
+                 retry.deadline_us > 0 ? ", deadline set" : "",
+                 breaker.enabled ? ", breaker on" : "");
   }
   auto model = std::make_shared<const llm::SimulatedCoderModel>(model_config);
   auto client = std::make_shared<llm::ModelClient>(model, 3,
                                                    /*transcripts=*/16,
                                                    batcher, retry, breaker);
+
+  std::shared_ptr<obs::Tracer> tracer;
+  if (!trace_out.empty() || !trace_jsonl.empty()) {
+    tracer = std::make_shared<obs::Tracer>();
+    client->set_tracer(tracer);
+  }
+  obs::Registry registry;
+  if (metrics_dump) client->register_metrics(registry, "llm.client");
 
   // One store shared by all three judges; records are keyed by prompt
   // style, so they never cross-serve. The fingerprint pins the model —
@@ -135,15 +169,17 @@ int main(int argc, char** argv) {
     store_config.fingerprint =
         cache::StoreFingerprint{"judge-playground", client->model_name(), 0};
     store = std::make_shared<cache::ArtifactStore>(store_config);
-    const auto& report = store->load_report();
-    if (report.cold_start) {
-      std::printf("cache: %s cold-started (%s)\n\n", cache_file.c_str(),
-                  report.cold_start_reason.c_str());
+    const auto& load = store->load_report();
+    if (load.cold_start) {
+      std::fprintf(report, "cache: %s cold-started (%s)\n\n",
+                   cache_file.c_str(), load.cold_start_reason.c_str());
     } else {
-      std::printf("cache: %s loaded %zu records (%zu corrupt lines "
-                  "skipped)\n\n",
-                  cache_file.c_str(), report.loaded, report.corrupt_lines);
+      std::fprintf(report,
+                   "cache: %s loaded %zu records (%zu corrupt lines "
+                   "skipped)\n\n",
+                   cache_file.c_str(), load.loaded, load.corrupt_lines);
     }
+    if (metrics_dump) store->register_metrics(registry, "cache.store");
   }
 
   judge::JudgeCacheConfig judge_cache;
@@ -155,17 +191,25 @@ int main(int argc, char** argv) {
     judges.push_back(
         std::make_shared<const judge::Llmj>(client, style, judge_cache));
   }
+  if (metrics_dump) {
+    for (const auto& llmj : judges) {
+      llmj->register_metrics(registry,
+                             std::string("judge.") + llmj->name());
+    }
+  }
 
+  std::uint64_t file_no = 0;
   for (const frontend::SourceFile* file : {&valid.file,
                                            const_cast<const frontend::SourceFile*>(&invalid)}) {
+    ++file_no;
     const bool is_valid = file == &valid.file;
-    std::printf("=== %s file: %s ===\n",
-                is_valid ? "VALID" : "MUTATED (undeclared variable)",
-                file->name.c_str());
+    std::fprintf(report, "=== %s file: %s ===\n",
+                 is_valid ? "VALID" : "MUTATED (undeclared variable)",
+                 file->name.c_str());
     const auto compiled = driver.compile(*file);
     const auto ran = executor.run(compiled.module);
-    std::printf("tools: compiler rc=%d, program rc=%d\n",
-                compiled.return_code, ran.ran ? ran.return_code : -1);
+    std::fprintf(report, "tools: compiler rc=%d, program rc=%d\n",
+                 compiled.return_code, ran.ran ? ran.return_code : -1);
     // Submit all three judges asynchronously before draining: with a
     // nonzero --batch-window-us their misses coalesce into one batched
     // forward pass (with the default window of 0 each is its own
@@ -179,27 +223,38 @@ int main(int argc, char** argv) {
       futures.push_back(llmj->evaluate_async(request));
     }
     for (std::size_t j = 0; j < judges.size(); ++j) {
+      obs::ObsSpan span(tracer.get(), obs::SpanKind::kJudge, file_no);
       try {
         const auto decision = futures[j].get();
-        std::printf("  %-16s -> %-9s (%zu prompt + %zu completion tokens, "
-                    "%.1f s simulated%s%s)\n",
-                    judges[j]->name(), judge::verdict_name(decision.verdict),
-                    decision.completion.prompt_tokens,
-                    decision.completion.completion_tokens,
-                    decision.completion.latency_seconds,
-                    decision.persisted ? ", persisted cache hit"
-                    : decision.cached ? ", cache hit"
-                                      : "",
-                    decision.completion.attempts > 1 ? ", retried" : "");
+        span.set_arg(static_cast<std::int64_t>(decision.verdict));
+        if (!decision.cached) {
+          span.set_gpu_seconds(decision.completion.latency_seconds);
+          span.set_flow(decision.completion.trace_flow);
+        }
+        span.end();
+        std::fprintf(report,
+                     "  %-16s -> %-9s (%zu prompt + %zu completion tokens, "
+                     "%.1f s simulated%s%s)\n",
+                     judges[j]->name(), judge::verdict_name(decision.verdict),
+                     decision.completion.prompt_tokens,
+                     decision.completion.completion_tokens,
+                     decision.completion.latency_seconds,
+                     decision.persisted ? ", persisted cache hit"
+                     : decision.cached ? ", cache hit"
+                                       : "",
+                     decision.completion.attempts > 1 ? ", retried" : "");
       } catch (const llm::ModelError& e) {
         // Graceful degradation, exactly like the pipeline's judge stage:
         // a failed judge is a recorded outcome, not a crash.
-        std::printf("  %-16s -> JUDGE ERROR (%s after %u attempt(s): %s)\n",
-                    judges[j]->name(), llm::failure_kind_name(e.kind()),
-                    e.attempts(), e.what());
+        span.set_arg(-1);
+        span.end();
+        std::fprintf(report,
+                     "  %-16s -> JUDGE ERROR (%s after %u attempt(s): %s)\n",
+                     judges[j]->name(), llm::failure_kind_name(e.kind()),
+                     e.attempts(), e.what());
       }
     }
-    std::printf("\n");
+    std::fprintf(report, "\n");
   }
 
   // Show one full conversation: the last agent-indirect exchange. (On a
@@ -207,76 +262,83 @@ int main(int argc, char** argv) {
   const auto transcripts = client->transcripts();
   if (!transcripts.empty()) {
     const auto& last = transcripts.back();
-    std::printf("--- last prompt (first 18 lines) ---\n");
+    std::fprintf(report, "--- last prompt (first 18 lines) ---\n");
     const auto lines = support::split_lines(last.prompt);
     for (std::size_t i = 0; i < lines.size() && i < 18; ++i) {
-      std::printf("| %s\n", lines[i].c_str());
+      std::fprintf(report, "| %s\n", lines[i].c_str());
     }
-    std::printf("--- completion ---\n%s\n", last.completion.text.c_str());
+    std::fprintf(report, "--- completion ---\n%s\n",
+                 last.completion.text.c_str());
   } else {
-    std::printf("--- no model calls: every verdict came from the "
-                "persistent cache ---\n");
+    std::fprintf(report,
+                 "--- no model calls: every verdict came from the "
+                 "persistent cache ---\n");
   }
 
   // Adaptive-batcher summary: how the submissions above were actually
-  // flushed into forward passes.
+  // flushed into forward passes. Telemetry goes to stderr so stdout stays
+  // pipeable (the demo report, or pure trace JSON under --trace-out=-).
   {
     const auto stats = client->stats();
-    std::printf("\nbatcher (max_batch=%zu, window=%llu us): "
-                "%llu passes (%llu immediate, %llu full, %llu window), "
-                "%llu batched prompts, peak queue depth %zu\n",
-                batcher.max_batch,
-                static_cast<unsigned long long>(batcher.window_us),
-                static_cast<unsigned long long>(stats.formed_batches),
-                static_cast<unsigned long long>(stats.flush_immediate),
-                static_cast<unsigned long long>(stats.flush_full),
-                static_cast<unsigned long long>(stats.flush_window),
-                static_cast<unsigned long long>(stats.batched_prompts),
-                stats.pending_high_water);
-    std::printf("occupancy histogram:");
+    std::fprintf(stderr,
+                 "\nbatcher (max_batch=%zu, window=%llu us): "
+                 "%llu passes (%llu immediate, %llu full, %llu window), "
+                 "%llu batched prompts, peak queue depth %zu\n",
+                 batcher.max_batch,
+                 static_cast<unsigned long long>(batcher.window_us),
+                 static_cast<unsigned long long>(stats.formed_batches),
+                 static_cast<unsigned long long>(stats.flush_immediate),
+                 static_cast<unsigned long long>(stats.flush_full),
+                 static_cast<unsigned long long>(stats.flush_window),
+                 static_cast<unsigned long long>(stats.batched_prompts),
+                 stats.pending_high_water);
+    std::fprintf(stderr, "occupancy histogram:");
     for (std::size_t b = 0; b < llm::ClientStats::kOccupancyBuckets; ++b) {
       if (stats.occupancy_hist[b] == 0) continue;
-      std::printf(" [%s]=%llu",
-                  llm::ClientStats::occupancy_bucket_label(b),
-                  static_cast<unsigned long long>(stats.occupancy_hist[b]));
+      std::fprintf(stderr, " [%s]=%llu",
+                   llm::ClientStats::occupancy_bucket_label(b),
+                   static_cast<unsigned long long>(stats.occupancy_hist[b]));
     }
-    std::printf("\n");
+    std::fprintf(stderr, "\n");
 
     // Resilience summary: only interesting when faults / retries /
     // backpressure / the breaker were actually in play.
     if (faults_on || retry.max_attempts > 1 || breaker.enabled ||
         batcher.max_pending > 0) {
-      std::printf("resilience: %llu served, %llu failed "
-                  "(%llu timeouts, %llu shed), %llu retries, "
-                  "%llu batch splits, %llu breaker opens "
-                  "(%llu fast rejections)\n",
-                  static_cast<unsigned long long>(stats.requests),
-                  static_cast<unsigned long long>(stats.failed_requests),
-                  static_cast<unsigned long long>(stats.timeouts),
-                  static_cast<unsigned long long>(stats.pending_shed),
-                  static_cast<unsigned long long>(stats.retries),
-                  static_cast<unsigned long long>(stats.batch_splits),
-                  static_cast<unsigned long long>(stats.breaker_opens),
-                  static_cast<unsigned long long>(stats.breaker_rejected));
+      std::fprintf(stderr,
+                   "resilience: %llu served, %llu failed "
+                   "(%llu timeouts, %llu shed), %llu retries, "
+                   "%llu batch splits, %llu breaker opens "
+                   "(%llu fast rejections)\n",
+                   static_cast<unsigned long long>(stats.requests),
+                   static_cast<unsigned long long>(stats.failed_requests),
+                   static_cast<unsigned long long>(stats.timeouts),
+                   static_cast<unsigned long long>(stats.pending_shed),
+                   static_cast<unsigned long long>(stats.retries),
+                   static_cast<unsigned long long>(stats.batch_splits),
+                   static_cast<unsigned long long>(stats.breaker_opens),
+                   static_cast<unsigned long long>(stats.breaker_rejected));
       if (fault_plan != nullptr) {
         const auto fault_stats = fault_plan->stats();
-        std::printf("fault plan drew: %llu transient, %llu permanent, "
-                    "%llu slow\n",
-                    static_cast<unsigned long long>(fault_stats.transient),
-                    static_cast<unsigned long long>(fault_stats.permanent),
-                    static_cast<unsigned long long>(fault_stats.slow));
+        std::fprintf(stderr,
+                     "fault plan drew: %llu transient, %llu permanent, "
+                     "%llu slow\n",
+                     static_cast<unsigned long long>(fault_stats.transient),
+                     static_cast<unsigned long long>(fault_stats.permanent),
+                     static_cast<unsigned long long>(fault_stats.slow));
       }
-      std::printf("retry latency histogram:");
+      std::fprintf(stderr, "retry latency histogram:");
       bool any = false;
       for (std::size_t b = 0; b < llm::ClientStats::kRetryLatencyBuckets;
            ++b) {
         if (stats.retry_latency_hist[b] == 0) continue;
         any = true;
-        std::printf(
-            " [%s]=%llu", llm::ClientStats::retry_latency_bucket_label(b),
+        std::fprintf(
+            stderr, " [%s]=%llu",
+            llm::ClientStats::retry_latency_bucket_label(b),
             static_cast<unsigned long long>(stats.retry_latency_hist[b]));
       }
-      std::printf(any ? "\n" : " (no retried requests)\n");
+      std::fprintf(stderr, any ? "\n" : " (no retried requests)\n");
     }
   }
 
@@ -284,11 +346,44 @@ int main(int argc, char** argv) {
     std::size_t persisted = 0;
     for (const auto& llmj : judges) persisted += llmj->persist_cache();
     if (store->save()) {
-      std::printf("\ncache: persisted %zu records to %s\n", persisted,
-                  cache_file.c_str());
+      std::fprintf(report, "\ncache: persisted %zu records to %s\n",
+                   persisted, cache_file.c_str());
     } else {
-      std::printf("\ncache: SAVE FAILED: %s\n", store->last_error().c_str());
+      std::fprintf(report, "\ncache: SAVE FAILED: %s\n",
+                   store->last_error().c_str());
       return 1;
+    }
+  }
+
+  if (metrics_dump) {
+    std::fprintf(stderr, "\n--- metrics registry ---\n%s",
+                 registry.render_text().c_str());
+  }
+  if (tracer != nullptr) {
+    const auto events = tracer->collect();
+    if (!trace_out.empty()) {
+      if (trace_to_stdout) {
+        obs::write_chrome_trace(std::cout, events, tracer->dropped());
+      } else {
+        std::ofstream out(trace_out, std::ios::trunc);
+        if (!out.is_open()) {
+          std::fprintf(stderr, "trace: cannot open %s\n", trace_out.c_str());
+          return 1;
+        }
+        obs::write_chrome_trace(out, events, tracer->dropped());
+        std::fprintf(stderr, "trace: wrote %zu spans to %s\n", events.size(),
+                     trace_out.c_str());
+      }
+    }
+    if (!trace_jsonl.empty()) {
+      std::ofstream out(trace_jsonl, std::ios::trunc);
+      if (!out.is_open()) {
+        std::fprintf(stderr, "trace: cannot open %s\n", trace_jsonl.c_str());
+        return 1;
+      }
+      obs::write_span_jsonl(out, events);
+      std::fprintf(stderr, "trace: wrote %zu spans to %s\n", events.size(),
+                   trace_jsonl.c_str());
     }
   }
   return 0;

@@ -3,24 +3,45 @@
 // measured on one batch.
 //
 // Build & run:  ./build/examples/pipeline_throughput
+//
+// Observability (the PR 8 obs/ subsystem, docs/OBSERVABILITY.md):
+//   --trace-out <path>   after the sweep, run one traced record-all pass
+//                        (2 workers per stage, fresh client) and export a
+//                        Chrome trace-event JSON: per-file compile /
+//                        queue-wait / execute / judge spans plus the
+//                        client's flush spans with flow arrows into the
+//                        judge spans they served. `-` writes to stdout
+//                        (the sweep table moves to stderr).
+//   --trace-files <n>    corpus size of the traced pass (default 120)
+//   --metrics-dump       attach a metrics registry to the traced pass and
+//                        dump it to stderr in Prometheus text format
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 
 #include "core/llm4vv.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "support/cli.hpp"
 #include "support/stopwatch.hpp"
 
 namespace {
 
 using namespace llm4vv;
 
-std::vector<frontend::SourceFile> make_batch() {
+std::vector<frontend::SourceFile> make_batch(std::size_t count) {
   corpus::GeneratorConfig gen;
   gen.flavor = frontend::Flavor::kOpenACC;
-  gen.count = 300;
+  gen.count = count;
   gen.seed = 11;
   const auto suite = corpus::generate_suite(gen);
   probing::ProbingConfig probe;
-  // A realistic LLM-generated candidate batch: high invalidity.
-  probe.issue_counts = {40, 40, 40, 40, 40, 40};
+  // A realistic LLM-generated candidate batch: high invalidity. The same
+  // 2/15-per-issue share as the original 300-file demo (6 x 40 of 300), so
+  // the sweep numbers are unchanged and smaller traced batches keep the
+  // invalid mix.
+  probe.issue_counts.fill(count * 2 / 15);
   probe.seed = 3;
   std::vector<frontend::SourceFile> files;
   for (const auto& pf : probing::probe_suite(suite, probe).files) {
@@ -31,14 +52,22 @@ std::vector<frontend::SourceFile> make_batch() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace llm4vv;
-  const auto files = make_batch();
-  std::printf("batch: %zu candidate tests (5/6 invalid, like raw "
-              "LLM-generated code)\n\n", files.size());
+  const support::CliArgs args(argc, argv);
+  const std::string trace_out = args.get("trace-out", "");
+  const bool metrics_dump = args.has("metrics-dump");
+  const bool trace_to_stdout = trace_out == "-";
+  std::FILE* const report = trace_to_stdout ? stderr : stdout;
 
-  std::printf("%-12s %-8s %10s %12s %14s %12s %10s\n", "mode", "workers",
-              "wall (s)", "judged", "sim GPU (s)", "files/s", "cache h/m");
+  const auto files = make_batch(300);
+  std::fprintf(report,
+               "batch: %zu candidate tests (5/6 invalid, like raw "
+               "LLM-generated code)\n\n", files.size());
+
+  std::fprintf(report, "%-12s %-8s %10s %12s %14s %12s %10s\n", "mode",
+               "workers", "wall (s)", "judged", "sim GPU (s)", "files/s",
+               "cache h/m");
   for (const auto mode : {pipeline::PipelineMode::kRecordAll,
                           pipeline::PipelineMode::kFilterEarly}) {
     for (const std::size_t workers : {1u, 2u, 4u}) {
@@ -61,19 +90,73 @@ int main() {
                     static_cast<unsigned long long>(result.judge_cache_hits),
                     static_cast<unsigned long long>(
                         result.judge_cache_misses));
-      std::printf("%-12s %-8zu %10.3f %12zu %14.1f %12.0f %10s\n",
-                  mode == pipeline::PipelineMode::kRecordAll ? "record-all"
-                                                             : "filter",
-                  workers, wall, result.judge_stage.processed,
-                  result.judge_gpu_seconds,
-                  static_cast<double>(files.size()) / wall, cache_cell);
+      std::fprintf(report, "%-12s %-8zu %10.3f %12zu %14.1f %12.0f %10s\n",
+                   mode == pipeline::PipelineMode::kRecordAll ? "record-all"
+                                                              : "filter",
+                   workers, wall, result.judge_stage.processed,
+                   result.judge_gpu_seconds,
+                   static_cast<double>(files.size()) / wall, cache_cell);
     }
   }
-  std::printf(
+  std::fprintf(report,
       "\nTakeaways: filtering cuts the LLM stage's simulated GPU time "
       "roughly in proportion to the invalid share caught by the cheap "
       "stages, worker scaling raises files/sec until the LLM stage's "
       "concurrency cap binds, and duplicate candidates (common in probed "
       "batches) are served from the judge's memo cache for free.\n");
+
+  // Dedicated traced pass: additive, so the sweep above stays untouched.
+  // Everything runs through PipelineConfig::trace/registry — the same
+  // wiring bench/perf_obs.cpp gates and tools/check_trace.py validates.
+  if (!trace_out.empty() || metrics_dump) {
+    const std::size_t traced_count =
+        static_cast<std::size_t>(args.get_int("trace-files", 120));
+    const auto traced_files = make_batch(traced_count);
+    auto client = core::make_simulated_client(2);
+    auto judge = std::make_shared<const judge::Llmj>(
+        client, llm::PromptStyle::kAgentDirect);
+    pipeline::PipelineConfig config;
+    config.mode = pipeline::PipelineMode::kRecordAll;
+    config.compile_workers = 2;
+    config.execute_workers = 2;
+    config.judge_workers = 2;
+    auto registry = std::make_shared<obs::Registry>();
+    config.registry = registry;
+    std::shared_ptr<obs::Tracer> tracer;
+    if (!trace_out.empty()) {
+      tracer = std::make_shared<obs::Tracer>();
+      config.trace = tracer;
+      client->set_tracer(tracer);
+    }
+    const pipeline::ValidationPipeline pipe(
+        toolchain::CompilerDriver(toolchain::nvc_persona()),
+        toolchain::Executor(), judge, config);
+    const auto result = pipe.run(traced_files);
+    std::fprintf(stderr,
+                 "\ntraced pass: %zu files, %zu judged, %zu errors, "
+                 "%.1f sim GPU s, %zu metric samples\n",
+                 traced_files.size(), result.judge_stage.processed,
+                 result.judge_errors, result.judge_gpu_seconds,
+                 result.metrics.size());
+    if (metrics_dump) {
+      std::fprintf(stderr, "--- metrics registry ---\n%s",
+                   registry->render_text().c_str());
+    }
+    if (tracer != nullptr) {
+      const auto events = tracer->collect();
+      if (trace_to_stdout) {
+        obs::write_chrome_trace(std::cout, events, tracer->dropped());
+      } else {
+        std::ofstream out(trace_out, std::ios::trunc);
+        if (!out.is_open()) {
+          std::fprintf(stderr, "trace: cannot open %s\n", trace_out.c_str());
+          return 1;
+        }
+        obs::write_chrome_trace(out, events, tracer->dropped());
+        std::fprintf(stderr, "trace: wrote %zu spans to %s\n", events.size(),
+                     trace_out.c_str());
+      }
+    }
+  }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/registry.hpp"
 #include "support/jsonl.hpp"
 #include "support/strings.hpp"
 
@@ -307,6 +308,23 @@ ArtifactStoreStats ArtifactStore::stats() const {
 std::string ArtifactStore::last_error() const {
   support::ReaderLock lock(mutex_);
   return last_error_;
+}
+
+void ArtifactStore::register_metrics(obs::Registry& registry,
+                                     const std::string& prefix) const {
+  const auto probe = [&registry, this, &prefix](const char* name,
+                                                auto field) {
+    registry.register_probe(prefix + "." + name, [this, field] {
+      return static_cast<double>(field(stats()));
+    });
+  };
+  probe("records", [](const ArtifactStoreStats& s) { return s.records; });
+  probe("gets", [](const ArtifactStoreStats& s) { return s.gets; });
+  probe("hits", [](const ArtifactStoreStats& s) { return s.hits; });
+  probe("puts", [](const ArtifactStoreStats& s) { return s.puts; });
+  probe("compactions",
+        [](const ArtifactStoreStats& s) { return s.compactions; });
+  probe("saves", [](const ArtifactStoreStats& s) { return s.saves; });
 }
 
 }  // namespace llm4vv::cache

@@ -12,6 +12,10 @@
 
 #include "support/thread_annotations.hpp"
 
+namespace llm4vv::obs {
+class Registry;
+}  // namespace llm4vv::obs
+
 namespace llm4vv::cache {
 
 /// Identity of the world a store's records were computed in. Persisted in
@@ -109,6 +113,13 @@ class ArtifactStore {
 
   std::size_t size() const;
   ArtifactStoreStats stats() const;
+
+  /// Re-register the store counters into a metrics registry as scrape-time
+  /// probes under `prefix` ("<prefix>.records", "<prefix>.hits", ...).
+  /// Probes read stats(), so registry values equal the legacy snapshot
+  /// fields by construction. The store must outlive the registration.
+  void register_metrics(obs::Registry& registry,
+                        const std::string& prefix) const;
   const StoreLoadReport& load_report() const noexcept { return load_report_; }
   const ArtifactStoreConfig& config() const noexcept { return config_; }
   std::string last_error() const;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "obs/registry.hpp"
 #include "support/jsonl.hpp"
 #include "support/rng.hpp"
 
@@ -654,6 +655,29 @@ JudgeCacheStats Llmj::cache_stats() const noexcept {
   stats.async_items = async_items_.load(std::memory_order_relaxed);
   stats.async_immediate = async_immediate_.load(std::memory_order_relaxed);
   return stats;
+}
+
+void Llmj::register_metrics(obs::Registry& registry,
+                            const std::string& prefix) const {
+  const auto probe = [&registry, this, &prefix](const char* name,
+                                                auto field) {
+    registry.register_probe(prefix + "." + name, [this, field] {
+      return static_cast<double>(field(cache_stats()));
+    });
+  };
+  probe("hits", [](const JudgeCacheStats& s) { return s.hits; });
+  probe("misses", [](const JudgeCacheStats& s) { return s.misses; });
+  probe("evictions", [](const JudgeCacheStats& s) { return s.evictions; });
+  probe("duplicate_misses",
+        [](const JudgeCacheStats& s) { return s.duplicate_misses; });
+  probe("persisted_hits",
+        [](const JudgeCacheStats& s) { return s.persisted_hits; });
+  probe("warm_loaded",
+        [](const JudgeCacheStats& s) { return s.warm_loaded; });
+  probe("async_items",
+        [](const JudgeCacheStats& s) { return s.async_items; });
+  probe("async_immediate",
+        [](const JudgeCacheStats& s) { return s.async_immediate; });
 }
 
 void Llmj::clear_cache() {

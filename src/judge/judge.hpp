@@ -206,6 +206,13 @@ class Llmj {
   /// Snapshot of the memoization counters.
   JudgeCacheStats cache_stats() const noexcept;
 
+  /// Re-register the memoization counters into a metrics registry as
+  /// scrape-time probes under `prefix` ("<prefix>.hits", ...). Probes read
+  /// cache_stats(), so registry values equal the legacy snapshot fields by
+  /// construction. The judge must outlive the registration.
+  void register_metrics(obs::Registry& registry,
+                        const std::string& prefix) const;
+
   /// Drop all cached decisions (counters are kept). Also resets the
   /// in-flight dedup sets and wakes their waiters, so a clear issued during
   /// concurrent evaluation can never strand a thread waiting on a key whose

@@ -6,7 +6,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
+#include "support/stopwatch.hpp"
 
 namespace llm4vv::llm {
 
@@ -55,11 +58,9 @@ std::exception_ptr wrap_failure(FailureKind kind, const std::string& what,
                                             attempts));
 }
 
-std::uint64_t micros_since(std::chrono::steady_clock::time_point start) {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - start)
-          .count());
+std::uint64_t micros_since(std::uint64_t start_us) {
+  const std::uint64_t now = support::now_us();
+  return now >= start_us ? now - start_us : 0;
 }
 
 }  // namespace
@@ -382,7 +383,7 @@ bool ModelClient::backoff_wait(std::uint32_t retry, const std::string& prompt,
 
 void ModelClient::resolve_requests(
     std::vector<PendingRequest>& group, std::vector<std::size_t> indices,
-    std::uint32_t attempt, std::chrono::steady_clock::time_point flush_start,
+    std::uint32_t attempt, std::uint64_t flush_start_us,
     std::vector<FlushOutcome>& outcomes, FlushTally& tally) {
   const std::uint32_t max_attempts = std::max<std::uint32_t>(
       1, retry_.max_attempts);
@@ -390,7 +391,7 @@ void ModelClient::resolve_requests(
   const auto fail_indices = [&](const std::vector<std::size_t>& failed,
                                 FailureKind kind, const std::string& what,
                                 std::uint32_t attempts) {
-    const std::uint64_t now_us = micros_since(flush_start);
+    const std::uint64_t now_us = micros_since(flush_start_us);
     for (const std::size_t idx : failed) {
       FlushOutcome& out = outcomes[idx];
       out.error = wrap_failure(kind, what, attempts);
@@ -427,6 +428,15 @@ void ModelClient::resolve_requests(
       if (indices.empty()) return;
     }
 
+    // Attempts beyond a request group's first record client.retry spans
+    // (the span ends when this attempt's outcome is known — on success the
+    // return below closes it over the whole pass).
+    obs::ObsSpan retry_span;
+    if (tracer_ != nullptr && attempt > 0) {
+      retry_span = obs::ObsSpan(tracer_.get(), obs::SpanKind::kRetry, 0);
+      retry_span.set_arg(static_cast<std::int64_t>(attempt) + 1);
+    }
+
     FailureKind kind = FailureKind::kOther;
     std::string what;
     if (!breaker_admit()) {
@@ -450,7 +460,7 @@ void ModelClient::resolve_requests(
               "completion count");
         }
         breaker_record(true);
-        const std::uint64_t now_us = micros_since(flush_start);
+        const std::uint64_t now_us = micros_since(flush_start_us);
         for (std::size_t i = 0; i < indices.size(); ++i) {
           FlushOutcome& out = outcomes[indices[i]];
           out.value = std::move(completions[i]);
@@ -475,6 +485,8 @@ void ModelClient::resolve_requests(
       }
     }
 
+    retry_span.end();
+
     const std::uint32_t attempts_used = attempt + 1;
     if (!retryable(kind) || attempts_used >= max_attempts) {
       fail_indices(indices, kind, what, attempts_used);
@@ -483,10 +495,18 @@ void ModelClient::resolve_requests(
     // Back off before the next attempt (once per consecutive-attempt
     // pair; split children skip straight to their pass). Interruptible:
     // a client shutting down cancels the retry instead of awaiting it.
-    if (!backoff_wait(attempts_used, group[indices.front()].prompt,
-                      group[indices.front()].enqueued +
-                          std::chrono::microseconds(retry_.deadline_us),
-                      has_deadline)) {
+    obs::ObsSpan backoff_span;
+    if (tracer_ != nullptr) {
+      backoff_span = obs::ObsSpan(tracer_.get(), obs::SpanKind::kBackoff, 0);
+      backoff_span.set_arg(static_cast<std::int64_t>(attempts_used));
+    }
+    const bool survived =
+        backoff_wait(attempts_used, group[indices.front()].prompt,
+                     group[indices.front()].enqueued +
+                         std::chrono::microseconds(retry_.deadline_us),
+                     has_deadline);
+    backoff_span.end();
+    if (!survived) {
       fail_indices(indices, FailureKind::kShutdown,
                    "ModelClient: shutdown cancelled a retry in backoff",
                    attempts_used);
@@ -499,7 +519,7 @@ void ModelClient::resolve_requests(
       // is at most one.
       ++tally.splits;
       for (const std::size_t idx : indices) {
-        resolve_requests(group, {idx}, attempt + 1, flush_start, outcomes,
+        resolve_requests(group, {idx}, attempt + 1, flush_start_us, outcomes,
                          tally);
       }
       return;
@@ -531,7 +551,7 @@ void ModelClient::execute_flush(std::vector<PendingRequest>& group,
     ++stats_.occupancy_hist[ClientStats::occupancy_bucket(group.size())];
   }
 
-  const auto flush_start = std::chrono::steady_clock::now();
+  const std::uint64_t flush_start_us = support::now_us();
   std::vector<FlushOutcome> outcomes(group.size());
   FlushTally tally;
   {
@@ -547,7 +567,8 @@ void ModelClient::execute_flush(std::vector<PendingRequest>& group,
     SlotLease lease{*this, slots};
     std::vector<std::size_t> all(group.size());
     std::iota(all.begin(), all.end(), std::size_t{0});
-    resolve_requests(group, std::move(all), 0, flush_start, outcomes, tally);
+    resolve_requests(group, std::move(all), 0, flush_start_us, outcomes,
+                     tally);
   }
 
   {
@@ -587,6 +608,24 @@ void ModelClient::execute_flush(std::vector<PendingRequest>& group,
     }
   }
 
+  // One client.flush span per formed batch. Its span id doubles as the
+  // flow id the served completions carry home (Completion::trace_flow), so
+  // the exporter can draw batch-to-request arrows.
+  std::uint64_t flow = 0;
+  if (tracer_ != nullptr) {
+    double gpu_seconds = 0.0;
+    for (const FlushOutcome& out : outcomes) {
+      if (out.error == nullptr) gpu_seconds += out.value.latency_seconds;
+    }
+    obs::ObsSpan flush_span(tracer_.get(), obs::SpanKind::kFlush, 0);
+    flush_span.set_start_us(flush_start_us);
+    flush_span.set_arg(static_cast<std::int64_t>(group.size()));
+    flush_span.set_gpu_seconds(gpu_seconds);
+    flow = flush_span.id();
+    flush_span.set_flow(flow);
+    flush_span.end();
+  }
+
   for (std::size_t i = 0; i < group.size(); ++i) {
     const auto& state = group[i].state;
     FlushOutcome& out = outcomes[i];
@@ -597,6 +636,7 @@ void ModelClient::execute_flush(std::vector<PendingRequest>& group,
     {
       support::MutexLock lock(state->mutex);
       state->value = std::move(out.value);
+      state->value.trace_flow = flow;
       state->flush_size = out.pass_size;
       state->done = true;
     }
@@ -820,6 +860,60 @@ std::size_t ModelClient::pending_depth() const {
 std::vector<Transcript> ModelClient::transcripts() const {
   support::MutexLock lock(mutex_);
   return std::vector<Transcript>(transcripts_.begin(), transcripts_.end());
+}
+
+void ModelClient::register_metrics(obs::Registry& registry,
+                                   const std::string& prefix) const {
+  // Every probe snapshots stats() at scrape time: the registry reads the
+  // same locked copy the legacy accessors hand out, so the two can never
+  // drift (asserted by tests/obs_consistency_test.cpp). Scrapes are cold
+  // path; the per-field stats() calls are deliberate simplicity.
+  const auto probe = [&registry, this, &prefix](
+                         const char* name, auto field) {
+    registry.register_probe(prefix + "." + name, [this, field] {
+      return static_cast<double>(field(stats()));
+    });
+  };
+  probe("requests", [](const ClientStats& s) { return s.requests; });
+  probe("prompt_tokens",
+        [](const ClientStats& s) { return s.prompt_tokens; });
+  probe("completion_tokens",
+        [](const ClientStats& s) { return s.completion_tokens; });
+  probe("gpu_seconds", [](const ClientStats& s) { return s.gpu_seconds; });
+  probe("batches", [](const ClientStats& s) { return s.batches; });
+  probe("batched_prompts",
+        [](const ClientStats& s) { return s.batched_prompts; });
+  probe("max_batch", [](const ClientStats& s) { return s.max_batch; });
+  probe("formed_batches",
+        [](const ClientStats& s) { return s.formed_batches; });
+  probe("flush_immediate",
+        [](const ClientStats& s) { return s.flush_immediate; });
+  probe("flush_full", [](const ClientStats& s) { return s.flush_full; });
+  probe("flush_window", [](const ClientStats& s) { return s.flush_window; });
+  probe("pending_high_water",
+        [](const ClientStats& s) { return s.pending_high_water; });
+  probe("retries", [](const ClientStats& s) { return s.retries; });
+  probe("failed_requests",
+        [](const ClientStats& s) { return s.failed_requests; });
+  probe("timeouts", [](const ClientStats& s) { return s.timeouts; });
+  probe("pending_shed", [](const ClientStats& s) { return s.pending_shed; });
+  probe("batch_splits", [](const ClientStats& s) { return s.batch_splits; });
+  probe("breaker_opens",
+        [](const ClientStats& s) { return s.breaker_opens; });
+  probe("breaker_rejected",
+        [](const ClientStats& s) { return s.breaker_rejected; });
+  for (std::size_t i = 0; i < ClientStats::kOccupancyBuckets; ++i) {
+    registry.register_probe(
+        prefix + ".occupancy", ClientStats::occupancy_bucket_label(i),
+        [this, i] { return static_cast<double>(stats().occupancy_hist[i]); });
+  }
+  for (std::size_t i = 0; i < ClientStats::kRetryLatencyBuckets; ++i) {
+    registry.register_probe(
+        prefix + ".retry_latency", ClientStats::retry_latency_bucket_label(i),
+        [this, i] {
+          return static_cast<double>(stats().retry_latency_hist[i]);
+        });
+  }
 }
 
 }  // namespace llm4vv::llm

@@ -13,6 +13,11 @@
 #include "llm/model.hpp"
 #include "support/thread_annotations.hpp"
 
+namespace llm4vv::obs {
+class Registry;
+class Tracer;
+}  // namespace llm4vv::obs
+
 namespace llm4vv::llm {
 
 /// What happens to a submission that would push the batcher's pending
@@ -326,6 +331,26 @@ class ModelClient {
   /// Snapshot of the running statistics.
   ClientStats stats() const;
 
+  /// Attach a span tracer: every subsequent flush records a client.flush
+  /// span (batch size, summed sim-GPU seconds, a flow id the served
+  /// completions carry in Completion::trace_flow), and retries/backoffs
+  /// record client.retry / client.backoff spans. Pass null to detach.
+  /// NOT thread-safe against in-flight traffic — attach during setup,
+  /// before the first submission, like every other client knob.
+  void set_tracer(std::shared_ptr<obs::Tracer> tracer) noexcept {
+    tracer_ = std::move(tracer);
+  }
+
+  /// Re-register this client's statistics into a metrics registry as
+  /// scrape-time probes under `prefix` ("<prefix>.requests",
+  /// "<prefix>.gpu_seconds", ...; see docs/OBSERVABILITY.md for the full
+  /// list). The probes read stats() on every scrape, so the registry value
+  /// and the legacy snapshot field are the same number by construction.
+  /// The client must outlive the registration — unregister_prefix(prefix)
+  /// (or registry teardown) before destroying the client.
+  void register_metrics(obs::Registry& registry,
+                        const std::string& prefix) const;
+
   /// Callers currently queued for GPU slots (ticket taken, not admitted).
   /// A live gauge for monitoring and for deterministic fairness tests.
   std::size_t queue_depth() const;
@@ -407,10 +432,11 @@ class ModelClient {
   /// history), starting at 0-based `attempt`: run a pass, and on failure
   /// either fail the requests, split a multi-request pass into per-request
   /// retries, or back off and re-attempt — per the RetryPolicy.
+  /// `flush_start_us` is the flush's support::now_us() origin (one clock
+  /// with the trace spans).
   void resolve_requests(std::vector<PendingRequest>& group,
                         std::vector<std::size_t> indices,
-                        std::uint32_t attempt,
-                        std::chrono::steady_clock::time_point flush_start,
+                        std::uint32_t attempt, std::uint64_t flush_start_us,
                         std::vector<FlushOutcome>& outcomes,
                         FlushTally& tally);
 
@@ -431,6 +457,9 @@ class ModelClient {
   void flusher_main() EXCLUDES(batch_mutex_);
 
   std::shared_ptr<const LanguageModel> model_;
+  /// Span sink; null (the default) = tracing off, one branch per would-be
+  /// span. Set during setup (see set_tracer), read from flush threads.
+  std::shared_ptr<obs::Tracer> tracer_;
   const std::size_t max_concurrency_;
   const std::size_t transcript_capacity_;
   const BatcherConfig batcher_;

@@ -45,6 +45,11 @@ struct Completion {
   /// the first try; >1 when the retry layer re-attempted after transient
   /// failures). Models leave this at 1; the client fills it in.
   std::uint32_t attempts = 1;
+  /// Flow id of the batcher flush span that served this completion.
+  /// Nonzero only while an obs::Tracer is attached to the client; the
+  /// trace exporters use it to link each request's judge span back to the
+  /// formed batch it rode in (docs/OBSERVABILITY.md). Models leave it 0.
+  std::uint64_t trace_flow = 0;
 };
 
 /// Abstract chat/completions endpoint. The reproduction ships

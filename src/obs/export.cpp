@@ -1,0 +1,142 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "support/jsonl.hpp"
+
+namespace llm4vv::obs {
+namespace {
+
+/// args{} key for the kind-specific integer payload.
+const char* arg_key(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kRun: return "files";
+    case SpanKind::kCompile:
+    case SpanKind::kExecute: return "accepted";
+    case SpanKind::kQueueWait: return "queue";
+    case SpanKind::kJudge: return "verdict";
+    case SpanKind::kFlush: return "batch_size";
+    case SpanKind::kRetry:
+    case SpanKind::kBackoff: return "attempt";
+  }
+  return "arg";
+}
+
+std::string u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string i64(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events,
+                        std::uint64_t dropped_events) {
+  // Rebase timestamps to the earliest span so traces open at t=0.
+  std::uint64_t epoch = 0;
+  bool first_event = true;
+  std::set<std::uint32_t> tids;
+  std::set<std::uint64_t> flow_origins;
+  for (const TraceEvent& event : events) {
+    if (first_event || event.start_us < epoch) epoch = event.start_us;
+    first_event = false;
+    tids.insert(event.tid);
+    if (event.kind == SpanKind::kFlush && event.flow_id != 0)
+      flow_origins.insert(event.flow_id);
+  }
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& body) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << body;
+  };
+
+  emit("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"llm4vv\"}}");
+  for (std::uint32_t tid : tids) {
+    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + u64(tid) +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker-" +
+         u64(tid) + "\"}}");
+  }
+
+  for (const TraceEvent& event : events) {
+    const std::uint64_t ts = event.start_us - epoch;
+    const std::uint64_t dur =
+        event.end_us >= event.start_us ? event.end_us - event.start_us : 0;
+    std::string body = "{\"ph\":\"X\",\"pid\":1,\"tid\":" + u64(event.tid) +
+                       ",\"ts\":" + u64(ts) + ",\"dur\":" + u64(dur) +
+                       ",\"name\":\"" + span_name(event.kind) +
+                       "\",\"cat\":\"" + span_category(event.kind) +
+                       "\",\"args\":{\"trace_id\":" + u64(event.trace_id) +
+                       ",\"span_id\":" + u64(event.span_id) +
+                       ",\"parent_id\":" + u64(event.parent_id) + ",\"" +
+                       arg_key(event.kind) + "\":" + i64(event.arg);
+    if (event.gpu_seconds != 0.0) {
+      body += ",\"gpu_s\":" + support::format_double_roundtrip(
+                                  event.gpu_seconds);
+    }
+    body += "}}";
+    emit(body);
+
+    if (event.kind == SpanKind::kFlush && event.flow_id != 0) {
+      // Flow origin, bound inside the flush slice at its start.
+      emit("{\"ph\":\"s\",\"pid\":1,\"tid\":" + u64(event.tid) +
+           ",\"ts\":" + u64(ts) + ",\"id\":" + u64(event.flow_id) +
+           ",\"name\":\"batch\",\"cat\":\"flow\"}");
+    } else if (event.flow_id != 0 && flow_origins.count(event.flow_id) != 0) {
+      // Flow target, bound to the enclosing slice at its end (the flow id
+      // is only emitted when its origin flush span made it into the trace
+      // — a cache-replayed completion may reference a flush from an
+      // earlier, uncollected run).
+      emit("{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":" + u64(event.tid) +
+           ",\"ts\":" + u64(ts + dur) + ",\"id\":" + u64(event.flow_id) +
+           ",\"name\":\"batch\",\"cat\":\"flow\"}");
+    }
+  }
+
+  out << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+      << "\"dropped_events\":" << dropped_events << "}}\n";
+}
+
+void write_span_jsonl(std::ostream& out,
+                      const std::vector<TraceEvent>& events) {
+  std::uint64_t epoch = 0;
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (first || event.start_us < epoch) epoch = event.start_us;
+    first = false;
+  }
+  for (const TraceEvent& event : events) {
+    const std::uint64_t dur =
+        event.end_us >= event.start_us ? event.end_us - event.start_us : 0;
+    support::JsonObject line;
+    line.field("kind", std::string(span_name(event.kind)))
+        .field("cat", std::string(span_category(event.kind)))
+        .field("trace_id", static_cast<std::int64_t>(event.trace_id))
+        .field("span", static_cast<std::int64_t>(event.span_id))
+        .field("parent", static_cast<std::int64_t>(event.parent_id))
+        .field("flow", static_cast<std::int64_t>(event.flow_id))
+        .field("start_us", static_cast<std::int64_t>(event.start_us - epoch))
+        .field("dur_us", static_cast<std::int64_t>(dur))
+        .field("gpu_s", event.gpu_seconds)
+        .field("arg", event.arg)
+        .field("tid", static_cast<std::int64_t>(event.tid));
+    out << line.str() << "\n";
+  }
+}
+
+}  // namespace llm4vv::obs

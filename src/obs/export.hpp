@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+/// Trace exporters (docs/OBSERVABILITY.md): Chrome trace-event JSON for
+/// Perfetto / chrome://tracing, and a JSONL span log built on
+/// support/jsonl for grep/jq post-processing. Both take the sorted event
+/// vector from Tracer::collect().
+namespace llm4vv::obs {
+
+/// Chrome trace-event JSON (the {"traceEvents":[...]} object form).
+///
+/// Every span becomes a ph:"X" complete event (pid 1, tid = recording
+/// thread ordinal, ts/dur in microseconds rebased to the earliest span).
+/// Flush spans additionally emit a ph:"s" flow-start at their own start,
+/// and every span carrying a flow target id emits a ph:"f" (bp:"e") bound
+/// to the span's end — Perfetto draws batch-to-request arrows from these.
+/// Thread-name metadata events label the recording threads; dropped ring
+/// events are reported under otherData.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events,
+                        std::uint64_t dropped_events = 0);
+
+/// One JSON object per span: kind/cat/trace_id/span/parent/flow/start_us/
+/// dur_us/gpu_s/arg/tid. Lines parse with support::parse_json_object_line.
+void write_span_jsonl(std::ostream& out,
+                      const std::vector<TraceEvent>& events);
+
+}  // namespace llm4vv::obs

@@ -1,0 +1,209 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace llm4vv::obs {
+namespace {
+
+std::string inf_label() { return "le:+Inf"; }
+
+std::string edge_label(std::uint64_t edge) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "le:%" PRIu64, edge);
+  return buf;
+}
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; dotted registry
+/// names map dots (and anything else) to underscores under a llm4vv_
+/// prefix.
+std::string sanitize(const std::string& name) {
+  std::string out = "llm4vv_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Render a double that is almost always an exact integer count without
+/// trailing noise; fall back to %g for real fractions (gpu seconds).
+std::string render_value(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<std::int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+const MetricSample* find_sample(const MetricsSnapshot& snapshot,
+                                const std::string& name,
+                                const std::string& label) {
+  for (const MetricSample& sample : snapshot) {
+    if (sample.name == name && sample.label == label) return &sample;
+  }
+  return nullptr;
+}
+
+Registry::OwnedMetric* Registry::find_owned_locked(const std::string& name) {
+  for (const auto& metric : owned_) {
+    if (metric->name == name) return metric.get();
+  }
+  return nullptr;
+}
+
+Counter Registry::counter(const std::string& name) {
+  support::MutexLock lock(mutex_);
+  if (OwnedMetric* existing = find_owned_locked(name)) {
+    return existing->kind == Kind::kCounter ? Counter(existing->counter.get())
+                                            : Counter();
+  }
+  auto metric = std::make_unique<OwnedMetric>();
+  metric->name = name;
+  metric->kind = Kind::kCounter;
+  metric->counter = std::make_unique<CounterCells>();
+  Counter handle(metric->counter.get());
+  owned_.push_back(std::move(metric));
+  return handle;
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  support::MutexLock lock(mutex_);
+  if (OwnedMetric* existing = find_owned_locked(name)) {
+    return existing->kind == Kind::kGauge ? Gauge(existing->gauge.get())
+                                          : Gauge();
+  }
+  auto metric = std::make_unique<OwnedMetric>();
+  metric->name = name;
+  metric->kind = Kind::kGauge;
+  metric->gauge = std::make_unique<GaugeCell>();
+  Gauge handle(metric->gauge.get());
+  owned_.push_back(std::move(metric));
+  return handle;
+}
+
+Histogram Registry::histogram(const std::string& name,
+                              std::vector<std::uint64_t> upper_edges) {
+  support::MutexLock lock(mutex_);
+  if (OwnedMetric* existing = find_owned_locked(name)) {
+    return existing->kind == Kind::kHistogram
+               ? Histogram(existing->histogram.get())
+               : Histogram();
+  }
+  auto metric = std::make_unique<OwnedMetric>();
+  metric->name = name;
+  metric->kind = Kind::kHistogram;
+  metric->histogram = std::make_unique<HistogramCells>(std::move(upper_edges));
+  Histogram handle(metric->histogram.get());
+  owned_.push_back(std::move(metric));
+  return handle;
+}
+
+void Registry::register_probe(const std::string& name,
+                              std::function<double()> fn) {
+  register_probe(name, "", std::move(fn));
+}
+
+void Registry::register_probe(const std::string& name,
+                              const std::string& label,
+                              std::function<double()> fn) {
+  support::MutexLock lock(mutex_);
+  for (Probe& probe : probes_) {
+    if (probe.name == name && probe.label == label) {
+      probe.fn = std::move(fn);
+      return;
+    }
+  }
+  probes_.push_back(Probe{name, label, std::move(fn)});
+}
+
+void Registry::unregister_prefix(const std::string& prefix) {
+  support::MutexLock lock(mutex_);
+  probes_.erase(std::remove_if(probes_.begin(), probes_.end(),
+                               [&](const Probe& probe) {
+                                 return probe.name.rfind(prefix, 0) == 0;
+                               }),
+                probes_.end());
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot out;
+  {
+    support::MutexLock lock(mutex_);
+    for (const auto& metric : owned_) {
+      switch (metric->kind) {
+        case Kind::kCounter:
+          out.push_back({metric->name, "",
+                         static_cast<double>(metric->counter->total())});
+          break;
+        case Kind::kGauge:
+          out.push_back({metric->name, "",
+                         static_cast<double>(metric->gauge->load())});
+          break;
+        case Kind::kHistogram: {
+          const HistogramCells& h = *metric->histogram;
+          for (std::size_t i = 0; i < h.edges.size(); ++i) {
+            out.push_back({metric->name, edge_label(h.edges[i]),
+                           static_cast<double>(h.bucket_total(i))});
+          }
+          out.push_back({metric->name, inf_label(),
+                         static_cast<double>(h.bucket_total(h.edges.size()))});
+          out.push_back({metric->name + ".count", "",
+                         static_cast<double>(h.count_total())});
+          out.push_back({metric->name + ".sum", "",
+                         static_cast<double>(h.sum_total())});
+          break;
+        }
+      }
+    }
+    // Probes run under the lock: callbacks must not re-enter the registry
+    // (documented in the header), and scrapes are rare cold-path events.
+    for (const Probe& probe : probes_) {
+      out.push_back({probe.name, probe.label, probe.fn()});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const MetricSample& a, const MetricSample& b) {
+                     return a.name < b.name;
+                   });
+  return out;
+}
+
+std::string Registry::render_text() const {
+  const MetricsSnapshot samples = snapshot();
+  std::string out;
+  std::string last_name;
+  for (const MetricSample& sample : samples) {
+    const std::string metric = sanitize(sample.name);
+    if (sample.name != last_name) {
+      // Histogram buckets carry "le:<edge>" labels; everything else renders
+      // untyped. Kind metadata is deliberately not threaded through the
+      // snapshot — the dump is for humans and scrape scripts, not a full
+      // Prometheus exposition.
+      out += "# TYPE " + metric +
+             (sample.label.empty() ? " untyped\n" : " histogram\n");
+      last_name = sample.name;
+    }
+    out += metric;
+    if (!sample.label.empty()) {
+      const std::string& label = sample.label;
+      const std::size_t colon = label.find(':');
+      const std::string key =
+          colon == std::string::npos ? "bucket" : label.substr(0, colon);
+      const std::string value =
+          colon == std::string::npos ? label : label.substr(colon + 1);
+      out += "{" + key + "=\"" + value + "\"}";
+    }
+    out += " " + render_value(sample.value) + "\n";
+  }
+  return out;
+}
+
+}  // namespace llm4vv::obs

@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/cells.hpp"
+#include "support/thread_annotations.hpp"
+
+/// obs::Registry — the unified metrics registry (docs/OBSERVABILITY.md).
+///
+/// Two kinds of metric coexist:
+///
+///  * Owned handles (Counter/Gauge/Histogram): get-or-create by name, backed
+///    by sharded atomic cells from obs/cells.hpp. Handles are trivially
+///    copyable pointers, valid for the registry's lifetime, and null-safe —
+///    a default-constructed handle makes every operation a single branch,
+///    which is how instrumented hot paths cost nothing when no registry is
+///    attached.
+///
+///  * Probes: scrape-time callbacks registered against a name (and optional
+///    bucket label). The pre-existing stats structs (ClientStats,
+///    JudgeCacheStats, ArtifactStoreStats, queue accessors) re-register
+///    into the registry as probes over their own snapshot methods, so the
+///    registry value and the legacy field are the same number by
+///    construction — the structs stay authoritative and no public API or
+///    bench JSON field changes. tests/obs_consistency_test.cpp asserts the
+///    equality stays exact.
+///
+/// Scrapes (`snapshot()`, `render_text()`) aggregate cells and run probes
+/// under the registration mutex; probe callbacks must not call back into
+/// the registry. Naming convention: lowercase dotted paths
+/// ("pipeline.judge.errors", "llm.client.requests"); the text renderer
+/// sanitizes to Prometheus charset and prefixes "llm4vv_".
+namespace llm4vv::obs {
+
+/// One scraped value. Histograms expand to one sample per bucket
+/// (label "le:<edge>" / "le:+Inf") plus "<name>.count" and "<name>.sum".
+struct MetricSample {
+  std::string name;
+  std::string label;  // empty for scalar samples
+  double value = 0.0;
+};
+
+using MetricsSnapshot = std::vector<MetricSample>;
+
+/// Lookup helper: first sample matching name (and label); nullptr if none.
+const MetricSample* find_sample(const MetricsSnapshot& snapshot,
+                                const std::string& name,
+                                const std::string& label = "");
+
+class Registry;
+
+/// Monotonic counter handle. Copyable, null-safe (default = inert).
+class Counter {
+ public:
+  Counter() = default;
+
+  void inc(std::uint64_t n = 1) const noexcept {
+    if (cells_ != nullptr) cells_->add(n);
+  }
+  explicit operator bool() const noexcept { return cells_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Counter(CounterCells* cells) noexcept : cells_(cells) {}
+  CounterCells* cells_ = nullptr;
+};
+
+/// Last-writer-wins gauge handle. Copyable, null-safe.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(std::int64_t v) const noexcept {
+    if (cell_ != nullptr) cell_->set(v);
+  }
+  void add(std::int64_t n) const noexcept {
+    if (cell_ != nullptr) cell_->add(n);
+  }
+  explicit operator bool() const noexcept { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(GaugeCell* cell) noexcept : cell_(cell) {}
+  GaugeCell* cell_ = nullptr;
+};
+
+/// Fixed-edge integer histogram handle. Copyable, null-safe.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void observe(std::uint64_t v) const noexcept {
+    if (cells_ != nullptr) cells_->observe(v);
+  }
+  explicit operator bool() const noexcept { return cells_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(HistogramCells* cells) noexcept : cells_(cells) {}
+  HistogramCells* cells_ = nullptr;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create by name. Handles stay valid for the registry lifetime;
+  /// re-requesting a name returns a handle over the same cells (cheap
+  /// enough per pipeline run, not per item — cache the handle in hot code).
+  Counter counter(const std::string& name) EXCLUDES(mutex_);
+  Gauge gauge(const std::string& name) EXCLUDES(mutex_);
+  /// `upper_edges` must be sorted ascending; an implicit +Inf overflow
+  /// bucket is appended. Re-requesting an existing histogram ignores the
+  /// edges argument and returns the original.
+  Histogram histogram(const std::string& name,
+                      std::vector<std::uint64_t> upper_edges) EXCLUDES(mutex_);
+
+  /// Scrape-time callback metric. Re-registering the same (name, label)
+  /// replaces the previous probe. The callback outlives registration —
+  /// unregister (or destroy the registry) before the captured object dies.
+  void register_probe(const std::string& name,
+                      std::function<double()> fn) EXCLUDES(mutex_);
+  void register_probe(const std::string& name, const std::string& label,
+                      std::function<double()> fn) EXCLUDES(mutex_);
+
+  /// Drop every probe whose name starts with `prefix` (run-scoped objects,
+  /// e.g. the pipeline's per-run queues, unregister on teardown). Owned
+  /// counter/gauge/histogram metrics are deliberately permanent — handles
+  /// to them may still be live.
+  void unregister_prefix(const std::string& prefix) EXCLUDES(mutex_);
+
+  /// Aggregate everything: cells summed, probes invoked. Sorted by name
+  /// (stable, so histogram buckets keep registration order).
+  MetricsSnapshot snapshot() const EXCLUDES(mutex_);
+
+  /// Prometheus-style text exposition of snapshot().
+  std::string render_text() const EXCLUDES(mutex_);
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct OwnedMetric {
+    std::string name;
+    Kind kind;
+    std::unique_ptr<CounterCells> counter;
+    std::unique_ptr<GaugeCell> gauge;
+    std::unique_ptr<HistogramCells> histogram;
+  };
+  struct Probe {
+    std::string name;
+    std::string label;
+    std::function<double()> fn;
+  };
+
+  OwnedMetric* find_owned_locked(const std::string& name) REQUIRES(mutex_);
+
+  mutable support::Mutex mutex_;
+  std::vector<std::unique_ptr<OwnedMetric>> owned_ GUARDED_BY(mutex_);
+  std::vector<Probe> probes_ GUARDED_BY(mutex_);
+};
+
+}  // namespace llm4vv::obs

@@ -1,0 +1,115 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace llm4vv::obs {
+namespace {
+
+/// Process-unique tracer generation numbers. A thread's cached ring slot
+/// stores the generation it registered under; a destroyed (or different)
+/// tracer can never match, so the cache can never alias a dead ring even
+/// if a new Tracer lands at the same address.
+IdCell& tracer_generations() {
+  static IdCell cell;
+  return cell;
+}
+
+struct ThreadRingSlot {
+  std::uint64_t tracer_gen = 0;
+  void* ring = nullptr;
+};
+
+thread_local ThreadRingSlot t_ring_slot;
+
+}  // namespace
+
+const char* span_name(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kRun: return "pipeline.run";
+    case SpanKind::kCompile: return "compile";
+    case SpanKind::kQueueWait: return "queue.wait";
+    case SpanKind::kExecute: return "execute";
+    case SpanKind::kJudge: return "judge";
+    case SpanKind::kFlush: return "client.flush";
+    case SpanKind::kRetry: return "client.retry";
+    case SpanKind::kBackoff: return "client.backoff";
+  }
+  return "unknown";
+}
+
+const char* span_category(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kFlush:
+    case SpanKind::kRetry:
+    case SpanKind::kBackoff:
+      return "client";
+    default:
+      return "pipeline";
+  }
+}
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      tracer_gen_(tracer_generations().allocate()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::Ring& Tracer::this_thread_ring() {
+  if (t_ring_slot.tracer_gen == tracer_gen_) {
+    return *static_cast<Ring*>(t_ring_slot.ring);
+  }
+  support::MutexLock lock(mutex_);
+  auto ring = std::make_unique<Ring>(static_cast<std::uint32_t>(
+      rings_.size() + 1));
+  Ring& ref = *ring;
+  rings_.push_back(std::move(ring));
+  t_ring_slot = ThreadRingSlot{tracer_gen_, &ref};
+  return ref;
+}
+
+void Tracer::record(TraceEvent event) {
+  Ring& ring = this_thread_ring();
+  event.tid = ring.tid;
+  support::MutexLock lock(ring.mutex);
+  if (ring.events.size() < capacity_) {
+    ring.events.push_back(event);
+    return;
+  }
+  // Full: overwrite the oldest slot, advance the cursor.
+  ring.events[ring.next] = event;
+  ring.next = (ring.next + 1) % capacity_;
+  ++ring.dropped;
+}
+
+std::vector<TraceEvent> Tracer::collect() const {
+  std::vector<TraceEvent> out;
+  {
+    support::MutexLock lock(mutex_);
+    for (const auto& ring : rings_) {
+      support::MutexLock ring_lock(ring->mutex);
+      // Chronological ring order: [next, end) is oldest once wrapped.
+      for (std::size_t i = ring->next; i < ring->events.size(); ++i)
+        out.push_back(ring->events[i]);
+      for (std::size_t i = 0; i < ring->next; ++i)
+        out.push_back(ring->events[i]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = 0;
+  support::MutexLock lock(mutex_);
+  for (const auto& ring : rings_) {
+    support::MutexLock ring_lock(ring->mutex);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+}  // namespace llm4vv::obs

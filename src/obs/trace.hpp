@@ -1,0 +1,178 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/cells.hpp"
+#include "support/stopwatch.hpp"
+#include "support/thread_annotations.hpp"
+
+/// obs::Tracer — per-request span tracing (docs/OBSERVABILITY.md).
+///
+/// The pipeline threads a per-file trace id (corpus index + 1) through the
+/// full lifecycle; each stage records one span: compile → queue wait →
+/// execute → judge (submit to verdict), and the model client records
+/// client.flush (one span per formed batch), client.retry, and
+/// client.backoff. Spans carry wall time (microseconds on the
+/// support::now_us() clock), sim-GPU seconds where the stage consumed any,
+/// and a kind-specific integer arg (verdict, batch size, attempt).
+///
+/// Flow linkage: a flush span publishes its own span id as `flow_id`
+/// (flow origin); the completions it fulfills carry that id back to the
+/// judge spans that awaited them (flow target). The Chrome exporter turns
+/// each pair into ph:"s"/"f" flow events, so Perfetto draws an arrow from
+/// every batch flush to the files it served.
+///
+/// Storage is a bounded per-thread ring buffer (drop-oldest, dropped count
+/// kept), each ring under its own mutex so recording threads never contend
+/// with each other — only with a concurrent collect(), which happens after
+/// the run. Tracing is off by default everywhere: call sites hold a
+/// `Tracer*` that is null unless the user attached one, so the disabled
+/// cost is a single branch per would-be span.
+namespace llm4vv::obs {
+
+/// Span taxonomy. Fixed enum (not free-form strings) keeps TraceEvent
+/// POD-sized and the export names consistent across exporters.
+enum class SpanKind : std::uint8_t {
+  kRun = 0,       // whole pipeline run           arg: total files
+  kCompile,       // compile stage, per file      arg: 1 accepted / 0 rejected
+  kQueueWait,     // inter-stage queue residency  arg: 1 execute / 2 judge
+  kExecute,       // execute stage, per file      arg: 1 accepted / 0 rejected
+  kJudge,         // judge submit → verdict       arg: verdict enum / -1 error
+  kFlush,         // one formed batcher flush     arg: batch size
+  kRetry,         // one judge retry attempt      arg: attempt ordinal
+  kBackoff,       // backoff sleep before retry   arg: attempt ordinal
+};
+
+inline constexpr std::size_t kSpanKindCount = 8;
+
+const char* span_name(SpanKind kind) noexcept;
+const char* span_category(SpanKind kind) noexcept;  // "pipeline" | "client"
+
+/// One recorded span. POD; timestamps are support::now_us() values.
+struct TraceEvent {
+  std::uint64_t trace_id = 0;   // per-file id (corpus index + 1); 0 = process
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  // enclosing span id, 0 = root
+  std::uint64_t flow_id = 0;    // kFlush: flow origin; others: flow target
+  std::uint64_t start_us = 0;
+  std::uint64_t end_us = 0;
+  double gpu_seconds = 0.0;     // simulated GPU time attributed to the span
+  std::int64_t arg = 0;         // kind-specific, see SpanKind
+  SpanKind kind = SpanKind::kRun;
+  std::uint32_t tid = 0;        // recording thread (ring ordinal, from 1)
+};
+
+class Tracer {
+ public:
+  /// `ring_capacity` bounds the events kept per recording thread; on
+  /// overflow the oldest events are overwritten and counted in dropped().
+  explicit Tracer(std::size_t ring_capacity = 1 << 16);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Allocate a process-unique span/flow id (relaxed atomic counter).
+  std::uint64_t next_id() noexcept { return ids_.allocate(); }
+
+  /// Record a finished span. `event.tid` is assigned here from the calling
+  /// thread's ring; everything else is the caller's.
+  void record(TraceEvent event);
+
+  /// Snapshot of every ring, globally sorted by (start_us, span_id). Safe
+  /// to call while recorders are live (per-ring locks), though the usual
+  /// call point is after the traced workload quiesced.
+  std::vector<TraceEvent> collect() const EXCLUDES(mutex_);
+
+  /// Events lost to ring overflow, across all threads.
+  std::uint64_t dropped() const EXCLUDES(mutex_);
+
+  std::size_t ring_capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Ring {
+    explicit Ring(std::uint32_t ring_tid) : tid(ring_tid) {}
+    support::Mutex mutex;
+    std::vector<TraceEvent> events GUARDED_BY(mutex);  // ring storage
+    std::size_t next GUARDED_BY(mutex) = 0;  // overwrite cursor once full
+    std::uint64_t dropped GUARDED_BY(mutex) = 0;
+    const std::uint32_t tid;
+  };
+
+  Ring& this_thread_ring() EXCLUDES(mutex_);
+
+  const std::size_t capacity_;
+  const std::uint64_t tracer_gen_;  // process-unique, guards stale TLS
+  IdCell ids_;
+  mutable support::Mutex mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_ GUARDED_BY(mutex_);
+};
+
+/// RAII span: stamps start on construction, records into the tracer on
+/// end()/destruction. Null-tracer and default-constructed spans are inert
+/// (every member is one branch). Move-only.
+class ObsSpan {
+ public:
+  ObsSpan() = default;
+  ObsSpan(Tracer* tracer, SpanKind kind, std::uint64_t trace_id,
+          std::uint64_t parent_id = 0) {
+    if (tracer == nullptr) return;
+    tracer_ = tracer;
+    event_.kind = kind;
+    event_.trace_id = trace_id;
+    event_.parent_id = parent_id;
+    event_.span_id = tracer->next_id();
+    event_.start_us = support::now_us();
+  }
+  ~ObsSpan() { end(); }
+
+  ObsSpan(ObsSpan&& other) noexcept
+      : tracer_(other.tracer_), event_(other.event_) {
+    other.tracer_ = nullptr;
+  }
+  ObsSpan& operator=(ObsSpan&& other) noexcept {
+    if (this != &other) {
+      end();
+      tracer_ = other.tracer_;
+      event_ = other.event_;
+      other.tracer_ = nullptr;
+    }
+    return *this;
+  }
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  /// Close and record the span now (idempotent; destructor otherwise).
+  void end() noexcept {
+    if (tracer_ == nullptr) return;
+    event_.end_us = support::now_us();
+    tracer_->record(event_);
+    tracer_ = nullptr;
+  }
+
+  void set_gpu_seconds(double seconds) noexcept {
+    if (tracer_ != nullptr) event_.gpu_seconds = seconds;
+  }
+  void set_arg(std::int64_t arg) noexcept {
+    if (tracer_ != nullptr) event_.arg = arg;
+  }
+  void set_flow(std::uint64_t flow_id) noexcept {
+    if (tracer_ != nullptr) event_.flow_id = flow_id;
+  }
+  /// Backdate the start (spans whose waiting began before the handle
+  /// existed, e.g. queue residency measured from the enqueue timestamp).
+  void set_start_us(std::uint64_t start_us) noexcept {
+    if (tracer_ != nullptr) event_.start_us = start_us;
+  }
+
+  std::uint64_t id() const noexcept { return event_.span_id; }
+  explicit operator bool() const noexcept { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  TraceEvent event_{};
+};
+
+}  // namespace llm4vv::obs

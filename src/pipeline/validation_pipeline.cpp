@@ -18,6 +18,11 @@ struct WorkItem {
   std::size_t index = 0;
   toolchain::CompileResult compile;
   toolchain::ExecutionRecord exec;
+  /// When this item was pushed into the downstream queue (support::now_us),
+  /// stamped only while a tracer is attached; 0 otherwise. The consumer
+  /// turns it into a backdated queue-wait span ending when processing of
+  /// the item starts.
+  std::uint64_t queued_us = 0;
 };
 
 /// Everything one judge worker accumulates locally and merges at join.
@@ -44,6 +49,53 @@ void merge_into(StageStats& total, const StageStats& part) {
   total.processed += part.processed;
   total.rejected += part.rejected;
   total.busy_seconds += part.busy_seconds;
+}
+
+/// Owned pipeline counters, fetched once per run: handle lookup is by name
+/// under the registry mutex — too costly per item, free per run. With no
+/// registry every handle stays null, so each inc() on the hot path is a
+/// single branch. Names mirror the legacy PipelineResult fields one-to-one
+/// (tests/obs_consistency_test.cpp asserts the totals stay equal).
+struct PipelineMetrics {
+  obs::Counter files;
+  obs::Counter dropped;
+  obs::Counter compile_processed;
+  obs::Counter compile_rejected;
+  obs::Counter compile_cache_hits;
+  obs::Counter compile_persisted_hits;
+  obs::Counter execute_processed;
+  obs::Counter execute_rejected;
+  obs::Counter judge_processed;
+  obs::Counter judge_rejected;
+  obs::Counter judge_cache_hits;
+  obs::Counter judge_cache_misses;
+  obs::Counter judge_persisted_hits;
+  obs::Counter judge_errors;
+  /// Items per popped judge chunk — how full the stage-3 pops ran.
+  obs::Histogram judge_chunk;
+};
+
+PipelineMetrics fetch_metrics(obs::Registry* registry) {
+  PipelineMetrics m;
+  if (registry == nullptr) return m;
+  m.files = registry->counter("pipeline.files");
+  m.dropped = registry->counter("pipeline.dropped");
+  m.compile_processed = registry->counter("pipeline.compile.processed");
+  m.compile_rejected = registry->counter("pipeline.compile.rejected");
+  m.compile_cache_hits = registry->counter("pipeline.compile.cache_hits");
+  m.compile_persisted_hits =
+      registry->counter("pipeline.compile.persisted_hits");
+  m.execute_processed = registry->counter("pipeline.execute.processed");
+  m.execute_rejected = registry->counter("pipeline.execute.rejected");
+  m.judge_processed = registry->counter("pipeline.judge.processed");
+  m.judge_rejected = registry->counter("pipeline.judge.rejected");
+  m.judge_cache_hits = registry->counter("pipeline.judge.cache_hits");
+  m.judge_cache_misses = registry->counter("pipeline.judge.cache_misses");
+  m.judge_persisted_hits = registry->counter("pipeline.judge.persisted_hits");
+  m.judge_errors = registry->counter("pipeline.judge.errors");
+  m.judge_chunk = registry->histogram("pipeline.judge.chunk_size",
+                                      {1, 2, 4, 8, 16, 32, 64});
+  return m;
 }
 
 }  // namespace
@@ -78,6 +130,20 @@ PipelineResult ValidationPipeline::run(
   }
   if (files.empty()) return result;
 
+  obs::Registry* const registry = config_.registry.get();
+  obs::Tracer* const tracer = config_.trace.get();
+  const PipelineMetrics metrics = fetch_metrics(registry);
+  metrics.files.inc(files.size());
+  // Run-scoped probes: the judge's client and memo-cache counters
+  // re-register under "pipeline.*" for this run (the queues join below,
+  // once they exist) and are unregistered after the end-of-run snapshot,
+  // so a registry that outlives this pipeline never holds callbacks into
+  // dead objects.
+  if (registry != nullptr) {
+    judge_->client().register_metrics(*registry, "pipeline.client");
+    judge_->register_metrics(*registry, "pipeline.judge_cache");
+  }
+
   const bool filter = config_.mode == PipelineMode::kFilterEarly;
   const std::size_t kStageBatch = config_.stage_batch;
 
@@ -108,6 +174,11 @@ PipelineResult ValidationPipeline::run(
                                                 shards);
   support::MpmcQueue<WorkItem> execute_queue(config_.queue_capacity, shards);
   support::MpmcQueue<WorkItem> judge_queue(config_.queue_capacity, shards);
+  if (registry != nullptr) {
+    compile_queue.register_metrics(*registry, "pipeline.queue.compile");
+    execute_queue.register_metrics(*registry, "pipeline.queue.execute");
+    judge_queue.register_metrics(*registry, "pipeline.queue.judge");
+  }
 
   // Per-worker accumulators: each worker owns one slot and writes it once
   // at exit, so the hot loop touches no shared counter and takes no lock
@@ -123,6 +194,11 @@ PipelineResult ValidationPipeline::run(
   std::atomic<std::size_t> execute_live{config_.execute_workers};
 
   support::Stopwatch wall;
+  // One span covers the whole run; per-file stage spans parent to it so a
+  // Chrome trace groups cleanly per run even when a process runs several.
+  obs::ObsSpan run_span(tracer, obs::SpanKind::kRun, 0);
+  run_span.set_arg(static_cast<std::int64_t>(files.size()));
+  const std::uint64_t run_span_id = run_span.id();
   std::vector<std::thread> workers;
   workers.reserve(config_.compile_workers + config_.execute_workers +
                   config_.judge_workers);
@@ -141,9 +217,13 @@ PipelineResult ValidationPipeline::run(
         outgoing.clear();
         for (const std::size_t index : batch) {
           support::Stopwatch timer;
+          obs::ObsSpan span(tracer, obs::SpanKind::kCompile, index + 1,
+                            run_span_id);
           WorkItem item;
           item.index = index;
           item.compile = compiler_.compile(files[index]);
+          span.set_arg(item.compile.success ? 1 : 0);
+          span.end();
           PipelineRecord& record = result.records[index];
           record.compiled = item.compile.success;
           record.compile_rc = item.compile.return_code;
@@ -152,13 +232,19 @@ PipelineResult ValidationPipeline::run(
           if (item.compile.persisted) ++local.persisted_hits;
           ++local.stats.processed;
           if (!item.compile.success) ++local.stats.rejected;
+          metrics.compile_processed.inc();
+          if (item.compile.cached) metrics.compile_cache_hits.inc();
+          if (item.compile.persisted) metrics.compile_persisted_hits.inc();
+          if (!item.compile.success) metrics.compile_rejected.inc();
           local.stats.busy_seconds += timer.seconds();
           if (filter && !item.compile.success) continue;
+          if (tracer != nullptr) item.queued_us = support::now_us();
           outgoing.push_back(std::move(item));
         }
         const std::size_t pushed = execute_queue.push_all(outgoing);
         for (std::size_t j = pushed; j < outgoing.size(); ++j) {
           result.records[outgoing[j].index].dropped = true;
+          metrics.dropped.inc();
         }
       }
       compile_locals[w] = local;
@@ -179,20 +265,35 @@ PipelineResult ValidationPipeline::run(
         if (execute_queue.pop_up_to(kStageBatch, batch) == 0) break;
         outgoing.clear();
         for (WorkItem& item : batch) {
+          if (tracer != nullptr && item.queued_us != 0) {
+            // Residency in the execute queue: enqueue to processing start.
+            obs::ObsSpan wait(tracer, obs::SpanKind::kQueueWait,
+                              item.index + 1, run_span_id);
+            wait.set_start_us(item.queued_us);
+            wait.set_arg(1);
+          }
           support::Stopwatch timer;
+          obs::ObsSpan span(tracer, obs::SpanKind::kExecute, item.index + 1,
+                            run_span_id);
           item.exec = executor_.run(item.compile.module);
+          span.set_arg(item.exec.passed() ? 1 : 0);
+          span.end();
           PipelineRecord& record = result.records[item.index];
           record.executed = item.exec.passed();
           record.exec_rc = item.exec.return_code;
           ++local.processed;
           if (!item.exec.passed()) ++local.rejected;
+          metrics.execute_processed.inc();
+          if (!item.exec.passed()) metrics.execute_rejected.inc();
           local.busy_seconds += timer.seconds();
           if (filter && !item.exec.passed()) continue;
+          if (tracer != nullptr) item.queued_us = support::now_us();
           outgoing.push_back(std::move(item));
         }
         const std::size_t pushed = judge_queue.push_all(outgoing);
         for (std::size_t j = pushed; j < outgoing.size(); ++j) {
           result.records[outgoing[j].index].dropped = true;
+          metrics.dropped.inc();
         }
       }
       execute_locals[w] = local;
@@ -222,10 +323,15 @@ PipelineResult ValidationPipeline::run(
         ++local.stats.processed;
         if (!decision.says_valid) ++local.stats.rejected;
         if (decision.persisted) ++local.persisted_hits;
+        metrics.judge_processed.inc();
+        if (!decision.says_valid) metrics.judge_rejected.inc();
+        if (decision.persisted) metrics.judge_persisted_hits.inc();
         if (decision.cached) {
           ++local.cache_hits;
+          metrics.judge_cache_hits.inc();
         } else {
           ++local.cache_misses;
+          metrics.judge_cache_misses.inc();
           record.judge_attempts = decision.completion.attempts;
           record.judge_gpu_seconds = decision.completion.latency_seconds;
           local.gpu_seconds += decision.completion.latency_seconds;
@@ -248,6 +354,8 @@ PipelineResult ValidationPipeline::run(
         }
         ++local.stats.processed;
         ++local.errors;
+        metrics.judge_processed.inc();
+        metrics.judge_errors.inc();
       };
       /// One submitted-but-not-drained chunk item.
       struct PendingJudge {
@@ -256,6 +364,26 @@ PipelineResult ValidationPipeline::run(
         judge::JudgeDecision decision;
         std::exception_ptr error;  ///< the judge gave up on this item
         std::size_t group = 0;  ///< submission-group id within the chunk
+        std::uint64_t submit_us = 0;  ///< judge-span start (tracing only)
+      };
+      // Judge span: submission to drain, stamped when the future resolves.
+      // Uncached decisions carry the simulated GPU cost and the flow id of
+      // the serving batcher flush, so exporters can link each request back
+      // to the forward pass that served it.
+      const auto trace_judge = [&](const PendingJudge& entry) {
+        if (tracer == nullptr) return;
+        obs::ObsSpan span(tracer, obs::SpanKind::kJudge,
+                          entry.item->index + 1, run_span_id);
+        span.set_start_us(entry.submit_us);
+        if (entry.error != nullptr) {
+          span.set_arg(-1);
+        } else {
+          span.set_arg(static_cast<std::int64_t>(entry.decision.verdict));
+          if (!entry.decision.cached) {
+            span.set_gpu_seconds(entry.decision.completion.latency_seconds);
+            span.set_flow(entry.decision.completion.trace_flow);
+          }
+        }
       };
       std::vector<WorkItem> batch;
       std::vector<judge::JudgeRequest> requests;
@@ -266,19 +394,40 @@ PipelineResult ValidationPipeline::run(
       for (;;) {
         batch.clear();
         if (judge_queue.pop_up_to(kStageBatch, batch) == 0) break;
+        metrics.judge_chunk.observe(batch.size());
+        if (tracer != nullptr) {
+          // Residency in the judge queue: enqueue to chunk pickup.
+          for (const WorkItem& item : batch) {
+            if (item.queued_us == 0) continue;
+            obs::ObsSpan wait(tracer, obs::SpanKind::kQueueWait,
+                              item.index + 1, run_span_id);
+            wait.set_start_us(item.queued_us);
+            wait.set_arg(2);
+          }
+        }
         if (judge_batch <= 1) {
           // Sequential per-item path: the paper's one-call-per-file
           // accounting (each call is its own immediate flush when the
           // batcher window is pinned to 0).
           for (const WorkItem& item : batch) {
             support::Stopwatch timer;
+            obs::ObsSpan span(tracer, obs::SpanKind::kJudge, item.index + 1,
+                              run_span_id);
             try {
               const judge::JudgeDecision decision =
                   judge_->evaluate(files[item.index], &item.compile,
                                    &item.exec, config_.judge_seed);
+              span.set_arg(static_cast<std::int64_t>(decision.verdict));
+              if (!decision.cached) {
+                span.set_gpu_seconds(decision.completion.latency_seconds);
+                span.set_flow(decision.completion.trace_flow);
+              }
+              span.end();
               local.stats.busy_seconds += timer.seconds();
               record_decision(item, decision);
             } catch (...) {
+              span.set_arg(-1);
+              span.end();
               local.stats.busy_seconds += timer.seconds();
               record_error(item, std::current_exception());
             }
@@ -298,6 +447,8 @@ PipelineResult ValidationPipeline::run(
             requests.push_back(judge::JudgeRequest{
                 &files[batch[i].index], &batch[i].compile, &batch[i].exec});
           }
+          const std::uint64_t group_submit_us =
+              tracer != nullptr ? support::now_us() : 0;
           auto futures =
               judge_->evaluate_async_many(requests, config_.judge_seed);
           for (std::size_t i = start; i < end; ++i) {
@@ -305,6 +456,7 @@ PipelineResult ValidationPipeline::run(
             entry.item = &batch[i];
             entry.future = std::move(futures[i - start]);
             entry.group = groups;
+            entry.submit_us = group_submit_us;
             pending.push_back(std::move(entry));
           }
         }
@@ -319,6 +471,7 @@ PipelineResult ValidationPipeline::run(
             } catch (...) {
               entry.error = std::current_exception();
             }
+            trace_judge(entry);
           }
         }
         for (PendingJudge& entry : pending) {
@@ -328,6 +481,7 @@ PipelineResult ValidationPipeline::run(
             } catch (...) {
               entry.error = std::current_exception();
             }
+            trace_judge(entry);
           }
         }
         local.stats.busy_seconds += timer.seconds();
@@ -434,6 +588,18 @@ PipelineResult ValidationPipeline::run(
   if (formed_batched > 0) {
     result.judge_batch_occupancy = static_cast<double>(formed_prompts) /
                                    static_cast<double>(formed_batched);
+  }
+  run_span.set_gpu_seconds(result.judge_gpu_seconds);
+  run_span.end();
+  // Snapshot while the run-scoped probes (client, judge cache, queues) are
+  // still live, then drop them: the queues die with this frame, and the
+  // client/cache probes must not outlive the pipeline into a longer-lived
+  // registry.
+  if (registry != nullptr) {
+    result.metrics = registry->snapshot();
+    registry->unregister_prefix("pipeline.client.");
+    registry->unregister_prefix("pipeline.judge_cache.");
+    registry->unregister_prefix("pipeline.queue.");
   }
   result.wall_seconds = wall.seconds();
   return result;

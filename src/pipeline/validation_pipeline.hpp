@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "judge/judge.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "toolchain/compiler.hpp"
 #include "toolchain/executor.hpp"
 
@@ -60,6 +62,21 @@ struct PipelineConfig {
   /// (records are indexed, not ordered); 1 restores the strict-FIFO
   /// single-mutex queue.
   std::size_t queue_shards = 0;
+  /// Optional metrics registry. When set, run() re-registers the judge's
+  /// client/cache counters and the inter-stage queue gauges as run-scoped
+  /// probes under "pipeline.*", bumps owned pipeline counters as items move
+  /// through the stages, and snapshots the whole registry into
+  /// PipelineResult::metrics before unregistering the run-scoped probes.
+  /// Null (the default) keeps the pipeline metrics-free: every metric hook
+  /// degrades to a single branch on a null handle.
+  std::shared_ptr<obs::Registry> registry;
+  /// Optional span tracer. When set, run() emits one run span plus
+  /// per-file compile / queue-wait / execute / judge spans (trace id =
+  /// input index + 1) into the tracer's per-thread rings; judge spans carry
+  /// the serving batcher flush's flow id so exports can link batches to
+  /// their member requests. Null (the default) disables tracing with fixed
+  /// overhead: every span site is a single branch on the null sink.
+  std::shared_ptr<obs::Tracer> trace;
 };
 
 /// Everything recorded about one file's trip through the pipeline.
@@ -187,6 +204,10 @@ struct PipelineResult {
   std::uint64_t breaker_opens = 0;
   std::array<std::uint64_t, llm::ClientStats::kRetryLatencyBuckets>
       judge_retry_latency_hist{};
+  /// Registry snapshot taken at the end of the run, while the run-scoped
+  /// probes (client, judge cache, queues) were still registered. Empty when
+  /// PipelineConfig::registry was null.
+  obs::MetricsSnapshot metrics;
 };
 
 /// The staged validation pipeline of Figure 2: bounded queues between a

@@ -7,6 +7,7 @@
 #include <functional>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -268,6 +269,28 @@ class MpmcQueue {
   /// work-stealing rate, surfaced in pipeline telemetry.
   std::uint64_t steals() const {
     return steals_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-register the queue's live telemetry into an obs::Registry-shaped
+  /// sink as scrape-time probes: "<prefix>.depth" (current size),
+  /// "<prefix>.steals", "<prefix>.capacity", "<prefix>.shards". Duck-typed
+  /// on the registry so this support-layer header needs no obs include;
+  /// the queue must outlive the registration — callers with run-scoped
+  /// queues (the pipeline) pair this with unregister_prefix(prefix).
+  template <typename RegistryT>
+  void register_metrics(RegistryT& registry, const std::string& prefix) const {
+    registry.register_probe(prefix + ".depth", [this] {
+      return static_cast<double>(size());
+    });
+    registry.register_probe(prefix + ".steals", [this] {
+      return static_cast<double>(steals());
+    });
+    registry.register_probe(prefix + ".capacity", [this] {
+      return static_cast<double>(capacity());
+    });
+    registry.register_probe(prefix + ".shards", [this] {
+      return static_cast<double>(shard_count());
+    });
   }
 
  private:

@@ -1,29 +1,46 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace llm4vv::support {
 
+/// Monotonic microsecond clock shared by every timing consumer in the
+/// tree: Stopwatch below, the pipeline's stage/wall accounting, the
+/// client's flush latency fields, and the obs::Tracer span timestamps all
+/// read this one steady_clock tick, so traces and latency metrics line up
+/// without cross-clock skew. The epoch is the platform's steady_clock
+/// epoch (typically boot), not Unix time.
+inline std::uint64_t now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Monotonic wall-clock stopwatch used by pipeline statistics and the
-/// latency model of the simulated inference server.
+/// latency model of the simulated inference server. Expressed over
+/// now_us() so stopwatch readings and trace timestamps share one clock.
 class Stopwatch {
  public:
-  Stopwatch() noexcept : start_(clock::now()) {}
+  Stopwatch() noexcept : start_us_(now_us()) {}
 
   /// Reset the origin to now.
-  void restart() noexcept { start_ = clock::now(); }
+  void restart() noexcept { start_us_ = now_us(); }
 
   /// Seconds elapsed since construction or the last restart().
   double seconds() const noexcept {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+    return static_cast<double>(now_us() - start_us_) * 1e-6;
   }
 
   /// Milliseconds elapsed.
   double millis() const noexcept { return seconds() * 1e3; }
 
+  /// Microsecond timestamp of the origin (same clock as now_us()).
+  std::uint64_t start_us() const noexcept { return start_us_; }
+
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  std::uint64_t start_us_;
 };
 
 }  // namespace llm4vv::support

@@ -19,6 +19,13 @@
 #      also declare at least one GUARDED_BY / REQUIRES / EXCLUDES /
 #      ACQUIRE user -- a mutex nothing is annotated against guards
 #      nothing the analysis can see.
+#   3. No std::atomic members in src/obs/ headers outside cells.hpp. The
+#      metrics registry's whole design is that hot-path writes go through
+#      the sharded cell types (CounterCells/GaugeCell in obs/cells.hpp),
+#      which own contention layout and scrape semantics; an ad-hoc atomic
+#      counter member in another obs header bypasses the registry and
+#      silently reintroduces the shared-cacheline hot spot the cells
+#      exist to avoid.
 #
 # Usage:
 #   tools/lint_concurrency.sh              lint the tree (exit 1 on finding)
@@ -32,6 +39,7 @@ SCRIPT_DIR="$(cd "$(dirname "$0")" && pwd)"
 cd "${LLM4VV_LINT_ROOT:-$SCRIPT_DIR/..}" || exit 2
 
 ALLOWED_RAW_HEADER="src/support/thread_annotations.hpp"
+ALLOWED_ATOMIC_OBS_HEADER="src/obs/cells.hpp"
 RAW_TYPES='std::(mutex|shared_mutex|condition_variable(_any)?|lock_guard|unique_lock|shared_lock|scoped_lock)'
 failures=0
 
@@ -78,12 +86,34 @@ lint_header_unguarded_mutex() {
   return 0
 }
 
+lint_obs_header_raw_atomics() {
+  # Rule 3: std::atomic members in obs headers outside the cell types.
+  local header="$1"
+  case "$header" in
+    src/obs/*.hpp) ;;
+    *) return 0 ;;
+  esac
+  [ "$header" = "$ALLOWED_ATOMIC_OBS_HEADER" ] && return 0
+  local hits
+  hits=$(strip_comments "$header" | grep -nE 'std::atomic\s*<')
+  if [ -n "$hits" ]; then
+    echo "LINT: $header declares raw std::atomic members; obs hot-path" \
+         "state must use the sharded cell types from obs/cells.hpp" \
+         "(CounterCells/GaugeCell) so writes keep the registry's" \
+         "contention layout and scrape semantics:"
+    echo "$hits" | sed 's/^/    /'
+    return 1
+  fi
+  return 0
+}
+
 lint_tree() {
   local status=0
   local header
   while IFS= read -r header; do
     lint_header_raw_types "$header" || status=1
     lint_header_unguarded_mutex "$header" || status=1
+    lint_obs_header_raw_atomics "$header" || status=1
   done < <(find src -name '*.hpp' | sort)
   return $status
 }
@@ -92,7 +122,7 @@ self_test() {
   self_test_dir=$(mktemp -d) || exit 2
   trap 'rm -rf "$self_test_dir"' EXIT
   local dir="$self_test_dir"
-  mkdir -p "$dir/src/bad"
+  mkdir -p "$dir/src/bad" "$dir/src/obs"
   local status=0
 
   # Seed a rule-1 violation: a naked std::mutex member.
@@ -117,6 +147,18 @@ class Unguarded {
 };
 EOF
 
+  # Seed a rule-3 violation: an obs header hiding a raw atomic counter
+  # that bypasses the registry's sharded cells.
+  cat > "$dir/src/obs/rogue_counter.hpp" <<'EOF'
+#pragma once
+#include <atomic>
+// A std::atomic in a comment alone must NOT trip the lint.
+class RogueCounter {
+ private:
+  std::atomic<unsigned long> hits_{0};
+};
+EOF
+
   if LLM4VV_LINT_ROOT="$dir" "$SCRIPT_DIR/lint_concurrency.sh" \
       > /dev/null 2>&1; then
     echo "SELF-TEST FAIL: lint accepted a tree with seeded violations"
@@ -137,6 +179,20 @@ EOF
     status=1
   else
     echo "self-test: rule 2 catches an unannotated Mutex member: OK"
+  fi
+  if (cd "$dir" && lint_obs_header_raw_atomics "src/obs/rogue_counter.hpp" \
+      > /dev/null); then
+    echo "SELF-TEST FAIL: rule 3 missed a raw std::atomic obs member"
+    status=1
+  else
+    echo "self-test: rule 3 catches a raw std::atomic member in obs: OK"
+  fi
+  # The sanctioned cell header itself must stay exempt.
+  if ! lint_obs_header_raw_atomics "src/obs/cells.hpp" > /dev/null; then
+    echo "SELF-TEST FAIL: rule 3 flagged the sanctioned obs/cells.hpp"
+    status=1
+  else
+    echo "self-test: rule 3 exempts obs/cells.hpp: OK"
   fi
 
   # And the real tree must be clean, or the lint is vacuous red.
