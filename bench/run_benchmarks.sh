@@ -17,6 +17,10 @@
 #                                 registry vs registry+tracer pipeline wall
 #                                 time, plus counter-inc / span-record
 #                                 microbenches (see docs/OBSERVABILITY.md)
+#   bench/BENCH_serve.json      - serving layer: closed-loop p50/p99 latency
+#                                 and jobs/s over loopback at 1/2/4 clients,
+#                                 plus the 3-tenant fairness sweep (see
+#                                 docs/SERVING.md)
 #
 # Usage: bench/run_benchmarks.sh [build-dir]
 #   BENCH_MIN_TIME=0.01s bench/run_benchmarks.sh   # quick smoke run
@@ -60,6 +64,7 @@ run_bench perf_batcher "${script_dir}/BENCH_batcher.json"
 run_bench perf_vm "${script_dir}/BENCH_vm.json"
 run_bench perf_faults "${script_dir}/BENCH_faults.json"
 run_bench perf_obs "${script_dir}/BENCH_obs.json"
+run_bench perf_serve "${script_dir}/BENCH_serve.json"
 
 # Warm-start persistence check: run perf_cache twice against ONE cache
 # file. The first invocation starts cold (the file is deleted here) and
@@ -371,4 +376,50 @@ if command -v jq >/dev/null 2>&1; then
   }
   echo "observability OK (disabled path stays a branch, sim-GPU identical" \
        "across modes, traced run produced spans + metrics)"
+
+  jq -r '
+    .benchmarks[]
+    | select(.name | startswith("BM_ServeClosedLoop"))
+    | "\(.name): p50 \(.p50_latency_us | floor) us, " +
+      "p99 \(.p99_latency_us | floor) us, " +
+      "\(.jobs_per_s | floor) jobs/s"
+  ' "${script_dir}/BENCH_serve.json"
+
+  # Serving gates. Closed loop: every client's every job must come back as
+  # a verdict (completed_per_run == clients x 6) with nonzero throughput
+  # and a measured tail. Fairness: with three tenants saturating one
+  # worker, the weighted fair scheduler must keep the spread loose-bounded
+  # (max/min completions < 2.5) and starve nobody -- if a tenant ever
+  # reads zero completions the WRR cursor or the per-tenant queues broke.
+  jq -e '
+    ([.benchmarks[]
+      | select(.name == "BM_ServeClosedLoop/clients:1/real_time")][0])
+      as $c1 |
+    ([.benchmarks[]
+      | select(.name == "BM_ServeClosedLoop/clients:2/real_time")][0])
+      as $c2 |
+    ([.benchmarks[]
+      | select(.name == "BM_ServeClosedLoop/clients:4/real_time")][0])
+      as $c4 |
+    $c1.completed_per_run == 6 and $c2.completed_per_run == 12
+      and $c4.completed_per_run == 24
+      and ($c1.jobs_per_s > 0 and $c2.jobs_per_s > 0 and $c4.jobs_per_s > 0)
+      and ($c1.p99_latency_us > 0 and $c4.p99_latency_us > 0)
+  ' "${script_dir}/BENCH_serve.json" > /dev/null || {
+    echo "error: serving closed-loop gate failed (lost verdicts, zero" \
+         "throughput, or empty latency tail) - see BENCH_serve.json" >&2
+    exit 1
+  }
+  jq -e '
+    ([.benchmarks[]
+      | select(.name == "BM_ServeFairness/tenants:3/real_time")][0]) as $f |
+    $f.tenant_min_completed > 0
+      and $f.fairness_ratio > 0 and $f.fairness_ratio < 2.5
+  ' "${script_dir}/BENCH_serve.json" > /dev/null || {
+    echo "error: serving fairness gate failed (a tenant starved or the" \
+         "completion spread exceeded 2.5x) - see BENCH_serve.json" >&2
+    exit 1
+  }
+  echo "serving OK (closed loop loses nothing, 3-tenant spread < 2.5x," \
+       "nobody starved)"
 fi

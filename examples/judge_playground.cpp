@@ -59,11 +59,9 @@
 // Telemetry summaries (batcher, resilience, metrics) always go to stderr;
 // stdout stays the demo's report — or pure trace JSON under --trace-out=-.
 #include <cstdio>
-#include <fstream>
-#include <iostream>
 
 #include "core/llm4vv.hpp"
-#include "obs/export.hpp"
+#include "examples/obs_flags.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "support/cli.hpp"
@@ -75,12 +73,10 @@ int main(int argc, char** argv) {
   const support::CliArgs args(argc, argv);
   const std::string cache_file = args.get("cache-file", "");
   const bool cache_save = args.has("cache-save");
-  const std::string trace_out = args.get("trace-out", "");
-  const std::string trace_jsonl = args.get("trace-jsonl", "");
-  const bool metrics_dump = args.has("metrics-dump");
-  const bool trace_to_stdout = trace_out == "-";
+  const auto obs_flags = examples::ObsFlags::parse(args);
+  const bool metrics_dump = obs_flags.metrics_dump();
   // Human report: stdout normally, stderr when the trace JSON owns stdout.
-  std::FILE* const report = trace_to_stdout ? stderr : stdout;
+  std::FILE* const report = obs_flags.report();
   llm::BatcherConfig batcher;
   batcher.max_batch =
       static_cast<std::size_t>(args.get_int("batch-max", 0));
@@ -151,11 +147,8 @@ int main(int argc, char** argv) {
                                                    /*transcripts=*/16,
                                                    batcher, retry, breaker);
 
-  std::shared_ptr<obs::Tracer> tracer;
-  if (!trace_out.empty() || !trace_jsonl.empty()) {
-    tracer = std::make_shared<obs::Tracer>();
-    client->set_tracer(tracer);
-  }
+  const std::shared_ptr<obs::Tracer>& tracer = obs_flags.tracer();
+  if (tracer != nullptr) client->set_tracer(tracer);
   obs::Registry registry;
   if (metrics_dump) client->register_metrics(registry, "llm.client");
 
@@ -355,36 +348,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (metrics_dump) {
-    std::fprintf(stderr, "\n--- metrics registry ---\n%s",
-                 registry.render_text().c_str());
-  }
-  if (tracer != nullptr) {
-    const auto events = tracer->collect();
-    if (!trace_out.empty()) {
-      if (trace_to_stdout) {
-        obs::write_chrome_trace(std::cout, events, tracer->dropped());
-      } else {
-        std::ofstream out(trace_out, std::ios::trunc);
-        if (!out.is_open()) {
-          std::fprintf(stderr, "trace: cannot open %s\n", trace_out.c_str());
-          return 1;
-        }
-        obs::write_chrome_trace(out, events, tracer->dropped());
-        std::fprintf(stderr, "trace: wrote %zu spans to %s\n", events.size(),
-                     trace_out.c_str());
-      }
-    }
-    if (!trace_jsonl.empty()) {
-      std::ofstream out(trace_jsonl, std::ios::trunc);
-      if (!out.is_open()) {
-        std::fprintf(stderr, "trace: cannot open %s\n", trace_jsonl.c_str());
-        return 1;
-      }
-      obs::write_span_jsonl(out, events);
-      std::fprintf(stderr, "trace: wrote %zu spans to %s\n", events.size(),
-                   trace_jsonl.c_str());
-    }
-  }
+  if (!obs_flags.finish(&registry)) return 1;
   return 0;
 }

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "support/cli.hpp"
+
+/// Shared observability flags for the demo / server binaries
+/// (docs/OBSERVABILITY.md). Every binary that wires the obs/ subsystem
+/// takes the same three flags with the same semantics:
+///
+///   --trace-out <path>    export a Chrome trace-event JSON at exit; `-`
+///                         writes the JSON to stdout and moves the human
+///                         report to stderr (report())
+///   --trace-jsonl <path>  export the same spans as a JSONL log
+///   --metrics-dump        dump the metrics registry to stderr in
+///                         Prometheus text format at exit
+///
+/// Parse once, hand tracer() to whatever produces spans, and call
+/// finish(&registry) last. Header-only so the examples (which build as
+/// standalone binaries, not against each other) can all include it.
+namespace llm4vv::examples {
+
+class ObsFlags {
+ public:
+  static ObsFlags parse(const support::CliArgs& args) {
+    ObsFlags flags;
+    flags.trace_out_ = args.get("trace-out", "");
+    flags.trace_jsonl_ = args.get("trace-jsonl", "");
+    flags.metrics_dump_ = args.has("metrics-dump");
+    if (!flags.trace_out_.empty() || !flags.trace_jsonl_.empty()) {
+      flags.tracer_ = std::make_shared<obs::Tracer>();
+    }
+    return flags;
+  }
+
+  bool wants_trace() const noexcept { return tracer_ != nullptr; }
+  bool metrics_dump() const noexcept { return metrics_dump_; }
+  bool trace_to_stdout() const noexcept { return trace_out_ == "-"; }
+
+  /// Where the human-readable report goes: stdout normally, stderr when
+  /// the trace JSON owns stdout (so `--trace-out=- | check_trace.py -`
+  /// pipes clean JSON).
+  std::FILE* report() const noexcept {
+    return trace_to_stdout() ? stderr : stdout;
+  }
+
+  /// Null when no trace flag was given — safe to pass to span producers.
+  const std::shared_ptr<obs::Tracer>& tracer() const noexcept {
+    return tracer_;
+  }
+
+  /// Run the exports: metrics dump first (stderr), then the Chrome trace,
+  /// then the JSONL log. Returns false when an output file cannot be
+  /// opened (the caller should exit nonzero).
+  bool finish(const obs::Registry* registry) const {
+    if (metrics_dump_ && registry != nullptr) {
+      std::fprintf(stderr, "\n--- metrics registry ---\n%s",
+                   registry->render_text().c_str());
+    }
+    if (tracer_ == nullptr) return true;
+    const auto events = tracer_->collect();
+    if (!trace_out_.empty()) {
+      if (trace_to_stdout()) {
+        obs::write_chrome_trace(std::cout, events, tracer_->dropped());
+      } else {
+        std::ofstream out(trace_out_, std::ios::trunc);
+        if (!out.is_open()) {
+          std::fprintf(stderr, "trace: cannot open %s\n", trace_out_.c_str());
+          return false;
+        }
+        obs::write_chrome_trace(out, events, tracer_->dropped());
+        std::fprintf(stderr, "trace: wrote %zu spans to %s\n", events.size(),
+                     trace_out_.c_str());
+      }
+    }
+    if (!trace_jsonl_.empty()) {
+      std::ofstream out(trace_jsonl_, std::ios::trunc);
+      if (!out.is_open()) {
+        std::fprintf(stderr, "trace: cannot open %s\n", trace_jsonl_.c_str());
+        return false;
+      }
+      obs::write_span_jsonl(out, events);
+      std::fprintf(stderr, "trace: wrote %zu spans to %s\n", events.size(),
+                   trace_jsonl_.c_str());
+    }
+    return true;
+  }
+
+ private:
+  std::string trace_out_;
+  std::string trace_jsonl_;
+  bool metrics_dump_ = false;
+  std::shared_ptr<obs::Tracer> tracer_;
+};
+
+}  // namespace llm4vv::examples

@@ -16,11 +16,9 @@
 //   --metrics-dump       attach a metrics registry to the traced pass and
 //                        dump it to stderr in Prometheus text format
 #include <cstdio>
-#include <fstream>
-#include <iostream>
 
 #include "core/llm4vv.hpp"
-#include "obs/export.hpp"
+#include "examples/obs_flags.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "support/cli.hpp"
@@ -55,10 +53,8 @@ std::vector<frontend::SourceFile> make_batch(std::size_t count) {
 int main(int argc, char** argv) {
   using namespace llm4vv;
   const support::CliArgs args(argc, argv);
-  const std::string trace_out = args.get("trace-out", "");
-  const bool metrics_dump = args.has("metrics-dump");
-  const bool trace_to_stdout = trace_out == "-";
-  std::FILE* const report = trace_to_stdout ? stderr : stdout;
+  const auto obs_flags = examples::ObsFlags::parse(args);
+  std::FILE* const report = obs_flags.report();
 
   const auto files = make_batch(300);
   std::fprintf(report,
@@ -108,7 +104,7 @@ int main(int argc, char** argv) {
   // Dedicated traced pass: additive, so the sweep above stays untouched.
   // Everything runs through PipelineConfig::trace/registry — the same
   // wiring bench/perf_obs.cpp gates and tools/check_trace.py validates.
-  if (!trace_out.empty() || metrics_dump) {
+  if (obs_flags.wants_trace() || obs_flags.metrics_dump()) {
     const std::size_t traced_count =
         static_cast<std::size_t>(args.get_int("trace-files", 120));
     const auto traced_files = make_batch(traced_count);
@@ -122,11 +118,9 @@ int main(int argc, char** argv) {
     config.judge_workers = 2;
     auto registry = std::make_shared<obs::Registry>();
     config.registry = registry;
-    std::shared_ptr<obs::Tracer> tracer;
-    if (!trace_out.empty()) {
-      tracer = std::make_shared<obs::Tracer>();
-      config.trace = tracer;
-      client->set_tracer(tracer);
+    if (obs_flags.wants_trace()) {
+      config.trace = obs_flags.tracer();
+      client->set_tracer(obs_flags.tracer());
     }
     const pipeline::ValidationPipeline pipe(
         toolchain::CompilerDriver(toolchain::nvc_persona()),
@@ -138,25 +132,7 @@ int main(int argc, char** argv) {
                  traced_files.size(), result.judge_stage.processed,
                  result.judge_errors, result.judge_gpu_seconds,
                  result.metrics.size());
-    if (metrics_dump) {
-      std::fprintf(stderr, "--- metrics registry ---\n%s",
-                   registry->render_text().c_str());
-    }
-    if (tracer != nullptr) {
-      const auto events = tracer->collect();
-      if (trace_to_stdout) {
-        obs::write_chrome_trace(std::cout, events, tracer->dropped());
-      } else {
-        std::ofstream out(trace_out, std::ios::trunc);
-        if (!out.is_open()) {
-          std::fprintf(stderr, "trace: cannot open %s\n", trace_out.c_str());
-          return 1;
-        }
-        obs::write_chrome_trace(out, events, tracer->dropped());
-        std::fprintf(stderr, "trace: wrote %zu spans to %s\n", events.size(),
-                     trace_out.c_str());
-      }
-    }
+    if (!obs_flags.finish(registry.get())) return 1;
   }
   return 0;
 }

@@ -1,0 +1,272 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+namespace llm4vv::serve {
+
+namespace {
+
+using support::JsonObject;
+using support::JsonValue;
+
+const JsonValue* find_field(
+    const std::map<std::string, JsonValue>& fields, const std::string& key) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? nullptr : &it->second;
+}
+
+std::string string_field(const std::map<std::string, JsonValue>& fields,
+                         const std::string& key) {
+  const JsonValue* value = find_field(fields, key);
+  return value != nullptr && value->is_string() ? value->string : "";
+}
+
+double number_field(const std::map<std::string, JsonValue>& fields,
+                    const std::string& key, double fallback = 0.0) {
+  const JsonValue* value = find_field(fields, key);
+  return value != nullptr && value->is_number() ? value->number : fallback;
+}
+
+bool bool_field(const std::map<std::string, JsonValue>& fields,
+                const std::string& key) {
+  const JsonValue* value = find_field(fields, key);
+  return value != nullptr && value->kind == JsonValue::Kind::kBool &&
+         value->boolean;
+}
+
+/// Job ids ride as JSON numbers; doubles hold 53 integer bits exactly,
+/// far beyond any realistic per-connection id, and negatives/fractions
+/// are rejected as malformed.
+std::optional<std::uint64_t> id_field(
+    const std::map<std::string, JsonValue>& fields, const std::string& key) {
+  const JsonValue* value = find_field(fields, key);
+  if (value == nullptr || !value->is_number()) return std::nullopt;
+  if (value->number < 0.0 || value->number != std::floor(value->number)) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(value->number);
+}
+
+}  // namespace
+
+bool valid_tenant_name(std::string_view name) noexcept {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+const char* language_token(frontend::Language language) noexcept {
+  switch (language) {
+    case frontend::Language::kC: return "c";
+    case frontend::Language::kCpp: return "cpp";
+    case frontend::Language::kFortran: return "fortran";
+  }
+  return "c";
+}
+
+const char* flavor_token(frontend::Flavor flavor) noexcept {
+  switch (flavor) {
+    case frontend::Flavor::kOpenACC: return "openacc";
+    case frontend::Flavor::kOpenMP: return "openmp";
+  }
+  return "openacc";
+}
+
+std::optional<frontend::Language> parse_language_token(
+    std::string_view token) {
+  if (token == "c") return frontend::Language::kC;
+  if (token == "cpp") return frontend::Language::kCpp;
+  if (token == "fortran") return frontend::Language::kFortran;
+  return std::nullopt;
+}
+
+std::optional<frontend::Flavor> parse_flavor_token(std::string_view token) {
+  if (token == "openacc") return frontend::Flavor::kOpenACC;
+  if (token == "openmp") return frontend::Flavor::kOpenMP;
+  return std::nullopt;
+}
+
+std::string encode_hello(const std::string& tenant) {
+  return JsonObject().field("op", "hello").field("tenant", tenant).str();
+}
+
+std::string encode_submit(std::uint64_t id, const frontend::SourceFile& file) {
+  return JsonObject()
+      .field("op", "submit")
+      .field("id", static_cast<std::int64_t>(id))
+      .field("name", file.name)
+      .field("language", language_token(file.language))
+      .field("flavor", flavor_token(file.flavor))
+      .field("content", file.content)
+      .str();
+}
+
+std::string encode_ping() { return JsonObject().field("op", "ping").str(); }
+
+std::string encode_stats_request() {
+  return JsonObject().field("op", "stats").str();
+}
+
+std::string encode_shutdown() {
+  return JsonObject().field("op", "shutdown").str();
+}
+
+std::string encode_hello_ok(const std::string& tenant) {
+  return JsonObject().field("type", "hello_ok").field("tenant", tenant).str();
+}
+
+std::string encode_verdict(std::uint64_t id, const std::string& verdict,
+                           bool judge_valid, bool compiled, bool executed,
+                           bool cached, double gpu_seconds,
+                           std::uint64_t latency_us) {
+  return JsonObject()
+      .field("type", "verdict")
+      .field("id", static_cast<std::int64_t>(id))
+      .field("verdict", verdict)
+      .field("judge_valid", judge_valid)
+      .field("compiled", compiled)
+      .field("executed", executed)
+      .field("cached", cached)
+      .field("gpu_seconds", gpu_seconds)
+      .field("latency_us", static_cast<std::int64_t>(latency_us))
+      .str();
+}
+
+std::string encode_shed(std::uint64_t id, const std::string& reason) {
+  return JsonObject()
+      .field("type", "shed")
+      .field("id", static_cast<std::int64_t>(id))
+      .field("reason", reason)
+      .str();
+}
+
+std::string encode_error(std::uint64_t id, const std::string& reason,
+                         std::uint64_t latency_us) {
+  return JsonObject()
+      .field("type", "error")
+      .field("id", static_cast<std::int64_t>(id))
+      .field("reason", reason)
+      .field("latency_us", static_cast<std::int64_t>(latency_us))
+      .str();
+}
+
+std::string encode_protocol_error(const std::string& reason) {
+  return JsonObject().field("type", "error").field("reason", reason).str();
+}
+
+std::string encode_pong() { return JsonObject().field("type", "pong").str(); }
+
+std::string encode_draining() {
+  return JsonObject().field("type", "draining").str();
+}
+
+std::string encode_bye() { return JsonObject().field("type", "bye").str(); }
+
+Request parse_request(std::string_view line) {
+  Request request;
+  const auto fields = support::parse_json_object_line(line);
+  if (!fields.has_value()) {
+    request.error = "not a JSON object line";
+    return request;
+  }
+  const std::string op = string_field(*fields, "op");
+  if (op == "hello") {
+    request.tenant = string_field(*fields, "tenant");
+    if (!valid_tenant_name(request.tenant)) {
+      request.error = "hello: bad tenant name";
+      return request;
+    }
+    request.op = RequestOp::kHello;
+    return request;
+  }
+  if (op == "submit") {
+    const auto id = id_field(*fields, "id");
+    if (!id.has_value()) {
+      request.error = "submit: missing or bad id";
+      return request;
+    }
+    const auto language =
+        parse_language_token(string_field(*fields, "language"));
+    const auto flavor = parse_flavor_token(string_field(*fields, "flavor"));
+    if (!language.has_value() || !flavor.has_value()) {
+      request.error = "submit: bad language/flavor";
+      return request;
+    }
+    request.op = RequestOp::kSubmit;
+    request.id = *id;
+    request.file.name = string_field(*fields, "name");
+    request.file.language = *language;
+    request.file.flavor = *flavor;
+    request.file.content = string_field(*fields, "content");
+    return request;
+  }
+  if (op == "ping") {
+    request.op = RequestOp::kPing;
+    return request;
+  }
+  if (op == "stats") {
+    request.op = RequestOp::kStats;
+    return request;
+  }
+  if (op == "shutdown") {
+    request.op = RequestOp::kShutdown;
+    return request;
+  }
+  request.error = op.empty() ? "missing op" : "unknown op: " + op;
+  return request;
+}
+
+Response parse_response(std::string_view line) {
+  Response response;
+  auto fields = support::parse_json_object_line(line);
+  if (!fields.has_value()) {
+    response.reason = "not a JSON object line";
+    return response;
+  }
+  const std::string type = string_field(*fields, "type");
+  if (const auto id = id_field(*fields, "id"); id.has_value()) {
+    response.id = *id;
+    response.has_id = true;
+  }
+  if (type == "hello_ok") {
+    response.type = ResponseType::kHelloOk;
+    response.tenant = string_field(*fields, "tenant");
+  } else if (type == "verdict") {
+    response.type = ResponseType::kVerdict;
+    response.verdict = string_field(*fields, "verdict");
+    response.judge_valid = bool_field(*fields, "judge_valid");
+    response.compiled = bool_field(*fields, "compiled");
+    response.executed = bool_field(*fields, "executed");
+    response.cached = bool_field(*fields, "cached");
+    response.gpu_seconds = number_field(*fields, "gpu_seconds");
+    response.latency_us =
+        static_cast<std::uint64_t>(number_field(*fields, "latency_us"));
+  } else if (type == "shed") {
+    response.type = ResponseType::kShed;
+    response.reason = string_field(*fields, "reason");
+  } else if (type == "error") {
+    response.type = ResponseType::kError;
+    response.reason = string_field(*fields, "reason");
+    response.latency_us =
+        static_cast<std::uint64_t>(number_field(*fields, "latency_us"));
+  } else if (type == "pong") {
+    response.type = ResponseType::kPong;
+  } else if (type == "stats") {
+    response.type = ResponseType::kStats;
+  } else if (type == "draining") {
+    response.type = ResponseType::kDraining;
+  } else if (type == "bye") {
+    response.type = ResponseType::kBye;
+  } else {
+    response.reason = type.empty() ? "missing type" : "unknown type: " + type;
+    return response;
+  }
+  response.fields = std::move(*fields);
+  return response;
+}
+
+}  // namespace llm4vv::serve

@@ -1,0 +1,125 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "frontend/source.hpp"
+#include "support/jsonl.hpp"
+
+/// serve::protocol — the llm4vv-serve wire format (docs/SERVING.md).
+///
+/// One JSON object per line, both directions, built on support/jsonl (flat
+/// scalar fields only — the dialect the repo already persists everywhere).
+/// Requests carry an "op" discriminator, responses a "type". Every accepted
+/// submit gets exactly ONE terminal response — "verdict", "shed", or
+/// "error" — echoing the client-chosen "id"; auxiliary responses (hello
+/// acknowledgement, pong, stats, the draining notice, the final bye) are
+/// not terminal and carry no job id.
+namespace llm4vv::serve {
+
+/// Client → server operations.
+enum class RequestOp {
+  kHello,     ///< {"op":"hello","tenant":"<name>"} — bind the connection
+  kSubmit,    ///< {"op":"submit","id":N,"name":...,"language":...,
+              ///<  "flavor":...,"content":...} — one validation job
+  kPing,      ///< {"op":"ping"} → {"type":"pong"}
+  kStats,     ///< {"op":"stats"} → {"type":"stats",...} totals snapshot
+  kShutdown,  ///< {"op":"shutdown"} — request a graceful server drain
+  kInvalid,   ///< parse failure; `error` holds the reason
+};
+
+/// One parsed request line.
+struct Request {
+  RequestOp op = RequestOp::kInvalid;
+  std::string tenant;             ///< hello
+  std::uint64_t id = 0;           ///< submit (client-chosen job id)
+  frontend::SourceFile file;      ///< submit payload
+  std::string error;              ///< kInvalid: why the line was rejected
+};
+
+/// Server → client frame types.
+enum class ResponseType {
+  kHelloOk,   ///< hello acknowledged; echoes the bound tenant
+  kVerdict,   ///< terminal: the judge decided
+  kShed,      ///< terminal: admission refused the job (reason says why)
+  kError,     ///< terminal: the job ran but the judge submission failed
+  kPong,
+  kStats,     ///< flat totals snapshot (raw fields kept in `fields`)
+  kDraining,  ///< broadcast notice: the server stopped accepting jobs
+  kBye,       ///< final frame before the server closes the connection
+  kInvalid,   ///< unparseable line
+};
+
+/// One parsed response line. Only the fields matching `type` are
+/// meaningful; `fields` always holds the raw parsed object (the stats
+/// snapshot is read through it).
+struct Response {
+  ResponseType type = ResponseType::kInvalid;
+  std::uint64_t id = 0;           ///< terminal frames: echoed job id
+  bool has_id = false;
+  std::string verdict;            ///< kVerdict: "valid"/"invalid"/"unparseable"
+  bool judge_valid = false;       ///< kVerdict: the judge's boolean call
+  bool compiled = false;          ///< kVerdict: compile stage accepted
+  bool executed = false;          ///< kVerdict: execute stage passed
+  bool cached = false;            ///< kVerdict: served from the memo cache
+  double gpu_seconds = 0.0;       ///< kVerdict: simulated model time paid
+  std::uint64_t latency_us = 0;   ///< kVerdict/kError: submit → response
+  std::string reason;             ///< kShed/kError/kInvalid
+  std::string tenant;             ///< kHelloOk
+  std::map<std::string, support::JsonValue> fields;
+
+  /// True for the exactly-once frames a submit is owed.
+  bool terminal() const noexcept {
+    return type == ResponseType::kVerdict || type == ResponseType::kShed ||
+           type == ResponseType::kError;
+  }
+};
+
+/// Tenant names travel the wire and become metric-name segments, so they
+/// are restricted to [A-Za-z0-9_.-], 1..64 chars.
+bool valid_tenant_name(std::string_view name) noexcept;
+
+/// "c" / "cpp" / "fortran" and "openacc" / "openmp" wire spellings.
+const char* language_token(frontend::Language language) noexcept;
+const char* flavor_token(frontend::Flavor flavor) noexcept;
+std::optional<frontend::Language> parse_language_token(std::string_view token);
+std::optional<frontend::Flavor> parse_flavor_token(std::string_view token);
+
+// --- request encoding (client side) ---------------------------------------
+std::string encode_hello(const std::string& tenant);
+std::string encode_submit(std::uint64_t id, const frontend::SourceFile& file);
+std::string encode_ping();
+std::string encode_stats_request();
+std::string encode_shutdown();
+
+// --- response encoding (server side) ---------------------------------------
+std::string encode_hello_ok(const std::string& tenant);
+/// `gpu_seconds` is the simulated model time this decision paid (0 for
+/// cache hits), `latency_us` the submit→response wall time.
+std::string encode_verdict(std::uint64_t id, const std::string& verdict,
+                           bool judge_valid, bool compiled, bool executed,
+                           bool cached, double gpu_seconds,
+                           std::uint64_t latency_us);
+std::string encode_shed(std::uint64_t id, const std::string& reason);
+std::string encode_error(std::uint64_t id, const std::string& reason,
+                         std::uint64_t latency_us);
+/// A line-level failure (bad JSON, unknown op): an "error" frame with NO
+/// id field, so it can never be mistaken for a job's terminal response
+/// (parse_response leaves has_id false).
+std::string encode_protocol_error(const std::string& reason);
+std::string encode_pong();
+std::string encode_draining();
+std::string encode_bye();
+
+/// Parse one request line. Never throws: malformed input comes back as
+/// op == kInvalid with `error` set, so the server can answer rather than
+/// drop the connection.
+Request parse_request(std::string_view line);
+
+/// Parse one response line (client side). kInvalid on malformed input.
+Response parse_response(std::string_view line);
+
+}  // namespace llm4vv::serve

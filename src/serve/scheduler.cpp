@@ -1,0 +1,80 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+namespace llm4vv::serve {
+
+FairScheduler::Push FairScheduler::push(ServeJob job, std::uint32_t weight) {
+  {
+    support::MutexLock lock(mutex_);
+    if (closed_) return Push::kClosed;
+    if (depth_ >= max_queued_) return Push::kFull;
+    TenantQueue* queue = nullptr;
+    for (TenantQueue& candidate : queues_) {
+      if (candidate.tenant == job.tenant) {
+        queue = &candidate;
+        break;
+      }
+    }
+    if (queue == nullptr) {
+      queues_.push_back(TenantQueue{job.tenant, 1, {}});
+      queue = &queues_.back();
+    }
+    queue->weight = weight == 0 ? 1 : weight;
+    queue->jobs.push_back(std::move(job));
+    depth_ += 1;
+  }
+  ready_.notify_one();
+  return Push::kOk;
+}
+
+std::size_t FairScheduler::pop_up_to(std::size_t max,
+                                     std::vector<ServeJob>& out) {
+  if (max == 0) return 0;
+  support::UniqueLock lock(mutex_);
+  while (depth_ == 0 && !closed_) ready_.wait(lock);
+  if (depth_ == 0) return 0;  // closed and drained: end-of-stream
+  std::size_t taken = 0;
+  // Weighted round-robin: the cursor remembers its position across pops,
+  // so service keeps rotating even when every pop drains less than a full
+  // cycle.
+  while (taken < max && depth_ > 0) {
+    TenantQueue& queue = queues_[cursor_ % queues_.size()];
+    std::size_t quota = std::min<std::size_t>(queue.weight, max - taken);
+    while (quota > 0 && !queue.jobs.empty()) {
+      out.push_back(std::move(queue.jobs.front()));
+      queue.jobs.pop_front();
+      depth_ -= 1;
+      taken += 1;
+      quota -= 1;
+    }
+    cursor_ = (cursor_ + 1) % queues_.size();
+  }
+  scheduled_ += taken;
+  return taken;
+}
+
+void FairScheduler::close() {
+  {
+    support::MutexLock lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool FairScheduler::closed() const {
+  support::MutexLock lock(mutex_);
+  return closed_;
+}
+
+std::size_t FairScheduler::depth() const {
+  support::MutexLock lock(mutex_);
+  return depth_;
+}
+
+std::uint64_t FairScheduler::scheduled() const {
+  support::MutexLock lock(mutex_);
+  return scheduled_;
+}
+
+}  // namespace llm4vv::serve

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "frontend/source.hpp"
+#include "support/thread_annotations.hpp"
+
+/// serve::FairScheduler — weighted fair queueing between tenants and the
+/// dispatcher workers (docs/SERVING.md).
+///
+/// One bounded FIFO per tenant, drained by weighted round-robin: each
+/// visit takes up to `weight` jobs from a tenant's queue before the cursor
+/// advances, so at saturation tenant i receives weight_i / sum(weights) of
+/// the service — and every tenant with queued work is visited once per
+/// cycle, which is the no-starvation guarantee the serve bench gates.
+/// close() is the drain half: pushes start failing, pops hand out the
+/// backlog and then return 0 (end-of-stream), exactly the MpmcQueue
+/// contract the pipeline workers already follow.
+namespace llm4vv::serve {
+
+/// One accepted validation job travelling from the IO thread to a worker.
+struct ServeJob {
+  std::uint64_t seq = 0;            ///< server-wide ordinal (trace id)
+  std::uint64_t connection_id = 0;  ///< response routing key
+  std::uint64_t request_id = 0;     ///< client-chosen id, echoed back
+  std::string tenant;
+  frontend::SourceFile file;
+  std::uint64_t submitted_us = 0;   ///< admission timestamp (latency base)
+};
+
+class FairScheduler {
+ public:
+  enum class Push { kOk, kFull, kClosed };
+
+  /// `max_queued` bounds the total backlog across tenants (> 0).
+  explicit FairScheduler(std::size_t max_queued = 1024)
+      : max_queued_(max_queued == 0 ? 1 : max_queued) {}
+
+  FairScheduler(const FairScheduler&) = delete;
+  FairScheduler& operator=(const FairScheduler&) = delete;
+
+  /// Enqueue one job under its tenant (weight from the tenant table;
+  /// 0 is promoted to 1). kFull when the global bound is hit — the caller
+  /// sheds the job rather than blocking the IO thread.
+  Push push(ServeJob job, std::uint32_t weight) EXCLUDES(mutex_);
+
+  /// Block until jobs are available (or closed-and-drained), then append
+  /// up to `max` jobs to `out` in weighted round-robin order. Returns the
+  /// number appended; 0 means end-of-stream.
+  std::size_t pop_up_to(std::size_t max, std::vector<ServeJob>& out)
+      EXCLUDES(mutex_);
+
+  /// Stop accepting pushes; pops drain the backlog then see end-of-stream.
+  void close() EXCLUDES(mutex_);
+  bool closed() const EXCLUDES(mutex_);
+
+  /// Jobs currently queued across all tenants.
+  std::size_t depth() const EXCLUDES(mutex_);
+  /// Jobs handed to workers over the scheduler's lifetime.
+  std::uint64_t scheduled() const EXCLUDES(mutex_);
+  std::size_t max_queued() const noexcept { return max_queued_; }
+
+  /// Scrape-time probes: "<prefix>.depth", "<prefix>.scheduled",
+  /// "<prefix>.max_queued". Duck-typed like MpmcQueue::register_metrics;
+  /// the scheduler must outlive the registration.
+  template <typename RegistryT>
+  void register_metrics(RegistryT& registry, const std::string& prefix) const {
+    registry.register_probe(prefix + ".depth", [this] {
+      return static_cast<double>(depth());
+    });
+    registry.register_probe(prefix + ".scheduled", [this] {
+      return static_cast<double>(scheduled());
+    });
+    registry.register_probe(prefix + ".max_queued", [this] {
+      return static_cast<double>(max_queued());
+    });
+  }
+
+ private:
+  struct TenantQueue {
+    std::string tenant;
+    std::uint32_t weight = 1;
+    std::deque<ServeJob> jobs;
+  };
+
+  const std::size_t max_queued_;
+  mutable support::Mutex mutex_;
+  support::CondVar ready_;
+  std::vector<TenantQueue> queues_ GUARDED_BY(mutex_);
+  std::size_t cursor_ GUARDED_BY(mutex_) = 0;
+  std::size_t depth_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t scheduled_ GUARDED_BY(mutex_) = 0;
+  bool closed_ GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace llm4vv::serve

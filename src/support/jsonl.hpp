@@ -18,6 +18,13 @@ class JsonObject {
   /// Add a string field.
   JsonObject& field(const std::string& key, const std::string& value);
 
+  /// String-literal values must land on the string overload — without this
+  /// the `const char*` -> bool standard conversion outranks constructing a
+  /// std::string, and field("k", "v") silently emits "k":true.
+  JsonObject& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+
   /// Add an integer field.
   JsonObject& field(const std::string& key, std::int64_t value);
 

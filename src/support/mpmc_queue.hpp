@@ -34,7 +34,9 @@ namespace llm4vv::support {
 /// one uncontended lock and preserves FIFO order within its shard);
 /// when the home shard is empty (pop) or full (push) the operation walks
 /// the sibling shards — *work stealing* — before blocking on the
-/// queue-wide gate. Cross-shard ordering is not defined; `shards == 1`
+/// queue-wide gate. Pops start that walk at the last shard a steal found
+/// non-empty (a relaxed shared hint), so a skewed producer keeps getting
+/// robbed directly instead of through a linear re-scan. Cross-shard ordering is not defined; `shards == 1`
 /// (the default) is the original single-mutex queue with strict FIFO
 /// order. Blocking uses a queue-wide gate (atomic size + waiter-counted
 /// condition variables), touched only when a thread actually has to
@@ -157,15 +159,18 @@ class MpmcQueue {
   std::optional<T> pop() {
     const std::size_t home = home_shard();
     for (;;) {
-      for (std::size_t i = 0; i < shard_count_; ++i) {
-        Shard& shard = shards_[(home + i) % shard_count_];
+      const std::size_t hint = steal_hint_.load(std::memory_order_relaxed);
+      for (std::size_t step = 0; step <= shard_count_; ++step) {
+        const std::size_t index = scan_shard(home, hint, step);
+        if (step != 0 && index == home) continue;  // already visited
+        Shard& shard = shards_[index];
         UniqueLock lock(shard.mutex);
         if (shard.items.empty()) continue;
         T item = std::move(shard.items.front());
         shard.items.pop_front();
         size_.fetch_sub(1);  // under the shard lock; see push()
         lock.unlock();
-        if (i != 0) steals_.fetch_add(1, std::memory_order_relaxed);
+        if (index != home) record_steal(index);
         wake_producers(1);
         return item;
       }
@@ -185,10 +190,14 @@ class MpmcQueue {
     if (max == 0) return 0;
     const std::size_t home = home_shard();
     for (;;) {
+      const std::size_t hint = steal_hint_.load(std::memory_order_relaxed);
       std::size_t popped = 0;
       bool stole = false;
-      for (std::size_t i = 0; i < shard_count_ && popped < max; ++i) {
-        Shard& shard = shards_[(home + i) % shard_count_];
+      for (std::size_t step = 0; step <= shard_count_ && popped < max;
+           ++step) {
+        const std::size_t index = scan_shard(home, hint, step);
+        if (step != 0 && index == home) continue;  // already visited
+        Shard& shard = shards_[index];
         MutexLock lock(shard.mutex);
         std::size_t from_shard = 0;
         while (popped < max && !shard.items.empty()) {
@@ -199,7 +208,10 @@ class MpmcQueue {
         }
         if (from_shard > 0) {
           size_.fetch_sub(from_shard);  // under the shard lock; see push()
-          if (i != 0) stole = true;
+          if (index != home) {
+            stole = true;
+            steal_hint_.store(index, std::memory_order_relaxed);
+          }
         }
       }
       if (popped > 0) {
@@ -214,15 +226,18 @@ class MpmcQueue {
   /// Non-blocking dequeue; std::nullopt when currently empty.
   std::optional<T> try_pop() {
     const std::size_t home = home_shard();
-    for (std::size_t i = 0; i < shard_count_; ++i) {
-      Shard& shard = shards_[(home + i) % shard_count_];
+    const std::size_t hint = steal_hint_.load(std::memory_order_relaxed);
+    for (std::size_t step = 0; step <= shard_count_; ++step) {
+      const std::size_t index = scan_shard(home, hint, step);
+      if (step != 0 && index == home) continue;  // already visited
+      Shard& shard = shards_[index];
       UniqueLock lock(shard.mutex);
       if (shard.items.empty()) continue;
       T item = std::move(shard.items.front());
       shard.items.pop_front();
       size_.fetch_sub(1);  // under the shard lock; see push()
       lock.unlock();
-      if (i != 0) steals_.fetch_add(1, std::memory_order_relaxed);
+      if (index != home) record_steal(index);
       wake_producers(1);
       return item;
     }
@@ -298,6 +313,27 @@ class MpmcQueue {
     mutable Mutex mutex;
     std::deque<T> items GUARDED_BY(mutex);
   };
+
+  /// Pop-scan order: step 0 is the home shard; steps 1..shard_count_ walk
+  /// the full shard ring starting at the steal hint — the last shard a
+  /// steal found non-empty — so under a skewed load thieves go straight
+  /// back to the hot shard instead of re-walking the empty shards between
+  /// home and it. Callers skip the home index when a later step lands on
+  /// it; the ring walk still visits every shard, which wait_for_items'
+  /// "re-scan after wake" contract depends on (a partial scan could sleep
+  /// with items present and never wake).
+  std::size_t scan_shard(std::size_t home, std::size_t hint,
+                         std::size_t step) const noexcept {
+    return step == 0 ? home : (hint + step - 1) % shard_count_;
+  }
+
+  /// A steal found shard `index` non-empty: count it and remember the
+  /// shard for the next scan. The hint is advisory (relaxed, racy by
+  /// design) — a stale value costs a few extra probes, never correctness.
+  void record_steal(std::size_t index) {
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    steal_hint_.store(index, std::memory_order_relaxed);
+  }
 
   std::size_t home_shard() const noexcept {
     if (shard_count_ == 1) return 0;
@@ -385,6 +421,7 @@ class MpmcQueue {
   std::atomic<std::size_t> size_{0};
   std::atomic<bool> closed_{false};
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::size_t> steal_hint_{0};
   std::atomic<int> pop_waiters_{0};
   std::atomic<int> push_waiters_{0};
   mutable Mutex gate_mutex_;

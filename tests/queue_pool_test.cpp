@@ -276,6 +276,33 @@ TEST(ShardedMpmcQueueTest, StealsCountedWhenDrainingForeignShards) {
   EXPECT_GE(q.steals(), 6u);
 }
 
+TEST(ShardedMpmcQueueTest, StealScanCoversEveryShardAndLosesNothing) {
+  // The steal-scan hint redirects thieves to the last non-empty shard; the
+  // correctness property it must preserve is full coverage — whatever the
+  // hint says, a scan must still find an item parked in ANY single shard.
+  // Park items shard by shard (producer fills all 4, a foreign consumer
+  // drains between rounds so the hint keeps moving) and verify every item
+  // comes back.
+  MpmcQueue<int> q(64, 4);
+  std::vector<bool> seen(64, false);
+  for (int round = 0; round < 8; ++round) {
+    std::thread producer([&] {
+      for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.push(round * 8 + i));
+    });
+    producer.join();
+    std::thread consumer([&] {
+      for (int i = 0; i < 8; ++i) {
+        const auto item = q.try_pop();
+        ASSERT_TRUE(item.has_value());
+        seen[static_cast<std::size_t>(*item)] = true;
+      }
+      EXPECT_FALSE(q.try_pop().has_value());  // scan agrees the queue is dry
+    });
+    consumer.join();
+  }
+  for (int i = 0; i < 64; ++i) EXPECT_TRUE(seen[static_cast<std::size_t>(i)]);
+}
+
 TEST(ShardedMpmcQueueTest, ConcurrentSumPreservedSharded) {
   MpmcQueue<int> q(16, 4);
   std::atomic<long> total{0};

@@ -26,6 +26,13 @@
 #      counter member in another obs header bypasses the registry and
 #      silently reintroduces the shared-cacheline hot spot the cells
 #      exist to avoid.
+#   4. No std::atomic members in src/serve/ headers. The serve layer's
+#      shared state is all mutex-guarded behind the annotated wrappers
+#      (TenantTable, FairScheduler, the server pimpl) so Clang's analysis
+#      and the TSan leg see every access; an atomic member in a serve
+#      header is state that escaped that discipline. Implementation files
+#      may still use atomics with a rationale, same as rule 1's .cpp
+#      escape hatch.
 #
 # Usage:
 #   tools/lint_concurrency.sh              lint the tree (exit 1 on finding)
@@ -107,6 +114,27 @@ lint_obs_header_raw_atomics() {
   return 0
 }
 
+lint_serve_header_raw_atomics() {
+  # Rule 4: std::atomic members in serve headers; shared serve state must
+  # live behind the annotated mutex wrappers.
+  local header="$1"
+  case "$header" in
+    src/serve/*.hpp) ;;
+    *) return 0 ;;
+  esac
+  local hits
+  hits=$(strip_comments "$header" | grep -nE 'std::atomic\s*<')
+  if [ -n "$hits" ]; then
+    echo "LINT: $header declares raw std::atomic members; serve-layer" \
+         "shared state must be mutex-guarded through the annotated" \
+         "wrappers (support/thread_annotations.hpp) so the thread-safety" \
+         "analysis and the TSan leg see every access:"
+    echo "$hits" | sed 's/^/    /'
+    return 1
+  fi
+  return 0
+}
+
 lint_tree() {
   local status=0
   local header
@@ -114,6 +142,7 @@ lint_tree() {
     lint_header_raw_types "$header" || status=1
     lint_header_unguarded_mutex "$header" || status=1
     lint_obs_header_raw_atomics "$header" || status=1
+    lint_serve_header_raw_atomics "$header" || status=1
   done < <(find src -name '*.hpp' | sort)
   return $status
 }
@@ -122,7 +151,7 @@ self_test() {
   self_test_dir=$(mktemp -d) || exit 2
   trap 'rm -rf "$self_test_dir"' EXIT
   local dir="$self_test_dir"
-  mkdir -p "$dir/src/bad" "$dir/src/obs"
+  mkdir -p "$dir/src/bad" "$dir/src/obs" "$dir/src/serve"
   local status=0
 
   # Seed a rule-1 violation: a naked std::mutex member.
@@ -156,6 +185,17 @@ EOF
 class RogueCounter {
  private:
   std::atomic<unsigned long> hits_{0};
+};
+EOF
+
+  # Seed a rule-4 violation: lock-free state leaking into a serve header.
+  cat > "$dir/src/serve/rogue_flag.hpp" <<'EOF'
+#pragma once
+#include <atomic>
+// A std::atomic in a comment alone must NOT trip the lint.
+class RogueFlag {
+ private:
+  std::atomic<bool> draining_{false};
 };
 EOF
 
@@ -193,6 +233,14 @@ EOF
     status=1
   else
     echo "self-test: rule 3 exempts obs/cells.hpp: OK"
+  fi
+
+  if (cd "$dir" && lint_serve_header_raw_atomics "src/serve/rogue_flag.hpp" \
+      > /dev/null); then
+    echo "SELF-TEST FAIL: rule 4 missed a raw std::atomic serve member"
+    status=1
+  else
+    echo "self-test: rule 4 catches a raw std::atomic member in serve: OK"
   fi
 
   # And the real tree must be clean, or the lint is vacuous red.
