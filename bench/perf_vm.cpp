@@ -86,27 +86,37 @@ BENCHMARK(BM_ExecuteDeviceLoop)->Unit(benchmark::kMillisecond);
 void BM_ExecuteDispatch(benchmark::State& state) {
   // The dispatch-core ablation behind the CI gate: the same host loop under
   // the reference switch (0), the function-pointer table (1), and the
-  // token-threaded core (2). The acceptance bar is threaded >= 1.5x the
-  // reference's steps/s; the `dispatch` counter is 0/1/2 so jq can key on
-  // it, the resolved core name is in the run name via SetLabel.
+  // token-threaded core (2), each with superinstruction fusion off
+  // (fused:0) or on (fused:1; fast cores only — the reference never
+  // fuses). The acceptance bars are threaded >= 1.5x the reference's
+  // steps/s and fused >= the unfused table core; the `dispatch`/`fused`
+  // counters mirror the args so jq can key on them, the resolved core
+  // name is in the run label, and `fused_sites` proves the fused runs
+  // actually engaged the pass (a zero there would gate a no-op).
   const auto mode = static_cast<vm::DispatchMode>(state.range(0));
+  const bool fuse = state.range(1) != 0;
   const auto module = compile_one(kHostLoop);
   std::uint64_t steps = 0;
+  std::uint64_t fused_sites = 0;
   for (auto _ : state) {
-    const auto result = vm::execute(*module, {}, mode);
+    const auto result = vm::execute(*module, {}, mode, fuse);
     steps += result.steps;
+    fused_sites = result.fused_instructions;
     benchmark::DoNotOptimize(result.return_code);
   }
   state.SetLabel(vm::dispatch_mode_name(mode));
   state.counters["steps/s"] = benchmark::Counter(
       static_cast<double>(steps), benchmark::Counter::kIsRate);
+  state.counters["fused_sites"] = static_cast<double>(fused_sites);
 }
 BENCHMARK(BM_ExecuteDispatch)
-    ->Arg(static_cast<int>(vm::DispatchMode::kReference))
-    ->Arg(static_cast<int>(vm::DispatchMode::kTable))
-    ->Arg(static_cast<int>(vm::DispatchMode::kThreaded))
+    ->Args({static_cast<int>(vm::DispatchMode::kReference), 0})
+    ->Args({static_cast<int>(vm::DispatchMode::kTable), 0})
+    ->Args({static_cast<int>(vm::DispatchMode::kTable), 1})
+    ->Args({static_cast<int>(vm::DispatchMode::kThreaded), 0})
+    ->Args({static_cast<int>(vm::DispatchMode::kThreaded), 1})
     ->Unit(benchmark::kMillisecond)
-    ->ArgNames({"dispatch"});
+    ->ArgNames({"dispatch", "fused"});
 
 void BM_PipelineExecuteScale(benchmark::State& state) {
   // The execute stage's queue hand-off at scale, isolated: W producers

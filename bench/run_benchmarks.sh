@@ -186,28 +186,30 @@ if command -v jq >/dev/null 2>&1; then
   jq -r '
     .benchmarks[]
     | select(.name | startswith("BM_ExecuteDispatch"))
-    | "\(.name) (\(.label)): \(.["steps/s"] / 1e6 | floor) Msteps/s"
+    | "\(.name) (\(.label)): \(.["steps/s"] / 1e6 | floor) Msteps/s, " +
+      "fused_sites \(.fused_sites | floor)"
   ' "${script_dir}/BENCH_vm.json"
 
   # Dispatch-core gate: the pre-decoded fast core the execute stage runs by
-  # default (the table core, dispatch:1) must clear 1.5x the reference
-  # switch's throughput, and the computed-goto core (dispatch:2) must not
-  # fall behind the reference. Smoke runs (BENCH_MIN_TIME set) measure too
-  # few iterations for tight bounds; relax to 1.3x / 0.9x there (the goto
-  # core's edge over the reference is hardware-dependent and small).
+  # default (the table core, dispatch:1/fused:0) must clear 1.5x the
+  # reference switch's throughput, and the computed-goto core
+  # (dispatch:2/fused:0) must not fall behind the reference. Smoke runs
+  # (BENCH_MIN_TIME set) measure too few iterations for tight bounds; relax
+  # to 1.3x / 0.9x there (the goto core's edge over the reference is
+  # hardware-dependent and small).
   dispatch_bar="1.5"
   goto_bar="1.0"
   if [[ -n "${min_time}" ]]; then dispatch_bar="1.3"; goto_bar="0.9"; fi
   jq -e --argjson bar "${dispatch_bar}" --argjson gbar "${goto_bar}" '
     ([.benchmarks[]
-      | select(.name == "BM_ExecuteDispatch/dispatch:0")][0]["steps/s"])
-      as $ref |
+      | select(.name == "BM_ExecuteDispatch/dispatch:0/fused:0")][0]
+        ["steps/s"]) as $ref |
     ([.benchmarks[]
-      | select(.name == "BM_ExecuteDispatch/dispatch:1")][0]["steps/s"])
-      as $table |
+      | select(.name == "BM_ExecuteDispatch/dispatch:1/fused:0")][0]
+        ["steps/s"]) as $table |
     ([.benchmarks[]
-      | select(.name == "BM_ExecuteDispatch/dispatch:2")][0]["steps/s"])
-      as $goto |
+      | select(.name == "BM_ExecuteDispatch/dispatch:2/fused:0")][0]
+        ["steps/s"]) as $goto |
     $table >= $ref * $bar and $goto > $ref * $gbar
   ' "${script_dir}/BENCH_vm.json" > /dev/null || {
     echo "error: VM dispatch regressed (table core < ${dispatch_bar}x" \
@@ -216,6 +218,40 @@ if command -v jq >/dev/null 2>&1; then
     exit 1
   }
   echo "vm dispatch OK (table core >= ${dispatch_bar}x reference)"
+
+  # Superinstruction-fusion gate, tiered like the queue-sharding gate
+  # below: on a host with real parallelism headroom (>= 4 CPUs) and a full
+  # run, the fused table core must not be slower than the unfused one —
+  # fusion exists to win throughput, and the bench loop fuses 12 sites
+  # (fused_sites must be nonzero or the gate is measuring a no-op). Smoke
+  # runs allow 10% timer noise; on smaller/noisier hosts only bound the
+  # overhead (fused >= table / 1.5) so a pathological fusion regression
+  # still fails while scheduler jitter does not.
+  cpus="$(nproc 2>/dev/null || echo 1)"
+  if [[ "${cpus}" -ge 4 && -z "${min_time}" ]]; then
+    fusion_filter='$fused >= $table'
+    fusion_desc="fused table core >= unfused (${cpus} CPUs)"
+  elif [[ "${cpus}" -ge 4 ]]; then
+    fusion_filter='$fused >= $table / 1.10'
+    fusion_desc="fused within noise of unfused (smoke run, ${cpus} CPUs)"
+  else
+    fusion_filter='$fused >= $table / 1.5'
+    fusion_desc="fusion overhead bounded on ${cpus}-CPU host (timer too noisy for a strict win)"
+  fi
+  jq -e '
+    ([.benchmarks[]
+      | select(.name == "BM_ExecuteDispatch/dispatch:1/fused:0")][0]
+        ["steps/s"]) as $table |
+    ([.benchmarks[]
+      | select(.name == "BM_ExecuteDispatch/dispatch:1/fused:1")][0]) as $f |
+    $f["steps/s"] as $fused |
+    $f.fused_sites > 0 and '"${fusion_filter}"'
+  ' "${script_dir}/BENCH_vm.json" > /dev/null || {
+    echo "error: superinstruction fusion gate failed (${fusion_desc}," \
+         "or fused run engaged zero fusion sites) - see BENCH_vm.json" >&2
+    exit 1
+  }
+  echo "vm fusion OK (${fusion_desc})"
 
   jq -r '
     .benchmarks[]

@@ -45,6 +45,15 @@ struct CompileLocal {
   std::uint64_t persisted_hits = 0;
 };
 
+/// Execute workers accumulate the VM decoder's superinstruction telemetry
+/// beside their stage stats: total fused sites across the modules they ran,
+/// and the largest distinct-pattern count any single module hit.
+struct ExecuteLocal {
+  StageStats stats;
+  std::uint64_t fused_instructions = 0;
+  std::uint32_t fusion_patterns = 0;
+};
+
 void merge_into(StageStats& total, const StageStats& part) {
   total.processed += part.processed;
   total.rejected += part.rejected;
@@ -65,6 +74,7 @@ struct PipelineMetrics {
   obs::Counter compile_persisted_hits;
   obs::Counter execute_processed;
   obs::Counter execute_rejected;
+  obs::Counter execute_fused_instructions;
   obs::Counter judge_processed;
   obs::Counter judge_rejected;
   obs::Counter judge_cache_hits;
@@ -87,6 +97,8 @@ PipelineMetrics fetch_metrics(obs::Registry* registry) {
       registry->counter("pipeline.compile.persisted_hits");
   m.execute_processed = registry->counter("pipeline.execute.processed");
   m.execute_rejected = registry->counter("pipeline.execute.rejected");
+  m.execute_fused_instructions =
+      registry->counter("pipeline.execute.fused_instructions");
   m.judge_processed = registry->counter("pipeline.judge.processed");
   m.judge_rejected = registry->counter("pipeline.judge.rejected");
   m.judge_cache_hits = registry->counter("pipeline.judge.cache_hits");
@@ -162,6 +174,7 @@ PipelineResult ValidationPipeline::run(
     shards = std::min({shards, hw, std::size_t{8}});
   }
   result.execute_dispatch = vm::dispatch_mode_name(executor_.dispatch_mode());
+  result.execute_fusion = executor_.fusion_enabled();
   result.queue_shards = shards;
 
   // Snapshot the judge client's batcher counters so the run can report the
@@ -187,7 +200,7 @@ PipelineResult ValidationPipeline::run(
   // cross-thread handoffs all ride on the annotated MpmcQueue, and the
   // join() barrier below publishes the locals.
   std::vector<CompileLocal> compile_locals(config_.compile_workers);
-  std::vector<StageStats> execute_locals(config_.execute_workers);
+  std::vector<ExecuteLocal> execute_locals(config_.execute_workers);
   std::vector<JudgeLocal> judge_locals(config_.judge_workers);
 
   std::atomic<std::size_t> compile_live{config_.compile_workers};
@@ -255,7 +268,7 @@ PipelineResult ValidationPipeline::run(
   // Stage 2: execute.
   for (std::size_t w = 0; w < config_.execute_workers; ++w) {
     workers.emplace_back([&, w] {
-      StageStats local;
+      ExecuteLocal local;
       std::vector<WorkItem> batch;
       std::vector<WorkItem> outgoing;
       batch.reserve(kStageBatch);
@@ -281,11 +294,18 @@ PipelineResult ValidationPipeline::run(
           PipelineRecord& record = result.records[item.index];
           record.executed = item.exec.passed();
           record.exec_rc = item.exec.return_code;
-          ++local.processed;
-          if (!item.exec.passed()) ++local.rejected;
+          ++local.stats.processed;
+          if (!item.exec.passed()) ++local.stats.rejected;
           metrics.execute_processed.inc();
           if (!item.exec.passed()) metrics.execute_rejected.inc();
-          local.busy_seconds += timer.seconds();
+          if (item.exec.fused_instructions > 0) {
+            local.fused_instructions += item.exec.fused_instructions;
+            local.fusion_patterns =
+                std::max(local.fusion_patterns, item.exec.fusion_patterns);
+            metrics.execute_fused_instructions.inc(
+                item.exec.fused_instructions);
+          }
+          local.stats.busy_seconds += timer.seconds();
           if (filter && !item.exec.passed()) continue;
           if (tracer != nullptr) item.queued_us = support::now_us();
           outgoing.push_back(std::move(item));
@@ -537,7 +557,10 @@ PipelineResult ValidationPipeline::run(
     result.compile_persisted_hits += local.persisted_hits;
   }
   for (const auto& local : execute_locals) {
-    merge_into(result.execute_stage, local);
+    merge_into(result.execute_stage, local.stats);
+    result.execute_fused_instructions += local.fused_instructions;
+    result.execute_fusion_patterns =
+        std::max(result.execute_fusion_patterns, local.fusion_patterns);
   }
   for (const auto& local : judge_locals) {
     merge_into(result.judge_stage, local.stats);

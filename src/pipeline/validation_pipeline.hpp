@@ -186,6 +186,13 @@ struct PipelineResult {
   /// Resolved VM dispatch core the execute stage ran with ("computed-goto",
   /// "table", or "reference"; see vm::dispatch_mode_name).
   std::string execute_dispatch;
+  /// Whether the execute stage's VM decode pass fused superinstructions.
+  bool execute_fusion = false;
+  /// Superinstruction sites the VM decoder rewrote, summed over every
+  /// module the execute stage ran (0 with fusion off), and the largest
+  /// distinct-pattern count any single module hit.
+  std::uint64_t execute_fused_instructions = 0;
+  std::uint32_t execute_fusion_patterns = 0;
   /// Lock-striped shards each inter-stage queue ran with this run.
   std::size_t queue_shards = 0;
   /// Pops served by a non-home shard across the three inter-stage queues —

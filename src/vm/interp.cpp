@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <initializer_list>
 #include <vector>
 
 #include "frontend/builtins.hpp"
@@ -71,8 +72,133 @@ static_assert(
     }(),
     "interp_ops.inc bodies must appear in Op-enum order");
 
-bool is_jump(Op op) noexcept {
+constexpr bool is_jump(Op op) noexcept {
   return op == Op::kJump || op == Op::kJumpIfFalse || op == Op::kJumpIfTrue;
+}
+
+/// Maximum component count of a superinstruction (pairs and triples only;
+/// the decoded operand slots of the components stay in the stream, so this
+/// bounds pattern length, not stream layout).
+constexpr std::size_t kMaxFusionLength = 3;
+
+/// One entry of the superinstruction pattern table, built from the VM_FUSE
+/// list in interp_ops.inc. The decoded handler index of a fused site is
+/// kOpCount + 1 + (index into this table) — right after the opcode handlers
+/// and the end-of-chunk sentinel.
+struct FusionPattern {
+  const char* name;
+  std::uint32_t length;
+  Op ops[kMaxFusionLength];
+};
+
+constexpr FusionPattern make_fusion_pattern(const char* name,
+                                            std::initializer_list<Op> ops) {
+  FusionPattern p{name, 0, {Op::kNop, Op::kNop, Op::kNop}};
+  for (Op op : ops) p.ops[p.length++] = op;
+  return p;
+}
+
+constexpr FusionPattern kFusionPatterns[] = {
+#define VM_FUSE(NAME, ...) make_fusion_pattern(#NAME, {__VA_ARGS__}),
+#include "vm/interp_ops.inc"
+#undef VM_FUSE
+};
+constexpr std::size_t kFusionPatternCount =
+    sizeof(kFusionPatterns) / sizeof(kFusionPatterns[0]);
+constexpr std::uint32_t kFusedHandlerBase = kChunkEndHandler + 1;
+
+static_assert(
+    [] {
+      for (const FusionPattern& p : kFusionPatterns) {
+        if (p.length < 2 || p.length > kMaxFusionLength) return false;
+        for (std::uint32_t i = 0; i < p.length; ++i) {
+          const Op op = p.ops[i];
+          // Frame re-sync / unwind / halt ops must stay fetch boundaries,
+          // and a branch may only be the final component (the fused handler
+          // pre-advances s.pc, so only the last slot may overwrite it).
+          if (op == Op::kCall || op == Op::kCallBuiltin || op == Op::kRet ||
+              op == Op::kDevEnter || op == Op::kDevExit ||
+              op == Op::kDevAction) {
+            return false;
+          }
+          if (is_jump(op) && i + 1 != p.length) return false;
+        }
+      }
+      return true;
+    }(),
+    "VM_FUSE patterns must be branch-terminated straight-line pairs/triples");
+
+static_assert(
+    [] {
+      for (std::size_t i = 1; i < kFusionPatternCount; ++i) {
+        if (kFusionPatterns[i].length > kFusionPatterns[i - 1].length) {
+          return false;
+        }
+      }
+      return true;
+    }(),
+    "VM_FUSE patterns are matched first-hit: longer patterns must come first");
+
+/// Decode-time fusion telemetry, surfaced through ExecResult.
+struct FusionStats {
+  std::uint64_t fused_instructions = 0;  ///< superinstruction sites rewritten
+  std::uint32_t fusion_patterns = 0;     ///< distinct patterns among them
+};
+
+/// Decode-time superinstruction fusion over one chunk's decoded stream
+/// (`out[0, size)`, sentinels not yet appended). Greedy first-hit scan over
+/// the pattern table (longer patterns first, static_asserted above). Two
+/// invariants keep a fused stream byte-identical to the unfused one:
+///
+///   - No fusion across jump targets: a pattern is refused when any
+///     INTERIOR component (everything but the head) is a branch target.
+///     Component slots keep their original handlers regardless — only the
+///     head's handler index is rewritten — so decoded indices stay 1:1
+///     with bytecode indices and every jump target stays valid.
+///   - Heads may be targets: jumping to the head executes the whole fused
+///     sequence, which is identical to executing its components.
+///
+/// Matching runs over decoded handler indices (== raw opcode values at this
+/// point), so out-of-range opcodes that decoded to kNop can never alias a
+/// pattern component.
+void fuse_chunk(std::vector<DecodedInstr>& out, std::int32_t size,
+                FusionStats& stats, bool* patterns_seen) {
+  if (size < 2) return;
+  std::vector<bool> is_target(static_cast<std::size_t>(size), false);
+  for (std::int32_t i = 0; i < size; ++i) {
+    const DecodedInstr& d = out[static_cast<std::size_t>(i)];
+    if (is_jump(static_cast<Op>(d.handler)) && d.a >= 0 && d.a < size) {
+      is_target[static_cast<std::size_t>(d.a)] = true;
+    }
+  }
+  std::int32_t i = 0;
+  while (i < size) {
+    std::int32_t matched = 0;
+    for (std::size_t p = 0; p < kFusionPatternCount; ++p) {
+      const FusionPattern& pattern = kFusionPatterns[p];
+      const std::int32_t len = static_cast<std::int32_t>(pattern.length);
+      if (i + len > size) continue;
+      bool ok = true;
+      for (std::int32_t k = 0; k < len && ok; ++k) {
+        if (out[static_cast<std::size_t>(i + k)].handler !=
+            static_cast<std::uint32_t>(pattern.ops[k])) {
+          ok = false;
+        }
+        if (k > 0 && is_target[static_cast<std::size_t>(i + k)]) ok = false;
+      }
+      if (!ok) continue;
+      out[static_cast<std::size_t>(i)].handler =
+          kFusedHandlerBase + static_cast<std::uint32_t>(p);
+      ++stats.fused_instructions;
+      if (!patterns_seen[p]) {
+        patterns_seen[p] = true;
+        ++stats.fusion_patterns;
+      }
+      matched = len;
+      break;
+    }
+    i += matched != 0 ? matched : 1;
+  }
 }
 
 /// Lower a module's bytecode into the flat handler-index streams the fast
@@ -85,8 +211,11 @@ bool is_jump(Op op) noexcept {
 /// target — undefined behaviour in the reference — becomes the same
 /// defined no-line trap. Out-of-range opcodes match no case in the
 /// reference switch and are skipped there; they decode to the same no-op.
-DecodedProgram decode(const Module& module) {
+/// With `fuse`, the fusion pass above then rewrites superinstruction heads.
+DecodedProgram decode(const Module& module, bool fuse, FusionStats* stats) {
   DecodedProgram program;
+  FusionStats local_stats;
+  bool patterns_seen[kFusionPatternCount] = {};
   program.chunks.resize(module.chunks.size());
   for (std::size_t c = 0; c < module.chunks.size(); ++c) {
     const std::vector<Instr>& code = module.chunks[c].code;
@@ -106,6 +235,7 @@ DecodedProgram decode(const Module& module) {
       if (is_jump(instr.op) && (d.a < 0 || d.a > size)) d.a = size + 1;
       out.push_back(d);
     }
+    if (fuse) fuse_chunk(out, size, local_stats, patterns_seen);
     // Sentinel at index `size`: sequential fall-off and jump-to-size land
     // here; the reference renders those at the last instruction's line.
     DecodedInstr end;
@@ -119,6 +249,7 @@ DecodedProgram decode(const Module& module) {
     wild.line = 0;
     out.push_back(wild);
   }
+  if (stats != nullptr) *stats = local_stats;
   return program;
 }
 
@@ -137,9 +268,10 @@ class Machine final : public RuntimeHost {
   Machine(const Module& module, const ExecLimits& limits)
       : module_(module), limits_(limits), memory_(limits.max_cells) {}
 
-  ExecResult run(DispatchMode mode) {
+  ExecResult run(DispatchMode mode, bool fuse) {
+    FusionStats fusion_stats;
     if (mode != DispatchMode::kReference) {
-      decoded_storage_ = decode(module_);
+      decoded_storage_ = decode(module_, fuse, &fusion_stats);
       decoded_ = &decoded_storage_;
     }
     ExecResult result;
@@ -166,6 +298,8 @@ class Machine final : public RuntimeHost {
     result.stdout_text = std::move(stdout_);
     result.stderr_text = stderr_ + result.stderr_text;
     result.steps = steps_;
+    result.fused_instructions = fusion_stats.fused_instructions;
+    result.fusion_patterns = fusion_stats.fusion_patterns;
     return result;
   }
 
@@ -516,14 +650,78 @@ class Machine final : public RuntimeHost {
 #undef VM_OP
 #undef VM_RET_EMPTY
 
+  /// Compile-time dispatch from a component opcode to its VM_OP handler —
+  /// how a superinstruction reuses the exact single-source bodies above, so
+  /// a fused sequence cannot drift from its unfused components. Resolves to
+  /// one direct (inlinable) call.
+  template <Op C>
+  static void run_component(Machine& m, ExecState& s,
+                            const DecodedInstr* ins) {
+#define VM_OP(NAME, ...) \
+  if constexpr (C == Op::NAME) return handler_##NAME(m, s, ins);
+#include "vm/interp_ops.inc"
+#undef VM_OP
+  }
+
+  /// Runs components 2..N of a fused sequence: each one publishes its
+  /// position (so a trap unwinding from the body renders the component's
+  /// line, not the head's), then replays the loop head's step charge —
+  /// `++steps` with a budget check BEFORE the body, so a budget landing
+  /// mid-sequence traps at exactly the component the reference loop would
+  /// have been fetching, with the same final count.
+  template <Op C, Op... Rest>
+  static void run_fused_tail(Machine& m, ExecState& s,
+                             const DecodedInstr* cur) {
+    ++cur;
+    m.fast_ins_ = cur;
+    if (++s.steps > s.max_steps) [[unlikely]] {
+      throw Trap{TrapKind::kStepLimit, "instruction budget exhausted"};
+    }
+    run_component<C>(m, s, cur);
+    if constexpr (sizeof...(Rest) > 0) run_fused_tail<Rest...>(m, s, cur);
+  }
+
+  /// Superinstruction handler: one per VM_FUSE pattern, instantiated over
+  /// the pattern's component opcodes. The loop head already fetched the
+  /// head component and charged its step; s.pc is pre-advanced past the
+  /// sequence so fall-through resumes after it (only a final-component
+  /// branch may overwrite it — static_asserted at the pattern table).
+  /// Trap-position accounting is eager: each component stores its position
+  /// to fast_ins_ before running (a predictable store, measurably cheaper
+  /// here than a try/catch keeping the position live across every call),
+  /// and normal completion clears it so the loop catches fall back to the
+  /// fetched instruction for non-fused traps.
+  template <Op Head, Op... Rest>
+#if defined(__GNUC__) || defined(__clang__)
+  // Inline the component bodies into the superinstruction: with plain
+  // calls the fused handler pays call setup per component and wins nothing
+  // over the (well-predicted) dispatch loop; flattened, the compiler
+  // combines the components' stack-pointer and pc bookkeeping into
+  // straight-line code, which is where the fusion throughput comes from.
+  __attribute__((flatten))
+#endif
+  static void handler_fused(Machine& m, ExecState& s,
+                            const DecodedInstr* ins) {
+    s.pc = ins + 1 + sizeof...(Rest);
+    m.fast_ins_ = ins;
+    run_component<Head>(m, s, ins);
+    run_fused_tail<Rest...>(m, s, ins);
+    m.fast_ins_ = nullptr;
+  }
+
   static constexpr Handler kHandlers[] = {
 #define VM_OP(NAME, ...) &Machine::handler_##NAME,
 #include "vm/interp_ops.inc"
 #undef VM_OP
       &Machine::handler_chunk_end,
+#define VM_FUSE(NAME, ...) &Machine::handler_fused<__VA_ARGS__>,
+#include "vm/interp_ops.inc"
+#undef VM_FUSE
   };
-  static_assert(sizeof(kHandlers) / sizeof(kHandlers[0]) == kOpCount + 1,
-                "one handler per opcode plus the end-of-chunk sentinel");
+  static_assert(sizeof(kHandlers) / sizeof(kHandlers[0]) ==
+                    kOpCount + 1 + kFusionPatternCount,
+                "one handler per opcode, the end-of-chunk sentinel, and one "
+                "per superinstruction pattern");
 
   /// Portable fast core: pre-decoded stream + function-pointer table.
   void run_loop_table() {
@@ -540,8 +738,10 @@ class Machine final : public RuntimeHost {
       }
     } catch (...) {
       // Publish the trapping instruction for line rendering only on the
-      // unwind path, keeping the fetch free of per-instruction stores.
-      fast_ins_ = ins;
+      // unwind path, keeping the fetch free of per-instruction stores. A
+      // superinstruction that trapped mid-sequence already published the
+      // precise component; fast_ins_ is null during normal execution.
+      if (fast_ins_ == nullptr) fast_ins_ = ins;
       throw;
     }
   }
@@ -563,9 +763,14 @@ class Machine final : public RuntimeHost {
 #include "vm/interp_ops.inc"
 #undef VM_OP
         &&label_chunk_end,
+#define VM_FUSE(NAME, ...) &&label_fused_##NAME,
+#include "vm/interp_ops.inc"
+#undef VM_FUSE
     };
-    static_assert(sizeof(kLabels) / sizeof(kLabels[0]) == kOpCount + 1,
-                  "one label per opcode plus the end-of-chunk sentinel");
+    static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
+                      kOpCount + 1 + kFusionPatternCount,
+                  "one label per opcode, the end-of-chunk sentinel, and one "
+                  "per superinstruction pattern");
 
     Machine& m = *this;
     ExecState s;
@@ -594,15 +799,24 @@ class Machine final : public RuntimeHost {
   handler_##NAME(m, s, ins); \
   if (s.halted) return;      \
   VM_DISPATCH();
+// Superinstruction labels: fused sequences never halt (kRet is not a legal
+// component), so they skip the halt check and re-dispatch directly.
+#define VM_FUSE(NAME, ...)               \
+  label_fused_##NAME:                    \
+  handler_fused<__VA_ARGS__>(m, s, ins); \
+  VM_DISPATCH();
 #include "vm/interp_ops.inc"
 #undef VM_OP
+#undef VM_FUSE
 
     label_chunk_end:
       handler_chunk_end(m, s, ins);
     } catch (...) {
       // Publish the trapping instruction for line rendering only on the
-      // unwind path, keeping the fetch free of per-instruction stores.
-      m.fast_ins_ = ins;
+      // unwind path, keeping the fetch free of per-instruction stores. A
+      // superinstruction that trapped mid-sequence already published the
+      // precise component; fast_ins_ is null during normal execution.
+      if (m.fast_ins_ == nullptr) m.fast_ins_ = ins;
       throw;
     }
 #undef VM_DISPATCH
@@ -856,14 +1070,45 @@ const char* dispatch_mode_name(DispatchMode mode) noexcept {
   return "?";
 }
 
+bool default_fusion_enabled() noexcept {
+#if defined(LLM4VV_VM_FUSION_OFF)
+  return false;
+#else
+  return true;
+#endif
+}
+
+std::size_t fusion_pattern_count() noexcept { return kFusionPatternCount; }
+
+const char* fusion_pattern_name(std::size_t pattern) noexcept {
+  return pattern < kFusionPatternCount ? kFusionPatterns[pattern].name : "?";
+}
+
+std::size_t fusion_pattern_length(std::size_t pattern) noexcept {
+  return pattern < kFusionPatternCount ? kFusionPatterns[pattern].length : 0;
+}
+
+Op fusion_pattern_component(std::size_t pattern, std::size_t index) noexcept {
+  if (pattern >= kFusionPatternCount ||
+      index >= kFusionPatterns[pattern].length) {
+    return Op::kNop;
+  }
+  return kFusionPatterns[pattern].ops[index];
+}
+
 ExecResult execute(const Module& module, const ExecLimits& limits) {
   return execute(module, limits, default_dispatch_mode());
 }
 
 ExecResult execute(const Module& module, const ExecLimits& limits,
                    DispatchMode mode) {
+  return execute(module, limits, mode, default_fusion_enabled());
+}
+
+ExecResult execute(const Module& module, const ExecLimits& limits,
+                   DispatchMode mode, bool fuse) {
   Machine machine(module, limits);
-  return machine.run(mode);
+  return machine.run(mode, fuse);
 }
 
 ExecResult execute_reference(const Module& module, const ExecLimits& limits) {

@@ -23,6 +23,11 @@ struct ExecResult {
   std::string stderr_text;
   TrapKind trap = TrapKind::kNone;
   std::uint64_t steps = 0;
+  /// Superinstruction sites the decode-time fusion pass rewrote (0 when
+  /// fusion was off or the reference core ran — it never decodes).
+  std::uint64_t fused_instructions = 0;
+  /// Distinct fusion patterns among those sites.
+  std::uint32_t fusion_patterns = 0;
 
   bool trapped() const noexcept { return trap != TrapKind::kNone; }
   bool ok() const noexcept { return !trapped() && return_code == 0; }
@@ -64,6 +69,22 @@ DispatchMode default_dispatch_mode() noexcept;
 /// "computed-goto" (kThreaded reports "table" when it degraded).
 const char* dispatch_mode_name(DispatchMode mode) noexcept;
 
+/// Whether the fast cores fuse superinstructions by default: true unless the
+/// build pinned -DLLM4VV_VM_FUSION=OFF (the CI matrix builds that leg). The
+/// reference core never fuses — it does not even decode. An explicit
+/// `fuse` argument to execute() overrides this either way, which is what the
+/// differential suite uses to run the full 3-modes x fusion-on/off matrix.
+bool default_fusion_enabled() noexcept;
+
+/// Introspection over the superinstruction pattern table (the VM_FUSE list
+/// in interp_ops.inc), for tests and telemetry labels: how many patterns the
+/// decoder knows, each one's name (e.g. "LoadSlotPushConstMul"), component
+/// count (2 or 3), and component opcodes.
+std::size_t fusion_pattern_count() noexcept;
+const char* fusion_pattern_name(std::size_t pattern) noexcept;
+std::size_t fusion_pattern_length(std::size_t pattern) noexcept;
+Op fusion_pattern_component(std::size_t pattern, std::size_t index) noexcept;
+
 /// Execute a lowered module: run the global-init chunk, then `main`.
 /// Traps are converted into non-zero return codes with a runtime-style
 /// stderr line (segfault-like traps -> 139; device-mapping failures -> 1,
@@ -72,9 +93,16 @@ const char* dispatch_mode_name(DispatchMode mode) noexcept;
 ExecResult execute(const Module& module, const ExecLimits& limits = {});
 
 /// Same, with an explicit dispatch core. All cores are semantically
-/// identical; tests/vm_dispatch_test.cpp enforces byte equivalence.
+/// identical; tests/vm_dispatch_test.cpp enforces byte equivalence. Fusion
+/// follows default_fusion_enabled().
 ExecResult execute(const Module& module, const ExecLimits& limits,
                    DispatchMode mode);
+
+/// Same, with superinstruction fusion explicitly on or off (ignored by the
+/// reference core, which never decodes). Every combination is semantically
+/// identical — byte-for-byte outputs, traps, return codes, and step counts.
+ExecResult execute(const Module& module, const ExecLimits& limits,
+                   DispatchMode mode, bool fuse);
 
 /// The pinned switch interpreter (== execute(..., DispatchMode::kReference));
 /// differential tests diff the fast cores against this.

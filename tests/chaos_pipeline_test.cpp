@@ -31,11 +31,8 @@ constexpr std::size_t kCorpusSize = 120;
 /// (issues 0-2), so the judge sees a realistic verdict mix.
 std::vector<frontend::SourceFile> chaos_corpus(std::uint64_t seed) {
   const std::size_t invalid = kCorpusSize * 3 / 10;
-  corpus::GeneratorConfig gen;
-  gen.flavor = frontend::Flavor::kOpenACC;
-  gen.count = kCorpusSize + 32;
-  gen.seed = seed;
-  const auto suite = corpus::generate_suite(gen);
+  const auto suite = corpus::generate_suite(testutil::corpus_config(
+      frontend::Flavor::kOpenACC, kCorpusSize + 32, seed));
 
   probing::ProbingConfig probe;
   probe.issue_counts = {invalid / 3, invalid / 3, invalid - 2 * (invalid / 3),

@@ -13,11 +13,8 @@ using frontend::Flavor;
 
 TEST(IntegrationTest, SmallEndToEndFlowBothFlavors) {
   for (const auto flavor : {Flavor::kOpenACC, Flavor::kOpenMP}) {
-    corpus::GeneratorConfig gen;
-    gen.flavor = flavor;
-    gen.count = 80;
-    gen.seed = 1001;
-    const auto suite = corpus::generate_suite(gen);
+    const auto suite =
+        corpus::generate_suite(testutil::corpus_config(flavor, 80, 1001));
 
     probing::ProbingConfig probe;
     probe.issue_counts = {6, 6, 6, 6, 6, 30};

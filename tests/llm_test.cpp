@@ -40,10 +40,7 @@ INSTANTIATE_TEST_SUITE_P(
         "FINAL JUDGEMENT: valid"));
 
 TEST(TokenizerTest, RoundTripOnGeneratedCorpus) {
-  corpus::GeneratorConfig gen;
-  gen.flavor = Flavor::kOpenACC;
-  gen.count = 12;
-  gen.seed = 31;
+  auto gen = testutil::corpus_config(Flavor::kOpenACC, 12, 31);
   gen.fortran_share = 0.3;
   const auto& tokenizer = default_tokenizer();
   for (const auto& tc : corpus::generate_suite(gen).cases) {

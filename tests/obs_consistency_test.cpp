@@ -33,11 +33,8 @@ constexpr std::size_t kCorpusSize = 120;
 
 std::vector<frontend::SourceFile> make_corpus(std::uint64_t seed) {
   const std::size_t invalid = kCorpusSize * 3 / 10;
-  corpus::GeneratorConfig gen;
-  gen.flavor = frontend::Flavor::kOpenACC;
-  gen.count = kCorpusSize + 32;
-  gen.seed = seed;
-  const auto suite = corpus::generate_suite(gen);
+  const auto suite = corpus::generate_suite(testutil::corpus_config(
+      frontend::Flavor::kOpenACC, kCorpusSize + 32, seed));
 
   probing::ProbingConfig probe;
   probe.issue_counts = {invalid / 3, invalid / 3, invalid - 2 * (invalid / 3),
@@ -132,6 +129,18 @@ void assert_registry_matches(const ObsRun& run) {
             double(result.execute_stage.processed));
   EXPECT_EQ(metric(m, "pipeline.execute.rejected"),
             double(result.execute_stage.rejected));
+  EXPECT_EQ(metric(m, "pipeline.execute.fused_instructions"),
+            double(result.execute_fused_instructions));
+  // The default executor follows the build's fusion default; with fusion on
+  // a corpus this size always contains fusable sequences.
+  EXPECT_EQ(result.execute_fusion, vm::default_fusion_enabled());
+  if (result.execute_fusion) {
+    EXPECT_GT(result.execute_fused_instructions, 0u);
+    EXPECT_GT(result.execute_fusion_patterns, 0u);
+  } else {
+    EXPECT_EQ(result.execute_fused_instructions, 0u);
+    EXPECT_EQ(result.execute_fusion_patterns, 0u);
+  }
   EXPECT_EQ(metric(m, "pipeline.judge.processed"),
             double(result.judge_stage.processed));
   EXPECT_EQ(metric(m, "pipeline.judge.rejected"),
@@ -235,11 +244,8 @@ TEST(ObsConsistencyTest, PaperModeSeedExactWithRegistryAndTracer) {
   // The tsan_stress / BM_PipelineMode paper-accounting corpus: 120 files,
   // gen.seed 1234, probe seed 77, cache off, sequential judging. The
   // registry and tracer must observe without perturbing the priced total.
-  corpus::GeneratorConfig gen;
-  gen.flavor = frontend::Flavor::kOpenACC;
-  gen.count = 120 + 32;
-  gen.seed = 1234;
-  const auto suite = corpus::generate_suite(gen);
+  const auto suite = corpus::generate_suite(
+      testutil::corpus_config(frontend::Flavor::kOpenACC, 120 + 32, 1234));
   probing::ProbingConfig probe;
   probe.issue_counts = {0, 0, 0, 0, 0, 120};
   probe.seed = 77;

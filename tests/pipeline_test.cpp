@@ -13,11 +13,8 @@ using frontend::Flavor;
 
 probing::ProbedSuite probed_batch(std::size_t per_issue,
                                   std::size_t valid_count) {
-  corpus::GeneratorConfig gen;
-  gen.flavor = Flavor::kOpenACC;
-  gen.count = per_issue * 5 + valid_count + 32;
-  gen.seed = 808;
-  const auto suite = corpus::generate_suite(gen);
+  const auto suite = corpus::generate_suite(testutil::corpus_config(
+      Flavor::kOpenACC, per_issue * 5 + valid_count + 32, 808));
   probing::ProbingConfig config;
   config.issue_counts = {per_issue, per_issue, per_issue, per_issue,
                          per_issue, valid_count};

@@ -12,11 +12,7 @@ using frontend::Flavor;
 using frontend::Language;
 
 corpus::Suite base_suite(Flavor flavor, std::size_t count) {
-  corpus::GeneratorConfig config;
-  config.flavor = flavor;
-  config.count = count;
-  config.seed = 4711;
-  return corpus::generate_suite(config);
+  return corpus::generate_suite(testutil::corpus_config(flavor, count, 4711));
 }
 
 // ---------------------------------------------------------------------------

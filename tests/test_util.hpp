@@ -9,6 +9,7 @@
 #include <string>
 #include <unistd.h>
 
+#include "corpus/generator.hpp"
 #include "directive/validator.hpp"
 #include "frontend/fortran.hpp"
 #include "frontend/lexer.hpp"
@@ -134,6 +135,20 @@ class GatedModel final : public llm::LanguageModel {
   mutable int entered_ = 0;
   mutable bool released_ = false;
 };
+
+/// The corpus-generator knobs every suite-driving test sets: flavor, size,
+/// and seed in one place, so corpus tests stay consistent as the suite
+/// grows (remaining GeneratorConfig fields keep their defaults and can be
+/// adjusted on the returned value).
+inline corpus::GeneratorConfig corpus_config(frontend::Flavor flavor,
+                                             std::size_t count,
+                                             std::uint64_t seed) {
+  corpus::GeneratorConfig config;
+  config.flavor = flavor;
+  config.count = count;
+  config.seed = seed;
+  return config;
+}
 
 /// A strictness-free compiler driver for validity testing.
 inline toolchain::CompilerDriver clean_driver(frontend::Flavor flavor) {

@@ -6,6 +6,7 @@
 #include "corpus/generator.hpp"
 #include "llm/tokenizer.hpp"
 #include "support/rng.hpp"
+#include "tests/test_util.hpp"
 
 namespace llm4vv::llm {
 namespace {
@@ -13,10 +14,8 @@ namespace {
 /// Corpus text of the kind the tokenizer sees in production: generated V&V
 /// test files, which are dense in the fragment vocabulary.
 std::string corpus_text(std::uint64_t seed, std::size_t count = 8) {
-  corpus::GeneratorConfig gen;
-  gen.flavor = frontend::Flavor::kOpenACC;
-  gen.count = count;
-  gen.seed = seed;
+  const auto gen =
+      testutil::corpus_config(frontend::Flavor::kOpenACC, count, seed);
   std::string text;
   for (const auto& tc : corpus::generate_suite(gen).cases) {
     text += tc.file.content;

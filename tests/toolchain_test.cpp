@@ -96,11 +96,8 @@ TEST(CompilerTest, StrictnessQuirkRateIsApproximatelyHonoured) {
   CompilerConfig config = nvc_persona();
   config.strictness_reject_rate = 0.3;
   const CompilerDriver driver(config);
-  corpus::GeneratorConfig gen;
-  gen.flavor = Flavor::kOpenACC;
-  gen.count = 300;
-  gen.seed = 99;
-  const auto suite = corpus::generate_suite(gen);
+  const auto suite =
+      corpus::generate_suite(testutil::corpus_config(Flavor::kOpenACC, 300, 99));
   int rejected = 0;
   for (const auto& tc : suite.cases) {
     if (!driver.compile(tc.file).success) ++rejected;

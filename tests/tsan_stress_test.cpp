@@ -276,11 +276,8 @@ TEST(TsanStressTest, ConcurrentStoreSaveAndPut) {
 // ---------------------------------------------------------------------------
 
 TEST(TsanStressTest, PaperModeSimGpuSecondsExactUnderSanitizers) {
-  corpus::GeneratorConfig gen;
-  gen.flavor = frontend::Flavor::kOpenACC;
-  gen.count = 120 + 32;
-  gen.seed = 1234;
-  const auto suite = corpus::generate_suite(gen);
+  const auto suite = corpus::generate_suite(
+      testutil::corpus_config(frontend::Flavor::kOpenACC, 120 + 32, 1234));
 
   probing::ProbingConfig probe;
   probe.issue_counts = {0, 0, 0, 0, 0, 120};

@@ -1,10 +1,15 @@
 // Differential test of the VM dispatch cores: the pre-decoded fast cores
-// (function-pointer table and computed-goto threaded) must be byte-identical
-// to the pinned reference switch interpreter — outputs, traps, return
-// codes, and exact step accounting — over hand-written programs, generated
-// + probed corpora, and randomized raw bytecode modules.
+// (function-pointer table and computed-goto threaded), with superinstruction
+// fusion both on and off, must be byte-identical to the pinned reference
+// switch interpreter — outputs, traps, return codes, and exact step
+// accounting — over hand-written programs, generated + probed corpora, and
+// randomized raw bytecode modules (1000+ by default; seed and count are env
+// overridable so CI failures reproduce locally, and any mismatch prints a
+// self-contained reproducer with the module dump).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <random>
 #include <string>
 #include <vector>
@@ -24,21 +29,31 @@ constexpr DispatchMode kFastModes[] = {DispatchMode::kTable,
                                        DispatchMode::kThreaded};
 
 void expect_identical(const ExecResult& ref, const ExecResult& got,
-                      DispatchMode mode, const std::string& what) {
-  const std::string context =
-      what + " [" + dispatch_mode_name(mode) + " vs reference]";
+                      DispatchMode mode, bool fuse, const std::string& what) {
+  const std::string context = what + " [" + dispatch_mode_name(mode) +
+                              (fuse ? "+fused" : "+unfused") +
+                              " vs reference]";
   EXPECT_EQ(ref.return_code, got.return_code) << context;
   EXPECT_EQ(ref.stdout_text, got.stdout_text) << context;
   EXPECT_EQ(ref.stderr_text, got.stderr_text) << context;
   EXPECT_EQ(ref.trap, got.trap) << context;
   EXPECT_EQ(ref.steps, got.steps) << context;
+  // Telemetry sanity rides along: fusion off must report zero fused sites,
+  // and pattern count can never exceed site count.
+  if (!fuse) EXPECT_EQ(got.fused_instructions, 0u) << context;
+  EXPECT_LE(got.fusion_patterns, got.fused_instructions) << context;
 }
 
+/// The full differential matrix for one module: the reference core is the
+/// oracle; every fast core runs with fusion both off and on.
 void diff_module(const Module& module, const ExecLimits& limits,
                  const std::string& what) {
   const ExecResult ref = execute_reference(module, limits);
   for (const DispatchMode mode : kFastModes) {
-    expect_identical(ref, execute(module, limits, mode), mode, what);
+    for (const bool fuse : {false, true}) {
+      expect_identical(ref, execute(module, limits, mode, fuse), mode, fuse,
+                       what);
+    }
   }
 }
 
@@ -192,11 +207,8 @@ TEST(VmDispatchDiffTest, StepBudgetBoundaryExact) {
 TEST(VmDispatchDiffTest, GeneratedCorpusBothFlavors) {
   for (const auto flavor :
        {frontend::Flavor::kOpenACC, frontend::Flavor::kOpenMP}) {
-    corpus::GeneratorConfig gen;
-    gen.flavor = flavor;
-    gen.count = 24;
-    gen.seed = 20260728;
-    const auto suite = corpus::generate_suite(gen);
+    const auto suite =
+        corpus::generate_suite(testutil::corpus_config(flavor, 24, 20260728));
     toolchain::CompilerConfig config = toolchain::nvc_persona();
     config.strictness_reject_rate = 0.0;
     const toolchain::CompilerDriver driver(config);
@@ -212,11 +224,8 @@ TEST(VmDispatchDiffTest, GeneratedCorpusBothFlavors) {
 }
 
 TEST(VmDispatchDiffTest, ProbedCorpusTrapHeavy) {
-  corpus::GeneratorConfig gen;
-  gen.flavor = frontend::Flavor::kOpenACC;
-  gen.count = 40;
-  gen.seed = 99;
-  const auto suite = corpus::generate_suite(gen);
+  const auto suite = corpus::generate_suite(
+      testutil::corpus_config(frontend::Flavor::kOpenACC, 40, 99));
   probing::ProbingConfig probe;
   probe.issue_counts = {4, 4, 4, 4, 4, 4};
   probe.seed = 7;
@@ -342,15 +351,50 @@ Module random_module(std::uint64_t seed) {
   return module;
 }
 
+// Env knobs so any CI failure reproduces locally in one command:
+// LLM4VV_DISPATCH_FUZZ_SEED is the base seed (default 0) and
+// LLM4VV_DISPATCH_FUZZ_COUNT the number of modules (default 1000).
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  return (end != nullptr && *end == '\0') ? value : fallback;
+}
+
+std::string module_dump(const Module& module) {
+  std::string dump;
+  for (std::size_t c = 0; c < module.chunks.size(); ++c) {
+    dump += "--- chunk " + std::to_string(c) + " (" +
+            module.chunks[c].name + ") ---\n";
+    dump += disassemble(module, module.chunks[c]);
+  }
+  return dump;
+}
+
 TEST(VmDispatchDiffTest, RandomizedModules) {
+  const std::uint64_t base = env_u64("LLM4VV_DISPATCH_FUZZ_SEED", 0);
+  const std::uint64_t count = env_u64("LLM4VV_DISPATCH_FUZZ_COUNT", 1000);
   ExecLimits limits;
   limits.max_steps = 3000;
   limits.max_output = 1u << 12;
   limits.max_frames = 32;
   limits.max_cells = 1u << 16;
-  for (std::uint64_t seed = 0; seed < 300; ++seed) {
-    diff_module(random_module(seed), limits,
-                "random module seed=" + std::to_string(seed));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t seed = base + i;
+    const Module module = random_module(seed);
+    diff_module(module, limits, "random module seed=" + std::to_string(seed));
+    if (::testing::Test::HasFailure()) {
+      // Stop at the first mismatch and print a self-contained reproducer
+      // instead of a wall of per-seed gtest diffs.
+      GTEST_FAIL() << "cross-core mismatch at seed " << seed
+                   << "\nreproduce with:\n"
+                   << "  LLM4VV_DISPATCH_FUZZ_SEED=" << seed
+                   << " LLM4VV_DISPATCH_FUZZ_COUNT=1 ./vm_dispatch_test"
+                      " --gtest_filter='*RandomizedModules'\n"
+                   << "module under test:\n"
+                   << module_dump(module);
+    }
   }
 }
 
@@ -382,6 +426,218 @@ TEST(VmDispatchDiffTest, EmptyMainChunk) {
   diff_module(module, {}, "empty main chunk");
 }
 
+// ---------------------------------------------------------------------------
+// Superinstruction fusion boundaries. The fast cores may fuse hot
+// pairs/triples at decode time, but never across a jump target landing in
+// the interior of a sequence, and step accounting must stay exact: a
+// budget trap inside a fused handler has to land on the precise component
+// instruction, rendering the same trap line as the reference.
+// ---------------------------------------------------------------------------
+
+// Sentinel operand fixed up by pattern_module to point at the epilogue.
+constexpr std::int32_t kEpilogueTarget = -1;
+
+Instr raw(Op op, std::int32_t a = 0, std::int32_t b = 0) {
+  return Instr{op, a, b, 0};
+}
+
+/// Wraps a handcrafted body in a runnable module: consts [0, 1, 7, 1.5],
+/// a `push 0; ret` epilogue, and line = index + 1 so budget traps pin
+/// every component position to a distinct source line.
+Module pattern_module(std::vector<Instr> body) {
+  Module module;
+  module.consts = {Value::from_int(0), Value::from_int(1), Value::from_int(7),
+                   Value::from_float(1.5)};
+  module.global_slot_count = 2;
+  const auto epilogue = static_cast<std::int32_t>(body.size());
+  for (auto& instr : body) {
+    if ((instr.op == Op::kJump || instr.op == Op::kJumpIfFalse ||
+         instr.op == Op::kJumpIfTrue) &&
+        instr.a == kEpilogueTarget) {
+      instr.a = epilogue;
+    }
+  }
+  body.push_back(raw(Op::kPushConst, 0));
+  body.push_back(raw(Op::kRet));
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    body[i].line = static_cast<std::int32_t>(i + 1);
+  }
+  Chunk chunk;
+  chunk.name = "main";
+  chunk.slot_count = 4;
+  chunk.code = std::move(body);
+  module.chunks.push_back(std::move(chunk));
+  module.main_chunk = 0;
+  return module;
+}
+
+/// One handcrafted program per fusion pattern, keyed by registry name.
+/// The per-pattern test fails loudly when a new pattern lands without a
+/// program here. Feeds that must not themselves fuse use kLoadGlobal /
+/// kAllocGlobalArray, which appear in no pattern.
+std::vector<Instr> pattern_program(const std::string& name) {
+  if (name == "LoadSlotPushConstMul")
+    return {raw(Op::kLoadSlot, 0), raw(Op::kPushConst, 2), raw(Op::kMul),
+            raw(Op::kPop)};
+  if (name == "LoadSlotPushConstAdd")
+    return {raw(Op::kLoadSlot, 0), raw(Op::kPushConst, 2), raw(Op::kAdd),
+            raw(Op::kPop)};
+  if (name == "LoadSlotPushConstLt")
+    return {raw(Op::kLoadSlot, 0), raw(Op::kPushConst, 2), raw(Op::kLt),
+            raw(Op::kPop)};
+  if (name == "LoadSlotLoadSlotIndexAddr")
+    return {raw(Op::kAllocArray, 0, 8), raw(Op::kLoadSlot, 0),
+            raw(Op::kLoadSlot, 1), raw(Op::kIndexAddr), raw(Op::kPop)};
+  if (name == "IndexAddrLoadInd")
+    return {raw(Op::kAllocGlobalArray, 0, 8), raw(Op::kLoadGlobal, 0),
+            raw(Op::kPushConst, 1), raw(Op::kIndexAddr), raw(Op::kLoadInd),
+            raw(Op::kPop)};
+  if (name == "IndexAddrStoreInd")
+    return {raw(Op::kAllocGlobalArray, 0, 8), raw(Op::kPushConst, 2),
+            raw(Op::kLoadGlobal, 0), raw(Op::kPushConst, 1),
+            raw(Op::kIndexAddr), raw(Op::kStoreInd)};
+  if (name == "AddStoreSlot")
+    return {raw(Op::kPushConst, 2), raw(Op::kPushConst, 1), raw(Op::kAdd),
+            raw(Op::kStoreSlot, 0)};
+  if (name == "LoadSlotLoadSlot")
+    return {raw(Op::kLoadSlot, 0), raw(Op::kLoadSlot, 1), raw(Op::kPop),
+            raw(Op::kPop)};
+  if (name == "PushConstStoreSlot")
+    return {raw(Op::kPushConst, 2), raw(Op::kStoreSlot, 0)};
+  const auto cmp_branch = [](Op cmp) {
+    return std::vector<Instr>{raw(Op::kPushConst, 1), raw(Op::kPushConst, 2),
+                              raw(cmp),
+                              raw(Op::kJumpIfFalse, kEpilogueTarget)};
+  };
+  if (name == "LtJumpIfFalse") return cmp_branch(Op::kLt);
+  if (name == "LeJumpIfFalse") return cmp_branch(Op::kLe);
+  if (name == "GtJumpIfFalse") return cmp_branch(Op::kGt);
+  if (name == "GeJumpIfFalse") return cmp_branch(Op::kGe);
+  if (name == "EqJumpIfFalse") return cmp_branch(Op::kEq);
+  if (name == "NeJumpIfFalse") return cmp_branch(Op::kNe);
+  return {};
+}
+
+TEST(VmFusionTest, PatternTableSanity) {
+  const std::size_t n = fusion_pattern_count();
+  EXPECT_GE(n, 14u);
+  std::vector<std::string> names;
+  std::size_t prev_length = 3;
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t length = fusion_pattern_length(p);
+    EXPECT_GE(length, 2u) << "pattern " << p;
+    EXPECT_LE(length, 3u) << "pattern " << p;
+    // Non-increasing lengths keep greedy first-hit matching longest-first.
+    EXPECT_LE(length, prev_length) << "pattern " << p;
+    prev_length = length;
+    const char* name = fusion_pattern_name(p);
+    ASSERT_NE(name, nullptr);
+    EXPECT_FALSE(std::string(name).empty());
+    names.emplace_back(name);
+    for (std::size_t c = 0; c < length; ++c) {
+      EXPECT_LT(static_cast<std::size_t>(fusion_pattern_component(p, c)),
+                kOpCount)
+          << name << " component " << c;
+    }
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end())
+      << "duplicate fusion pattern names";
+  // Out-of-range introspection degrades to inert fallbacks.
+  EXPECT_STREQ(fusion_pattern_name(n), "?");
+  EXPECT_EQ(fusion_pattern_length(n), 0u);
+  EXPECT_EQ(fusion_pattern_component(0, 99), Op::kNop);
+}
+
+TEST(VmFusionTest, ReferenceIgnoresFusionFlag) {
+  const Module module =
+      pattern_module(pattern_program("LoadSlotPushConstMul"));
+  const ExecResult plain =
+      execute(module, {}, DispatchMode::kReference, false);
+  const ExecResult fused = execute(module, {}, DispatchMode::kReference, true);
+  EXPECT_EQ(fused.fused_instructions, 0u);
+  EXPECT_EQ(fused.fusion_patterns, 0u);
+  expect_identical(plain, fused, DispatchMode::kReference, false,
+                   "reference fuse flag");
+}
+
+TEST(VmFusionTest, BranchTargetIntoSequenceBlocksFusion) {
+  // A [LoadSlot, PushConst, Mul] triple sits at indices 2..4; a never-taken
+  // conditional branch marks index `target` as a jump target at decode
+  // time. Interior targets (3, 4) must refuse fusion entirely; targeting
+  // the head (2) fuses as usual. Every variant stays byte-identical.
+  for (const std::int32_t target : {2, 3, 4}) {
+    const Module module = pattern_module({
+        raw(Op::kPushConst, 1),         // 0: truthy condition
+        raw(Op::kJumpIfFalse, target),  // 1: not taken; marks the target
+        raw(Op::kLoadSlot, 0),          // 2: head
+        raw(Op::kPushConst, 2),         // 3: interior
+        raw(Op::kMul),                  // 4: interior
+        raw(Op::kPop),                  // 5
+    });
+    const ExecResult fused = execute(module, {}, DispatchMode::kTable, true);
+    EXPECT_EQ(fused.fused_instructions, target == 2 ? 1u : 0u)
+        << "branch target " << target;
+    diff_module(module, {},
+                "branch into fusable sequence at " + std::to_string(target));
+  }
+}
+
+TEST(VmFusionTest, StepBudgetSweepInsideFusedSequences) {
+  // Three fused sites back to back (triple, triple, pair) with unfusable
+  // glue between them; sweeping the step budget lands the trap on every
+  // position — fused heads and mid-sequence components alike — and the
+  // stderr trap line must match the reference at each one.
+  const Module module = pattern_module({
+      raw(Op::kLoadSlot, 0),   // 0 ─┐
+      raw(Op::kPushConst, 2),  // 1  ├ LoadSlotPushConstMul
+      raw(Op::kMul),           // 2 ─┘
+      raw(Op::kStoreSlot, 1),  // 3
+      raw(Op::kLoadSlot, 0),   // 4 ─┐
+      raw(Op::kPushConst, 2),  // 5  ├ LoadSlotPushConstAdd
+      raw(Op::kAdd),           // 6 ─┘ (consumed: Add+StoreSlot cannot pair)
+      raw(Op::kStoreSlot, 1),  // 7
+      raw(Op::kLoadSlot, 0),   // 8 ─┐ LoadSlotLoadSlot
+      raw(Op::kLoadSlot, 1),   // 9 ─┘
+      raw(Op::kPop),           // 10
+      raw(Op::kPop),           // 11
+  });
+  const ExecResult full = execute(module, {}, DispatchMode::kTable, true);
+  EXPECT_EQ(full.return_code, 0);
+  EXPECT_EQ(full.fused_instructions, 3u);
+  EXPECT_EQ(full.fusion_patterns, 3u);
+  for (std::uint64_t budget = 1; budget <= 16; ++budget) {
+    ExecLimits limits;
+    limits.max_steps = budget;
+    diff_module(module, limits, "fused budget=" + std::to_string(budget));
+  }
+}
+
+TEST(VmFusionTest, EveryPatternTrapsOnEveryComponentLine) {
+  for (std::size_t p = 0; p < fusion_pattern_count(); ++p) {
+    const std::string name = fusion_pattern_name(p);
+    const std::vector<Instr> body = pattern_program(name);
+    ASSERT_FALSE(body.empty())
+        << "no handcrafted program for fusion pattern " << name
+        << " — add one to pattern_program()";
+    const Module module = pattern_module(body);
+    const ExecResult fused = execute(module, {}, DispatchMode::kTable, true);
+    const ExecResult unfused =
+        execute(module, {}, DispatchMode::kTable, false);
+    EXPECT_GE(fused.fused_instructions, 1u) << name;
+    EXPECT_GE(fused.fusion_patterns, 1u) << name;
+    EXPECT_EQ(unfused.fused_instructions, 0u) << name;
+    // Budget sweep across the whole program: the trap lands on each
+    // component position of the fused sequence in turn, so a wrong
+    // step-undo or trap line shows up as a diff at some budget.
+    for (std::uint64_t budget = 1; budget <= body.size() + 3; ++budget) {
+      ExecLimits limits;
+      limits.max_steps = budget;
+      diff_module(module, limits, name + " budget=" + std::to_string(budget));
+    }
+  }
+}
+
 // Sanity on the mode surface itself.
 TEST(VmDispatchTest, ModeNamesAndDefault) {
   EXPECT_STREQ(dispatch_mode_name(DispatchMode::kReference), "reference");
@@ -393,6 +649,10 @@ TEST(VmDispatchTest, ModeNamesAndDefault) {
     EXPECT_STREQ(dispatch_mode_name(DispatchMode::kThreaded), "table");
   }
   EXPECT_EQ(default_dispatch_mode(), DispatchMode::kTable);
+  // The 3-arg execute overload follows the build-time fusion default.
+  const Module module = pattern_module(pattern_program("PushConstStoreSlot"));
+  const ExecResult implicit = execute(module, {}, DispatchMode::kTable);
+  EXPECT_EQ(implicit.fused_instructions > 0, default_fusion_enabled());
 }
 
 }  // namespace
